@@ -1,0 +1,49 @@
+/**
+ * @file
+ * F2 — overhead vs SPE trace-buffer size, and ablation D1.
+ *
+ * Sweeps the per-half trace buffer from 128 B to 16 KiB for the
+ * double-buffered design and for the single-buffer ablation (one
+ * half, blocking flush). Expected shape: small buffers flush often
+ * and pay flush-wait stalls; past a knee the curve flattens. The
+ * double-buffered design reaches the plateau with far smaller
+ * buffers because fills overlap flush DMAs — the design point the
+ * paper's tracer architecture is built around.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace cell;
+    using namespace cell::bench;
+
+    // A chatty enough workload that flushes matter: triad with small
+    // tiles on 8 SPEs.
+    const WorkloadFactory f = makeTriad(8, 2, 65536, 4);
+    const RunOutcome base = runOnce(f, false);
+
+    std::cout << "F2: overhead vs trace-buffer size (triad, 8 SPEs)\n"
+              << "buffer(B)   double-buffered        single-buffered\n"
+              << "            slowdown  flushes      slowdown  flushes\n";
+
+    for (std::uint32_t bytes : {128u, 256u, 512u, 1024u, 2048u, 4096u,
+                                8192u, 16384u}) {
+        std::cout << std::setw(9) << bytes;
+        for (bool dbl : {true, false}) {
+            pdt::PdtConfig cfg;
+            cfg.spu_buffer_bytes = bytes;
+            cfg.double_buffered = dbl;
+            const RunOutcome traced = runOnce(f, true, cfg);
+            std::cout << std::fixed << std::setprecision(3) << std::setw(12)
+                      << slowdown(traced, base) << std::setw(9)
+                      << traced.flushes;
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

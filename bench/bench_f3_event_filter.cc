@@ -1,0 +1,60 @@
+/**
+ * @file
+ * F3 — overhead vs event-group filtering, and ablation D2.
+ *
+ * Runs triad and matmul with different group masks: everything, DMA
+ * only, DMA-wait only, mailbox only, lifecycle only, and nothing
+ * (tracer attached but all groups off — the pure check cost).
+ * Expected shape: overhead scales with the share of events the mask
+ * keeps; the all-off row isolates the few-cycles-per-call check that
+ * is the price of runtime (rather than compile-time) filtering —
+ * design decision D2.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace cell;
+    using namespace cell::bench;
+
+    struct MaskRow
+    {
+        const char* name;
+        pdt::GroupMask mask;
+    };
+    const MaskRow masks[] = {
+        {"ALL", pdt::kAllGroups},
+        {"DMA only", pdt::groupBit(rt::ApiGroup::Dma)},
+        {"DMA_WAIT only", pdt::groupBit(rt::ApiGroup::DmaWait)},
+        {"MAILBOX only", pdt::groupBit(rt::ApiGroup::Mailbox)},
+        {"LIFECYCLE only", pdt::groupBit(rt::ApiGroup::Lifecycle)},
+        {"NONE (check only)", 0},
+    };
+
+    std::cout << "F3: overhead vs event-group filter (8 SPEs)\n"
+              << "                      triad              matmul\n"
+              << "groups            slowdown  records  slowdown  records\n";
+
+    const WorkloadFactory triad = makeTriad(8);
+    const WorkloadFactory matmul = makeMatmul(8);
+    const RunOutcome triad_base = runOnce(triad, false);
+    const RunOutcome matmul_base = runOnce(matmul, false);
+
+    for (const MaskRow& m : masks) {
+        pdt::PdtConfig cfg;
+        cfg.groups = m.mask;
+        const RunOutcome t = runOnce(triad, true, cfg);
+        const RunOutcome mm = runOnce(matmul, true, cfg);
+        std::cout << std::left << std::setw(18) << m.name << std::right
+                  << std::fixed << std::setprecision(3) << std::setw(8)
+                  << slowdown(t, triad_base) << std::setw(9) << t.records
+                  << std::setw(10) << slowdown(mm, matmul_base)
+                  << std::setw(9) << mm.records << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * F6 — use case: mailbox serialization, as TA reports it.
+ *
+ * The reduction workload in its two coordination modes: one partial
+ * result per SPE at the end, vs a mailbox ping-pong per tile. TA's
+ * mailbox-wait share exposes the serialization behind the single PPE
+ * reader. Expected shape: the chatty mode's elapsed time and
+ * mbox-wait share jump dramatically while compute share collapses;
+ * the per-SPE wait grows with SPE count (more SPEs contending for
+ * the PPE's attention).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace cell;
+    using namespace cell::bench;
+
+    std::cout << "F6: TA mailbox view — reduction coordination styles\n"
+              << "spes  mode          elapsed(cyc)  mboxwait%  compute%"
+                 "  mbox events\n";
+
+    for (std::uint32_t spes : {2u, 4u, 8u}) {
+        for (bool chatty : {false, true}) {
+            const RunOutcome r = runOnce(makeReduction(spes, chatty), true);
+            const ta::Analysis a = ta::analyze(r.trace);
+
+            double mbox = 0;
+            double compute = 0;
+            for (std::uint32_t s = 0; s < spes; ++s) {
+                const auto& b = a.stats.spu[s];
+                mbox += 100.0 * static_cast<double>(b.mbox_wait_tb) /
+                        static_cast<double>(b.run_tb);
+                compute += 100.0 * b.utilization();
+            }
+            std::uint64_t mbox_events = 0;
+            for (const auto& row : a.stats.op_counts) {
+                mbox_events +=
+                    row[static_cast<std::size_t>(rt::ApiOp::SpuMboxRead)] +
+                    row[static_cast<std::size_t>(rt::ApiOp::SpuMboxWrite)] +
+                    row[static_cast<std::size_t>(rt::ApiOp::PpeMboxRead)] +
+                    row[static_cast<std::size_t>(rt::ApiOp::PpeMboxWrite)];
+            }
+            std::cout << std::setw(4) << spes << "  " << std::left
+                      << std::setw(12) << (chatty ? "per-tile" : "at-end")
+                      << std::right << std::setw(14) << r.elapsed
+                      << std::fixed << std::setprecision(1) << std::setw(11)
+                      << mbox / spes << std::setw(10) << compute / spes
+                      << std::setw(13) << mbox_events << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * F7 — tracing perturbation of the analysis itself.
+ *
+ * The paper's closing concern: the tracer changes the program it
+ * measures. This harness runs the same triad at increasing
+ * instrumentation levels (none via ground truth; lifecycle-only; DMA
+ * groups; everything incl. a tiny 128 B buffer) and compares (a) the
+ * elapsed time, and (b) the DMA-wait share that TA reports, against
+ * the simulator's ground-truth stall accounting of the *untraced*
+ * run. Expected shape: perturbation of elapsed time grows with
+ * instrumentation, but the qualitative conclusion — the stall
+ * ranking and the rough DMA-wait share — stays stable until buffers
+ * get pathologically small.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace {
+
+/** Ground truth DMA-wait share from simulator accounting (untraced). */
+double
+groundTruthDmaShare(const cell::bench::WorkloadFactory& f)
+{
+    using namespace cell;
+    rt::CellSystem sys;
+    auto w = f(sys);
+    w->start();
+    sys.run();
+    double share = 0;
+    std::uint32_t n = 0;
+    for (std::uint32_t s = 0; s < sys.numSpes(); ++s) {
+        const auto& st = sys.machine().spe(s).stats();
+        if (st.run_end == st.run_start)
+            continue;
+        share += static_cast<double>(st.dma_wait_cycles) /
+                 static_cast<double>(st.run_end - st.run_start);
+        ++n;
+    }
+    return n ? 100.0 * share / n : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cell;
+    using namespace cell::bench;
+
+    const WorkloadFactory f = makeTriad(4, 2, 65536, 4);
+    const RunOutcome base = runOnce(f, false);
+    const double truth_share = groundTruthDmaShare(f);
+
+    std::cout << "F7: perturbation vs instrumentation level "
+                 "(triad, 4 SPEs)\n"
+              << "ground truth (untraced simulator accounting): dmawait "
+              << std::fixed << std::setprecision(1) << truth_share << "%\n\n"
+              << "level                    slowdown  TA dmawait%  "
+                 "abs.err(pp)\n";
+
+    struct Level
+    {
+        const char* name;
+        pdt::GroupMask groups;
+        std::uint32_t buffer;
+    };
+    const Level levels[] = {
+        {"lifecycle only", pdt::groupBit(rt::ApiGroup::Lifecycle), 4096},
+        {"DMA groups", pdt::groupBit(rt::ApiGroup::Dma) |
+                           pdt::groupBit(rt::ApiGroup::DmaWait) |
+                           pdt::groupBit(rt::ApiGroup::Lifecycle),
+         4096},
+        {"all groups", pdt::kAllGroups, 4096},
+        {"all, 128B buffer", pdt::kAllGroups, 128},
+    };
+
+    for (const Level& lv : levels) {
+        pdt::PdtConfig cfg;
+        cfg.groups = lv.groups;
+        cfg.spu_buffer_bytes = lv.buffer;
+        const RunOutcome r = runOnce(f, true, cfg);
+        const ta::Analysis a = ta::analyze(r.trace);
+
+        double share = 0;
+        std::uint32_t n = 0;
+        for (const auto& b : a.stats.spu) {
+            if (!b.ran)
+                continue;
+            share += 100.0 * static_cast<double>(b.dma_wait_tb) /
+                     static_cast<double>(b.run_tb);
+            ++n;
+        }
+        share = n ? share / n : 0.0;
+        const bool has_dma_events =
+            (lv.groups & pdt::groupBit(rt::ApiGroup::DmaWait)) != 0;
+
+        std::cout << std::left << std::setw(24) << lv.name << std::right
+                  << std::fixed << std::setprecision(3) << std::setw(9)
+                  << slowdown(r, base);
+        if (has_dma_events) {
+            std::cout << std::setprecision(1) << std::setw(12) << share
+                      << std::setw(12) << std::abs(share - truth_share);
+        } else {
+            std::cout << std::setw(12) << "n/a" << std::setw(12) << "n/a";
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n(pp = percentage points; 'n/a' = that level records no "
+                 "DMA-wait events to estimate from)\n";
+    return 0;
+}

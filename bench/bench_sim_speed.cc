@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Host-side performance of the simulator and tools (google-benchmark).
+ *
+ * Unlike the T1/F1..F7 harnesses, which report *simulated* metrics,
+ * this binary measures wall-clock cost on the host: simulated events
+ * per second, tracing's host overhead, and analyzer throughput.
+ * Useful for keeping the reproduction usable as the codebase grows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace {
+
+using namespace cell;
+using namespace cell::bench;
+
+void
+BM_SimulateTriadUntraced(benchmark::State& state)
+{
+    const auto spes = static_cast<std::uint32_t>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        rt::CellSystem sys;
+        auto w = makeTriad(spes)(sys);
+        w->start();
+        sys.run();
+        events += sys.engine().eventsDispatched();
+        benchmark::DoNotOptimize(w->verify());
+    }
+    state.counters["sim_events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateTriadUntraced)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_SimulateTriadTraced(benchmark::State& state)
+{
+    const auto spes = static_cast<std::uint32_t>(state.range(0));
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        auto w = makeTriad(spes)(sys);
+        w->start();
+        sys.run();
+        records += tracer.stats().totalRecords();
+    }
+    state.counters["trace_records/s"] = benchmark::Counter(
+        static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateTriadTraced)->Arg(1)->Arg(8);
+
+void
+BM_AnalyzeTrace(benchmark::State& state)
+{
+    // Build one representative trace, then measure pure TA cost.
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    auto w = makeTriad(8)(sys);
+    w->start();
+    sys.run();
+    const trace::TraceData data = tracer.finalize();
+
+    for (auto _ : state) {
+        ta::Analysis a = ta::analyze(data);
+        benchmark::DoNotOptimize(a.stats.total_records);
+    }
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(data.records.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeTrace);
+
+void
+BM_TraceFileRoundTrip(benchmark::State& state)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    auto w = makeTriad(8)(sys);
+    w->start();
+    sys.run();
+    const trace::TraceData data = tracer.finalize();
+
+    for (auto _ : state) {
+        const auto buf = trace::writeBuffer(data);
+        const trace::TraceData back = trace::readBuffer(buf);
+        benchmark::DoNotOptimize(back.records.size());
+    }
+}
+BENCHMARK(BM_TraceFileRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Shared helpers for the evaluation harness.
+ *
+ * Every bench binary regenerates one reconstructed table/figure from
+ * the paper's evaluation (see DESIGN.md's per-experiment index) and
+ * prints it as labeled rows. The metrics are *simulated* quantities —
+ * cycles, records, bytes — measured by running the workloads on the
+ * machine model with and without PDT attached, exactly the comparison
+ * the paper ran on hardware. All runs are deterministic.
+ */
+
+#ifndef CELL_BENCH_COMMON_H
+#define CELL_BENCH_COMMON_H
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "pdt/tracer.h"
+#include "rt/system.h"
+#include "ta/analyzer.h"
+#include "wl/common.h"
+#include "wl/conv2d.h"
+#include "wl/fft.h"
+#include "wl/gather.h"
+#include "wl/matmul.h"
+#include "wl/pipeline.h"
+#include "wl/reduction.h"
+#include "wl/triad.h"
+
+namespace cell::bench {
+
+/** Factory building a workload on a given system. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<wl::WorkloadBase>(rt::CellSystem&)>;
+
+/** Outcome of one run. */
+struct RunOutcome
+{
+    sim::Tick elapsed = 0;     ///< PPE-observed workload cycles
+    bool verified = false;
+    std::uint64_t records = 0; ///< trace records (0 if untraced)
+    std::uint64_t trace_bytes = 0;
+    std::uint64_t spu_tracer_cycles = 0; ///< summed over SPEs
+    std::uint64_t flushes = 0;
+    trace::TraceData trace;    ///< empty if untraced
+};
+
+/** Run @p factory's workload once, optionally traced. */
+inline RunOutcome
+runOnce(const WorkloadFactory& factory, bool traced,
+        pdt::PdtConfig cfg = {})
+{
+    rt::CellSystem sys;
+    std::unique_ptr<pdt::Pdt> tracer;
+    if (traced)
+        tracer = std::make_unique<pdt::Pdt>(sys, cfg);
+
+    auto workload = factory(sys);
+    workload->start();
+    sys.run();
+
+    RunOutcome out;
+    out.elapsed = workload->elapsed();
+    out.verified = workload->verify();
+    if (traced) {
+        out.trace = tracer->finalize();
+        out.records = out.trace.records.size();
+        out.trace_bytes = out.records * sizeof(trace::Record);
+        for (std::uint32_t s = 0; s < sys.numSpes(); ++s)
+            out.spu_tracer_cycles +=
+                sys.machine().spe(s).stats().tracer_cycles;
+        for (const auto& f : tracer->stats().spu)
+            out.flushes += f.flushes;
+    }
+    if (!out.verified) {
+        std::cerr << "BENCH ERROR: workload verification failed\n";
+        std::exit(1);
+    }
+    return out;
+}
+
+/** Slowdown of traced vs untraced (1.0 == no overhead). */
+inline double
+slowdown(const RunOutcome& traced, const RunOutcome& untraced)
+{
+    return static_cast<double>(traced.elapsed) /
+           static_cast<double>(untraced.elapsed);
+}
+
+/** The six standard workloads at bench scale, parameterized by SPEs. */
+inline WorkloadFactory
+makeTriad(std::uint32_t spes, std::uint32_t buffering = 2,
+          std::uint32_t elems = 65536, std::uint32_t cpe = 4)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::TriadParams p;
+        p.n_elements = elems;
+        p.n_spes = spes;
+        p.buffering = buffering;
+        p.compute_per_elem = cpe;
+        return std::make_unique<wl::Triad>(sys, p);
+    };
+}
+
+inline WorkloadFactory
+makeMatmul(std::uint32_t spes, std::uint32_t n = 128, std::uint32_t skew = 0)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::MatmulParams p;
+        p.n = n;
+        p.n_spes = spes;
+        p.skew = skew;
+        return std::make_unique<wl::Matmul>(sys, p);
+    };
+}
+
+inline WorkloadFactory
+makeConv2d(std::uint32_t spes)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::Conv2dParams p;
+        p.width = 512;
+        p.height = 128;
+        p.n_spes = spes;
+        return std::make_unique<wl::Conv2d>(sys, p);
+    };
+}
+
+inline WorkloadFactory
+makeReduction(std::uint32_t spes, bool chatty = false)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::ReductionParams p;
+        p.n_elements = 65536;
+        p.n_spes = spes;
+        p.report_every_tile = chatty;
+        // Many small, cheap tiles: in per-tile mode the PPE's mailbox
+        // service rate becomes the bottleneck and SPEs queue behind
+        // it — the serialization the use case demonstrates.
+        p.tile_elems = 256;
+        p.compute_per_elem = 2;
+        return std::make_unique<wl::Reduction>(sys, p);
+    };
+}
+
+inline WorkloadFactory
+makePipeline(std::uint32_t stages)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::PipelineParams p;
+        p.n_elements = 32768;
+        p.n_stages = stages;
+        return std::make_unique<wl::Pipeline>(sys, p);
+    };
+}
+
+inline WorkloadFactory
+makeFft(std::uint32_t spes)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::FftParams p;
+        p.fft_size = 256;
+        p.n_ffts = 64;
+        p.batch = 4;
+        p.n_spes = spes;
+        return std::make_unique<wl::Fft>(sys, p);
+    };
+}
+
+inline WorkloadFactory
+makeGather(std::uint32_t spes)
+{
+    return [=](rt::CellSystem& sys) -> std::unique_ptr<wl::WorkloadBase> {
+        wl::GatherParams p;
+        p.n_indices = 8192;
+        p.n_spes = spes;
+        return std::make_unique<wl::Gather>(sys, p);
+    };
+}
+
+/** Named workload set used by T2/F1. */
+struct NamedWorkload
+{
+    const char* name;
+    WorkloadFactory factory;
+};
+
+inline std::vector<NamedWorkload>
+standardSuite(std::uint32_t spes)
+{
+    return {
+        {"triad", makeTriad(spes)},
+        {"matmul", makeMatmul(spes)},
+        {"conv2d", makeConv2d(spes)},
+        {"fft", makeFft(spes)},
+        {"reduction", makeReduction(spes)},
+        {"pipeline", makePipeline(std::max(2u, spes))},
+        {"gather", makeGather(spes)},
+    };
+}
+
+} // namespace cell::bench
+
+#endif // CELL_BENCH_COMMON_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Use case: diagnosing load imbalance with TA's per-SPE view.
+ *
+ * A blocked matmul is first launched with a skewed tile distribution
+ * (SPE 7 gets many times SPE 0's share). TA's per-SPE busy times and
+ * the load-imbalance metric expose the skew; redistributing evenly
+ * recovers the lost time. This mirrors the paper's "understand the
+ * performance of several workloads" use cases: the trace, not the
+ * source, points at the problem.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "pdt/tracer.h"
+#include "ta/analyzer.h"
+#include "ta/timeline.h"
+#include "wl/matmul.h"
+
+namespace {
+
+struct RunResult
+{
+    cell::sim::Tick elapsed;
+    double imbalance;
+};
+
+RunResult
+runOnce(std::uint32_t skew, const char* svg_name)
+{
+    using namespace cell;
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+
+    wl::MatmulParams p;
+    p.n = 256;
+    p.n_spes = 8;
+    p.skew = skew;
+    wl::Matmul mm(sys, p);
+
+    std::cout << "skew=" << skew << ": tile shares =";
+    for (std::uint32_t s = 0; s < p.n_spes; ++s)
+        std::cout << " " << mm.tilesForSpe(s);
+    std::cout << "\n";
+
+    mm.start();
+    sys.run();
+    if (!mm.verify()) {
+        std::cerr << "verification failed!\n";
+        std::exit(1);
+    }
+
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+    std::cout << "  per-SPE busy (us):";
+    for (const auto& b : a.stats.spu) {
+        if (b.ran)
+            std::cout << " " << std::fixed << std::setprecision(0)
+                      << a.model.tbToUs(b.busy_tb());
+    }
+    std::cout << "\n  elapsed " << mm.elapsed()
+              << " cycles, imbalance (max/mean busy) " << std::setprecision(2)
+              << a.stats.loadImbalance() << "\n\n";
+
+    ta::writeSvg(svg_name, a.model, a.intervals,
+                 ta::TimelineOptions{.width = 900, .show_ppe = false});
+    return RunResult{mm.elapsed(), a.stats.loadImbalance()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Load-balance use case: 256x256 matmul on 8 SPEs\n\n";
+    const RunResult skewed = runOnce(4, "load_balance_skewed.svg");
+    const RunResult fixed = runOnce(0, "load_balance_even.svg");
+
+    std::cout << "rebalancing recovered "
+              << std::fixed << std::setprecision(1)
+              << 100.0 *
+                     (1.0 - static_cast<double>(fixed.elapsed) /
+                                static_cast<double>(skewed.elapsed))
+              << "% of the skewed run time (imbalance " << std::setprecision(2)
+              << skewed.imbalance << " -> " << fixed.imbalance << ")\n"
+              << "wrote load_balance_{skewed,even}.svg\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * PdtConfig validation and key=value parsing.
+ */
+
+#include "pdt/config.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cell::pdt {
+
+void
+PdtConfig::validate() const
+{
+    if (spu_buffer_bytes == 0 || spu_buffer_bytes % 32 != 0)
+        throw std::invalid_argument(
+            "PdtConfig: spu_buffer_bytes must be a non-zero multiple of 32");
+    if (spu_buffer_bytes > sim::kMaxDmaSize)
+        throw std::invalid_argument(
+            "PdtConfig: spu_buffer_bytes must not exceed one DMA (16 KiB)");
+    if (recordsPerHalf() < 4)
+        throw std::invalid_argument(
+            "PdtConfig: buffer half must hold at least 4 records "
+            "(sync + flush marker + events)");
+    if (trace_tag >= sim::kNumTagGroups)
+        throw std::invalid_argument("PdtConfig: trace_tag out of range");
+    if (arena_bytes_per_spe < spu_buffer_bytes)
+        throw std::invalid_argument(
+            "PdtConfig: arena smaller than one buffer half");
+}
+
+namespace {
+
+GroupMask
+parseGroups(const std::string& value)
+{
+    if (value == "ALL")
+        return kAllGroups;
+    if (value == "NONE")
+        return 0;
+    GroupMask mask = 0;
+    std::istringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        bool found = false;
+        for (unsigned g = 0; g < rt::kNumApiGroups; ++g) {
+            if (item == rt::apiGroupName(static_cast<rt::ApiGroup>(g))) {
+                mask |= 1u << g;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument("PdtConfig: unknown group '" + item + "'");
+    }
+    return mask;
+}
+
+std::uint64_t
+parseNumber(const std::string& value)
+{
+    return std::stoull(value, nullptr, 0); // handles 0x... too
+}
+
+} // namespace
+
+PdtConfig
+PdtConfig::parse(const std::string& text)
+{
+    return parse(text, PdtConfig{});
+}
+
+PdtConfig
+PdtConfig::parse(const std::string& text, const PdtConfig& base)
+{
+    PdtConfig cfg = base;
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        // Trim whitespace.
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("PdtConfig: expected key=value: " + line);
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+
+        if (key == "groups") {
+            cfg.groups = parseGroups(value);
+        } else if (key == "spes") {
+            cfg.spe_mask = static_cast<std::uint32_t>(parseNumber(value));
+        } else if (key == "trace_ppe") {
+            cfg.trace_ppe = parseNumber(value) != 0;
+        } else if (key == "buffer") {
+            cfg.spu_buffer_bytes = static_cast<std::uint32_t>(parseNumber(value));
+        } else if (key == "double_buffer") {
+            cfg.double_buffered = parseNumber(value) != 0;
+        } else if (key == "arena") {
+            cfg.arena_bytes_per_spe = parseNumber(value);
+        } else if (key == "wrap") {
+            cfg.wrap_arena = parseNumber(value) != 0;
+        } else if (key == "record_cost") {
+            cfg.spu_record_cost = static_cast<std::uint32_t>(parseNumber(value));
+        } else {
+            throw std::invalid_argument("PdtConfig: unknown key '" + key + "'");
+        }
+    }
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace cell::pdt

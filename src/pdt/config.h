@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PDT runtime configuration.
+ *
+ * The real tool was configured through an XML file + environment
+ * variables choosing which event groups to record, per-SPE enables,
+ * and buffer sizes. This reproduction keeps the same knobs as a plain
+ * struct (and a tiny key=value parser for the examples).
+ */
+
+#ifndef CELL_PDT_CONFIG_H
+#define CELL_PDT_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "rt/hooks.h"
+#include "sim/types.h"
+
+namespace cell::pdt {
+
+/** Bitmask over rt::ApiGroup. */
+using GroupMask = std::uint32_t;
+
+constexpr GroupMask kAllGroups = (1u << rt::kNumApiGroups) - 1;
+
+constexpr GroupMask
+groupBit(rt::ApiGroup g)
+{
+    return 1u << static_cast<unsigned>(g);
+}
+
+/** Tracer configuration. */
+struct PdtConfig
+{
+    /** Which event groups to record. */
+    GroupMask groups = kAllGroups;
+    /** Which SPEs to trace (bit i = SPE i). PPE is always traced when
+     *  any group is enabled. */
+    std::uint32_t spe_mask = 0xFFFF'FFFFu;
+    /** Record PPE-side events at all. */
+    bool trace_ppe = true;
+
+    /** Bytes per SPE trace-buffer *half*; two halves when
+     *  double_buffered. Must be a multiple of 32 and <= 16 KiB. */
+    std::uint32_t spu_buffer_bytes = 4096;
+    /** Double-buffer the SPU trace buffer (the paper's design); false
+     *  = single buffer with a blocking flush (ablation D1). */
+    bool double_buffered = true;
+    /** MFC tag group reserved for trace-flush DMA. */
+    sim::TagId trace_tag = 31;
+
+    /** Main-storage arena bytes per SPE for flushed records. */
+    std::uint64_t arena_bytes_per_spe = 16ull << 20;
+    /** Flight-recorder mode: when the arena fills, wrap around and
+     *  overwrite the oldest flushes instead of stopping — the trace
+     *  then holds the most recent window of events. */
+    bool wrap_arena = false;
+
+    /** SPU cycles to format+store one record (incl. decrementer read). */
+    std::uint32_t spu_record_cost = 40;
+    /** SPU cycles for the enabled-check of a filtered-out event. */
+    std::uint32_t filtered_check_cost = 4;
+    /** SPU cycles to set up one flush DMA (channel writes). */
+    std::uint32_t flush_issue_cost = 30;
+    /** PPE cycles to record one event. */
+    std::uint32_t ppe_record_cost = 24;
+    /** Emit a PPE sync record every this many PPE records. */
+    std::uint32_t ppe_sync_interval = 1024;
+
+    /** Records per buffer half (derived). */
+    std::uint32_t recordsPerHalf() const { return spu_buffer_bytes / 32; }
+
+    /** Validate; @throws std::invalid_argument on bad values. */
+    void validate() const;
+
+    /**
+     * Parse "key=value" lines (comments with '#') into a config, e.g.
+     *   groups=DMA,MAILBOX
+     *   buffer=8192
+     *   double_buffer=0
+     *   spes=0x0F
+     * Unknown keys throw. Returns the parsed config on top of @p base.
+     */
+    static PdtConfig parse(const std::string& text);
+    static PdtConfig parse(const std::string& text, const PdtConfig& base);
+};
+
+} // namespace cell::pdt
+
+#endif // CELL_PDT_CONFIG_H

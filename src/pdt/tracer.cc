@@ -1,0 +1,365 @@
+/**
+ * @file
+ * PDT tracer implementation.
+ */
+
+#include "pdt/tracer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace cell::pdt {
+
+using rt::ApiEvent;
+using rt::ApiOp;
+using rt::ApiPhase;
+using sim::CoTask;
+using sim::EffAddr;
+using sim::LsAddr;
+using sim::Tick;
+using trace::Record;
+
+Pdt::Pdt(rt::CellSystem& sys, PdtConfig cfg) : sys_(sys), cfg_(cfg)
+{
+    cfg_.validate();
+
+    const std::uint32_t n = sys_.numSpes();
+    spu_state_.resize(n);
+    stats_.spu.resize(n);
+
+    // Reserve LS space for the trace buffers at the top of each SPE's
+    // local store (the real tool linked its buffers into the image).
+    const std::uint32_t halves = cfg_.double_buffered ? 2 : 1;
+    const std::uint32_t reserve = halves * cfg_.spu_buffer_bytes;
+    const std::uint32_t limit =
+        (sim::kLocalStoreSize - reserve) & ~15u; // 16-byte aligned
+    sys_.setSpuLsLimit(limit);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        spu_state_[i].buf_base = limit;
+        spu_state_[i].arena_base =
+            sys_.alloc(cfg_.arena_bytes_per_spe, 128);
+    }
+
+    sys_.setHook(this);
+    attached_ = true;
+}
+
+Pdt::~Pdt()
+{
+    detach();
+}
+
+void
+Pdt::detach()
+{
+    if (attached_) {
+        sys_.setHook(nullptr);
+        sys_.setSpuLsLimit(sim::kLocalStoreSize);
+        attached_ = false;
+    }
+}
+
+std::uint32_t
+Pdt::spuTimestamp(std::uint32_t spe) const
+{
+    sim::Spu& spu = sys_.machine().spe(spe);
+    return spu.decrementer().read(sys_.engine().now());
+}
+
+Record
+Pdt::makeSpuRecord(std::uint32_t spe, const ApiEvent& ev) const
+{
+    Record rec;
+    rec.kind = static_cast<std::uint8_t>(ev.op);
+    rec.phase = static_cast<std::uint8_t>(ev.phase);
+    rec.core = static_cast<std::uint16_t>(ev.core.value);
+    rec.timestamp = spuTimestamp(spe);
+    rec.a = ev.a;
+    rec.b = ev.b;
+    rec.c = static_cast<std::uint32_t>(ev.c);
+    rec.d = static_cast<std::uint32_t>(ev.d);
+    return rec;
+}
+
+Record
+Pdt::makeSpuSync(std::uint32_t spe) const
+{
+    Record rec{};
+    rec.kind = trace::kSyncRecord;
+    rec.phase = trace::kPhaseBegin;
+    rec.core = static_cast<std::uint16_t>(spe + 1);
+    rec.timestamp = spuTimestamp(spe);
+    rec.a = rec.timestamp;
+    rec.b = sys_.machine().readTimebase();
+    return rec;
+}
+
+void
+Pdt::appendToHalf(std::uint32_t spe, Record rec)
+{
+    SpuState& st = spu_state_[spe];
+    sim::LocalStore& ls = sys_.machine().spe(spe).localStore();
+    auto& ctr = stats_.spu[spe];
+
+    auto put = [&](const Record& r) {
+        const LsAddr addr = st.buf_base + st.half * cfg_.spu_buffer_bytes +
+                            st.cursor * static_cast<std::uint32_t>(sizeof(Record));
+        ls.write(addr, &r, sizeof(Record));
+        st.cursor += 1;
+        ctr.records += 1;
+    };
+
+    if (st.cursor == 0) {
+        // Fresh half: sync record first, then a marker describing the
+        // previous flush (if any).
+        put(makeSpuSync(spe));
+        if (st.have_flush_marker) {
+            Record marker{};
+            marker.kind = trace::kFlushRecord;
+            marker.core = static_cast<std::uint16_t>(spe + 1);
+            marker.timestamp = spuTimestamp(spe);
+            marker.a = st.marker_records;
+            marker.b = st.marker_wait;
+            put(marker);
+            st.have_flush_marker = false;
+        }
+    }
+    put(rec);
+}
+
+CoTask<void>
+Pdt::drainFlushes(std::uint32_t spe)
+{
+    SpuState& st = spu_state_[spe];
+    if (!st.outstanding[0] && !st.outstanding[1])
+        co_return;
+    sim::Spu& spu = sys_.machine().spe(spe);
+    const Tick t0 = sys_.engine().now();
+    co_await spu.mfc().waitTagStatusAll(1u << cfg_.trace_tag);
+    const Tick waited = sys_.engine().now() - t0;
+    stats_.spu[spe].flush_wait_cycles += waited;
+    spu.stats().tracer_cycles += waited;
+    st.outstanding[0] = false;
+    st.outstanding[1] = false;
+}
+
+CoTask<void>
+Pdt::flushHalf(std::uint32_t spe, bool final_flush)
+{
+    SpuState& st = spu_state_[spe];
+    sim::Spu& spu = sys_.machine().spe(spe);
+    auto& ctr = stats_.spu[spe];
+
+    if (st.cursor == 0) {
+        if (final_flush)
+            co_await drainFlushes(spe);
+        co_return;
+    }
+
+    const std::uint32_t bytes =
+        st.cursor * static_cast<std::uint32_t>(sizeof(Record));
+
+    if (st.arena_cursor + bytes > cfg_.arena_bytes_per_spe) {
+        if (!cfg_.wrap_arena) {
+            // Stop tracing this SPE rather than corrupt data.
+            ctr.overflowed = true;
+            st.cursor = 0;
+            co_return;
+        }
+        // Flight-recorder mode: wrap to the start of the arena.
+        st.arena_cursor = 0;
+    }
+    if (cfg_.wrap_arena) {
+        // Drop any previously-flushed segment this write overwrites;
+        // the surviving segments are the most recent window.
+        const std::uint64_t lo = st.arena_cursor;
+        const std::uint64_t hi = st.arena_cursor + bytes;
+        auto overlaps = [&](const std::pair<std::uint64_t,
+                                            std::uint32_t>& seg) {
+            const bool hit = seg.first < hi && lo < seg.first + seg.second;
+            if (hit)
+                ctr.dropped += seg.second / sizeof(Record);
+            return hit;
+        };
+        st.segments.erase(std::remove_if(st.segments.begin(),
+                                         st.segments.end(), overlaps),
+                          st.segments.end());
+    }
+
+    // With one tag for all trace flushes, wait for the *previous*
+    // flush before issuing this one; in double-buffered mode that
+    // flush has had a whole half-fill time to complete, so this wait
+    // is usually zero — exactly the design point D1 ablates.
+    const Tick t0 = sys_.engine().now();
+    co_await drainFlushes(spe);
+
+    const EffAddr dst = st.arena_base + st.arena_cursor;
+    st.segments.emplace_back(st.arena_cursor, bytes);
+    st.arena_cursor += bytes;
+
+    // Charge the DMA setup (channel writes) and enqueue the real PUT.
+    spu.stats().tracer_cycles += cfg_.flush_issue_cost;
+    co_await sys_.engine().delay(cfg_.flush_issue_cost);
+
+    sim::MfcCommand put;
+    put.op = sim::MfcOpcode::Put;
+    put.ls = st.buf_base + st.half * cfg_.spu_buffer_bytes;
+    put.ea = dst;
+    put.size = bytes;
+    put.tag = cfg_.trace_tag;
+    co_await spu.mfc().enqueueSpu(put);
+    st.outstanding[st.half] = true;
+
+    ctr.flushes += 1;
+    ctr.bytes_flushed += bytes;
+    st.have_flush_marker = true;
+    st.marker_records = st.cursor;
+    st.marker_wait = sys_.engine().now() - t0 - cfg_.flush_issue_cost;
+
+    if (cfg_.double_buffered)
+        st.half ^= 1;
+    st.cursor = 0;
+
+    if (final_flush || !cfg_.double_buffered)
+        co_await drainFlushes(spe);
+}
+
+CoTask<void>
+Pdt::recordSpu(std::uint32_t spe, const ApiEvent& ev)
+{
+    SpuState& st = spu_state_[spe];
+    sim::Spu& spu = sys_.machine().spe(spe);
+    auto& ctr = stats_.spu[spe];
+
+    const bool spe_enabled = (cfg_.spe_mask & (1u << spe)) != 0;
+    const bool enabled = spe_enabled && groupEnabled(ev.op) && !ctr.overflowed;
+
+    if (!st.initialized && ev.op == ApiOp::SpuStart) {
+        st.initialized = true;
+        st.half = 0;
+        st.cursor = 0;
+    }
+
+    // A decrementer *write* rebases the SPU's clock and invalidates
+    // the current sync point; re-pin it before recording anything
+    // else (even when the DECREMENTER group is filtered — the write
+    // still happened), or every later timestamp on this SPE
+    // reconstructs as garbage.
+    if (ev.op == ApiOp::SpuDecrWrite && spe_enabled && !ctr.overflowed) {
+        appendToHalf(spe, makeSpuSync(spe));
+        spu.stats().tracer_cycles += cfg_.spu_record_cost;
+        co_await sys_.engine().delay(cfg_.spu_record_cost);
+        if (st.cursor >= cfg_.recordsPerHalf())
+            co_await flushHalf(spe, false);
+    }
+
+    if (!enabled) {
+        // Filtered events still pay the enabled-check.
+        if (ctr.overflowed && spe_enabled && groupEnabled(ev.op))
+            ctr.dropped += 1;
+        else
+            ctr.filtered += 1;
+        spu.stats().tracer_cycles += cfg_.filtered_check_cost;
+        co_await sys_.engine().delay(cfg_.filtered_check_cost);
+    } else {
+        appendToHalf(spe, makeSpuRecord(spe, ev));
+        ctr.events += 1;
+        spu.stats().tracer_cycles += cfg_.spu_record_cost;
+        co_await sys_.engine().delay(cfg_.spu_record_cost);
+
+        if (st.cursor >= cfg_.recordsPerHalf())
+            co_await flushHalf(spe, false);
+    }
+
+    // Program end: push out whatever remains, even if the stop event
+    // itself was filtered.
+    if (ev.op == ApiOp::SpuStop)
+        co_await flushHalf(spe, true);
+}
+
+CoTask<void>
+Pdt::recordPpe(const ApiEvent& ev)
+{
+    if (!cfg_.trace_ppe || !groupEnabled(ev.op)) {
+        stats_.ppe_filtered += 1;
+        stats_.ppe_tracer_cycles += cfg_.filtered_check_cost;
+        co_await sys_.engine().delay(cfg_.filtered_check_cost);
+        co_return;
+    }
+
+    const std::uint64_t tb = sys_.machine().readTimebase();
+
+    if (ppe_records_.empty() || ppe_since_sync_ >= cfg_.ppe_sync_interval) {
+        Record sync{};
+        sync.kind = trace::kSyncRecord;
+        sync.core = 0;
+        sync.timestamp = static_cast<std::uint32_t>(tb);
+        sync.a = sync.timestamp;
+        sync.b = tb;
+        ppe_records_.push_back(sync);
+        stats_.ppe_records += 1;
+        ppe_since_sync_ = 0;
+    }
+
+    Record rec;
+    rec.kind = static_cast<std::uint8_t>(ev.op);
+    rec.phase = static_cast<std::uint8_t>(ev.phase);
+    rec.core = 0;
+    rec.timestamp = static_cast<std::uint32_t>(tb);
+    rec.a = ev.a;
+    rec.b = ev.b;
+    rec.c = static_cast<std::uint32_t>(ev.c);
+    rec.d = static_cast<std::uint32_t>(ev.d);
+    ppe_records_.push_back(rec);
+    stats_.ppe_records += 1;
+    stats_.ppe_events += 1;
+    ppe_since_sync_ += 1;
+
+    stats_.ppe_tracer_cycles += cfg_.ppe_record_cost;
+    co_await sys_.engine().delay(cfg_.ppe_record_cost);
+}
+
+CoTask<void>
+Pdt::onApiEvent(const ApiEvent& ev)
+{
+    if (ev.core.isPpe())
+        return recordPpe(ev);
+    return recordSpu(ev.core.speIndex(), ev);
+}
+
+trace::TraceData
+Pdt::finalize() const
+{
+    trace::TraceData out;
+    out.header.num_spes = sys_.numSpes();
+    out.header.core_hz = sys_.config().core_hz;
+    out.header.timebase_divider = sys_.config().timebase_divider;
+
+    out.spe_programs.resize(sys_.numSpes());
+    for (std::uint32_t i = 0; i < sys_.numSpes(); ++i)
+        out.spe_programs[i] = sys_.programName(i);
+
+    // PPE stream first.
+    out.records = ppe_records_;
+
+    // Then each SPE's flushed segments, parsed back out of simulated
+    // main storage (the DMA really moved these bytes).
+    for (std::uint32_t i = 0; i < sys_.numSpes(); ++i) {
+        const SpuState& st = spu_state_[i];
+        for (const auto& [offset, bytes] : st.segments) {
+            const std::uint32_t n_recs =
+                bytes / static_cast<std::uint32_t>(sizeof(Record));
+            std::vector<Record> chunk(n_recs);
+            sys_.machine().memory().read(st.arena_base + offset,
+                                         chunk.data(), bytes);
+            out.records.insert(out.records.end(), chunk.begin(), chunk.end());
+        }
+    }
+
+    out.header.record_count = out.records.size();
+    return out;
+}
+
+} // namespace cell::pdt

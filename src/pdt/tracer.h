@@ -1,0 +1,155 @@
+/**
+ * @file
+ * PDT — the Performance Debugging Tool (the paper's contribution).
+ *
+ * Architecture, mirroring the ISPASS'08 description:
+ *
+ *  - The runtime's API layer is instrumented (rt::ApiHook): every SDK
+ *    call emits Begin/End events.
+ *  - On each SPE, events are formatted into 32-byte records stamped
+ *    with the local decrementer and stored into a small local-store
+ *    buffer (two halves, double-buffered). When a half fills it is
+ *    flushed to a per-SPE main-storage arena with a real MFC DMA on a
+ *    dedicated tag group; meanwhile recording continues into the other
+ *    half. Each half begins with a clock-sync record (decrementer ↔
+ *    64-bit timebase) so the analyzer can rebuild a global timeline,
+ *    and a flush-marker record documenting the previous flush.
+ *  - On the PPE, events are appended to a memory buffer directly and
+ *    stamped with the timebase (low 32 bits + periodic sync records).
+ *  - Event groups and SPE participation are runtime-configurable; a
+ *    filtered-out event costs only a cheap enabled-check.
+ *
+ * Everything the tracer does costs simulated time on the traced core,
+ * so tracing perturbs the application exactly as it did on hardware —
+ * that perturbation is the subject of the paper's overhead evaluation.
+ */
+
+#ifndef CELL_PDT_TRACER_H
+#define CELL_PDT_TRACER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pdt/config.h"
+#include "rt/system.h"
+#include "trace/format.h"
+
+namespace cell::pdt {
+
+/** Per-SPE tracer counters. */
+struct SpuTracerCounters
+{
+    std::uint64_t records = 0;      ///< records written (incl. sync/flush)
+    std::uint64_t events = 0;       ///< API events recorded
+    std::uint64_t filtered = 0;     ///< events skipped by group/SPE filter
+    std::uint64_t dropped = 0;      ///< events lost to arena overflow
+    std::uint64_t flushes = 0;
+    std::uint64_t bytes_flushed = 0;
+    std::uint64_t flush_wait_cycles = 0; ///< stalls waiting for a free half
+    bool overflowed = false;
+};
+
+/** Whole-tool counters. */
+struct PdtStats
+{
+    std::vector<SpuTracerCounters> spu; ///< indexed by SPE
+    std::uint64_t ppe_records = 0;
+    std::uint64_t ppe_events = 0;
+    std::uint64_t ppe_filtered = 0;
+    std::uint64_t ppe_tracer_cycles = 0;
+
+    std::uint64_t totalSpuRecords() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& s : spu)
+            n += s.records;
+        return n;
+    }
+    std::uint64_t totalRecords() const { return totalSpuRecords() + ppe_records; }
+};
+
+/**
+ * The tracer. Construct with the system to instrument; it installs
+ * itself as the runtime hook and reserves local-store space for its
+ * buffers. After the simulation finishes, finalize() assembles the
+ * trace (parsing the flushed record bytes back out of simulated main
+ * storage) for the analyzer or for trace::writeFile.
+ */
+class Pdt : public rt::ApiHook
+{
+  public:
+    Pdt(rt::CellSystem& sys, PdtConfig cfg = {});
+    ~Pdt() override;
+
+    Pdt(const Pdt&) = delete;
+    Pdt& operator=(const Pdt&) = delete;
+
+    /** rt::ApiHook */
+    sim::CoTask<void> onApiEvent(const rt::ApiEvent& ev) override;
+
+    /**
+     * Build the trace from everything recorded so far. Call after the
+     * simulation has quiesced (all flush DMAs complete). Record order
+     * in the file is: PPE stream, then each SPE's stream; the analyzer
+     * orders globally by reconstructed time.
+     */
+    trace::TraceData finalize() const;
+
+    const PdtConfig& config() const { return cfg_; }
+    const PdtStats& stats() const { return stats_; }
+
+    /** Detach from the system (restores a null hook). */
+    void detach();
+
+  private:
+    struct SpuState
+    {
+        bool initialized = false;
+        sim::LsAddr buf_base = 0;   ///< LS base of half 0
+        std::uint32_t half = 0;     ///< half being filled
+        std::uint32_t cursor = 0;   ///< records used in current half
+        bool outstanding[2] = {false, false}; ///< flush DMA in flight
+        sim::EffAddr arena_base = 0;
+        std::uint64_t arena_cursor = 0; ///< bytes used
+        /** (arena offset, bytes) of each flushed chunk, in order. */
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> segments;
+        /** Pending flush-marker payload for the next half. */
+        bool have_flush_marker = false;
+        std::uint64_t marker_records = 0;
+        std::uint64_t marker_wait = 0;
+    };
+
+    sim::CoTask<void> recordSpu(std::uint32_t spe, const rt::ApiEvent& ev);
+    sim::CoTask<void> recordPpe(const rt::ApiEvent& ev);
+
+    /** Write one record into the current half (handles the sync/flush
+     *  preamble when the half is fresh). Functional LS write. */
+    void appendToHalf(std::uint32_t spe, trace::Record rec);
+
+    /** Issue the DMA flush of the current half and rotate halves. */
+    sim::CoTask<void> flushHalf(std::uint32_t spe, bool final_flush);
+
+    /** Wait until no trace-flush DMA is outstanding. */
+    sim::CoTask<void> drainFlushes(std::uint32_t spe);
+
+    trace::Record makeSpuRecord(std::uint32_t spe, const rt::ApiEvent& ev) const;
+    trace::Record makeSpuSync(std::uint32_t spe) const;
+    std::uint32_t spuTimestamp(std::uint32_t spe) const;
+
+    bool groupEnabled(rt::ApiOp op) const
+    {
+        return (cfg_.groups & groupBit(rt::apiOpGroup(op))) != 0;
+    }
+
+    rt::CellSystem& sys_;
+    PdtConfig cfg_;
+    std::vector<SpuState> spu_state_;
+    std::vector<trace::Record> ppe_records_;
+    std::uint32_t ppe_since_sync_ = 0;
+    PdtStats stats_;
+    bool attached_ = false;
+};
+
+} // namespace cell::pdt
+
+#endif // CELL_PDT_TRACER_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Names and group mapping for instrumented operations.
+ */
+
+#include "rt/hooks.h"
+
+namespace cell::rt {
+
+const char*
+apiOpName(ApiOp op)
+{
+    switch (op) {
+      case ApiOp::SpuMfcGet: return "SPU_MFC_GET";
+      case ApiOp::SpuMfcGetFence: return "SPU_MFC_GETF";
+      case ApiOp::SpuMfcGetBarrier: return "SPU_MFC_GETB";
+      case ApiOp::SpuMfcPut: return "SPU_MFC_PUT";
+      case ApiOp::SpuMfcPutFence: return "SPU_MFC_PUTF";
+      case ApiOp::SpuMfcPutBarrier: return "SPU_MFC_PUTB";
+      case ApiOp::SpuMfcGetList: return "SPU_MFC_GETL";
+      case ApiOp::SpuMfcPutList: return "SPU_MFC_PUTL";
+      case ApiOp::SpuListStallAck: return "SPU_LIST_STALL_ACK";
+      case ApiOp::SpuTagWaitAny: return "SPU_TAG_WAIT_ANY";
+      case ApiOp::SpuTagWaitAll: return "SPU_TAG_WAIT_ALL";
+      case ApiOp::SpuMboxRead: return "SPU_MBOX_READ";
+      case ApiOp::SpuMboxWrite: return "SPU_MBOX_WRITE";
+      case ApiOp::SpuMboxIrqWrite: return "SPU_MBOX_IRQ_WRITE";
+      case ApiOp::SpuSignalRead1: return "SPU_SIGNAL_READ1";
+      case ApiOp::SpuSignalRead2: return "SPU_SIGNAL_READ2";
+      case ApiOp::SpuSendSignal: return "SPU_SEND_SIGNAL";
+      case ApiOp::SpuStart: return "SPU_START";
+      case ApiOp::SpuStop: return "SPU_STOP";
+      case ApiOp::SpuDecrRead: return "SPU_DECR_READ";
+      case ApiOp::SpuDecrWrite: return "SPU_DECR_WRITE";
+      case ApiOp::SpuUserEvent: return "SPU_USER_EVENT";
+      case ApiOp::PpeContextCreate: return "PPE_CONTEXT_CREATE";
+      case ApiOp::PpeContextRun: return "PPE_CONTEXT_RUN";
+      case ApiOp::PpeContextJoin: return "PPE_CONTEXT_JOIN";
+      case ApiOp::PpeMboxWrite: return "PPE_MBOX_WRITE";
+      case ApiOp::PpeMboxRead: return "PPE_MBOX_READ";
+      case ApiOp::PpeMboxIrqRead: return "PPE_MBOX_IRQ_READ";
+      case ApiOp::PpeSignalPost: return "PPE_SIGNAL_POST";
+      case ApiOp::PpeProxyGet: return "PPE_PROXY_GET";
+      case ApiOp::PpeProxyPut: return "PPE_PROXY_PUT";
+      case ApiOp::PpeProxyTagWait: return "PPE_PROXY_TAG_WAIT";
+      case ApiOp::PpeUserEvent: return "PPE_USER_EVENT";
+      case ApiOp::kCount: break;
+    }
+    return "UNKNOWN";
+}
+
+const char*
+apiGroupName(ApiGroup g)
+{
+    switch (g) {
+      case ApiGroup::Lifecycle: return "LIFECYCLE";
+      case ApiGroup::Dma: return "DMA";
+      case ApiGroup::DmaWait: return "DMA_WAIT";
+      case ApiGroup::Mailbox: return "MAILBOX";
+      case ApiGroup::Signal: return "SIGNAL";
+      case ApiGroup::Decrementer: return "DECREMENTER";
+      case ApiGroup::User: return "USER";
+      case ApiGroup::kCount: break;
+    }
+    return "UNKNOWN";
+}
+
+ApiGroup
+apiOpGroup(ApiOp op)
+{
+    switch (op) {
+      case ApiOp::SpuMfcGet:
+      case ApiOp::SpuMfcGetFence:
+      case ApiOp::SpuMfcGetBarrier:
+      case ApiOp::SpuMfcPut:
+      case ApiOp::SpuMfcPutFence:
+      case ApiOp::SpuMfcPutBarrier:
+      case ApiOp::SpuMfcGetList:
+      case ApiOp::SpuMfcPutList:
+      case ApiOp::SpuListStallAck:
+      case ApiOp::PpeProxyGet:
+      case ApiOp::PpeProxyPut:
+        return ApiGroup::Dma;
+      case ApiOp::SpuTagWaitAny:
+      case ApiOp::SpuTagWaitAll:
+      case ApiOp::PpeProxyTagWait:
+        return ApiGroup::DmaWait;
+      case ApiOp::SpuMboxRead:
+      case ApiOp::SpuMboxWrite:
+      case ApiOp::SpuMboxIrqWrite:
+      case ApiOp::PpeMboxWrite:
+      case ApiOp::PpeMboxRead:
+      case ApiOp::PpeMboxIrqRead:
+        return ApiGroup::Mailbox;
+      case ApiOp::SpuSignalRead1:
+      case ApiOp::SpuSignalRead2:
+      case ApiOp::SpuSendSignal:
+      case ApiOp::PpeSignalPost:
+        return ApiGroup::Signal;
+      case ApiOp::SpuDecrRead:
+      case ApiOp::SpuDecrWrite:
+        return ApiGroup::Decrementer;
+      case ApiOp::SpuUserEvent:
+      case ApiOp::PpeUserEvent:
+        return ApiGroup::User;
+      case ApiOp::SpuStart:
+      case ApiOp::SpuStop:
+      case ApiOp::PpeContextCreate:
+      case ApiOp::PpeContextRun:
+      case ApiOp::PpeContextJoin:
+      case ApiOp::kCount:
+        return ApiGroup::Lifecycle;
+    }
+    return ApiGroup::Lifecycle;
+}
+
+} // namespace cell::rt

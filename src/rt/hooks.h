@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Instrumentation hook interface between the runtime and PDT.
+ *
+ * The real PDT worked by relinking applications against instrumented
+ * versions of the SDK libraries (libspe on the PPE, the spu runtime on
+ * the SPU): every interesting API call gained a prologue/epilogue that
+ * recorded a trace event. This runtime reproduces that architecture:
+ * every rt:: API call emits a Begin and an End ApiEvent to an optional
+ * ApiHook. With no hook installed the calls cost nothing — that is the
+ * untraced baseline against which tracing overhead is measured.
+ *
+ * The hook methods are awaitable (CoTask) because recording an event
+ * *takes simulated time* on the core that records it — per-event cost,
+ * plus occasionally a buffer-flush DMA. Charging that time inside the
+ * hook is what makes the paper's overhead evaluation reproducible.
+ */
+
+#ifndef CELL_RT_HOOKS_H
+#define CELL_RT_HOOKS_H
+
+#include <cstdint>
+
+#include "sim/coro.h"
+#include "sim/types.h"
+
+namespace cell::rt {
+
+/** Every instrumented runtime operation. */
+enum class ApiOp : std::uint8_t
+{
+    // SPU-side MFC commands
+    SpuMfcGet,
+    SpuMfcGetFence,
+    SpuMfcGetBarrier,
+    SpuMfcPut,
+    SpuMfcPutFence,
+    SpuMfcPutBarrier,
+    SpuMfcGetList,
+    SpuMfcPutList,
+    SpuListStallAck,
+    // SPU-side synchronization
+    SpuTagWaitAny,
+    SpuTagWaitAll,
+    // SPU-side mailboxes / signals
+    SpuMboxRead,     ///< read inbound mailbox (blocking)
+    SpuMboxWrite,    ///< write outbound mailbox (blocking when full)
+    SpuMboxIrqWrite, ///< write outbound-interrupt mailbox
+    SpuSignalRead1,
+    SpuSignalRead2,
+    SpuSendSignal, ///< sndsig to another SPE's signal register
+    // SPU lifecycle / misc
+    SpuStart,
+    SpuStop,
+    SpuDecrRead,
+    SpuDecrWrite,
+    SpuUserEvent,
+    // PPE-side
+    PpeContextCreate,
+    PpeContextRun,
+    PpeContextJoin,
+    PpeMboxWrite,   ///< write an SPE's inbound mailbox
+    PpeMboxRead,    ///< read an SPE's outbound mailbox
+    PpeMboxIrqRead, ///< read an SPE's outbound-interrupt mailbox
+    PpeSignalPost,
+    PpeProxyGet,
+    PpeProxyPut,
+    PpeProxyTagWait,
+    PpeUserEvent,
+
+    kCount, ///< sentinel
+};
+
+constexpr std::size_t kNumApiOps = static_cast<std::size_t>(ApiOp::kCount);
+
+/** Printable mnemonic, e.g. "SPU_MFC_GET". */
+const char* apiOpName(ApiOp op);
+
+/** Event groups for runtime filtering (PDT configuration unit). */
+enum class ApiGroup : std::uint8_t
+{
+    Lifecycle,
+    Dma,
+    DmaWait,
+    Mailbox,
+    Signal,
+    Decrementer,
+    User,
+
+    kCount,
+};
+
+constexpr std::size_t kNumApiGroups = static_cast<std::size_t>(ApiGroup::kCount);
+
+/** Printable group name ("DMA", "MAILBOX", ...). */
+const char* apiGroupName(ApiGroup g);
+
+/** Which group an operation belongs to. */
+ApiGroup apiOpGroup(ApiOp op);
+
+/** Begin/End marker. */
+enum class ApiPhase : std::uint8_t
+{
+    Begin,
+    End,
+};
+
+/**
+ * One instrumentation callout. The meaning of a..d depends on op:
+ *
+ *   MFC commands:      a=LS address, b=EA, c=size, d=tag
+ *   tag waits:         a=mask; End: b=completed mask
+ *   mailbox/signal:    a=value (End for reads, Begin for writes)
+ *   context ops:       a=SPE index
+ *   user events:       a=user event id, b=user payload
+ *   decrementer:       a=value
+ *   SpuStop:           a=exit code
+ */
+struct ApiEvent
+{
+    ApiOp op = ApiOp::SpuUserEvent;
+    ApiPhase phase = ApiPhase::Begin;
+    sim::CoreId core;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    std::uint64_t d = 0;
+};
+
+/**
+ * Observer installed by a tool (PDT). Awaitable so the observer can
+ * charge recording cost and perform flush DMA on the observed core's
+ * timeline.
+ */
+class ApiHook
+{
+  public:
+    virtual ~ApiHook() = default;
+
+    /** Called around every instrumented runtime operation. */
+    virtual sim::CoTask<void> onApiEvent(const ApiEvent& ev) = 0;
+};
+
+} // namespace cell::rt
+
+#endif // CELL_RT_HOOKS_H

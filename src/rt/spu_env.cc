@@ -1,0 +1,301 @@
+/**
+ * @file
+ * SPU environment implementation: cost charging, stall attribution,
+ * and instrumentation callouts for every runtime operation.
+ */
+
+#include "rt/spu_env.h"
+
+#include <new>
+
+namespace cell::rt {
+
+using sim::MfcCommand;
+using sim::MfcOpcode;
+using sim::SpuStallKind;
+using sim::Tick;
+
+SpuEnv::SpuEnv(sim::Machine& machine, sim::Spu& spu, ApiHook* hook,
+               std::uint64_t argp, std::uint64_t envp,
+               std::uint32_t code_size, std::uint32_t ls_limit)
+    : machine_(machine), spu_(spu), hook_(hook), argp_(argp), envp_(envp),
+      ls_cursor_(code_size), ls_limit_(ls_limit)
+{}
+
+LsAddr
+SpuEnv::lsAlloc(std::uint32_t size, std::uint32_t align)
+{
+    const std::uint32_t base = (ls_cursor_ + align - 1) / align * align;
+    if (base + size > ls_limit_)
+        throw std::bad_alloc();
+    ls_cursor_ = base + size;
+    return base;
+}
+
+CoTask<void>
+SpuEnv::emit(ApiOp op, ApiPhase phase, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c, std::uint64_t d)
+{
+    if (hook_) {
+        ApiEvent ev{op, phase, spu_.coreId(), a, b, c, d};
+        co_await hook_->onApiEvent(ev);
+    }
+}
+
+CoTask<void>
+SpuEnv::dmaCommand(ApiOp op, MfcOpcode mfc_op, bool fence, bool barrier,
+                   LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag,
+                   LsAddr list_ls)
+{
+    co_await emit(op, ApiPhase::Begin, ls, ea, size, tag);
+    co_await spu_.chargeChannel();
+
+    MfcCommand cmd;
+    cmd.op = mfc_op;
+    cmd.ls = ls;
+    cmd.ea = ea;
+    cmd.size = size;
+    cmd.tag = tag;
+    cmd.fence = fence;
+    cmd.barrier = barrier;
+    cmd.list_ls = list_ls;
+
+    const Tick t0 = spu_.engine().now();
+    co_await spu_.mfc().enqueueSpu(cmd);
+    spu_.stats().addStall(SpuStallKind::QueueWait, spu_.engine().now() - t0);
+
+    co_await emit(op, ApiPhase::End, ls, ea, size, tag);
+}
+
+CoTask<void>
+SpuEnv::mfcGet(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcGet, MfcOpcode::Get, false, false, ls, ea,
+                      size, tag, 0);
+}
+
+CoTask<void>
+SpuEnv::mfcGetf(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcGetFence, MfcOpcode::Get, true, false, ls,
+                      ea, size, tag, 0);
+}
+
+CoTask<void>
+SpuEnv::mfcGetb(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcGetBarrier, MfcOpcode::Get, false, true,
+                      ls, ea, size, tag, 0);
+}
+
+CoTask<void>
+SpuEnv::mfcPut(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcPut, MfcOpcode::Put, false, false, ls, ea,
+                      size, tag, 0);
+}
+
+CoTask<void>
+SpuEnv::mfcPutf(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcPutFence, MfcOpcode::Put, true, false, ls,
+                      ea, size, tag, 0);
+}
+
+CoTask<void>
+SpuEnv::mfcPutb(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcPutBarrier, MfcOpcode::Put, false, true,
+                      ls, ea, size, tag, 0);
+}
+
+CoTask<void>
+SpuEnv::mfcGetList(LsAddr ls, EffAddr ea, LsAddr list_ls,
+                   std::uint32_t list_bytes, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcGetList, MfcOpcode::GetList, false, false,
+                      ls, ea, list_bytes, tag, list_ls);
+}
+
+CoTask<void>
+SpuEnv::mfcPutList(LsAddr ls, EffAddr ea, LsAddr list_ls,
+                   std::uint32_t list_bytes, TagId tag)
+{
+    return dmaCommand(ApiOp::SpuMfcPutList, MfcOpcode::PutList, false, false,
+                      ls, ea, list_bytes, tag, list_ls);
+}
+
+CoTask<void>
+SpuEnv::listStallAck(TagId tag)
+{
+    co_await emit(ApiOp::SpuListStallAck, ApiPhase::Begin, tag);
+    co_await spu_.chargeChannel();
+    spu_.mfc().ackListStall(tag);
+}
+
+CoTask<void>
+SpuEnv::getLarge(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    while (size > 0) {
+        const std::uint32_t chunk =
+            std::min<std::uint32_t>(size, sim::kMaxDmaSize);
+        co_await mfcGet(ls, ea, chunk, tag);
+        ls += chunk;
+        ea += chunk;
+        size -= chunk;
+    }
+}
+
+CoTask<void>
+SpuEnv::getLargef(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    while (size > 0) {
+        const std::uint32_t chunk =
+            std::min<std::uint32_t>(size, sim::kMaxDmaSize);
+        co_await mfcGetf(ls, ea, chunk, tag);
+        ls += chunk;
+        ea += chunk;
+        size -= chunk;
+    }
+}
+
+CoTask<void>
+SpuEnv::putLarge(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    while (size > 0) {
+        const std::uint32_t chunk =
+            std::min<std::uint32_t>(size, sim::kMaxDmaSize);
+        co_await mfcPut(ls, ea, chunk, tag);
+        ls += chunk;
+        ea += chunk;
+        size -= chunk;
+    }
+}
+
+CoTask<TagMask>
+SpuEnv::waitTagAll(TagMask mask)
+{
+    co_await emit(ApiOp::SpuTagWaitAll, ApiPhase::Begin, mask);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    const TagMask done = co_await spu_.mfc().waitTagStatusAll(mask);
+    spu_.stats().addStall(SpuStallKind::DmaWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuTagWaitAll, ApiPhase::End, mask, done);
+    co_return done;
+}
+
+CoTask<TagMask>
+SpuEnv::waitTagAny(TagMask mask)
+{
+    co_await emit(ApiOp::SpuTagWaitAny, ApiPhase::Begin, mask);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    const TagMask done = co_await spu_.mfc().waitTagStatusAny(mask);
+    spu_.stats().addStall(SpuStallKind::DmaWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuTagWaitAny, ApiPhase::End, mask, done);
+    co_return done;
+}
+
+CoTask<std::uint32_t>
+SpuEnv::readInMbox()
+{
+    co_await emit(ApiOp::SpuMboxRead, ApiPhase::Begin);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    const std::uint32_t v = co_await spu_.inbound().pop();
+    spu_.stats().addStall(SpuStallKind::MailboxWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuMboxRead, ApiPhase::End, v);
+    co_return v;
+}
+
+CoTask<void>
+SpuEnv::writeOutMbox(std::uint32_t value)
+{
+    co_await emit(ApiOp::SpuMboxWrite, ApiPhase::Begin, value);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    co_await spu_.outbound().push(value);
+    spu_.stats().addStall(SpuStallKind::MailboxWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuMboxWrite, ApiPhase::End, value);
+}
+
+CoTask<void>
+SpuEnv::writeOutIrqMbox(std::uint32_t value)
+{
+    co_await emit(ApiOp::SpuMboxIrqWrite, ApiPhase::Begin, value);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    co_await spu_.outboundIrq().push(value);
+    spu_.stats().addStall(SpuStallKind::MailboxWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuMboxIrqWrite, ApiPhase::End, value);
+}
+
+CoTask<std::uint32_t>
+SpuEnv::readSignal1()
+{
+    co_await emit(ApiOp::SpuSignalRead1, ApiPhase::Begin);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    const std::uint32_t v = co_await spu_.signal1().read();
+    spu_.stats().addStall(SpuStallKind::SignalWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuSignalRead1, ApiPhase::End, v);
+    co_return v;
+}
+
+CoTask<std::uint32_t>
+SpuEnv::readSignal2()
+{
+    co_await emit(ApiOp::SpuSignalRead2, ApiPhase::Begin);
+    co_await spu_.chargeChannel();
+    const Tick t0 = spu_.engine().now();
+    const std::uint32_t v = co_await spu_.signal2().read();
+    spu_.stats().addStall(SpuStallKind::SignalWait, spu_.engine().now() - t0);
+    co_await emit(ApiOp::SpuSignalRead2, ApiPhase::End, v);
+    co_return v;
+}
+
+CoTask<std::uint32_t>
+SpuEnv::readDecrementer()
+{
+    co_await spu_.chargeChannel();
+    const std::uint32_t v = spu_.decrementer().read(spu_.engine().now());
+    co_await emit(ApiOp::SpuDecrRead, ApiPhase::Begin, v);
+    co_return v;
+}
+
+CoTask<void>
+SpuEnv::writeDecrementer(std::uint32_t value)
+{
+    co_await spu_.chargeChannel();
+    spu_.decrementer().write(spu_.engine().now(), value);
+    co_await emit(ApiOp::SpuDecrWrite, ApiPhase::Begin, value);
+}
+
+CoTask<void>
+SpuEnv::sendSignal(std::uint32_t target_spe, std::uint32_t which,
+                   std::uint32_t bits)
+{
+    if (target_spe >= machine_.numSpes())
+        throw std::out_of_range("sendSignal: bad target SPE");
+    if (which != 1 && which != 2)
+        throw std::invalid_argument("sendSignal: which must be 1 or 2");
+    co_await emit(ApiOp::SpuSendSignal, ApiPhase::Begin, bits, target_spe,
+                  which);
+    // sndsig is an MFC command; model its cost as a channel access
+    // plus the EIB command latency for the remote register write.
+    co_await spu_.chargeChannel();
+    co_await spu_.engine().delay(machine_.config().eib.command_latency);
+    sim::Spu& target = machine_.spe(target_spe);
+    if (which == 1)
+        target.signal1().post(bits);
+    else
+        target.signal2().post(bits);
+}
+
+CoTask<void>
+SpuEnv::userEvent(std::uint32_t id, std::uint64_t payload)
+{
+    co_await emit(ApiOp::SpuUserEvent, ApiPhase::Begin, id, payload);
+}
+
+} // namespace cell::rt

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * SPU-side programming environment (the SDK's spu-runtime surface).
+ *
+ * An SPE program is a coroutine `CoTask<void>(SpuEnv&)`. SpuEnv exposes
+ * the Cell SDK idioms — mfc_get/mfc_put (+fence/barrier/list variants),
+ * tag-status waits, mailbox and signal channels, the decrementer — on
+ * the simulated SPU, charging realistic channel costs and attributing
+ * stall time. Every call is bracketed by ApiHook events so PDT can
+ * trace it exactly as the real instrumented runtime did.
+ */
+
+#ifndef CELL_RT_SPU_ENV_H
+#define CELL_RT_SPU_ENV_H
+
+#include <cstdint>
+#include <string>
+
+#include "rt/hooks.h"
+#include "sim/machine.h"
+#include "sim/spu.h"
+
+namespace cell::rt {
+
+using sim::CoTask;
+using sim::EffAddr;
+using sim::LsAddr;
+using sim::TagId;
+using sim::TagMask;
+
+/**
+ * The environment handed to a running SPE program.
+ */
+class SpuEnv
+{
+  public:
+    /**
+     * @param spu        the SPE this program runs on
+     * @param hook       instrumentation hook (may be null = untraced)
+     * @param argp       64-bit argument pointer (as spe_context_run)
+     * @param envp       64-bit environment pointer
+     * @param code_size  LS bytes occupied by "code"; data allocation
+     *                   starts above it
+     * @param ls_limit   first LS byte the program must NOT touch
+     *                   (tracer buffers live above this)
+     */
+    SpuEnv(sim::Machine& machine, sim::Spu& spu, ApiHook* hook,
+           std::uint64_t argp, std::uint64_t envp, std::uint32_t code_size,
+           std::uint32_t ls_limit);
+
+    SpuEnv(const SpuEnv&) = delete;
+    SpuEnv& operator=(const SpuEnv&) = delete;
+
+    /** @name Program arguments */
+    ///@{
+    std::uint64_t argp() const { return argp_; }
+    std::uint64_t envp() const { return envp_; }
+    ///@}
+
+    /** The SPE index this program runs on. */
+    std::uint32_t speIndex() const { return spu_.index(); }
+
+    /** Direct local-store access (SPU loads/stores are free). */
+    sim::LocalStore& ls() { return spu_.localStore(); }
+
+    /**
+     * Bump-allocate @p size bytes of LS for program data.
+     * @throws std::bad_alloc if it would collide with the tracer region.
+     */
+    LsAddr lsAlloc(std::uint32_t size, std::uint32_t align = 16);
+
+    /** Remaining allocatable LS bytes. */
+    std::uint32_t lsFree() const { return ls_limit_ - ls_cursor_; }
+
+    /** Charge @p cycles of computation. */
+    CoTask<void> compute(sim::TickDelta cycles) { return spu_.compute(cycles); }
+
+    /** @name MFC DMA (sizes up to 16 KiB, MFC alignment rules apply) */
+    ///@{
+    CoTask<void> mfcGet(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> mfcGetf(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> mfcGetb(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> mfcPut(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> mfcPutf(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> mfcPutb(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    /** DMA list: @p list_ls points at n elements, @p ea supplies the
+     *  high 32 EA bits, @p list_bytes = n * 8. */
+    CoTask<void> mfcGetList(LsAddr ls, EffAddr ea, LsAddr list_ls,
+                            std::uint32_t list_bytes, TagId tag);
+    CoTask<void> mfcPutList(LsAddr ls, EffAddr ea, LsAddr list_ls,
+                            std::uint32_t list_bytes, TagId tag);
+    /** Acknowledge a stall-and-notify pause on @p tag. */
+    CoTask<void> listStallAck(TagId tag);
+    ///@}
+
+    /** @name Large-transfer helpers (split into 16 KiB MFC commands) */
+    ///@{
+    CoTask<void> getLarge(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> putLarge(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    /** Fenced variant: every chunk is a GETF, so the whole transfer is
+     *  ordered after earlier same-tag commands — required when the
+     *  destination buffer is still being PUT from on the same tag. */
+    CoTask<void> getLargef(LsAddr ls, EffAddr ea, std::uint32_t size,
+                           TagId tag);
+    ///@}
+
+    /** @name Tag-group synchronization */
+    ///@{
+    CoTask<TagMask> waitTagAll(TagMask mask);
+    CoTask<TagMask> waitTagAny(TagMask mask);
+    TagMask tagStatusImmediate(TagMask mask)
+    {
+        return spu_.mfc().tagStatusImmediate(mask);
+    }
+    ///@}
+
+    /** @name Mailboxes (blocking channel semantics) */
+    ///@{
+    CoTask<std::uint32_t> readInMbox();
+    CoTask<void> writeOutMbox(std::uint32_t value);
+    CoTask<void> writeOutIrqMbox(std::uint32_t value);
+    std::size_t inMboxCount() const { return spu_.inbound().count(); }
+    ///@}
+
+    /** @name Signal notification (blocking reads, clear on read) */
+    ///@{
+    CoTask<std::uint32_t> readSignal1();
+    CoTask<std::uint32_t> readSignal2();
+    /**
+     * sndsig: post @p bits to another SPE's signal register
+     * (@p which is 1 or 2). SPE-to-SPE synchronization primitive.
+     */
+    CoTask<void> sendSignal(std::uint32_t target_spe, std::uint32_t which,
+                            std::uint32_t bits);
+    ///@}
+
+    /** @name Decrementer */
+    ///@{
+    CoTask<std::uint32_t> readDecrementer();
+    CoTask<void> writeDecrementer(std::uint32_t value);
+    ///@}
+
+    /** Record an application-defined trace event (PDT user events). */
+    CoTask<void> userEvent(std::uint32_t id, std::uint64_t payload = 0);
+
+    /** Set the exit code reported in the SPU_STOP event. */
+    void setExitCode(std::uint32_t code) { exit_code_ = code; }
+    std::uint32_t exitCode() const { return exit_code_; }
+
+    sim::Spu& spu() { return spu_; }
+
+    /** Emit a hook event (used by the lifecycle wrapper too). */
+    CoTask<void> emit(ApiOp op, ApiPhase phase, std::uint64_t a = 0,
+                      std::uint64_t b = 0, std::uint64_t c = 0,
+                      std::uint64_t d = 0);
+
+  private:
+    CoTask<void> dmaCommand(ApiOp op, sim::MfcOpcode mfc_op, bool fence,
+                            bool barrier, LsAddr ls, EffAddr ea,
+                            std::uint32_t size, TagId tag, LsAddr list_ls);
+
+    sim::Machine& machine_;
+    sim::Spu& spu_;
+    ApiHook* hook_;
+    std::uint64_t argp_;
+    std::uint64_t envp_;
+    std::uint32_t ls_cursor_;
+    std::uint32_t ls_limit_;
+    std::uint32_t exit_code_ = 0;
+};
+
+} // namespace cell::rt
+
+#endif // CELL_RT_SPU_ENV_H

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * CellSystem, SpeContext and PpeEnv implementation.
+ */
+
+#include "rt/system.h"
+
+#include <stdexcept>
+
+namespace cell::rt {
+
+using sim::ProcessRef;
+using sim::Task;
+using sim::Tick;
+
+// ---------------------------------------------------------------- PpeEnv
+
+CoTask<void>
+PpeEnv::compute(sim::TickDelta cycles)
+{
+    sys_.machine().ppeStats().compute_cycles += cycles;
+    co_await sys_.engine().delay(cycles);
+}
+
+CoTask<std::uint64_t>
+PpeEnv::readTimebase()
+{
+    const auto cost = sys_.config().cost.ppe_timebase_read;
+    sys_.machine().ppeStats().mmio_cycles += cost;
+    co_await sys_.engine().delay(cost);
+    co_return sys_.machine().readTimebase();
+}
+
+CoTask<void>
+PpeEnv::userEvent(std::uint32_t id, std::uint64_t payload)
+{
+    if (ApiHook* hook = sys_.hook()) {
+        ApiEvent ev{ApiOp::PpeUserEvent, ApiPhase::Begin, sim::CoreId::ppe(),
+                    id, payload, 0, 0};
+        co_await hook->onApiEvent(ev);
+    }
+}
+
+// ------------------------------------------------------------ SpeContext
+
+SpeContext::SpeContext(CellSystem& sys, std::uint32_t spe_index)
+    : sys_(sys), index_(spe_index)
+{}
+
+sim::Spu&
+SpeContext::spu()
+{
+    return sys_.machine().spe(index_);
+}
+
+CoTask<void>
+SpeContext::emitPpe(ApiOp op, ApiPhase phase, std::uint64_t a,
+                    std::uint64_t b, std::uint64_t c, std::uint64_t d)
+{
+    if (ApiHook* hook = sys_.hook()) {
+        ApiEvent ev{op, phase, sim::CoreId::ppe(), a, b, c, d};
+        co_await hook->onApiEvent(ev);
+    }
+}
+
+CoTask<void>
+SpeContext::chargeMmio()
+{
+    const auto cost = sys_.config().cost.ppe_mmio;
+    sys_.machine().ppeStats().mmio_cycles += cost;
+    co_await sys_.engine().delay(cost);
+}
+
+Task
+SpeContext::spuThread(SpuProgramImage image, std::uint64_t argp,
+                      std::uint64_t envp)
+{
+    sim::Spu& s = spu();
+    SpuEnv env(sys_.machine(), s, sys_.hook(), argp, envp, image.code_size,
+               sys_.spuLsLimit());
+    s.stats().run_start = sys_.engine().now();
+    co_await env.emit(ApiOp::SpuStart, ApiPhase::Begin, index_);
+    co_await image.main(env);
+    // The program body is over here; the stop event (and the tracer's
+    // final buffer flush it triggers) is tool overhead past run_end.
+    s.stats().run_end = sys_.engine().now();
+    co_await env.emit(ApiOp::SpuStop, ApiPhase::Begin, env.exitCode());
+    stop_info_ = SpeStopInfo{true, env.exitCode()};
+}
+
+CoTask<ProcessRef>
+SpeContext::start(SpuProgramImage image, std::uint64_t argp,
+                  std::uint64_t envp)
+{
+    if (!image.main)
+        throw std::invalid_argument("SpeContext::start: empty program");
+    if (running())
+        throw std::logic_error("SpeContext::start: SPE already running");
+    co_await emitPpe(ApiOp::PpeContextCreate, ApiPhase::Begin, index_);
+    co_await emitPpe(ApiOp::PpeContextRun, ApiPhase::Begin, index_);
+    co_await chargeMmio();
+    sys_.noteProgramName(index_, image.name);
+    proc_ = sys_.engine().spawn(
+        spuThread(std::move(image), argp, envp),
+        "spe" + std::to_string(index_));
+    co_await emitPpe(ApiOp::PpeContextRun, ApiPhase::End, index_);
+    co_return proc_;
+}
+
+CoTask<void>
+SpeContext::join()
+{
+    co_await emitPpe(ApiOp::PpeContextJoin, ApiPhase::Begin, index_);
+    const Tick t0 = sys_.engine().now();
+    if (proc_.valid())
+        co_await proc_.join();
+    sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
+    co_await emitPpe(ApiOp::PpeContextJoin, ApiPhase::End, index_,
+                     stop_info_.exit_code);
+}
+
+CoTask<void>
+SpeContext::writeInMbox(std::uint32_t value)
+{
+    co_await emitPpe(ApiOp::PpeMboxWrite, ApiPhase::Begin, value, index_);
+    co_await chargeMmio();
+    const Tick t0 = sys_.engine().now();
+    co_await spu().inbound().push(value);
+    sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
+    co_await emitPpe(ApiOp::PpeMboxWrite, ApiPhase::End, value, index_);
+}
+
+CoTask<std::uint32_t>
+SpeContext::readOutMbox()
+{
+    co_await emitPpe(ApiOp::PpeMboxRead, ApiPhase::Begin, 0, index_);
+    co_await chargeMmio();
+    const Tick t0 = sys_.engine().now();
+    const std::uint32_t v = co_await spu().outbound().pop();
+    sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
+    co_await emitPpe(ApiOp::PpeMboxRead, ApiPhase::End, v, index_);
+    co_return v;
+}
+
+CoTask<std::uint32_t>
+SpeContext::readOutIrqMbox()
+{
+    co_await emitPpe(ApiOp::PpeMboxIrqRead, ApiPhase::Begin, 0, index_);
+    co_await chargeMmio();
+    const Tick t0 = sys_.engine().now();
+    const std::uint32_t v = co_await spu().outboundIrq().pop();
+    sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
+    co_await emitPpe(ApiOp::PpeMboxIrqRead, ApiPhase::End, v, index_);
+    co_return v;
+}
+
+std::size_t
+SpeContext::outMboxCount()
+{
+    return spu().outbound().count();
+}
+
+CoTask<void>
+SpeContext::postSignal1(std::uint32_t bits)
+{
+    co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::Begin, bits, index_, 1);
+    co_await chargeMmio();
+    spu().signal1().post(bits);
+    co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::End, bits, index_, 1);
+}
+
+CoTask<void>
+SpeContext::postSignal2(std::uint32_t bits)
+{
+    co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::Begin, bits, index_, 2);
+    co_await chargeMmio();
+    spu().signal2().post(bits);
+    co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::End, bits, index_, 2);
+}
+
+CoTask<void>
+SpeContext::proxyGet(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    co_await emitPpe(ApiOp::PpeProxyGet, ApiPhase::Begin, ls, ea, size, tag);
+    co_await chargeMmio();
+    sim::MfcCommand cmd;
+    cmd.op = sim::MfcOpcode::Get;
+    cmd.ls = ls;
+    cmd.ea = ea;
+    cmd.size = size;
+    cmd.tag = tag;
+    co_await spu().mfc().enqueueProxy(cmd);
+    co_await emitPpe(ApiOp::PpeProxyGet, ApiPhase::End, ls, ea, size, tag);
+}
+
+CoTask<void>
+SpeContext::proxyPut(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag)
+{
+    co_await emitPpe(ApiOp::PpeProxyPut, ApiPhase::Begin, ls, ea, size, tag);
+    co_await chargeMmio();
+    sim::MfcCommand cmd;
+    cmd.op = sim::MfcOpcode::Put;
+    cmd.ls = ls;
+    cmd.ea = ea;
+    cmd.size = size;
+    cmd.tag = tag;
+    co_await spu().mfc().enqueueProxy(cmd);
+    co_await emitPpe(ApiOp::PpeProxyPut, ApiPhase::End, ls, ea, size, tag);
+}
+
+CoTask<TagMask>
+SpeContext::proxyTagWait(TagMask mask)
+{
+    co_await emitPpe(ApiOp::PpeProxyTagWait, ApiPhase::Begin, mask);
+    co_await chargeMmio();
+    const Tick t0 = sys_.engine().now();
+    const TagMask done = co_await spu().mfc().waitTagStatusAll(mask);
+    sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
+    co_await emitPpe(ApiOp::PpeProxyTagWait, ApiPhase::End, mask, done);
+    co_return done;
+}
+
+// ------------------------------------------------------------ CellSystem
+
+CellSystem::CellSystem(sim::MachineConfig cfg)
+    : machine_(cfg), program_names_(machine_.numSpes())
+{
+    contexts_.resize(machine_.numSpes());
+}
+
+EffAddr
+CellSystem::alloc(std::uint64_t size, std::uint64_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        throw std::invalid_argument("CellSystem::alloc: align not a power of 2");
+    arena_cursor_ = (arena_cursor_ + align - 1) & ~(align - 1);
+    const EffAddr base = arena_cursor_;
+    arena_cursor_ += size;
+    if (machine_.config().eaIsLocalStore(base) ||
+        machine_.config().eaIsLocalStore(arena_cursor_)) {
+        throw std::runtime_error(
+            "CellSystem::alloc: arena collided with LS apertures");
+    }
+    return base;
+}
+
+SpeContext&
+CellSystem::context(std::uint32_t index)
+{
+    auto& slot = contexts_.at(index);
+    if (!slot)
+        slot = std::make_unique<SpeContext>(*this, index);
+    return *slot;
+}
+
+Task
+CellSystem::ppeThread(std::function<CoTask<void>(PpeEnv&)> main)
+{
+    PpeEnv env(*this);
+    co_await main(env);
+}
+
+ProcessRef
+CellSystem::runPpe(std::function<CoTask<void>(PpeEnv&)> main, std::string name)
+{
+    return engine().spawn(ppeThread(std::move(main)), std::move(name));
+}
+
+} // namespace cell::rt

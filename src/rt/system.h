@@ -1,0 +1,207 @@
+/**
+ * @file
+ * CellSystem: the runtime's top-level object (the "libspe2 process").
+ *
+ * Owns the simulated machine, a main-storage arena allocator, the SPE
+ * contexts, and the instrumentation hook. Applications:
+ *
+ *   1. construct a CellSystem,
+ *   2. (optionally) attach a tool hook — PDT does this,
+ *   3. allocate main-storage buffers,
+ *   4. spawn a PPE program that starts SPE contexts,
+ *   5. call run() to simulate to completion.
+ */
+
+#ifndef CELL_RT_SYSTEM_H
+#define CELL_RT_SYSTEM_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/hooks.h"
+#include "rt/spu_env.h"
+#include "sim/machine.h"
+
+namespace cell::rt {
+
+class CellSystem;
+class SpeContext;
+
+/** An SPE program: name + coroutine body + modeled code footprint. */
+struct SpuProgramImage
+{
+    std::string name = "spu_program";
+    std::function<CoTask<void>(SpuEnv&)> main;
+    /** LS bytes occupied by text+bss; data allocation starts above. */
+    std::uint32_t code_size = 16 * 1024;
+};
+
+/** Stop information reported when an SPE program finishes. */
+struct SpeStopInfo
+{
+    bool stopped = false;
+    std::uint32_t exit_code = 0;
+};
+
+/**
+ * PPE-side environment handed to the PPE program coroutine.
+ */
+class PpeEnv
+{
+  public:
+    explicit PpeEnv(CellSystem& sys) : sys_(sys) {}
+
+    CellSystem& system() { return sys_; }
+
+    /** Charge @p cycles of PPE computation. */
+    CoTask<void> compute(sim::TickDelta cycles);
+
+    /** Read the 64-bit timebase register (charges the access cost). */
+    CoTask<std::uint64_t> readTimebase();
+
+    /** Record an application-defined PPE trace event. */
+    CoTask<void> userEvent(std::uint32_t id, std::uint64_t payload = 0);
+
+  private:
+    CellSystem& sys_;
+};
+
+/**
+ * One SPE context (libspe2's spe_context_t): the PPE-side handle for
+ * loading/running a program on one SPE and talking to its problem
+ * state (mailboxes, signals, proxy DMA).
+ *
+ * All PPE-side operations are awaitable, charge MMIO cost, and emit
+ * instrumentation events.
+ */
+class SpeContext
+{
+  public:
+    SpeContext(CellSystem& sys, std::uint32_t spe_index);
+
+    SpeContext(const SpeContext&) = delete;
+    SpeContext& operator=(const SpeContext&) = delete;
+
+    std::uint32_t speIndex() const { return index_; }
+    sim::Spu& spu();
+
+    /**
+     * Load and start an SPE program (spe_context_run). Asynchronous:
+     * returns once the program has been spawned.
+     */
+    CoTask<sim::ProcessRef> start(SpuProgramImage image,
+                                  std::uint64_t argp = 0,
+                                  std::uint64_t envp = 0);
+
+    /** Wait for the SPE program to finish. */
+    CoTask<void> join();
+
+    bool running() const { return proc_.valid() && !proc_.done(); }
+    const SpeStopInfo& stopInfo() const { return stop_info_; }
+
+    /** @name PPE-side mailbox access (MMIO) */
+    ///@{
+    /** Write the SPE's inbound mailbox; blocks while it is full. */
+    CoTask<void> writeInMbox(std::uint32_t value);
+    /** Read the SPE's outbound mailbox; blocks while it is empty. */
+    CoTask<std::uint32_t> readOutMbox();
+    /** Read the SPE's outbound-interrupt mailbox (blocking). */
+    CoTask<std::uint32_t> readOutIrqMbox();
+    /** Entries currently in the outbound mailbox (status register). */
+    std::size_t outMboxCount();
+    ///@}
+
+    /** @name Signal notification (MMIO writes) */
+    ///@{
+    CoTask<void> postSignal1(std::uint32_t bits);
+    CoTask<void> postSignal2(std::uint32_t bits);
+    ///@}
+
+    /** @name Proxy DMA (PPE-initiated MFC commands) */
+    ///@{
+    CoTask<void> proxyGet(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<void> proxyPut(LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag);
+    CoTask<TagMask> proxyTagWait(TagMask mask);
+    ///@}
+
+  private:
+    sim::Task spuThread(SpuProgramImage image, std::uint64_t argp,
+                        std::uint64_t envp);
+    CoTask<void> emitPpe(ApiOp op, ApiPhase phase, std::uint64_t a = 0,
+                         std::uint64_t b = 0, std::uint64_t c = 0,
+                         std::uint64_t d = 0);
+    CoTask<void> chargeMmio();
+
+    CellSystem& sys_;
+    std::uint32_t index_;
+    sim::ProcessRef proc_;
+    SpeStopInfo stop_info_;
+};
+
+/**
+ * The runtime system object.
+ */
+class CellSystem
+{
+  public:
+    explicit CellSystem(sim::MachineConfig cfg = {});
+
+    CellSystem(const CellSystem&) = delete;
+    CellSystem& operator=(const CellSystem&) = delete;
+
+    sim::Machine& machine() { return machine_; }
+    sim::Engine& engine() { return machine_.engine(); }
+    const sim::MachineConfig& config() const { return machine_.config(); }
+    std::uint32_t numSpes() const { return machine_.numSpes(); }
+
+    /** Bump-allocate @p size bytes of main storage. Never freed. */
+    EffAddr alloc(std::uint64_t size, std::uint64_t align = 128);
+
+    /** Install (or clear) the instrumentation hook. */
+    void setHook(ApiHook* hook) { hook_ = hook; }
+    ApiHook* hook() { return hook_; }
+
+    /**
+     * First LS byte SPE programs must not allocate past; a tracer
+     * lowers this to reserve space for its buffers.
+     */
+    void setSpuLsLimit(std::uint32_t limit) { spu_ls_limit_ = limit; }
+    std::uint32_t spuLsLimit() const { return spu_ls_limit_; }
+
+    /** The context for SPE @p index (created lazily, owned here). */
+    SpeContext& context(std::uint32_t index);
+
+    /** Spawn the PPE main program. */
+    sim::ProcessRef runPpe(std::function<CoTask<void>(PpeEnv&)> main,
+                           std::string name = "ppe_main");
+
+    /** Simulate until quiescence. */
+    void run() { machine_.run(); }
+
+    /** Name of the program last started on SPE @p index ("" if none). */
+    const std::string& programName(std::uint32_t index) const
+    {
+        return program_names_.at(index);
+    }
+    void noteProgramName(std::uint32_t index, std::string name)
+    {
+        program_names_.at(index) = std::move(name);
+    }
+
+  private:
+    sim::Task ppeThread(std::function<CoTask<void>(PpeEnv&)> main);
+
+    sim::Machine machine_;
+    EffAddr arena_cursor_ = 0x1000'0000;
+    ApiHook* hook_ = nullptr;
+    std::uint32_t spu_ls_limit_ = sim::kLocalStoreSize;
+    std::vector<std::unique_ptr<SpeContext>> contexts_;
+    std::vector<std::string> program_names_;
+};
+
+} // namespace cell::rt
+
+#endif // CELL_RT_SYSTEM_H

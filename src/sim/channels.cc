@@ -1,0 +1,255 @@
+/**
+ * @file
+ * SPU channel-interface implementation.
+ */
+
+#include "sim/channels.h"
+
+#include <stdexcept>
+
+namespace cell::sim {
+
+namespace {
+
+[[noreturn]] void
+badChannel(const char* what, std::uint32_t ch)
+{
+    throw std::invalid_argument(std::string("SpuChannels: ") + what +
+                                " channel " + std::to_string(ch));
+}
+
+} // namespace
+
+CoTask<void>
+SpuChannels::issueCommand(std::uint32_t opcode)
+{
+    MfcCommand cmd;
+    cmd.ls = params_.lsa;
+    cmd.ea = (static_cast<EffAddr>(params_.eah) << 32) | params_.eal;
+    cmd.size = params_.size;
+    cmd.tag = params_.tag;
+
+    switch (opcode) {
+      case MFC_GET_CMD:
+        cmd.op = MfcOpcode::Get;
+        break;
+      case MFC_GETF_CMD:
+        cmd.op = MfcOpcode::Get;
+        cmd.fence = true;
+        break;
+      case MFC_GETB_CMD:
+        cmd.op = MfcOpcode::Get;
+        cmd.barrier = true;
+        break;
+      case MFC_PUT_CMD:
+        cmd.op = MfcOpcode::Put;
+        break;
+      case MFC_PUTF_CMD:
+        cmd.op = MfcOpcode::Put;
+        cmd.fence = true;
+        break;
+      case MFC_PUTB_CMD:
+        cmd.op = MfcOpcode::Put;
+        cmd.barrier = true;
+        break;
+      case MFC_GETL_CMD:
+      case MFC_PUTL_CMD:
+        // List commands: LSA latches the LS target; EAL carries the
+        // list address inside the LS; Size is the list size in bytes.
+        cmd.op = opcode == MFC_GETL_CMD ? MfcOpcode::GetList
+                                        : MfcOpcode::PutList;
+        cmd.list_ls = params_.eal;
+        cmd.ea = static_cast<EffAddr>(params_.eah) << 32;
+        break;
+      default:
+        badChannel("unknown MFC opcode on", MFC_Cmd);
+    }
+    co_await spu_.mfc().enqueueSpu(cmd);
+}
+
+std::uint32_t
+SpuChannels::eventStatus(std::uint32_t mask) const
+{
+    std::uint32_t ev = 0;
+    if (spu_.mfc().tagStatusImmediate(tag_mask_) != 0)
+        ev |= MFC_TAG_STATUS_UPDATE_EVENT;
+    if (!spu_.inbound().empty())
+        ev |= MFC_IN_MBOX_AVAILABLE_EVENT;
+    if (spu_.signal1().peek() != 0)
+        ev |= MFC_SIGNAL_NOTIFY_1_EVENT;
+    if (spu_.signal2().peek() != 0)
+        ev |= MFC_SIGNAL_NOTIFY_2_EVENT;
+    if (spu_.decrementer().read(spu_.engine().now()) & 0x8000'0000u)
+        ev |= MFC_DECREMENTER_EVENT;
+    return ev & mask;
+}
+
+CoTask<std::uint32_t>
+SpuChannels::readEventStat()
+{
+    if (event_mask_ == 0)
+        badChannel("SPU_RdEventStat with empty event mask on",
+                   SPU_RdEventStat);
+    for (;;) {
+        const std::uint32_t ev = eventStatus(event_mask_);
+        if (ev != 0)
+            co_return ev;
+        // If the decrementer event is armed but not yet pending, the
+        // only "notification" is time itself: schedule a wakeup for
+        // the tick its MSB sets.
+        if (event_mask_ & MFC_DECREMENTER_EVENT) {
+            // Counting down from v, the MSB first sets when the value
+            // wraps past zero to 0xFFFFFFFF — v + 1 ticks from now.
+            const std::uint32_t v =
+                spu_.decrementer().read(spu_.engine().now());
+            const std::uint64_t ticks = std::uint64_t{v} + 1;
+            Engine& eng = spu_.engine();
+            CondVar& cv = spu_.activityCv();
+            eng.schedule(eng.now() + ticks * spu_.timebase().divider(),
+                         [&cv] { cv.notifyAll(); });
+        }
+        co_await spu_.activityCv().wait();
+    }
+}
+
+CoTask<void>
+SpuChannels::write(std::uint32_t ch, std::uint32_t value)
+{
+    co_await spu_.chargeChannel();
+    switch (ch) {
+      case MFC_LSA:
+        params_.lsa = value;
+        break;
+      case MFC_EAH:
+        params_.eah = value;
+        break;
+      case MFC_EAL:
+        params_.eal = value;
+        break;
+      case MFC_Size:
+        params_.size = value;
+        break;
+      case MFC_TagID:
+        params_.tag = value;
+        break;
+      case MFC_Cmd:
+        co_await issueCommand(value);
+        break;
+      case MFC_WrTagMask:
+        tag_mask_ = value;
+        break;
+      case MFC_WrTagUpdate:
+        if (value > MFC_TAG_UPDATE_ALL)
+            badChannel("bad tag-update condition on", ch);
+        tag_update_cond_ = value;
+        tag_stat_pending_ = true;
+        break;
+      case MFC_WrListStallAck:
+        spu_.mfc().ackListStall(value);
+        break;
+      case SPU_WrDec:
+        spu_.decrementer().write(spu_.engine().now(), value);
+        break;
+      case SPU_WrEventMask:
+        event_mask_ = value;
+        break;
+      case SPU_WrEventAck:
+        // Level-triggered model: acknowledgement is a no-op (events
+        // clear when their underlying condition is consumed).
+        break;
+      case SPU_WrOutMbox:
+        co_await spu_.outbound().push(value);
+        break;
+      case SPU_WrOutIntrMbox:
+        co_await spu_.outboundIrq().push(value);
+        break;
+      default:
+        badChannel("write to non-writable", ch);
+    }
+}
+
+CoTask<std::uint32_t>
+SpuChannels::read(std::uint32_t ch)
+{
+    co_await spu_.chargeChannel();
+    switch (ch) {
+      case MFC_RdTagStat: {
+        if (!tag_stat_pending_)
+            badChannel("MFC_RdTagStat without MFC_WrTagUpdate on", ch);
+        tag_stat_pending_ = false;
+        switch (tag_update_cond_) {
+          case MFC_TAG_UPDATE_IMMEDIATE:
+            co_return spu_.mfc().tagStatusImmediate(tag_mask_);
+          case MFC_TAG_UPDATE_ANY:
+            co_return co_await spu_.mfc().waitTagStatusAny(tag_mask_);
+          default:
+            co_return co_await spu_.mfc().waitTagStatusAll(tag_mask_);
+        }
+      }
+      case MFC_RdListStallStat:
+        co_return spu_.mfc().stalledTags();
+      case SPU_RdInMbox:
+        co_return co_await spu_.inbound().pop();
+      case SPU_RdSigNotify1:
+        co_return co_await spu_.signal1().read();
+      case SPU_RdSigNotify2:
+        co_return co_await spu_.signal2().read();
+      case SPU_RdDec:
+        co_return spu_.decrementer().read(spu_.engine().now());
+      case SPU_RdEventStat:
+        co_return co_await readEventStat();
+      default:
+        badChannel("read from non-readable", ch);
+    }
+}
+
+std::uint32_t
+SpuChannels::count(std::uint32_t ch) const
+{
+    switch (ch) {
+      // Parameter latches never stall.
+      case MFC_LSA:
+      case MFC_EAH:
+      case MFC_EAL:
+      case MFC_Size:
+      case MFC_TagID:
+      case MFC_WrTagMask:
+      case MFC_WrTagUpdate:
+      case MFC_WrListStallAck:
+      case SPU_WrDec:
+      case SPU_RdDec:
+        return 1;
+      case MFC_Cmd:
+        return static_cast<std::uint32_t>(spu_.mfc().spuQueueSpace());
+      case SPU_WrEventMask:
+      case SPU_WrEventAck:
+        return 1;
+      case SPU_RdEventStat:
+        return eventStatus(event_mask_) != 0 ? 1 : 0;
+      case MFC_RdTagStat:
+        // An immediate update can always be read; ANY/ALL reads may
+        // stall, which the architecture reports as count 0.
+        return (tag_stat_pending_ &&
+                tag_update_cond_ == MFC_TAG_UPDATE_IMMEDIATE)
+                   ? 1
+                   : 0;
+      case MFC_RdListStallStat:
+        return spu_.mfc().stalledTags() != 0 ? 1 : 0;
+      case SPU_RdInMbox:
+        return static_cast<std::uint32_t>(spu_.inbound().count());
+      case SPU_WrOutMbox:
+        return static_cast<std::uint32_t>(kOutboundMailboxDepth -
+                                          spu_.outbound().count());
+      case SPU_WrOutIntrMbox:
+        return static_cast<std::uint32_t>(kOutboundMailboxDepth -
+                                          spu_.outboundIrq().count());
+      case SPU_RdSigNotify1:
+        return spu_.signal1().peek() != 0 ? 1 : 0;
+      case SPU_RdSigNotify2:
+        return spu_.signal2().peek() != 0 ? 1 : 0;
+      default:
+        badChannel("count of unknown", ch);
+    }
+}
+
+} // namespace cell::sim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The SPU's architected channel interface.
+ *
+ * Real SPU code talks to the outside world exclusively through 128
+ * numbered channels accessed with rdch/wrch/rchcnt instructions; the
+ * SDK intrinsics (mfc_get, spu_read_in_mbox, ...) are thin wrappers
+ * over them. This adapter exposes that layer faithfully on the
+ * simulated SPE: an MFC command is issued by writing MFC_LSA, MFC_EAH,
+ * MFC_EAL, MFC_Size, MFC_TagID and finally MFC_Cmd with the opcode;
+ * tag waits go through MFC_WrTagMask / MFC_WrTagUpdate / MFC_RdTagStat;
+ * mailboxes, signals and the decrementer have their architected
+ * numbers. Channel *counts* (rchcnt) report, per the architecture, how
+ * many reads/writes would complete without stalling.
+ *
+ * The higher-level rt::SpuEnv is what applications normally use; this
+ * layer exists for fidelity (PDT-era SPU code and the SDK runtime are
+ * written against it) and is fully covered by tests.
+ */
+
+#ifndef CELL_SIM_CHANNELS_H
+#define CELL_SIM_CHANNELS_H
+
+#include <cstdint>
+
+#include "sim/spu.h"
+
+namespace cell::sim {
+
+/** Architected SPU channel numbers (CBEA v1.1, table 9-1 subset). */
+enum SpuChannel : std::uint32_t
+{
+    SPU_RdEventStat = 0,
+    SPU_WrEventMask = 1,
+    SPU_WrEventAck = 2,
+    SPU_RdSigNotify1 = 3,
+    SPU_RdSigNotify2 = 4,
+    SPU_WrDec = 7,
+    SPU_RdDec = 8,
+    MFC_WrMSSyncReq = 9,
+    MFC_LSA = 16,
+    MFC_EAH = 17,
+    MFC_EAL = 18,
+    MFC_Size = 19,
+    MFC_TagID = 20,
+    MFC_Cmd = 21,
+    MFC_WrTagMask = 22,
+    MFC_WrTagUpdate = 23,
+    MFC_RdTagStat = 24,
+    MFC_RdListStallStat = 25,
+    MFC_WrListStallAck = 26,
+    SPU_WrOutMbox = 28,
+    SPU_RdInMbox = 29,
+    SPU_WrOutIntrMbox = 30,
+};
+
+/** MFC command opcodes as written to MFC_Cmd (CBEA encodings). */
+enum MfcCmdOpcode : std::uint32_t
+{
+    MFC_PUT_CMD = 0x20,
+    MFC_PUTF_CMD = 0x21,
+    MFC_PUTB_CMD = 0x22,
+    MFC_GET_CMD = 0x40,
+    MFC_GETF_CMD = 0x41,
+    MFC_GETB_CMD = 0x42,
+    MFC_PUTL_CMD = 0x24,
+    MFC_GETL_CMD = 0x44,
+};
+
+/**
+ * SPU event-status bits (the select-style wait sources). The bit
+ * assignments follow the CBEA layout; semantics here are
+ * level-triggered against current state, a documented simplification
+ * of the hardware's edge latching (SPU_WrEventAck is accepted and
+ * ignored accordingly).
+ */
+enum SpuEventBits : std::uint32_t
+{
+    /** A tag group enabled in MFC_WrTagMask has no outstanding
+     *  commands. */
+    MFC_TAG_STATUS_UPDATE_EVENT = 0x0000'0001,
+    /** The decrementer's most significant bit is set (it counted
+     *  through zero). */
+    MFC_DECREMENTER_EVENT = 0x0000'0020,
+    /** The inbound mailbox has a message. */
+    MFC_IN_MBOX_AVAILABLE_EVENT = 0x0000'0010,
+    /** Signal-notification register 1 / 2 is non-zero. */
+    MFC_SIGNAL_NOTIFY_1_EVENT = 0x0000'0100,
+    MFC_SIGNAL_NOTIFY_2_EVENT = 0x0000'0200,
+};
+
+/** MFC_WrTagUpdate conditions. */
+enum TagUpdateCondition : std::uint32_t
+{
+    MFC_TAG_UPDATE_IMMEDIATE = 0,
+    MFC_TAG_UPDATE_ANY = 1,
+    MFC_TAG_UPDATE_ALL = 2,
+};
+
+/**
+ * Channel-interface adapter for one SPE.
+ *
+ * Blocking channels (mailbox reads on empty, MFC_Cmd on a full queue,
+ * MFC_RdTagStat after a non-immediate update) suspend the calling
+ * process exactly as the hardware stalls the SPU. Every access
+ * charges the configured channel cost.
+ */
+class SpuChannels
+{
+  public:
+    explicit SpuChannels(Spu& spu) : spu_(spu) {}
+
+    SpuChannels(const SpuChannels&) = delete;
+    SpuChannels& operator=(const SpuChannels&) = delete;
+
+    /** wrch: write @p value to channel @p ch. May suspend. */
+    CoTask<void> write(std::uint32_t ch, std::uint32_t value);
+
+    /** rdch: read channel @p ch. May suspend. */
+    CoTask<std::uint32_t> read(std::uint32_t ch);
+
+    /**
+     * rchcnt: the channel's count — how many rdch/wrch on it would
+     * currently complete without stalling.
+     */
+    std::uint32_t count(std::uint32_t ch) const;
+
+    /** The MFC parameter latch state (visible for tests). */
+    struct CmdParams
+    {
+        std::uint32_t lsa = 0;
+        std::uint32_t eah = 0;
+        std::uint32_t eal = 0;
+        std::uint32_t size = 0;
+        std::uint32_t tag = 0;
+    };
+    const CmdParams& params() const { return params_; }
+
+  private:
+    CoTask<void> issueCommand(std::uint32_t opcode);
+    /** Current (level) event status against @p mask. */
+    std::uint32_t eventStatus(std::uint32_t mask) const;
+    /** Blocking SPU_RdEventStat. */
+    CoTask<std::uint32_t> readEventStat();
+
+    Spu& spu_;
+    CmdParams params_;
+    TagMask tag_mask_ = 0;
+    /** Result latched for MFC_RdTagStat by MFC_WrTagUpdate. */
+    bool tag_stat_pending_ = false;
+    std::uint32_t tag_update_cond_ = MFC_TAG_UPDATE_IMMEDIATE;
+    std::uint32_t event_mask_ = 0;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_CHANNELS_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Machine configuration for the simulated Cell Broadband Engine.
+ *
+ * Defaults approximate the 3.2 GHz Cell BE the paper's tools ran on
+ * (QS20-class blade): 8 SPEs, a 4-ring EIB at half core clock moving
+ * 16 bytes per bus cycle per ring, 25.6 GB/s XDR memory, and a
+ * timebase/decrementer clock derived from the core clock.
+ *
+ * All timing is expressed in integral core-clock cycles so simulation
+ * results are exactly reproducible.
+ */
+
+#ifndef CELL_SIM_CONFIG_H
+#define CELL_SIM_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/** Element Interconnect Bus parameters. */
+struct EibConfig
+{
+    /** Number of data rings (real EIB: 4). */
+    std::uint32_t num_rings = 4;
+    /** Bytes moved per bus cycle on one ring (real EIB: 16). */
+    std::uint32_t bytes_per_bus_cycle = 16;
+    /** Core cycles per EIB bus cycle (EIB runs at half core clock). */
+    std::uint32_t bus_cycle_divider = 2;
+    /** Fixed command-phase latency per transfer, in core cycles. */
+    TickDelta command_latency = 50;
+    /** Bytes per core cycle the memory interface controller sustains
+     *  (25.6 GB/s at 3.2 GHz == 8 B/cycle). */
+    std::uint32_t mic_bytes_per_cycle = 8;
+    /** Additional fixed latency for transfers touching main storage. */
+    TickDelta memory_latency = 100;
+};
+
+/** Memory Flow Controller parameters (one MFC per SPE). */
+struct MfcConfig
+{
+    /** Core cycles to accept one DMA command into the queue. */
+    TickDelta issue_latency = 10;
+    /** Core cycles to fetch one DMA-list element from local store. */
+    TickDelta list_element_latency = 4;
+    /** Dispatch policy: true (hardware-like) lets independent tag
+     *  groups bypass fence/barrier-blocked commands; false is a
+     *  strict-FIFO ablation where a blocked head stalls the queue —
+     *  including the tracer's flush DMAs. */
+    bool oldest_eligible_first = true;
+};
+
+/** SPU channel-interface and PPE MMIO costs. */
+struct AccessCostConfig
+{
+    /** SPU channel read/write cost (rdch/wrch), core cycles. */
+    TickDelta spu_channel = 6;
+    /** PPE MMIO access to SPE problem state, core cycles. */
+    TickDelta ppe_mmio = 120;
+    /** PPE access to its own timebase register, core cycles. */
+    TickDelta ppe_timebase_read = 10;
+};
+
+/** Complete machine configuration. */
+struct MachineConfig
+{
+    /** Number of SPEs (the paper's machines expose 8). */
+    std::uint32_t num_spes = 8;
+    /** Core clock in Hz; display/conversion only, never used for timing. */
+    std::uint64_t core_hz = 3'200'000'000ULL;
+    /** Core cycles per timebase tick (3.2 GHz / 120 ~= 26.67 MHz). */
+    std::uint32_t timebase_divider = 120;
+    /** Base effective address where SPE local stores are mapped.
+     *  SPE i's LS occupies [ls_map_base + i*ls_map_stride, +256 KiB). */
+    EffAddr ls_map_base = 0x4000'0000'0000ULL;
+    /** Stride between consecutive SPE LS apertures. */
+    EffAddr ls_map_stride = 0x10'0000ULL; // 1 MiB
+
+    EibConfig eib;
+    MfcConfig mfc;
+    AccessCostConfig cost;
+
+    /** Effective address of SPE @p index 's local-store aperture. */
+    EffAddr lsAperture(std::uint32_t index) const
+    {
+        return ls_map_base + static_cast<EffAddr>(index) * ls_map_stride;
+    }
+
+    /** True if @p ea falls inside some SPE's LS aperture (given num_spes). */
+    bool eaIsLocalStore(EffAddr ea) const
+    {
+        return ea >= ls_map_base &&
+               ea < ls_map_base + static_cast<EffAddr>(num_spes) * ls_map_stride;
+    }
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_CONFIG_H

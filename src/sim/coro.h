@@ -1,0 +1,321 @@
+/**
+ * @file
+ * C++20 coroutine process layer for the discrete-event engine.
+ *
+ * Simulated activities (an SPU program, a DMA engine, the PPE main
+ * program) are coroutines of type Task. A Task is spawned onto an
+ * Engine, which resumes it as simulated time advances. Inside a Task,
+ * code awaits:
+ *
+ *   - Engine::delay(n)   -- advance simulated time by n cycles
+ *   - OneShotEvent       -- a level-triggered one-shot condition
+ *   - CondVar            -- an edge-triggered wakeup (re-check loop)
+ *   - ProcessRef::join() -- completion of another process
+ *
+ * All resumptions are funnelled through the Engine so the simulation
+ * stays single-threaded and deterministic.
+ */
+
+#ifndef CELL_SIM_CORO_H
+#define CELL_SIM_CORO_H
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cell::sim {
+
+class Engine;
+
+/** Shared completion state of one simulated process. */
+struct ProcessState
+{
+    bool done = false;
+    std::exception_ptr error;
+    /** Coroutines waiting for this process to finish. */
+    std::vector<std::coroutine_handle<>> joiners;
+    /** Printable name, for diagnostics. */
+    std::string name;
+};
+
+/**
+ * A fire-and-forget simulated process.
+ *
+ * Created by calling a coroutine function returning Task; it does not
+ * start executing until handed to Engine::spawn(). Task is move-only
+ * and owns the coroutine frame until spawned.
+ */
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type
+    {
+        std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
+        Engine* engine = nullptr;
+
+        Task get_return_object()
+        {
+            return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        /** Final suspend: mark done, wake joiners; Engine destroys the frame. */
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+            void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+            void await_resume() noexcept {}
+        };
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_void() {}
+        void unhandled_exception() { state->error = std::current_exception(); }
+    };
+
+    Task() = default;
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+    Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+    Task& operator=(Task&& other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /** Release ownership of the coroutine frame (used by Engine::spawn). */
+    std::coroutine_handle<promise_type> release() { return std::exchange(handle_, {}); }
+
+  private:
+    void destroy()
+    {
+        if (handle_)
+            handle_.destroy();
+        handle_ = {};
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/**
+ * Handle to a spawned process; lets other processes join it and
+ * inspect completion. Copyable (shared state).
+ */
+class ProcessRef
+{
+  public:
+    ProcessRef() = default;
+    ProcessRef(std::shared_ptr<ProcessState> state, Engine* engine)
+        : state_(std::move(state)), engine_(engine)
+    {}
+
+    bool valid() const { return static_cast<bool>(state_); }
+    bool done() const { return state_ && state_->done; }
+
+    /** Exception raised by the process, if any (null otherwise). */
+    std::exception_ptr error() const { return state_ ? state_->error : nullptr; }
+
+    /**
+     * Awaitable that suspends until the process completes. Rethrows the
+     * process's exception, if any, in the joining coroutine.
+     */
+    struct JoinAwaiter
+    {
+        std::shared_ptr<ProcessState> state;
+
+        bool await_ready() const { return state->done; }
+        void await_suspend(std::coroutine_handle<> h) { state->joiners.push_back(h); }
+        void await_resume() const
+        {
+            if (state->error) {
+                auto err = state->error;
+                state->error = nullptr; // consumed by the joiner
+                std::rethrow_exception(err);
+            }
+        }
+    };
+
+    JoinAwaiter join() const { return JoinAwaiter{state_}; }
+
+  private:
+    std::shared_ptr<ProcessState> state_;
+    Engine* engine_ = nullptr;
+};
+
+/**
+ * A lazy, awaitable sub-coroutine returning T.
+ *
+ * Used for nested "blocking" operations inside a process: the caller
+ * co_awaits a CoTask, the callee runs (possibly suspending on engine
+ * primitives), and control returns to the caller with the result via
+ * symmetric transfer. CoTask owns the callee frame; destroying an
+ * outer process therefore unwinds nested operations correctly.
+ */
+template <typename T>
+class [[nodiscard]] CoTask
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<>
+        await_suspend(Handle h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+        void await_resume() const noexcept {}
+    };
+
+    struct PromiseBase
+    {
+        std::exception_ptr error;
+        std::coroutine_handle<> continuation;
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void unhandled_exception() { error = std::current_exception(); }
+    };
+
+    struct promise_type : PromiseBase
+    {
+        // Result storage; monostate-like for void via specialization below.
+        alignas(T) unsigned char storage[sizeof(T)];
+        bool has_value = false;
+
+        CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
+        template <typename U>
+        void return_value(U&& v)
+        {
+            ::new (static_cast<void*>(storage)) T(std::forward<U>(v));
+            has_value = true;
+        }
+        ~promise_type()
+        {
+            if (has_value)
+                reinterpret_cast<T*>(storage)->~T();
+        }
+    };
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : handle_(h) {}
+    CoTask(CoTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    CoTask& operator=(CoTask&& o) noexcept
+    {
+        if (this != &o) {
+            if (handle_)
+                handle_.destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+    CoTask(const CoTask&) = delete;
+    CoTask& operator=(const CoTask&) = delete;
+    ~CoTask()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller)
+    {
+        handle_.promise().continuation = caller;
+        return handle_; // start (or resume into) the callee
+    }
+    T await_resume()
+    {
+        auto& p = handle_.promise();
+        if (p.error)
+            std::rethrow_exception(p.error);
+        return std::move(*reinterpret_cast<T*>(p.storage));
+    }
+
+  private:
+    Handle handle_;
+};
+
+/** Void specialization of CoTask. */
+template <>
+class [[nodiscard]] CoTask<void>
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<>
+        await_suspend(Handle h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        std::exception_ptr error;
+        std::coroutine_handle<> continuation;
+
+        CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { error = std::current_exception(); }
+    };
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : handle_(h) {}
+    CoTask(CoTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    CoTask& operator=(CoTask&& o) noexcept
+    {
+        if (this != &o) {
+            if (handle_)
+                handle_.destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+    CoTask(const CoTask&) = delete;
+    CoTask& operator=(const CoTask&) = delete;
+    ~CoTask()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller)
+    {
+        handle_.promise().continuation = caller;
+        return handle_;
+    }
+    void await_resume()
+    {
+        if (handle_.promise().error)
+            std::rethrow_exception(handle_.promise().error);
+    }
+
+  private:
+    Handle handle_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_CORO_H

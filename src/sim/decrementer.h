@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Timebase and decrementer models.
+ *
+ * The PPE exposes a 64-bit timebase register counting up at the
+ * timebase frequency. Each SPU has a 32-bit decrementer counting *down*
+ * at the same frequency, restartable via a channel write. PDT stamps
+ * SPE events with the decrementer (cheap channel read) and relies on
+ * synchronization records to map decrementer values back onto the
+ * global timebase — including across 32-bit wrap-arounds. That mapping
+ * is one of the trace analyzer's correctness obligations, so the model
+ * keeps the inconvenient hardware behaviour (down-counting, wrapping).
+ */
+
+#ifndef CELL_SIM_DECREMENTER_H
+#define CELL_SIM_DECREMENTER_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/** Converts engine ticks to timebase ticks. */
+class Timebase
+{
+  public:
+    explicit Timebase(std::uint32_t divider) : divider_(divider) {}
+
+    /** 64-bit timebase value at engine tick @p now. */
+    std::uint64_t read(Tick now) const { return now / divider_; }
+
+    std::uint32_t divider() const { return divider_; }
+
+  private:
+    std::uint32_t divider_;
+};
+
+/**
+ * One SPU's 32-bit down-counting decrementer.
+ *
+ * The SPU writes a start value and the counter decrements once per
+ * timebase tick, wrapping modulo 2^32.
+ */
+class Decrementer
+{
+  public:
+    explicit Decrementer(const Timebase& tb) : tb_(tb) {}
+
+    /** SPU channel write: (re)load the decrementer with @p value. */
+    void write(Tick now, std::uint32_t value)
+    {
+        base_value_ = value;
+        base_tb_ = tb_.read(now);
+    }
+
+    /** SPU channel read: current decrementer value (wraps). */
+    std::uint32_t read(Tick now) const
+    {
+        const std::uint64_t elapsed = tb_.read(now) - base_tb_;
+        return static_cast<std::uint32_t>(base_value_ - elapsed);
+    }
+
+  private:
+    const Timebase& tb_;
+    std::uint32_t base_value_ = 0xFFFF'FFFFu;
+    std::uint64_t base_tb_ = 0;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_DECREMENTER_H

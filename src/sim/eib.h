@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Element Interconnect Bus timing model.
+ *
+ * The EIB is modeled as four data rings plus a shared memory-interface
+ * controller (MIC), each a FIFO resource with a "next free" time. A
+ * transfer reserves the least-loaded ring (and the MIC if it touches
+ * main storage); its completion time follows from the ring's byte rate
+ * and the fixed command/memory latencies. This reservation model
+ * captures bandwidth sharing and queueing contention — the properties
+ * that shape DMA-wait intervals in PDT traces — without simulating
+ * individual bus phases.
+ */
+
+#ifndef CELL_SIM_EIB_H
+#define CELL_SIM_EIB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/** What a transfer touches, which decides the resources it reserves. */
+enum class TransferKind : std::uint8_t
+{
+    MemoryToLs,  ///< GET from main storage
+    LsToMemory,  ///< PUT to main storage
+    LsToLs,      ///< GET/PUT against another SPE's LS aperture
+};
+
+/** Resolved schedule for one transfer. */
+struct EibGrant
+{
+    Tick start;       ///< when data starts moving
+    Tick complete;    ///< when the last byte lands
+    std::uint32_t ring; ///< ring index granted
+};
+
+/** Cumulative EIB statistics. */
+struct EibStats
+{
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t memory_transfers = 0;
+    std::uint64_t ls_to_ls_transfers = 0;
+    /** Total cycles transfers spent queued behind busy resources. */
+    std::uint64_t queue_wait_cycles = 0;
+};
+
+/**
+ * EIB arbiter. One per machine; MFCs call reserve() when they issue a
+ * DMA command and then sleep until the returned completion tick.
+ */
+class Eib
+{
+  public:
+    explicit Eib(const EibConfig& cfg);
+
+    /**
+     * Reserve bus (and MIC) time for a transfer of @p bytes issued at
+     * @p now. Deterministic: equal-load ties pick the lowest ring.
+     */
+    EibGrant reserve(TransferKind kind, std::size_t bytes, Tick now);
+
+    const EibStats& stats() const { return stats_; }
+
+    /** Cycles needed to move @p bytes on one ring (no queueing). */
+    TickDelta ringOccupancy(std::size_t bytes) const;
+
+    /** Cycles the MIC is busy moving @p bytes (no queueing). */
+    TickDelta micOccupancy(std::size_t bytes) const;
+
+  private:
+    EibConfig cfg_;
+    std::vector<Tick> ring_free_;
+    Tick mic_free_ = 0;
+    EibStats stats_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_EIB_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Engine implementation and the Task final-suspend hook.
+ */
+
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+namespace cell::sim {
+
+std::string
+coreName(CoreId id)
+{
+    if (id.isPpe())
+        return "PPE";
+    return "SPE" + std::to_string(id.speIndex());
+}
+
+void
+Task::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept
+{
+    promise_type& p = h.promise();
+    p.state->done = true;
+    if (p.engine) {
+        // Wake joiners at the current tick, preserving schedule order.
+        for (std::coroutine_handle<> j : p.state->joiners)
+            p.engine->scheduleResume(j, p.engine->now());
+        p.state->joiners.clear();
+        p.engine->unregisterFrame(h.address());
+    }
+    // The coroutine is suspended at its final suspend point; destroying
+    // the frame here is the canonical self-cleanup pattern.
+    h.destroy();
+}
+
+Engine::~Engine()
+{
+    killAllProcesses();
+}
+
+void
+Engine::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < now_)
+        throw std::logic_error("Engine::schedule: event in the past");
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+Engine::scheduleResume(std::coroutine_handle<> h, Tick when)
+{
+    schedule(when, [h] { h.resume(); });
+}
+
+ProcessRef
+Engine::spawn(Task task, std::string name)
+{
+    if (!task.valid())
+        throw std::invalid_argument("Engine::spawn: empty task");
+    auto handle = task.release();
+    handle.promise().engine = this;
+    handle.promise().state->name = std::move(name);
+    auto state = handle.promise().state;
+    spawned_.push_back(state);
+    registerFrame(handle.address());
+    scheduleResume(handle, now_);
+    return ProcessRef(state, this);
+}
+
+std::uint64_t
+Engine::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        const Event& top = queue_.top();
+        if (top.when > limit) {
+            now_ = limit;
+            break;
+        }
+        now_ = top.when;
+        auto fn = std::move(const_cast<Event&>(top).fn);
+        queue_.pop();
+        fn();
+        ++n;
+        ++dispatched_;
+    }
+    if (queue_.empty() && now_ < limit && limit != ~Tick{0})
+        now_ = limit;
+    // Surface the first process failure nobody joined on.
+    for (const auto& st : spawned_) {
+        if (st->error) {
+            auto err = st->error;
+            st->error = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+    return n;
+}
+
+std::size_t
+Engine::processesCompleted() const
+{
+    std::size_t n = 0;
+    for (const auto& st : spawned_)
+        n += st->done ? 1 : 0;
+    return n;
+}
+
+void
+Engine::killAllProcesses()
+{
+    // Destroying a frame may spawn no new work (destructors only), but it
+    // does unregister itself via unregisterFrame, so iterate on copies.
+    auto frames = live_frames_;
+    for (void* addr : frames) {
+        if (!live_frames_.count(addr))
+            continue; // already destroyed as a side effect
+        live_frames_.erase(addr);
+        std::coroutine_handle<>::from_address(addr).destroy();
+    }
+    live_frames_.clear();
+    // Drop pending events; they may reference destroyed frames.
+    queue_ = {};
+}
+
+} // namespace cell::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation engine.
+ *
+ * The engine keeps a priority queue of (tick, sequence) ordered events.
+ * Events scheduled for the same tick fire in the order they were
+ * scheduled, which makes the whole simulation reproducible run-to-run.
+ */
+
+#ifndef CELL_SIM_ENGINE_H
+#define CELL_SIM_ENGINE_H
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/coro.h"
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/**
+ * Discrete-event scheduler and process manager.
+ *
+ * Single-threaded: all simulated concurrency is cooperative, expressed
+ * as coroutines (Task) resumed by the engine in deterministic order.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /** Current simulated time in core cycles. */
+    Tick now() const { return now_; }
+
+    /** Schedule a plain callback at absolute tick @p when (>= now). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule a plain callback @p delta cycles from now. */
+    void scheduleAfter(TickDelta delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Start a process. The coroutine begins executing at the current
+     * tick (before any later-scheduled event).
+     *
+     * @param task  the coroutine to run
+     * @param name  diagnostic name recorded in the process state
+     * @return a joinable reference to the process
+     */
+    ProcessRef spawn(Task task, std::string name = {});
+
+    /** Awaitable: resume the awaiting coroutine @p delta cycles from now. */
+    struct DelayAwaiter
+    {
+        Engine& engine;
+        TickDelta delta;
+
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            engine.scheduleResume(h, engine.now() + delta);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspend the calling process for @p delta cycles (0 == yield). */
+    DelayAwaiter delay(TickDelta delta) { return DelayAwaiter{*this, delta}; }
+
+    /** Schedule resumption of a suspended coroutine at @p when. */
+    void scheduleResume(std::coroutine_handle<> h, Tick when);
+
+    /**
+     * Run until the event queue drains or @p limit ticks is reached.
+     *
+     * @param limit  hard stop; the default is effectively "run to quiescence"
+     * @return number of events dispatched
+     *
+     * Throws (rethrows) the first unconsumed exception raised by any
+     * spawned process.
+     */
+    std::uint64_t run(Tick limit = ~Tick{0});
+
+    /** True if no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Number of events dispatched so far. */
+    std::uint64_t eventsDispatched() const { return dispatched_; }
+
+    /** Number of processes that have been spawned. */
+    std::size_t processesSpawned() const { return spawned_.size(); }
+
+    /** Number of spawned processes that have run to completion. */
+    std::size_t processesCompleted() const;
+
+    /**
+     * Destroy all still-suspended process frames. After this the engine
+     * must not be run again; used at teardown so coroutine locals are
+     * released before the machine components they reference.
+     */
+    void killAllProcesses();
+
+    /** @name Internal hooks used by the coroutine machinery. */
+    ///@{
+    void registerFrame(void* frame) { live_frames_.insert(frame); }
+    void unregisterFrame(void* frame) { live_frames_.erase(frame); }
+    ///@}
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool operator>(const Event& o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::vector<std::shared_ptr<ProcessState>> spawned_;
+    std::unordered_set<void*> live_frames_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_ENGINE_H

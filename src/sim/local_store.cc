@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MFC DMA shape validation.
+ */
+
+#include "sim/local_store.h"
+
+#include <string>
+
+namespace cell::sim {
+
+void
+LocalStore::checkDmaShape(LsAddr ls_addr, EffAddr ea, std::size_t len)
+{
+    auto fail = [&](const char* why) {
+        throw std::invalid_argument(
+            std::string("MFC DMA shape violation: ") + why +
+            " (ls=0x" + std::to_string(ls_addr) +
+            ", ea=0x" + std::to_string(ea) +
+            ", len=" + std::to_string(len) + ")");
+    };
+
+    if (len == 0)
+        fail("zero-length transfer");
+    if (len > kMaxDmaSize)
+        fail("transfer larger than 16 KiB");
+
+    if (len == 1 || len == 2 || len == 4 || len == 8) {
+        // Small transfers: naturally aligned, and the low 4 bits of the
+        // LS address and EA must match (same quadword offset).
+        if (ls_addr % len != 0 || ea % len != 0)
+            fail("small transfer not naturally aligned");
+        if ((ls_addr & 0xF) != (ea & 0xF))
+            fail("small transfer quadword offsets differ");
+        return;
+    }
+
+    if (len % 16 != 0)
+        fail("length must be 1/2/4/8 or a multiple of 16");
+    if (ls_addr % 16 != 0)
+        fail("LS address not 16-byte aligned");
+    if (ea % 16 != 0)
+        fail("effective address not 16-byte aligned");
+}
+
+} // namespace cell::sim

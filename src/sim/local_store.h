@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SPE local store: 256 KiB of private, software-managed memory.
+ *
+ * The local store is the only memory an SPU can load/store directly;
+ * everything else moves through MFC DMA. This model enforces bounds
+ * and the MFC's DMA alignment rules.
+ */
+
+#ifndef CELL_SIM_LOCAL_STORE_H
+#define CELL_SIM_LOCAL_STORE_H
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/**
+ * One SPE's local store.
+ *
+ * Provides raw byte access for DMA and typed access for SPU program
+ * code. All accesses are bounds-checked; out-of-range access throws,
+ * modeling the hardware's LS wrap as a program error instead (silent
+ * wrap-around hides bugs that this reproduction wants to surface).
+ */
+class LocalStore
+{
+  public:
+    LocalStore() : bytes_(kLocalStoreSize, 0) {}
+
+    std::size_t size() const { return bytes_.size(); }
+
+    /** Raw pointer for bulk copies (bounds must be pre-checked). */
+    std::uint8_t* data() { return bytes_.data(); }
+    const std::uint8_t* data() const { return bytes_.data(); }
+
+    /** Copy @p len bytes out of the LS starting at @p addr. */
+    void read(LsAddr addr, void* dst, std::size_t len) const
+    {
+        checkRange(addr, len);
+        std::memcpy(dst, bytes_.data() + addr, len);
+    }
+
+    /** Copy @p len bytes into the LS starting at @p addr. */
+    void write(LsAddr addr, const void* src, std::size_t len)
+    {
+        checkRange(addr, len);
+        std::memcpy(bytes_.data() + addr, src, len);
+    }
+
+    /** Typed load (SPU load instruction). */
+    template <typename T>
+    T load(LsAddr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed store (SPU store instruction). */
+    template <typename T>
+    void store(LsAddr addr, const T& v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Zero a range. */
+    void clear(LsAddr addr, std::size_t len)
+    {
+        checkRange(addr, len);
+        std::memset(bytes_.data() + addr, 0, len);
+    }
+
+    /**
+     * Validate MFC DMA alignment/size rules for a transfer touching
+     * this LS. Legal sizes: 1, 2, 4, 8 bytes (naturally aligned, with
+     * matching low EA/LS address bits) or a multiple of 16 up to
+     * 16 KiB with 16-byte aligned addresses.
+     *
+     * @throws std::invalid_argument on violation.
+     */
+    static void checkDmaShape(LsAddr ls_addr, EffAddr ea, std::size_t len);
+
+  private:
+    void checkRange(LsAddr addr, std::size_t len) const
+    {
+        if (static_cast<std::size_t>(addr) + len > bytes_.size())
+            throw std::out_of_range("LocalStore: access beyond 256 KiB");
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_LOCAL_STORE_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Machine assembly and effective-address routing.
+ */
+
+#include "sim/machine.h"
+
+#include <stdexcept>
+
+namespace cell::sim {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg),
+      engine_(),
+      timebase_(cfg.timebase_divider),
+      memory_(),
+      eib_(cfg.eib)
+{
+    spes_.reserve(cfg_.num_spes);
+    for (std::uint32_t i = 0; i < cfg_.num_spes; ++i)
+        spes_.push_back(std::make_unique<Spu>(engine_, eib_, *this, cfg_, i));
+    for (auto& spe : spes_)
+        spe->mfc().start();
+}
+
+Machine::~Machine()
+{
+    // Destroy all coroutine frames while the components their locals
+    // reference are still alive.
+    engine_.killAllProcesses();
+}
+
+ProcessRef
+Machine::spawnPpe(Task task, std::string name)
+{
+    return engine_.spawn(std::move(task), std::move(name));
+}
+
+Spu*
+Machine::apertureOwner(EffAddr ea, std::size_t len)
+{
+    if (!cfg_.eaIsLocalStore(ea))
+        return nullptr;
+    const EffAddr rel = ea - cfg_.ls_map_base;
+    const auto spe_index = static_cast<std::uint32_t>(rel / cfg_.ls_map_stride);
+    const EffAddr offset = rel % cfg_.ls_map_stride;
+    if (spe_index >= spes_.size())
+        throw std::out_of_range("EA maps past the last SPE's LS aperture");
+    if (offset + len > kLocalStoreSize) {
+        throw std::out_of_range(
+            "DMA touches an LS aperture beyond the 256 KiB local store");
+    }
+    return spes_[spe_index].get();
+}
+
+void
+Machine::readEa(EffAddr ea, void* dst, std::size_t len)
+{
+    if (Spu* spe = apertureOwner(ea, len)) {
+        const EffAddr offset = (ea - cfg_.ls_map_base) % cfg_.ls_map_stride;
+        spe->localStore().read(static_cast<LsAddr>(offset), dst, len);
+        return;
+    }
+    memory_.read(ea, dst, len);
+}
+
+void
+Machine::writeEa(EffAddr ea, const void* src, std::size_t len)
+{
+    if (Spu* spe = apertureOwner(ea, len)) {
+        const EffAddr offset = (ea - cfg_.ls_map_base) % cfg_.ls_map_stride;
+        spe->localStore().write(static_cast<LsAddr>(offset), src, len);
+        return;
+    }
+    memory_.write(ea, src, len);
+}
+
+bool
+Machine::eaIsLocalStore(EffAddr ea) const
+{
+    return cfg_.eaIsLocalStore(ea);
+}
+
+} // namespace cell::sim

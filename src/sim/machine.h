@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The assembled Cell BE machine: one PPE, N SPEs, the EIB, and main
+ * storage, all driven by one deterministic event engine.
+ */
+
+#ifndef CELL_SIM_MACHINE_H
+#define CELL_SIM_MACHINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/decrementer.h"
+#include "sim/eib.h"
+#include "sim/engine.h"
+#include "sim/main_memory.h"
+#include "sim/mfc.h"
+#include "sim/spu.h"
+
+namespace cell::sim {
+
+/** Ground-truth PPE accounting. */
+struct PpeStats
+{
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t mmio_cycles = 0;
+    std::uint64_t wait_cycles = 0;
+};
+
+/**
+ * The machine. Also implements StorageMap: effective addresses inside
+ * an SPE's local-store aperture route to that SPE's LS; everything
+ * else is main storage. A single DMA transfer must not straddle an
+ * aperture boundary (hardware would raise an MFC error; we throw).
+ */
+class Machine : public StorageMap
+{
+  public:
+    explicit Machine(MachineConfig cfg = {});
+    ~Machine() override;
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    Engine& engine() { return engine_; }
+    MainMemory& memory() { return memory_; }
+    Eib& eib() { return eib_; }
+    const MachineConfig& config() const { return cfg_; }
+    const Timebase& timebase() const { return timebase_; }
+
+    std::uint32_t numSpes() const { return static_cast<std::uint32_t>(spes_.size()); }
+    Spu& spe(std::uint32_t i) { return *spes_.at(i); }
+    const Spu& spe(std::uint32_t i) const { return *spes_.at(i); }
+
+    PpeStats& ppeStats() { return ppe_stats_; }
+
+    /** PPE timebase read (costs cost.ppe_timebase_read when charged
+     *  through rt::PpeEnv; raw read here is free). */
+    std::uint64_t readTimebase() const { return timebase_.read(engine_.now()); }
+
+    /** Spawn a PPE-side process (e.g. the main program). */
+    ProcessRef spawnPpe(Task task, std::string name = "ppe");
+
+    /** Run the machine until quiescence or @p limit. */
+    std::uint64_t run(Tick limit = ~Tick{0}) { return engine_.run(limit); }
+
+    /** @name StorageMap */
+    ///@{
+    void readEa(EffAddr ea, void* dst, std::size_t len) override;
+    void writeEa(EffAddr ea, const void* src, std::size_t len) override;
+    bool eaIsLocalStore(EffAddr ea) const override;
+    ///@}
+
+    /** Convert engine ticks to nanoseconds (display only). */
+    double ticksToNs(Tick t) const
+    {
+        return static_cast<double>(t) * 1e9 / static_cast<double>(cfg_.core_hz);
+    }
+
+  private:
+    /** Locate the SPE (if any) whose LS aperture contains @p ea. */
+    Spu* apertureOwner(EffAddr ea, std::size_t len);
+
+    MachineConfig cfg_;
+    Engine engine_;
+    Timebase timebase_;
+    MainMemory memory_;
+    Eib eib_;
+    std::vector<std::unique_ptr<Spu>> spes_;
+    PpeStats ppe_stats_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_MACHINE_H

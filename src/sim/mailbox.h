@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SPE mailbox channels.
+ *
+ * Each SPE has three mailboxes for 32-bit messages:
+ *   - inbound (PPE -> SPU), 4 entries deep;
+ *   - outbound (SPU -> PPE), 1 entry;
+ *   - outbound-interrupt (SPU -> PPE, raises an interrupt), 1 entry.
+ *
+ * SPU channel accesses block when the mailbox is empty (reads) or full
+ * (writes); those blocking intervals are precisely what PDT records as
+ * mailbox-stall events.
+ */
+
+#ifndef CELL_SIM_MAILBOX_H
+#define CELL_SIM_MAILBOX_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/sync.h"
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/**
+ * A bounded 32-bit message queue with simulated blocking semantics.
+ */
+class Mailbox
+{
+  public:
+    Mailbox(Engine& engine, std::size_t depth) : depth_(depth), cv_(engine) {}
+
+    Mailbox(const Mailbox&) = delete;
+    Mailbox& operator=(const Mailbox&) = delete;
+
+    std::size_t depth() const { return depth_; }
+    std::size_t count() const { return fifo_.size(); }
+    bool full() const { return fifo_.size() >= depth_; }
+    bool empty() const { return fifo_.empty(); }
+
+    /** Non-blocking push. @return false when full. */
+    bool tryPush(std::uint32_t value)
+    {
+        if (full())
+            return false;
+        fifo_.push_back(value);
+        cv_.notifyAll();
+        if (on_change_)
+            on_change_();
+        return true;
+    }
+
+    /** Non-blocking pop. @return false when empty. */
+    bool tryPop(std::uint32_t& value)
+    {
+        if (empty())
+            return false;
+        value = fifo_.front();
+        fifo_.pop_front();
+        cv_.notifyAll();
+        if (on_change_)
+            on_change_();
+        return true;
+    }
+
+    /** Observer poked on every state change (the SPU event facility). */
+    void setOnChange(std::function<void()> fn) { on_change_ = std::move(fn); }
+
+    /** Blocking push: suspends the calling process while full. */
+    CoTask<void> push(std::uint32_t value)
+    {
+        while (!tryPush(value))
+            co_await cv_.wait();
+    }
+
+    /** Blocking pop: suspends the calling process while empty. */
+    CoTask<std::uint32_t> pop()
+    {
+        std::uint32_t v = 0;
+        while (!tryPop(v))
+            co_await cv_.wait();
+        co_return v;
+    }
+
+    /** Wakeup source for composite waits (e.g. PPE poll loops). */
+    CondVar& condvar() { return cv_; }
+
+  private:
+    std::size_t depth_;
+    std::deque<std::uint32_t> fifo_;
+    CondVar cv_;
+    std::function<void()> on_change_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_MAILBOX_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse page container implementation.
+ */
+
+#include "sim/main_memory.h"
+
+namespace cell::sim {
+
+MainMemory::Page&
+MainMemory::pageFor(EffAddr ea)
+{
+    auto key = ea >> kPageBits;
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        it = pages_.emplace(key, Page(kPageSize, 0)).first;
+    return it->second;
+}
+
+const MainMemory::Page*
+MainMemory::pageForIfPresent(EffAddr ea) const
+{
+    auto it = pages_.find(ea >> kPageBits);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+MainMemory::read(EffAddr ea, void* dst, std::size_t len) const
+{
+    auto* out = static_cast<std::uint8_t*>(dst);
+    while (len > 0) {
+        const std::size_t off = ea & (kPageSize - 1);
+        const std::size_t chunk = std::min(len, kPageSize - off);
+        if (const Page* p = pageForIfPresent(ea))
+            std::memcpy(out, p->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        ea += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::write(EffAddr ea, const void* src, std::size_t len)
+{
+    const auto* in = static_cast<const std::uint8_t*>(src);
+    bytes_written_ += len;
+    while (len > 0) {
+        const std::size_t off = ea & (kPageSize - 1);
+        const std::size_t chunk = std::min(len, kPageSize - off);
+        std::memcpy(pageFor(ea).data() + off, in, chunk);
+        in += chunk;
+        ea += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace cell::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sparse main-storage model (the Cell's XDR DRAM).
+ *
+ * Backed by 64 KiB pages allocated on first touch, so workloads can use
+ * realistic effective addresses without the host paying for the whole
+ * address space.
+ */
+
+#ifndef CELL_SIM_MAIN_MEMORY_H
+#define CELL_SIM_MAIN_MEMORY_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/**
+ * Functional model of main storage. Purely a byte container; timing is
+ * the EIB/MIC model's job.
+ */
+class MainMemory
+{
+  public:
+    static constexpr std::size_t kPageBits = 16;
+    static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+    MainMemory() = default;
+
+    MainMemory(const MainMemory&) = delete;
+    MainMemory& operator=(const MainMemory&) = delete;
+
+    /** Copy @p len bytes from memory at @p ea into @p dst. Unbacked
+     *  pages read as zero without being allocated. */
+    void read(EffAddr ea, void* dst, std::size_t len) const;
+
+    /** Copy @p len bytes from @p src into memory at @p ea. */
+    void write(EffAddr ea, const void* src, std::size_t len);
+
+    /** Typed peek. */
+    template <typename T>
+    T peek(EffAddr ea) const
+    {
+        T v;
+        read(ea, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed poke. */
+    template <typename T>
+    void poke(EffAddr ea, const T& v)
+    {
+        write(ea, &v, sizeof(T));
+    }
+
+    /** Number of 64 KiB pages currently backed. */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+    /** Total bytes ever written (diagnostics). */
+    std::uint64_t bytesWritten() const { return bytes_written_; }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    Page& pageFor(EffAddr ea);
+    const Page* pageForIfPresent(EffAddr ea) const;
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+    std::uint64_t bytes_written_ = 0;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_MAIN_MEMORY_H

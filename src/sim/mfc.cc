@@ -1,0 +1,309 @@
+/**
+ * @file
+ * MFC implementation: command queues, dispatchers, tag bookkeeping.
+ *
+ * Dispatch policy: each queue has one dispatcher process that selects
+ * the *oldest eligible* command. A command is eligible unless (a) an
+ * earlier pending barrier command exists in its tag group, or (b) it
+ * is itself fenced/barriered and earlier same-tag commands are still
+ * pending. This allows independent tag groups to bypass blocked ones,
+ * as the hardware does, which matters for PDT: trace-flush DMAs use a
+ * dedicated tag and must not queue behind fenced application commands.
+ */
+
+#include "sim/mfc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cell::sim {
+
+const char*
+mfcOpcodeName(MfcOpcode op)
+{
+    switch (op) {
+      case MfcOpcode::Get: return "GET";
+      case MfcOpcode::Put: return "PUT";
+      case MfcOpcode::GetList: return "GETL";
+      case MfcOpcode::PutList: return "PUTL";
+    }
+    return "?";
+}
+
+Mfc::Mfc(Engine& engine, Eib& eib, StorageMap& storage, LocalStore& ls,
+         const MachineConfig& cfg, std::uint32_t spe_index)
+    : engine_(engine), eib_(eib), storage_(storage), ls_(ls), cfg_(cfg),
+      spe_index_(spe_index), cv_(engine)
+{}
+
+void
+Mfc::start()
+{
+    engine_.spawn(dispatcher(false), "mfc" + std::to_string(spe_index_) + ".spu");
+    engine_.spawn(dispatcher(true), "mfc" + std::to_string(spe_index_) + ".proxy");
+}
+
+void
+Mfc::validate(const MfcCommand& cmd)
+{
+    if (cmd.tag >= kNumTagGroups)
+        throw std::invalid_argument("MFC: tag group out of range");
+    switch (cmd.op) {
+      case MfcOpcode::Get:
+      case MfcOpcode::Put:
+        LocalStore::checkDmaShape(cmd.ls, cmd.ea, cmd.size);
+        break;
+      case MfcOpcode::GetList:
+      case MfcOpcode::PutList:
+        if (cmd.size == 0 || cmd.size % sizeof(MfcListElement) != 0)
+            throw std::invalid_argument("MFC: list size not a multiple of 8");
+        if (cmd.size / sizeof(MfcListElement) > 2048)
+            throw std::invalid_argument("MFC: list longer than 2048 elements");
+        if (cmd.list_ls % 8 != 0)
+            throw std::invalid_argument("MFC: list address not 8-byte aligned");
+        if (cmd.ls % 16 != 0)
+            throw std::invalid_argument("MFC: list LS target not 16-byte aligned");
+        break;
+    }
+}
+
+CoTask<void>
+Mfc::enqueueSpu(MfcCommand cmd)
+{
+    validate(cmd);
+    while (spu_queue_.size() + spu_inflight_ >= kMfcSpuQueueDepth)
+        co_await cv_.wait();
+    cmd.cmd_id = next_cmd_id_++;
+    outstanding_[cmd.tag] += 1;
+    pending_ids_[cmd.tag].push_back(cmd.cmd_id);
+    if (cmd.barrier)
+        barrier_ids_[cmd.tag].push_back(cmd.cmd_id);
+    spu_queue_.push_back(cmd);
+    cv_.notifyAll();
+}
+
+CoTask<void>
+Mfc::enqueueProxy(MfcCommand cmd)
+{
+    validate(cmd);
+    while (proxy_queue_.size() + proxy_inflight_ >= kMfcProxyQueueDepth)
+        co_await cv_.wait();
+    cmd.cmd_id = next_cmd_id_++;
+    outstanding_[cmd.tag] += 1;
+    pending_ids_[cmd.tag].push_back(cmd.cmd_id);
+    if (cmd.barrier)
+        barrier_ids_[cmd.tag].push_back(cmd.cmd_id);
+    proxy_queue_.push_back(cmd);
+    cv_.notifyAll();
+}
+
+bool
+Mfc::eligible(const MfcCommand& cmd) const
+{
+    // Blocked behind an earlier pending barrier in the same tag group?
+    for (std::uint64_t id : barrier_ids_[cmd.tag]) {
+        if (id < cmd.cmd_id)
+            return false;
+    }
+    // Fenced/barriered commands wait for all earlier same-tag commands.
+    if (cmd.fence || cmd.barrier) {
+        for (std::uint64_t id : pending_ids_[cmd.tag]) {
+            if (id < cmd.cmd_id)
+                return false;
+        }
+    }
+    return true;
+}
+
+TransferKind
+Mfc::kindFor(MfcOpcode op, EffAddr ea) const
+{
+    if (storage_.eaIsLocalStore(ea))
+        return TransferKind::LsToLs;
+    return (op == MfcOpcode::Get || op == MfcOpcode::GetList)
+        ? TransferKind::MemoryToLs
+        : TransferKind::LsToMemory;
+}
+
+void
+Mfc::moveBytes(MfcOpcode op, LsAddr ls, EffAddr ea, std::uint32_t size)
+{
+    // A 16 KiB scratch covers the largest legal single transfer.
+    std::uint8_t scratch[kMaxDmaSize];
+    if (op == MfcOpcode::Get || op == MfcOpcode::GetList) {
+        storage_.readEa(ea, scratch, size);
+        ls_.write(ls, scratch, size);
+    } else {
+        ls_.read(ls, scratch, size);
+        storage_.writeEa(ea, scratch, size);
+    }
+}
+
+void
+Mfc::finish(const MfcCommand& cmd, bool proxy)
+{
+    auto& ids = pending_ids_[cmd.tag];
+    ids.erase(std::remove(ids.begin(), ids.end(), cmd.cmd_id), ids.end());
+    if (cmd.barrier) {
+        auto& bids = barrier_ids_[cmd.tag];
+        bids.erase(std::remove(bids.begin(), bids.end(), cmd.cmd_id), bids.end());
+    }
+    outstanding_[cmd.tag] -= 1;
+    if (proxy)
+        proxy_inflight_ -= 1;
+    else
+        spu_inflight_ -= 1;
+    cv_.notifyAll();
+    if (on_complete_)
+        on_complete_();
+}
+
+void
+Mfc::issueSimple(const MfcCommand& cmd, bool proxy)
+{
+    const EibGrant grant =
+        eib_.reserve(kindFor(cmd.op, cmd.ea), cmd.size, engine_.now());
+    if (cmd.op == MfcOpcode::Get)
+        stats_.bytes_get += cmd.size;
+    else
+        stats_.bytes_put += cmd.size;
+    const Tick enqueued_at = engine_.now();
+    engine_.schedule(grant.complete, [this, cmd, proxy, enqueued_at] {
+        moveBytes(cmd.op, cmd.ls, cmd.ea, cmd.size);
+        const std::uint64_t lat = engine_.now() - enqueued_at;
+        stats_.total_latency += lat;
+        stats_.max_latency = std::max(stats_.max_latency, lat);
+        finish(cmd, proxy);
+    });
+}
+
+Task
+Mfc::listTask(MfcCommand cmd, bool proxy)
+{
+    const std::uint32_t n_elems = cmd.size / sizeof(MfcListElement);
+    const EffAddr ea_high = cmd.ea & 0xFFFF'FFFF'0000'0000ULL;
+    LsAddr ls = cmd.ls;
+    const Tick started_at = engine_.now();
+
+    stats_.list_commands += 1;
+
+    for (std::uint32_t i = 0; i < n_elems; ++i) {
+        co_await engine_.delay(cfg_.mfc.list_element_latency);
+        const auto elem = ls_.load<MfcListElement>(
+            cmd.list_ls + i * sizeof(MfcListElement));
+        const std::uint32_t esize = elem.size();
+        if (esize > 0) {
+            const EffAddr ea = ea_high | elem.ea_low;
+            LocalStore::checkDmaShape(ls, ea, esize);
+            const MfcOpcode eop = cmd.op == MfcOpcode::GetList
+                ? MfcOpcode::Get : MfcOpcode::Put;
+            const EibGrant grant =
+                eib_.reserve(kindFor(cmd.op, ea), esize, engine_.now());
+            co_await engine_.delay(grant.complete - engine_.now());
+            moveBytes(eop, ls, ea, esize);
+            if (eop == MfcOpcode::Get)
+                stats_.bytes_get += esize;
+            else
+                stats_.bytes_put += esize;
+            // LS address advances to the next 16-byte boundary.
+            ls += (esize + 15u) & ~15u;
+        }
+        stats_.list_elements += 1;
+
+        if (elem.stallAndNotify()) {
+            stats_.stall_notify_events += 1;
+            stalled_tags_ |= (1u << cmd.tag);
+            cv_.notifyAll();
+            while (stalled_tags_ & (1u << cmd.tag))
+                co_await cv_.wait();
+        }
+    }
+
+    const std::uint64_t lat = engine_.now() - started_at;
+    stats_.total_latency += lat;
+    stats_.max_latency = std::max(stats_.max_latency, lat);
+    finish(cmd, proxy);
+}
+
+void
+Mfc::ackListStall(TagId tag)
+{
+    stalled_tags_ &= ~(1u << tag);
+    cv_.notifyAll();
+}
+
+Task
+Mfc::dispatcher(bool proxy)
+{
+    auto& queue = proxy ? proxy_queue_ : spu_queue_;
+    auto& inflight = proxy ? proxy_inflight_ : spu_inflight_;
+
+    for (;;) {
+        // Find the oldest eligible command.
+        auto it = queue.end();
+        Tick blocked_since = engine_.now();
+        for (;;) {
+            if (cfg_.mfc.oldest_eligible_first) {
+                it = std::find_if(
+                    queue.begin(), queue.end(),
+                    [this](const MfcCommand& c) { return eligible(c); });
+            } else {
+                // Strict FIFO ablation: only the head may dispatch.
+                it = (!queue.empty() && eligible(queue.front()))
+                    ? queue.begin()
+                    : queue.end();
+            }
+            if (it != queue.end())
+                break;
+            co_await cv_.wait();
+        }
+        if (!queue.empty() && engine_.now() > blocked_since)
+            stats_.fence_stall_cycles += engine_.now() - blocked_since;
+
+        MfcCommand cmd = *it;
+        queue.erase(it);
+        inflight += 1;
+        stats_.commands += 1;
+        cv_.notifyAll(); // a queue slot's state changed
+
+        co_await engine_.delay(cfg_.mfc.issue_latency);
+
+        if (cmd.op == MfcOpcode::Get || cmd.op == MfcOpcode::Put)
+            issueSimple(cmd, proxy);
+        else
+            engine_.spawn(listTask(cmd, proxy),
+                          "mfc" + std::to_string(spe_index_) + ".list");
+    }
+}
+
+TagMask
+Mfc::tagStatusImmediate(TagMask mask) const
+{
+    TagMask done = 0;
+    for (std::uint32_t t = 0; t < kNumTagGroups; ++t) {
+        if ((mask & (1u << t)) && outstanding_[t] == 0)
+            done |= (1u << t);
+    }
+    return done;
+}
+
+CoTask<TagMask>
+Mfc::waitTagStatusAll(TagMask mask)
+{
+    while ((tagStatusImmediate(mask) & mask) != mask)
+        co_await cv_.wait();
+    co_return mask;
+}
+
+CoTask<TagMask>
+Mfc::waitTagStatusAny(TagMask mask)
+{
+    TagMask done = tagStatusImmediate(mask) & mask;
+    while (done == 0) {
+        co_await cv_.wait();
+        done = tagStatusImmediate(mask) & mask;
+    }
+    co_return done;
+}
+
+} // namespace cell::sim

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Memory Flow Controller (MFC) — one per SPE.
+ *
+ * The MFC is the SPE's DMA engine. SPU code enqueues commands through
+ * the channel interface (16-entry queue); PPE code enqueues through the
+ * proxy interface (8-entry queue). Commands carry a tag group (0..31);
+ * fence/barrier variants order commands *within* a tag group. The SPU
+ * synchronizes with completion by waiting on tag-group status — the
+ * canonical "DMA wait" that PDT traces and TA attributes stalls to.
+ *
+ * DMA-list commands (GETL/PUTL) gather/scatter up to 2048 elements per
+ * command, each up to 16 KiB, with optional stall-and-notify elements.
+ */
+
+#ifndef CELL_SIM_MFC_H
+#define CELL_SIM_MFC_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/eib.h"
+#include "sim/local_store.h"
+#include "sim/sync.h"
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/** Resolves effective addresses to backing storage (machine-level). */
+class StorageMap
+{
+  public:
+    virtual ~StorageMap() = default;
+
+    /** Copy @p len bytes at @p ea into @p dst. */
+    virtual void readEa(EffAddr ea, void* dst, std::size_t len) = 0;
+    /** Copy @p len bytes from @p src to @p ea. */
+    virtual void writeEa(EffAddr ea, const void* src, std::size_t len) = 0;
+    /** True if @p ea lands in some SPE's local-store aperture. */
+    virtual bool eaIsLocalStore(EffAddr ea) const = 0;
+};
+
+/** DMA direction/type. */
+enum class MfcOpcode : std::uint8_t
+{
+    Get,     ///< main storage (or remote LS) -> local store
+    Put,     ///< local store -> main storage (or remote LS)
+    GetList, ///< gather via DMA list
+    PutList, ///< scatter via DMA list
+};
+
+/** Printable opcode name ("GET", "PUTL", ...). */
+const char* mfcOpcodeName(MfcOpcode op);
+
+/**
+ * One element of a DMA list, stored in the local store as two 32-bit
+ * words: {stall-and-notify bit | transfer size, EA low 32 bits}.
+ */
+struct MfcListElement
+{
+    std::uint32_t size_and_stall; ///< bit 31 = stall-and-notify
+    std::uint32_t ea_low;
+
+    std::uint32_t size() const { return size_and_stall & 0x7FFF'FFFFu; }
+    bool stallAndNotify() const { return (size_and_stall >> 31) != 0; }
+
+    static MfcListElement make(std::uint32_t size, std::uint32_t ea_low,
+                               bool stall = false)
+    {
+        return MfcListElement{size | (stall ? 0x8000'0000u : 0u), ea_low};
+    }
+};
+static_assert(sizeof(MfcListElement) == 8, "list element is 8 bytes");
+
+/** A queued MFC command. */
+struct MfcCommand
+{
+    MfcOpcode op = MfcOpcode::Get;
+    LsAddr ls = 0;
+    /** Target EA; for list commands, the high 32 bits supply the EA
+     *  base and @ref list_ls points at the list. */
+    EffAddr ea = 0;
+    /** Transfer size in bytes; for list commands, list size in bytes
+     *  (number of elements * 8). */
+    std::uint32_t size = 0;
+    TagId tag = 0;
+    bool fence = false;
+    bool barrier = false;
+    /** LS address of the DMA list (list commands only). */
+    LsAddr list_ls = 0;
+    /** Monotonic id assigned at enqueue. */
+    std::uint64_t cmd_id = 0;
+};
+
+/** Cumulative MFC statistics (simulator ground truth). */
+struct MfcStats
+{
+    std::uint64_t commands = 0;
+    std::uint64_t list_commands = 0;
+    std::uint64_t list_elements = 0;
+    std::uint64_t bytes_get = 0;
+    std::uint64_t bytes_put = 0;
+    std::uint64_t total_latency = 0; ///< sum of enqueue->complete cycles
+    std::uint64_t max_latency = 0;
+    std::uint64_t fence_stall_cycles = 0;
+    std::uint64_t stall_notify_events = 0;
+};
+
+/**
+ * The MFC proper. Owns the two command queues and a dispatcher process
+ * per queue; tracks per-tag-group outstanding counts for tag-status
+ * waits.
+ */
+class Mfc
+{
+  public:
+    Mfc(Engine& engine, Eib& eib, StorageMap& storage, LocalStore& ls,
+        const MachineConfig& cfg, std::uint32_t spe_index);
+
+    Mfc(const Mfc&) = delete;
+    Mfc& operator=(const Mfc&) = delete;
+
+    /** Start the dispatcher processes (called by Machine after wiring). */
+    void start();
+
+    /**
+     * Enqueue from the SPU channel interface; suspends while the
+     * 16-entry queue is full (that stall is MFC back-pressure, visible
+     * to PDT as a long enqueue).
+     */
+    CoTask<void> enqueueSpu(MfcCommand cmd);
+
+    /** Enqueue from the PPE proxy interface (8-entry queue). */
+    CoTask<void> enqueueProxy(MfcCommand cmd);
+
+    /** Free slots in the SPU queue (channel MFC_Cmd queue count). */
+    std::size_t spuQueueSpace() const
+    {
+        return kMfcSpuQueueDepth - spu_queue_.size() - spu_inflight_;
+    }
+
+    /** Bitmask of tag groups in @p mask with no outstanding commands. */
+    TagMask tagStatusImmediate(TagMask mask) const;
+
+    /** Suspend until every group in @p mask has drained. */
+    CoTask<TagMask> waitTagStatusAll(TagMask mask);
+
+    /** Suspend until at least one group in @p mask has drained. */
+    CoTask<TagMask> waitTagStatusAny(TagMask mask);
+
+    /** Outstanding command count for one tag group. */
+    std::uint32_t outstanding(TagId tag) const { return outstanding_[tag]; }
+
+    /** Acknowledge a stall-and-notify pause on @p tag, resuming the list. */
+    void ackListStall(TagId tag);
+
+    /** Tag groups currently paused at a stall-and-notify element. */
+    TagMask stalledTags() const { return stalled_tags_; }
+
+    const MfcStats& stats() const { return stats_; }
+
+    /** Validate a command's shape; throws std::invalid_argument. */
+    static void validate(const MfcCommand& cmd);
+
+    /** Observer poked on every command completion (SPU event facility). */
+    void setOnComplete(std::function<void()> fn)
+    {
+        on_complete_ = std::move(fn);
+    }
+
+  private:
+    Task dispatcher(bool proxy);
+    Task listTask(MfcCommand cmd, bool proxy);
+    bool eligible(const MfcCommand& cmd) const;
+    void issueSimple(const MfcCommand& cmd, bool proxy);
+    void finish(const MfcCommand& cmd, bool proxy);
+    void moveBytes(MfcOpcode op, LsAddr ls, EffAddr ea, std::uint32_t size);
+    TransferKind kindFor(MfcOpcode op, EffAddr ea) const;
+
+    Engine& engine_;
+    Eib& eib_;
+    StorageMap& storage_;
+    LocalStore& ls_;
+    const MachineConfig& cfg_;
+    std::uint32_t spe_index_;
+
+    std::deque<MfcCommand> spu_queue_;
+    std::deque<MfcCommand> proxy_queue_;
+    /** Commands removed from a queue but still transferring (they keep
+     *  occupying a queue slot until completion, as on hardware). */
+    std::size_t spu_inflight_ = 0;
+    std::size_t proxy_inflight_ = 0;
+    std::uint64_t next_cmd_id_ = 1;
+
+    /** Per tag group: commands enqueued but not yet complete. */
+    std::array<std::uint32_t, kNumTagGroups> outstanding_{};
+    /** Per tag group: ids of pending commands (fence ordering checks). */
+    std::array<std::vector<std::uint64_t>, kNumTagGroups> pending_ids_;
+    /** Per tag group: ids of pending *barrier* commands. */
+    std::array<std::vector<std::uint64_t>, kNumTagGroups> barrier_ids_;
+    /** Tags paused at a stall-and-notify list element. */
+    TagMask stalled_tags_ = 0;
+
+    /** Single wakeup source: queue/tag/stall state changed. */
+    CondVar cv_;
+    std::function<void()> on_complete_;
+
+    MfcStats stats_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_MFC_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SPE signal-notification registers.
+ *
+ * Each SPE has two 32-bit signal-notification registers. Writers (the
+ * PPE or other SPEs via MMIO/DMA) deposit bits; the SPU reads a
+ * register through its channel interface, which blocks until the value
+ * is non-zero and clears it on read. Each register is independently
+ * configured in OR mode (writes accumulate bits — many-to-one
+ * signalling) or overwrite mode (last write wins).
+ */
+
+#ifndef CELL_SIM_SIGNALS_H
+#define CELL_SIM_SIGNALS_H
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/sync.h"
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/** Accumulation behaviour of a signal-notification register. */
+enum class SignalMode : std::uint8_t
+{
+    Or,        ///< writes OR into the register (default for sync fan-in)
+    Overwrite, ///< writes replace the register
+};
+
+/** One signal-notification register. */
+class SignalRegister
+{
+  public:
+    SignalRegister(Engine& engine, SignalMode mode)
+        : mode_(mode), cv_(engine)
+    {}
+
+    SignalRegister(const SignalRegister&) = delete;
+    SignalRegister& operator=(const SignalRegister&) = delete;
+
+    SignalMode mode() const { return mode_; }
+    void setMode(SignalMode m) { mode_ = m; }
+
+    /** Current value without consuming it. */
+    std::uint32_t peek() const { return value_; }
+
+    /** External write (PPE MMIO or sndsig DMA from another SPE). */
+    void post(std::uint32_t bits)
+    {
+        if (mode_ == SignalMode::Or)
+            value_ |= bits;
+        else
+            value_ = bits;
+        if (value_ != 0) {
+            cv_.notifyAll();
+            if (on_change_)
+                on_change_();
+        }
+    }
+
+    /** Observer poked on posts (the SPU event facility). */
+    void setOnChange(std::function<void()> fn) { on_change_ = std::move(fn); }
+
+    /** Non-blocking SPU read: clears and returns, or false if zero. */
+    bool tryRead(std::uint32_t& out)
+    {
+        if (value_ == 0)
+            return false;
+        out = value_;
+        value_ = 0;
+        return true;
+    }
+
+    /** Blocking SPU channel read: waits for non-zero, clears, returns. */
+    CoTask<std::uint32_t> read()
+    {
+        std::uint32_t v = 0;
+        while (!tryRead(v))
+            co_await cv_.wait();
+        co_return v;
+    }
+
+  private:
+    SignalMode mode_;
+    std::uint32_t value_ = 0;
+    CondVar cv_;
+    std::function<void()> on_change_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_SIGNALS_H

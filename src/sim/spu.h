@@ -1,0 +1,160 @@
+/**
+ * @file
+ * SPU core model: one Synergistic Processing Element's processor side.
+ *
+ * The SPU itself is not an instruction-level model; SPE programs are
+ * C++ coroutines (see rt::SpuEnv) that charge compute time explicitly
+ * and interact with the world only through the channel interface this
+ * class fronts: the MFC command/tag channels, mailboxes, signal
+ * notification, and the decrementer. That is exactly the surface PDT
+ * instruments, so event streams match the real tool's.
+ */
+
+#ifndef CELL_SIM_SPU_H
+#define CELL_SIM_SPU_H
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/config.h"
+#include "sim/decrementer.h"
+#include "sim/local_store.h"
+#include "sim/mailbox.h"
+#include "sim/mfc.h"
+#include "sim/signals.h"
+#include "sim/sync.h"
+
+namespace cell::sim {
+
+/** Why an SPU was stalled; mirrors the stall classes TA reports. */
+enum class SpuStallKind : std::uint8_t
+{
+    DmaWait,     ///< waiting on MFC tag status
+    MailboxWait, ///< blocked mailbox channel access
+    SignalWait,  ///< blocked signal-notification read
+    QueueWait,   ///< MFC command queue full at enqueue
+};
+
+/** Ground-truth per-SPU accounting (independent of PDT's own view). */
+struct SpuStats
+{
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t channel_cycles = 0;
+    std::uint64_t dma_wait_cycles = 0;
+    std::uint64_t mbox_wait_cycles = 0;
+    std::uint64_t signal_wait_cycles = 0;
+    std::uint64_t queue_wait_cycles = 0;
+    std::uint64_t tracer_cycles = 0; ///< overhead charged by PDT
+    Tick run_start = 0;
+    Tick run_end = 0;
+
+    std::uint64_t totalStall() const
+    {
+        return dma_wait_cycles + mbox_wait_cycles + signal_wait_cycles +
+               queue_wait_cycles;
+    }
+
+    void addStall(SpuStallKind kind, std::uint64_t cycles)
+    {
+        switch (kind) {
+          case SpuStallKind::DmaWait: dma_wait_cycles += cycles; break;
+          case SpuStallKind::MailboxWait: mbox_wait_cycles += cycles; break;
+          case SpuStallKind::SignalWait: signal_wait_cycles += cycles; break;
+          case SpuStallKind::QueueWait: queue_wait_cycles += cycles; break;
+        }
+    }
+};
+
+/**
+ * One SPE: local store, MFC, mailboxes, signals, decrementer, and the
+ * SPU-side accounting.
+ */
+class Spu
+{
+  public:
+    Spu(Engine& engine, Eib& eib, StorageMap& storage,
+        const MachineConfig& cfg, std::uint32_t index)
+        : index_(index),
+          engine_(engine),
+          cfg_(cfg),
+          timebase_(cfg.timebase_divider),
+          ls_(),
+          mfc_(engine, eib, storage, ls_, cfg, index),
+          inbound_(engine, kInboundMailboxDepth),
+          outbound_(engine, kOutboundMailboxDepth),
+          outbound_irq_(engine, kOutboundMailboxDepth),
+          signal1_(engine, SignalMode::Or),
+          signal2_(engine, SignalMode::Or),
+          decrementer_(timebase_),
+          activity_cv_(engine)
+    {
+        // Wire every event source to the activity wakeup so the SPU
+        // event facility (SPU_RdEventStat) can sleep on "anything
+        // changed" instead of polling.
+        auto poke = [this] { activity_cv_.notifyAll(); };
+        inbound_.setOnChange(poke);
+        signal1_.setOnChange(poke);
+        signal2_.setOnChange(poke);
+        mfc_.setOnComplete(poke);
+    }
+
+    Spu(const Spu&) = delete;
+    Spu& operator=(const Spu&) = delete;
+
+    std::uint32_t index() const { return index_; }
+    CoreId coreId() const { return CoreId::spe(index_); }
+
+    LocalStore& localStore() { return ls_; }
+    const LocalStore& localStore() const { return ls_; }
+    Mfc& mfc() { return mfc_; }
+    Mailbox& inbound() { return inbound_; }
+    Mailbox& outbound() { return outbound_; }
+    Mailbox& outboundIrq() { return outbound_irq_; }
+    SignalRegister& signal1() { return signal1_; }
+    SignalRegister& signal2() { return signal2_; }
+    Decrementer& decrementer() { return decrementer_; }
+    const Timebase& timebase() const { return timebase_; }
+
+    SpuStats& stats() { return stats_; }
+    const SpuStats& stats() const { return stats_; }
+
+    /** Charge @p cycles of SPU computation (delays the calling process). */
+    CoTask<void> compute(TickDelta cycles)
+    {
+        stats_.compute_cycles += cycles;
+        co_await engine_.delay(cycles);
+    }
+
+    /** Charge the fixed channel-access cost. */
+    CoTask<void> chargeChannel()
+    {
+        stats_.channel_cycles += cfg_.cost.spu_channel;
+        co_await engine_.delay(cfg_.cost.spu_channel);
+    }
+
+    Engine& engine() { return engine_; }
+    const MachineConfig& config() const { return cfg_; }
+
+    /** Wakeup source covering all SPU event-facility conditions. */
+    CondVar& activityCv() { return activity_cv_; }
+
+  private:
+    std::uint32_t index_;
+    Engine& engine_;
+    const MachineConfig& cfg_;
+    Timebase timebase_;
+    LocalStore ls_;
+    Mfc mfc_;
+    Mailbox inbound_;
+    Mailbox outbound_;
+    Mailbox outbound_irq_;
+    SignalRegister signal1_;
+    SignalRegister signal2_;
+    Decrementer decrementer_;
+    CondVar activity_cv_;
+    SpuStats stats_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_SPU_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Synchronization primitives for simulated processes.
+ *
+ * These are *simulation-level* primitives (they suspend coroutines and
+ * wake them through the Engine), not host-thread primitives.
+ */
+
+#ifndef CELL_SIM_SYNC_H
+#define CELL_SIM_SYNC_H
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace cell::sim {
+
+/**
+ * Edge-triggered wakeup: processes co_await wait() and are resumed by
+ * notifyAll()/notifyOne(). As with host condition variables, a waiter
+ * must re-check its predicate in a loop after waking.
+ */
+class CondVar
+{
+  public:
+    explicit CondVar(Engine& engine) : engine_(engine) {}
+
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    struct WaitAwaiter
+    {
+        CondVar& cv;
+
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) { cv.waiters_.push_back(h); }
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspend until the next notify. Always re-check the predicate. */
+    WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+    /** Wake every current waiter (at the current tick, in wait order). */
+    void notifyAll()
+    {
+        for (auto h : waiters_)
+            engine_.scheduleResume(h, engine_.now());
+        waiters_.clear();
+    }
+
+    /** Wake the longest-waiting process, if any. */
+    void notifyOne()
+    {
+        if (waiters_.empty())
+            return;
+        engine_.scheduleResume(waiters_.front(), engine_.now());
+        waiters_.erase(waiters_.begin());
+    }
+
+    /** Number of processes currently blocked on this variable. */
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    Engine& engine_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Level-triggered one-shot event. Once set() it stays set; waiters that
+ * arrive afterwards do not suspend.
+ */
+class OneShotEvent
+{
+  public:
+    explicit OneShotEvent(Engine& engine) : engine_(engine) {}
+
+    OneShotEvent(const OneShotEvent&) = delete;
+    OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+    bool isSet() const { return set_; }
+
+    /** Fire the event; wakes all waiters. Idempotent. */
+    void set()
+    {
+        if (set_)
+            return;
+        set_ = true;
+        for (auto h : waiters_)
+            engine_.scheduleResume(h, engine_.now());
+        waiters_.clear();
+    }
+
+    struct WaitAwaiter
+    {
+        OneShotEvent& ev;
+
+        bool await_ready() const noexcept { return ev.set_; }
+        void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspend until set() has been called (no-op if already set). */
+    WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+  private:
+    Engine& engine_;
+    bool set_ = false;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Counting semaphore over simulated time; acquire() suspends while the
+ * count is zero. FIFO fairness.
+ */
+class SimSemaphore
+{
+  public:
+    SimSemaphore(Engine& engine, std::size_t initial)
+        : engine_(engine), count_(initial)
+    {}
+
+    struct Acquire
+    {
+        SimSemaphore& sem;
+
+        bool await_ready() const noexcept { return false; }
+        bool await_suspend(std::coroutine_handle<> h)
+        {
+            if (sem.pending_.empty() && sem.count_ > 0) {
+                --sem.count_;
+                return false; // unit taken, resume immediately
+            }
+            sem.pending_.push_back(h);
+            return true;
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /** Awaitable acquiring one unit. */
+    Acquire acquire() { return Acquire{*this}; }
+
+    /** Release one unit; wakes the longest waiter if any. */
+    void release()
+    {
+        ++count_;
+        drainIfPossible();
+    }
+
+    std::size_t available() const { return count_; }
+    std::size_t waiting() const { return pending_.size(); }
+
+  private:
+    void drainIfPossible()
+    {
+        while (count_ > 0 && !pending_.empty()) {
+            --count_;
+            engine_.scheduleResume(pending_.front(), engine_.now());
+            pending_.erase(pending_.begin());
+        }
+    }
+
+    Engine& engine_;
+    std::size_t count_;
+    std::vector<std::coroutine_handle<>> pending_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_SYNC_H

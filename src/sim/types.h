@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental types shared across the Cell BE machine model.
+ *
+ * Simulated time is measured in CPU cycles of the SPU/PPU core clock
+ * (3.2 GHz on the machines the paper used). All slower clock domains
+ * (the EIB bus clock at half speed, the timebase/decrementer clock) are
+ * expressed as integral divisors of the core clock so that the whole
+ * simulation is exact integer arithmetic and therefore deterministic.
+ */
+
+#ifndef CELL_SIM_TYPES_H
+#define CELL_SIM_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cell::sim {
+
+/** Simulated time in core-clock cycles. */
+using Tick = std::uint64_t;
+
+/** A span of simulated time in core-clock cycles. */
+using TickDelta = std::uint64_t;
+
+/** Effective (main-storage) address as seen by the PPE and the MFCs. */
+using EffAddr = std::uint64_t;
+
+/** Local-store address inside one SPE (0 .. 256 KiB). */
+using LsAddr = std::uint32_t;
+
+/** Identifier of a core: 0 == PPE, 1..N == SPE (id - 1). */
+struct CoreId
+{
+    std::uint32_t value = 0;
+
+    static constexpr CoreId ppe() { return CoreId{0}; }
+    static constexpr CoreId spe(std::uint32_t index) { return CoreId{index + 1}; }
+
+    constexpr bool isPpe() const { return value == 0; }
+    constexpr bool isSpe() const { return value != 0; }
+
+    /** Index of the SPE (valid only when isSpe()). */
+    constexpr std::uint32_t speIndex() const { return value - 1; }
+
+    constexpr auto operator<=>(const CoreId&) const = default;
+};
+
+/** Human-readable core name ("PPE", "SPE0", ...). */
+std::string coreName(CoreId id);
+
+/** MFC tag-group id, 0..31. */
+using TagId = std::uint32_t;
+
+/** Bitmask over the 32 MFC tag groups. */
+using TagMask = std::uint32_t;
+
+constexpr std::uint32_t kNumTagGroups = 32;
+
+/** Size of one SPE local store: 256 KiB, fixed by the architecture. */
+constexpr std::size_t kLocalStoreSize = 256 * 1024;
+
+/** Largest single DMA transfer the MFC accepts: 16 KiB. */
+constexpr std::size_t kMaxDmaSize = 16 * 1024;
+
+/** Depth of the SPU-side MFC command queue. */
+constexpr std::size_t kMfcSpuQueueDepth = 16;
+
+/** Depth of the proxy (PPE-side) MFC command queue. */
+constexpr std::size_t kMfcProxyQueueDepth = 8;
+
+/** Depth of the SPU inbound mailbox (PPE -> SPU). */
+constexpr std::size_t kInboundMailboxDepth = 4;
+
+/** Depth of the SPU outbound mailboxes (SPU -> PPE). */
+constexpr std::size_t kOutboundMailboxDepth = 1;
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_TYPES_H

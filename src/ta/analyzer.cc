@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Analysis pipeline and report printers.
+ */
+
+#include "ta/analyzer.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "trace/reader.h"
+
+namespace cell::ta {
+
+Analysis
+analyze(const trace::TraceData& trace)
+{
+    Analysis a{TraceModel::build(trace), {}, {}};
+    a.intervals = IntervalSet::build(a.model);
+    a.stats = TraceStats::build(a.model, a.intervals);
+    return a;
+}
+
+Analysis
+analyzeFile(const std::string& path)
+{
+    return analyze(trace::readFile(path));
+}
+
+namespace {
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole ? 100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole)
+                 : 0.0;
+}
+
+} // namespace
+
+void
+printSummary(std::ostream& os, const Analysis& a)
+{
+    const auto& m = a.model;
+    os << "=== Trace summary ===\n"
+       << "cores: PPE + " << m.numSpes() << " SPEs, span "
+       << std::fixed << std::setprecision(1) << m.tbToUs(m.spanTb())
+       << " us (" << m.spanTb() << " timebase ticks)\n"
+       << "records: " << a.stats.total_records << " total\n";
+    for (const auto& tl : m.cores()) {
+        os << "  " << std::left << std::setw(20) << tl.label << std::right
+           << " " << std::setw(8) << tl.events.size() << " records";
+        if (tl.core > 0) {
+            const auto& b = a.stats.spu[tl.core - 1];
+            if (b.ran) {
+                os << ", run " << std::setprecision(1) << std::setw(9)
+                   << m.tbToUs(b.run_tb) << " us, util "
+                   << std::setprecision(1) << 100.0 * b.utilization() << "%";
+            } else {
+                os << ", idle";
+            }
+        }
+        os << "\n";
+    }
+}
+
+void
+printStallBreakdown(std::ostream& os, const Analysis& a)
+{
+    const auto& m = a.model;
+    os << "=== SPE time breakdown ===\n"
+       << "SPE     run(us)  compute%  dmaissue%  dmawait%  mboxwait%  sigwait%\n";
+    for (const auto& b : a.stats.spu) {
+        if (!b.ran)
+            continue;
+        os << std::left << std::setw(6) << ("SPE" + std::to_string(b.spe))
+           << std::right << std::fixed << std::setprecision(1)
+           << std::setw(10) << m.tbToUs(b.run_tb)
+           << std::setw(9) << pct(b.busy_tb(), b.run_tb)
+           << std::setw(11) << pct(b.dma_cmd_tb, b.run_tb)
+           << std::setw(10) << pct(b.dma_wait_tb, b.run_tb)
+           << std::setw(11) << pct(b.mbox_wait_tb, b.run_tb)
+           << std::setw(10) << pct(b.signal_wait_tb, b.run_tb) << "\n";
+    }
+    os << "load imbalance (max/mean busy): " << std::setprecision(2)
+       << a.stats.loadImbalance() << "\n";
+}
+
+void
+printDmaReport(std::ostream& os, const Analysis& a)
+{
+    const auto& m = a.model;
+    os << "=== DMA report ===\n"
+       << "SPE     cmds     bytes   lat_mean(us)  lat_p50  lat_max  overlap\n";
+    for (std::uint32_t i = 0; i < a.stats.dma.size(); ++i) {
+        const auto& d = a.stats.dma[i];
+        if (d.commands == 0)
+            continue;
+        os << std::left << std::setw(6) << ("SPE" + std::to_string(i))
+           << std::right << std::setw(6) << d.commands << std::setw(10)
+           << d.bytes << std::fixed << std::setprecision(2) << std::setw(14)
+           << m.tbToUs(static_cast<std::uint64_t>(d.latency_tb.mean()))
+           << std::setw(9) << m.tbToUs(d.latency_tb.quantile(0.5))
+           << std::setw(9) << m.tbToUs(d.latency_tb.max()) << std::setw(9)
+           << a.stats.overlapScore(i) << "\n";
+    }
+}
+
+void
+printDmaHistogram(std::ostream& os, const Analysis& a)
+{
+    // Merge the per-SPE power-of-two bucket counts.
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total = 0;
+    for (const DmaStats& d : a.stats.dma) {
+        const auto& b = d.latency_tb.buckets();
+        if (buckets.size() < b.size())
+            buckets.resize(b.size(), 0);
+        for (std::size_t i = 0; i < b.size(); ++i)
+            buckets[i] += b[i];
+        total += d.latency_tb.count();
+    }
+    os << "=== DMA latency histogram (" << total << " transfers) ===\n";
+    if (total == 0)
+        return;
+    std::uint64_t peak = 0;
+    for (auto c : buckets)
+        peak = std::max(peak, c);
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const double lo_us = a.model.tbToUs(Histogram::bucketLo(i));
+        const auto bar = static_cast<std::size_t>(
+            50.0 * static_cast<double>(buckets[i]) /
+            static_cast<double>(peak));
+        os << std::fixed << std::setprecision(2) << std::setw(9) << lo_us
+           << " us |" << std::string(std::max<std::size_t>(bar, 1), '#')
+           << " " << buckets[i] << "\n";
+    }
+}
+
+void
+printEventCounts(std::ostream& os, const Analysis& a)
+{
+    os << "=== Event counts (Begin events) ===\n";
+    for (std::size_t op = 0; op < rt::kNumApiOps; ++op) {
+        std::uint64_t total = 0;
+        for (const auto& row : a.stats.op_counts)
+            total += row[op];
+        if (total == 0)
+            continue;
+        os << "  " << std::left << std::setw(22)
+           << rt::apiOpName(static_cast<rt::ApiOp>(op)) << std::right
+           << std::setw(10) << total << "\n";
+    }
+}
+
+void
+printTracingReport(std::ostream& os, const Analysis& a)
+{
+    os << "=== Tracing self-observation ===\n"
+       << "SPE     flushes  flushed_recs  flush_wait_cycles\n";
+    for (std::uint32_t i = 0; i < a.stats.flush.size(); ++i) {
+        const auto& f = a.stats.flush[i];
+        if (f.flushes == 0)
+            continue;
+        os << std::left << std::setw(6) << ("SPE" + std::to_string(i))
+           << std::right << std::setw(9) << f.flushes << std::setw(14)
+           << f.flushed_records << std::setw(19) << f.flush_wait_cycles
+           << "\n";
+    }
+}
+
+void
+exportBreakdownCsv(std::ostream& os, const Analysis& a)
+{
+    os << "spe,run_us,compute_us,dma_issue_us,dma_wait_us,mbox_wait_us,"
+          "signal_wait_us,utilization,overlap\n";
+    const auto& m = a.model;
+    for (const auto& b : a.stats.spu) {
+        if (!b.ran)
+            continue;
+        os << b.spe << ',' << m.tbToUs(b.run_tb) << ','
+           << m.tbToUs(b.busy_tb()) << ',' << m.tbToUs(b.dma_cmd_tb) << ','
+           << m.tbToUs(b.dma_wait_tb) << ',' << m.tbToUs(b.mbox_wait_tb)
+           << ',' << m.tbToUs(b.signal_wait_tb) << ',' << b.utilization()
+           << ',' << a.stats.overlapScore(b.spe) << "\n";
+    }
+}
+
+void
+exportDmaTransfersCsv(std::ostream& os, const Analysis& a)
+{
+    os << "spe,op,ls,ea,size,tag,issue_us,latency_us,observed\n";
+    const auto& m = a.model;
+    for (std::uint32_t s = 0; s < a.stats.dma.size(); ++s) {
+        for (const DmaTransfer& t : matchDmaTransfers(a.intervals, s)) {
+            os << s << ',' << rt::apiOpName(t.op) << ",0x" << std::hex
+               << t.ls << ",0x" << t.ea << std::dec << ',' << t.size << ','
+               << t.tag << ',' << m.tbToUs(t.issue_tb - m.startTb()) << ','
+               << m.tbToUs(t.latency_tb()) << ','
+               << (t.observed ? 1 : 0) << "\n";
+        }
+    }
+}
+
+void
+exportIntervalsCsv(std::ostream& os, const Analysis& a)
+{
+    os << "core,class,op,start_us,duration_us\n";
+    const auto& m = a.model;
+    for (const auto& per_core : a.intervals.per_core) {
+        for (const Interval& iv : per_core) {
+            os << iv.core << ',' << intervalClassName(iv.cls) << ','
+               << rt::apiOpName(iv.op) << ','
+               << m.tbToUs(iv.start_tb - m.startTb()) << ','
+               << m.tbToUs(iv.duration()) << "\n";
+        }
+    }
+}
+
+} // namespace cell::ta

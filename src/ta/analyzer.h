@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TA facade: run the full analysis pipeline on a trace and print the
+ * tool's textual views (summary, stall breakdown, DMA report, event
+ * counts) or export machine-readable CSV.
+ */
+
+#ifndef CELL_TA_ANALYZER_H
+#define CELL_TA_ANALYZER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ta/intervals.h"
+#include "ta/model.h"
+#include "ta/stats.h"
+
+namespace cell::ta {
+
+/** The complete analysis of one trace. */
+struct Analysis
+{
+    TraceModel model;
+    IntervalSet intervals;
+    TraceStats stats;
+};
+
+/** Run model building, interval matching and statistics. */
+Analysis analyze(const trace::TraceData& trace);
+
+/** Load a trace file and analyze it. */
+Analysis analyzeFile(const std::string& path);
+
+/** One-paragraph overview: span, per-core record counts, utilization. */
+void printSummary(std::ostream& os, const Analysis& a);
+
+/** Per-SPE time breakdown table (compute / dma / waits), percentages. */
+void printStallBreakdown(std::ostream& os, const Analysis& a);
+
+/** Per-SPE DMA statistics: commands, bytes, latency distribution. */
+void printDmaReport(std::ostream& os, const Analysis& a);
+
+/** Text-bar histogram of DMA latencies, aggregated over SPEs. */
+void printDmaHistogram(std::ostream& os, const Analysis& a);
+
+/** Per-op event count table. */
+void printEventCounts(std::ostream& os, const Analysis& a);
+
+/** Tracing self-observation: flushes, flush waits, record volume. */
+void printTracingReport(std::ostream& os, const Analysis& a);
+
+/** CSV: one row per SPE with the breakdown columns. */
+void exportBreakdownCsv(std::ostream& os, const Analysis& a);
+
+/** CSV: one row per interval (core,class,op,start_us,dur_us). */
+void exportIntervalsCsv(std::ostream& os, const Analysis& a);
+
+/** CSV: one row per DMA command with its observed completion
+ *  (spe,op,ls,ea,size,tag,issue_us,latency_us,observed). */
+void exportDmaTransfersCsv(std::ostream& os, const Analysis& a);
+
+} // namespace cell::ta
+
+#endif // CELL_TA_ANALYZER_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace comparison implementation.
+ */
+
+#include "ta/compare.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace cell::ta {
+
+namespace {
+
+std::int64_t
+delta(std::uint64_t b, std::uint64_t a)
+{
+    return static_cast<std::int64_t>(b) - static_cast<std::int64_t>(a);
+}
+
+} // namespace
+
+Comparison
+Comparison::build(const Analysis& a, const Analysis& b)
+{
+    Comparison out;
+    const std::size_t n = std::min(a.stats.spu.size(), b.stats.spu.size());
+    out.spu.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const SpuBreakdown& ba = a.stats.spu[i];
+        const SpuBreakdown& bb = b.stats.spu[i];
+        SpuDelta& d = out.spu[i];
+        d.spe = static_cast<std::uint32_t>(i);
+        d.ran_in_both = ba.ran && bb.ran;
+        d.run_tb = delta(bb.run_tb, ba.run_tb);
+        d.busy_tb = delta(bb.busy_tb(), ba.busy_tb());
+        d.dma_wait_tb = delta(bb.dma_wait_tb, ba.dma_wait_tb);
+        d.mbox_wait_tb = delta(bb.mbox_wait_tb, ba.mbox_wait_tb);
+        d.signal_wait_tb = delta(bb.signal_wait_tb, ba.signal_wait_tb);
+    }
+    out.span_ratio = a.model.spanTb()
+                         ? static_cast<double>(b.model.spanTb()) /
+                               static_cast<double>(a.model.spanTb())
+                         : 1.0;
+    out.records_ratio =
+        a.stats.total_records
+            ? static_cast<double>(b.stats.total_records) /
+                  static_cast<double>(a.stats.total_records)
+            : 1.0;
+    return out;
+}
+
+void
+printComparison(std::ostream& os, const Analysis& a, const Analysis& b)
+{
+    const Comparison cmp = Comparison::build(a, b);
+    os << "=== Trace comparison (B relative to A) ===\n"
+       << std::fixed << std::setprecision(3)
+       << "span: " << a.model.tbToUs(a.model.spanTb()) << " us -> "
+       << b.model.tbToUs(b.model.spanTb()) << " us  (x" << cmp.span_ratio
+       << ")\n"
+       << "records: " << a.stats.total_records << " -> "
+       << b.stats.total_records << "  (x" << cmp.records_ratio << ")\n\n"
+       << "SPE    d.run(us)  d.compute  d.dmawait  d.mboxwait  d.sigwait\n";
+    for (const SpuDelta& d : cmp.spu) {
+        if (!d.ran_in_both)
+            continue;
+        auto us = [&](std::int64_t tb) {
+            return (tb < 0 ? -1.0 : 1.0) *
+                   a.model.tbToUs(static_cast<std::uint64_t>(
+                       tb < 0 ? -tb : tb));
+        };
+        os << std::left << std::setw(5) << ("SPE" + std::to_string(d.spe))
+           << std::right << std::setprecision(1) << std::setw(11)
+           << us(d.run_tb) << std::setw(11) << us(d.busy_tb)
+           << std::setw(11) << us(d.dma_wait_tb) << std::setw(12)
+           << us(d.mbox_wait_tb) << std::setw(11) << us(d.signal_wait_tb)
+           << "\n";
+    }
+
+    // Verdict: which stall class moved the most, summed over SPEs.
+    std::int64_t dma = 0, mbox = 0, sig = 0;
+    for (const SpuDelta& d : cmp.spu) {
+        dma += d.dma_wait_tb;
+        mbox += d.mbox_wait_tb;
+        sig += d.signal_wait_tb;
+    }
+    const std::int64_t adma = dma < 0 ? -dma : dma;
+    const std::int64_t ambox = mbox < 0 ? -mbox : mbox;
+    const std::int64_t asig = sig < 0 ? -sig : sig;
+    const char* what = "DMA wait";
+    std::int64_t moved = dma;
+    if (ambox > adma && ambox >= asig) {
+        what = "mailbox wait";
+        moved = mbox;
+    } else if (asig > adma && asig > ambox) {
+        what = "signal wait";
+        moved = sig;
+    }
+    os << "\nbiggest mover: " << what << " ("
+       << (moved <= 0 ? "-" : "+") << std::setprecision(1)
+       << a.model.tbToUs(static_cast<std::uint64_t>(moved < 0 ? -moved
+                                                              : moved))
+       << " us total across SPEs)\n";
+}
+
+} // namespace cell::ta

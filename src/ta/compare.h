@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A/B trace comparison.
+ *
+ * The paper's workflow was iterative: trace, find the bottleneck, fix
+ * it, trace again. This view automates the "again" step: align two
+ * analyses (e.g. single- vs double-buffered, skewed vs balanced) and
+ * report per-SPE deltas of the quantities the breakdown tracks, plus
+ * an overall verdict on where the time went.
+ */
+
+#ifndef CELL_TA_COMPARE_H
+#define CELL_TA_COMPARE_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "ta/analyzer.h"
+
+namespace cell::ta {
+
+/** Per-SPE deltas between two analyses (B minus A), timebase ticks. */
+struct SpuDelta
+{
+    std::uint32_t spe = 0;
+    bool ran_in_both = false;
+    std::int64_t run_tb = 0;
+    std::int64_t busy_tb = 0;
+    std::int64_t dma_wait_tb = 0;
+    std::int64_t mbox_wait_tb = 0;
+    std::int64_t signal_wait_tb = 0;
+};
+
+/** The comparison of two analyses. */
+struct Comparison
+{
+    std::vector<SpuDelta> spu;
+    /** Span ratio: B / A (< 1 means B is faster). */
+    double span_ratio = 1.0;
+    /** Record-count ratio: B / A. */
+    double records_ratio = 1.0;
+
+    static Comparison build(const Analysis& a, const Analysis& b);
+};
+
+/** Print a human-readable comparison (B relative to A). */
+void printComparison(std::ostream& os, const Analysis& a, const Analysis& b);
+
+} // namespace cell::ta
+
+#endif // CELL_TA_COMPARE_H

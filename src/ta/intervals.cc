@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Interval matcher implementation.
+ */
+
+#include "ta/intervals.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+namespace cell::ta {
+
+using rt::ApiOp;
+
+const char*
+intervalClassName(IntervalClass c)
+{
+    switch (c) {
+      case IntervalClass::Run: return "RUN";
+      case IntervalClass::DmaCommand: return "DMA_CMD";
+      case IntervalClass::DmaWait: return "DMA_WAIT";
+      case IntervalClass::MailboxWait: return "MBOX_WAIT";
+      case IntervalClass::SignalWait: return "SIGNAL_WAIT";
+      case IntervalClass::PpeCall: return "PPE_CALL";
+      case IntervalClass::Other: return "OTHER";
+    }
+    return "?";
+}
+
+IntervalClass
+classifyOp(ApiOp op)
+{
+    switch (op) {
+      case ApiOp::SpuMfcGet:
+      case ApiOp::SpuMfcGetFence:
+      case ApiOp::SpuMfcGetBarrier:
+      case ApiOp::SpuMfcPut:
+      case ApiOp::SpuMfcPutFence:
+      case ApiOp::SpuMfcPutBarrier:
+      case ApiOp::SpuMfcGetList:
+      case ApiOp::SpuMfcPutList:
+        return IntervalClass::DmaCommand;
+      case ApiOp::SpuTagWaitAny:
+      case ApiOp::SpuTagWaitAll:
+        return IntervalClass::DmaWait;
+      case ApiOp::SpuMboxRead:
+      case ApiOp::SpuMboxWrite:
+      case ApiOp::SpuMboxIrqWrite:
+        return IntervalClass::MailboxWait;
+      case ApiOp::SpuSignalRead1:
+      case ApiOp::SpuSignalRead2:
+        return IntervalClass::SignalWait;
+      case ApiOp::PpeContextCreate:
+      case ApiOp::PpeContextRun:
+      case ApiOp::PpeContextJoin:
+      case ApiOp::PpeMboxWrite:
+      case ApiOp::PpeMboxRead:
+      case ApiOp::PpeMboxIrqRead:
+      case ApiOp::PpeSignalPost:
+      case ApiOp::PpeProxyGet:
+      case ApiOp::PpeProxyPut:
+      case ApiOp::PpeProxyTagWait:
+        return IntervalClass::PpeCall;
+      default:
+        return IntervalClass::Other;
+    }
+}
+
+IntervalSet
+IntervalSet::build(const TraceModel& model)
+{
+    IntervalSet out;
+    out.per_core.resize(model.cores().size());
+
+    for (const CoreTimeline& tl : model.cores()) {
+        auto& dst = out.per_core[tl.core];
+        // One pending Begin per op (runtime calls are sequential per
+        // core); plus the run interval from SpuStart.
+        std::array<std::optional<Event>, rt::kNumApiOps> pending;
+        Event run_start_ev{};
+        bool have_run_start = false;
+
+        for (const Event& ev : tl.events) {
+            if (ev.isToolRecord() || !ev.isKnownOp())
+                continue;
+            const ApiOp op = ev.op();
+
+            if (op == ApiOp::SpuStart) {
+                run_start_ev = ev;
+                have_run_start = true;
+                continue;
+            }
+            if (op == ApiOp::SpuStop) {
+                Interval run;
+                run.cls = IntervalClass::Run;
+                run.op = ApiOp::SpuStart;
+                run.core = tl.core;
+                run.start_tb = have_run_start ? run_start_ev.time_tb
+                                              : ev.time_tb;
+                run.end_tb = ev.time_tb;
+                run.a = ev.a; // exit code
+                run.truncated = !have_run_start;
+                dst.push_back(run);
+                have_run_start = false;
+                continue;
+            }
+
+            const auto idx = static_cast<std::size_t>(op);
+            if (ev.isBegin()) {
+                // Single-marker events (user events, decrementer ops)
+                // have no End; emit a zero-length interval directly.
+                const auto cls = classifyOp(op);
+                if (cls == IntervalClass::Other) {
+                    Interval i;
+                    i.cls = cls;
+                    i.op = op;
+                    i.core = tl.core;
+                    i.start_tb = i.end_tb = ev.time_tb;
+                    i.a = ev.a;
+                    i.b = ev.b;
+                    i.c = ev.c;
+                    i.d = ev.d;
+                    dst.push_back(i);
+                } else {
+                    pending[idx] = ev;
+                }
+            } else {
+                Interval i;
+                i.cls = classifyOp(op);
+                i.op = op;
+                i.core = tl.core;
+                if (pending[idx]) {
+                    const Event& b = *pending[idx];
+                    i.start_tb = b.time_tb;
+                    i.a = b.a;
+                    i.b = b.b;
+                    i.c = b.c;
+                    i.d = b.d;
+                    pending[idx].reset();
+                } else {
+                    // End without Begin (Begin filtered out?): degrade
+                    // to a zero-length interval at the End time.
+                    i.start_tb = ev.time_tb;
+                    i.truncated = true;
+                }
+                i.end_tb = ev.time_tb;
+                i.end_b = ev.b;
+                dst.push_back(i);
+            }
+        }
+
+        // Close dangling intervals at the trace end.
+        const std::uint64_t end = tl.empty() ? 0 : tl.lastTime();
+        for (auto& p : pending) {
+            if (!p)
+                continue;
+            Interval i;
+            i.cls = classifyOp(p->op());
+            i.op = p->op();
+            i.core = tl.core;
+            i.start_tb = p->time_tb;
+            i.end_tb = end;
+            i.a = p->a;
+            i.b = p->b;
+            i.c = p->c;
+            i.d = p->d;
+            i.truncated = true;
+            dst.push_back(i);
+        }
+        if (have_run_start) {
+            Interval run;
+            run.cls = IntervalClass::Run;
+            run.op = ApiOp::SpuStart;
+            run.core = tl.core;
+            run.start_tb = run_start_ev.time_tb;
+            run.end_tb = end;
+            run.truncated = true;
+            dst.push_back(run);
+        }
+
+        std::stable_sort(dst.begin(), dst.end(),
+                         [](const Interval& x, const Interval& y) {
+                             return x.start_tb < y.start_tb;
+                         });
+    }
+    return out;
+}
+
+std::vector<Interval>
+IntervalSet::select(std::uint16_t core, IntervalClass cls) const
+{
+    std::vector<Interval> out;
+    for (const Interval& i : per_core.at(core)) {
+        if (i.cls == cls)
+            out.push_back(i);
+    }
+    return out;
+}
+
+const Interval*
+IntervalSet::spuRun(std::uint32_t spe_index) const
+{
+    for (const Interval& i : per_core.at(spe_index + 1)) {
+        if (i.cls == IntervalClass::Run)
+            return &i;
+    }
+    return nullptr;
+}
+
+} // namespace cell::ta

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Interval extraction: Begin/End event pairs -> typed intervals.
+ *
+ * The analyzer's unit of reasoning is the interval: an SPU run span, a
+ * DMA command enqueue, a tag wait, a blocking mailbox access. Within a
+ * core the instrumented runtime is sequential, so Begin/End pairs of
+ * the same operation cannot nest and matching is a one-slot-per-op
+ * affair; unterminated Begins (program killed mid-call) are closed at
+ * the trace end and flagged.
+ */
+
+#ifndef CELL_TA_INTERVALS_H
+#define CELL_TA_INTERVALS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ta/model.h"
+
+namespace cell::ta {
+
+/** Classification of an interval for stall accounting. */
+enum class IntervalClass : std::uint8_t
+{
+    Run,         ///< SPU program lifetime (SpuStart .. SpuStop)
+    DmaCommand,  ///< MFC command enqueue (incl. queue back-pressure)
+    DmaWait,     ///< tag-status wait
+    MailboxWait, ///< blocking mailbox read/write
+    SignalWait,  ///< blocking signal read
+    PpeCall,     ///< PPE-side runtime call (mbox, proxy, join, ...)
+    Other,
+};
+
+const char* intervalClassName(IntervalClass c);
+
+/** A matched Begin/End pair. */
+struct Interval
+{
+    IntervalClass cls = IntervalClass::Other;
+    rt::ApiOp op = rt::ApiOp::SpuUserEvent;
+    std::uint16_t core = 0;
+    std::uint64_t start_tb = 0;
+    std::uint64_t end_tb = 0;
+    /** Payload of the Begin event (LS/EA/size/tag for DMA, mask for
+     *  waits, value for mailboxes). */
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t c = 0;
+    std::uint32_t d = 0;
+    /** Payload b of the End event (completed mask / read value). */
+    std::uint64_t end_b = 0;
+    /** True if no End was found (closed at trace end). */
+    bool truncated = false;
+
+    std::uint64_t duration() const { return end_tb - start_tb; }
+};
+
+/** Intervals extracted from one trace, grouped per core. */
+struct IntervalSet
+{
+    /** intervals[core] sorted by start time. */
+    std::vector<std::vector<Interval>> per_core;
+
+    /** Extract from a model. */
+    static IntervalSet build(const TraceModel& model);
+
+    /** All intervals of one class on one core. */
+    std::vector<Interval> select(std::uint16_t core, IntervalClass cls) const;
+
+    /** The Run interval of SPE @p index, if present. */
+    const Interval* spuRun(std::uint32_t spe_index) const;
+};
+
+/** Stall classification for one operation, or Other. */
+IntervalClass classifyOp(rt::ApiOp op);
+
+} // namespace cell::ta
+
+#endif // CELL_TA_INTERVALS_H

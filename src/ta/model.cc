@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Global-time reconstruction.
+ */
+
+#include "ta/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cell::ta {
+
+namespace {
+
+/** Per-core reconstruction state. */
+struct ClockState
+{
+    bool have_sync = false;
+    std::uint32_t sync_raw = 0;
+    std::uint64_t sync_tb = 0;
+};
+
+/** Raw 32-bit clock delta since the sync point for one core. The SPU
+ *  decrementer counts down; the PPE timebase counts up. Modulo-2^32
+ *  subtraction handles wrap in both directions. */
+std::uint32_t
+rawDelta(bool is_spe, std::uint32_t sync_raw, std::uint32_t raw)
+{
+    if (is_spe)
+        return sync_raw - raw; // down-counter
+    return raw - sync_raw;     // up-counter
+}
+
+} // namespace
+
+TraceModel
+TraceModel::build(const trace::TraceData& trace)
+{
+    TraceModel model;
+    model.header_ = trace.header;
+
+    const std::uint32_t n_cores = trace.header.num_spes + 1;
+    model.cores_.resize(n_cores);
+    model.cores_[0].core = 0;
+    model.cores_[0].label = "PPE";
+    for (std::uint32_t i = 0; i < trace.header.num_spes; ++i) {
+        auto& tl = model.cores_[i + 1];
+        tl.core = static_cast<std::uint16_t>(i + 1);
+        tl.label = "SPE" + std::to_string(i);
+        if (i < trace.spe_programs.size() && !trace.spe_programs[i].empty())
+            tl.label += " (" + trace.spe_programs[i] + ")";
+    }
+
+    std::vector<ClockState> clocks(n_cores);
+
+    for (const trace::Record& rec : trace.records) {
+        if (rec.core >= n_cores)
+            throw std::runtime_error("TraceModel: record with bad core id");
+        ClockState& clk = clocks[rec.core];
+        const bool is_spe = rec.core != 0;
+
+        if (rec.kind == trace::kSyncRecord) {
+            clk.have_sync = true;
+            clk.sync_raw = static_cast<std::uint32_t>(rec.a);
+            clk.sync_tb = rec.b;
+        }
+        if (!clk.have_sync) {
+            throw std::runtime_error(
+                "TraceModel: event before first sync record on core " +
+                std::to_string(rec.core));
+        }
+
+        Event ev;
+        ev.kind = rec.kind;
+        ev.phase = rec.phase;
+        ev.core = rec.core;
+        ev.a = rec.a;
+        ev.b = rec.b;
+        ev.c = rec.c;
+        ev.d = rec.d;
+        ev.time_tb =
+            clk.sync_tb + rawDelta(is_spe, clk.sync_raw, rec.timestamp);
+        model.cores_[rec.core].events.push_back(ev);
+    }
+
+    // Per-core streams are recorded in order; enforce monotonic times
+    // (clock reconstruction can produce equal stamps for back-to-back
+    // events within one timebase tick).
+    for (auto& tl : model.cores_) {
+        std::uint64_t prev = 0;
+        for (auto& ev : tl.events) {
+            if (ev.time_tb < prev)
+                ev.time_tb = prev;
+            prev = ev.time_tb;
+        }
+    }
+
+    bool any = false;
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+    for (const auto& tl : model.cores_) {
+        if (tl.empty())
+            continue;
+        any = true;
+        lo = std::min(lo, tl.firstTime());
+        hi = std::max(hi, tl.lastTime());
+    }
+    model.start_tb_ = any ? lo : 0;
+    model.end_tb_ = any ? hi : 0;
+    return model;
+}
+
+} // namespace cell::ta

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Activity-profile computation and rendering.
+ */
+
+#include "ta/profile.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "ta/analyzer.h"
+
+namespace cell::ta {
+
+namespace {
+
+/** Add interval [s,e) overlap into per-bucket accumulators. */
+void
+accumulate(std::vector<double>& row, std::uint64_t start_tb,
+           std::uint64_t bucket_tb, std::uint64_t s, std::uint64_t e)
+{
+    if (e <= s || bucket_tb == 0)
+        return;
+    const std::uint64_t n = row.size();
+    std::uint64_t b0 = (s - start_tb) / bucket_tb;
+    std::uint64_t b1 = (e - 1 - start_tb) / bucket_tb;
+    b0 = std::min<std::uint64_t>(b0, n - 1);
+    b1 = std::min<std::uint64_t>(b1, n - 1);
+    for (std::uint64_t b = b0; b <= b1; ++b) {
+        const std::uint64_t lo =
+            std::max(s, start_tb + b * bucket_tb);
+        const std::uint64_t hi =
+            std::min(e, start_tb + (b + 1) * bucket_tb);
+        if (hi > lo)
+            row[b] += static_cast<double>(hi - lo) /
+                      static_cast<double>(bucket_tb);
+    }
+}
+
+bool
+isStallClass(IntervalClass c)
+{
+    return c == IntervalClass::DmaWait || c == IntervalClass::MailboxWait ||
+           c == IntervalClass::SignalWait;
+}
+
+} // namespace
+
+ActivityProfile
+ActivityProfile::build(const TraceModel& model, const IntervalSet& ivs,
+                       std::uint32_t buckets)
+{
+    ActivityProfile p;
+    p.buckets = std::max(buckets, 1u);
+    p.start_tb = model.startTb();
+    const std::uint64_t span = std::max<std::uint64_t>(model.spanTb(), 1);
+    p.bucket_tb = (span + p.buckets - 1) / p.buckets;
+    if (p.bucket_tb == 0)
+        p.bucket_tb = 1;
+
+    const std::size_t n_cores = model.cores().size();
+    p.running.assign(n_cores, std::vector<double>(p.buckets, 0.0));
+    p.stalled.assign(n_cores, std::vector<double>(p.buckets, 0.0));
+
+    for (std::size_t core = 0; core < n_cores; ++core) {
+        for (const Interval& iv : ivs.per_core[core]) {
+            if (iv.cls == IntervalClass::Run) {
+                accumulate(p.running[core], p.start_tb, p.bucket_tb,
+                           iv.start_tb, iv.end_tb);
+            } else if (isStallClass(iv.cls)) {
+                accumulate(p.stalled[core], p.start_tb, p.bucket_tb,
+                           iv.start_tb, iv.end_tb);
+            } else if (core == 0 && iv.cls == IntervalClass::PpeCall) {
+                // The PPE has no Run interval; treat runtime calls as
+                // its "running" signal.
+                accumulate(p.running[core], p.start_tb, p.bucket_tb,
+                           iv.start_tb, iv.end_tb);
+            }
+        }
+        // Clamp accumulation noise.
+        for (std::uint32_t b = 0; b < p.buckets; ++b) {
+            p.running[core][b] = std::min(p.running[core][b], 1.0);
+            p.stalled[core][b] = std::min(p.stalled[core][b], 1.0);
+        }
+    }
+    return p;
+}
+
+void
+printActivity(std::ostream& os, const Analysis& a, std::uint32_t buckets)
+{
+    const ActivityProfile p =
+        ActivityProfile::build(a.model, a.intervals, buckets);
+    os << "=== Activity profile (" << p.buckets << " buckets, "
+       << std::fixed << std::setprecision(1)
+       << a.model.tbToUs(p.bucket_tb) << " us each) ===\n";
+
+    std::size_t gutter = 4;
+    for (const auto& tl : a.model.cores())
+        gutter = std::max(gutter, tl.label.size());
+
+    for (const auto& tl : a.model.cores()) {
+        os << tl.label << std::string(gutter - tl.label.size(), ' ')
+           << " |";
+        for (std::uint32_t b = 0; b < p.buckets; ++b) {
+            const double run = p.running[tl.core][b];
+            const double stall = p.stalled[tl.core][b];
+            char c = ' ';
+            if (run > 0.02) {
+                if (stall > run * 0.5) {
+                    c = 'x'; // mostly waiting
+                } else {
+                    const double busy = p.busyFrac(tl.core, b);
+                    c = busy < 0.2   ? '.'
+                        : busy < 0.4 ? ':'
+                        : busy < 0.6 ? '-'
+                        : busy < 0.8 ? '='
+                                     : '#';
+                }
+            }
+            os << c;
+        }
+        os << "|\n";
+    }
+    os << "  legend: # >=80% busy  = 60-80  - 40-60  : 20-40  . <20"
+          "  x mostly stalled  ' ' idle\n";
+}
+
+void
+exportActivityCsv(std::ostream& os, const Analysis& a,
+                  std::uint32_t buckets)
+{
+    const ActivityProfile p =
+        ActivityProfile::build(a.model, a.intervals, buckets);
+    os << "core,bucket,start_us,running,stalled,busy\n";
+    for (std::size_t core = 0; core < p.running.size(); ++core) {
+        for (std::uint32_t b = 0; b < p.buckets; ++b) {
+            os << core << ',' << b << ','
+               << a.model.tbToUs(b * p.bucket_tb) << ','
+               << p.running[core][b] << ',' << p.stalled[core][b] << ','
+               << p.busyFrac(static_cast<std::uint16_t>(core), b) << "\n";
+        }
+    }
+}
+
+} // namespace cell::ta

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Time-bucketed activity profile.
+ *
+ * The original TA's activity graph: the trace span is divided into N
+ * equal buckets and, per core and bucket, the fraction of time spent
+ * computing vs stalled is computed from the intervals. Rendered as a
+ * character "heat row" per core (ASCII dashboards) or exported as CSV
+ * time series for plotting.
+ */
+
+#ifndef CELL_TA_PROFILE_H
+#define CELL_TA_PROFILE_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "ta/analyzer.h"
+
+namespace cell::ta {
+
+/** Per-core, per-bucket activity fractions. */
+struct ActivityProfile
+{
+    std::uint32_t buckets = 0;
+    std::uint64_t start_tb = 0;
+    std::uint64_t bucket_tb = 0; ///< timebase ticks per bucket
+
+    /** [core][bucket]: fraction of the bucket inside a Run interval. */
+    std::vector<std::vector<double>> running;
+    /** [core][bucket]: fraction of the bucket spent stalled
+     *  (DMA/mailbox/signal waits). */
+    std::vector<std::vector<double>> stalled;
+
+    /** busy = running - stalled, clamped at 0. */
+    double busyFrac(std::uint16_t core, std::uint32_t bucket) const
+    {
+        const double b = running[core][bucket] - stalled[core][bucket];
+        return b > 0 ? b : 0;
+    }
+
+    static ActivityProfile build(const TraceModel& model,
+                                 const IntervalSet& ivs,
+                                 std::uint32_t buckets = 60);
+};
+
+/**
+ * Character heat rows, one per SPE (and the PPE):
+ * ' ' idle, '.' <20% busy, ':' <40%, '-' <60%, '=' <80%, '#' >=80%;
+ * a bucket that is mostly stall renders as 'x'.
+ */
+void printActivity(std::ostream& os, const Analysis& a,
+                   std::uint32_t buckets = 60);
+
+/** CSV time series: core,bucket,start_us,running,stalled,busy. */
+void exportActivityCsv(std::ostream& os, const Analysis& a,
+                       std::uint32_t buckets = 60);
+
+} // namespace cell::ta
+
+#endif // CELL_TA_PROFILE_H

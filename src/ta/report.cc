@@ -1,0 +1,157 @@
+/**
+ * @file
+ * HTML report renderer.
+ */
+
+#include "ta/report.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "ta/timeline.h"
+
+namespace cell::ta {
+
+namespace {
+
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+beginTable(std::ostringstream& os, const std::string& caption,
+           std::initializer_list<const char*> headers)
+{
+    os << "<h2>" << escape(caption) << "</h2>\n<table><tr>";
+    for (const char* h : headers)
+        os << "<th>" << h << "</th>";
+    os << "</tr>\n";
+}
+
+template <typename... Cells>
+void
+row(std::ostringstream& os, Cells&&... cells)
+{
+    os << "<tr>";
+    ((os << "<td>" << cells << "</td>"), ...);
+    os << "</tr>\n";
+}
+
+std::string
+fmt(double v, int prec = 1)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+renderHtmlReport(const Analysis& a, const std::string& title)
+{
+    const auto& m = a.model;
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\n"
+       << "<title>" << escape(title) << "</title>\n"
+       << "<style>\n"
+          "body{font-family:sans-serif;margin:24px;max-width:1100px;}\n"
+          "table{border-collapse:collapse;margin:8px 0;}\n"
+          "th,td{border:1px solid #bbb;padding:3px 10px;"
+          "text-align:right;font-size:13px;}\n"
+          "th{background:#eee;} td:first-child{text-align:left;}\n"
+          "h1{font-size:22px;} h2{font-size:16px;margin-top:24px;}\n"
+          ".meta{color:#555;font-size:13px;}\n"
+          "</style></head><body>\n"
+       << "<h1>" << escape(title) << "</h1>\n"
+       << "<p class='meta'>PPE + " << m.numSpes() << " SPEs &middot; span "
+       << fmt(m.tbToUs(m.spanTb())) << " &micro;s &middot; "
+       << a.stats.total_records << " records &middot; core "
+       << m.header().core_hz / 1'000'000 << " MHz &middot; timebase /"
+       << m.header().timebase_divider << "</p>\n";
+
+    // Timeline first — the signature view.
+    os << "<h2>Timeline</h2>\n"
+       << renderSvg(m, a.intervals, TimelineOptions{.width = 950});
+
+    beginTable(os, "SPE time breakdown",
+               {"SPE", "run (us)", "compute %", "dma issue %", "dma wait %",
+                "mbox wait %", "signal wait %", "utilization"});
+    for (const auto& b : a.stats.spu) {
+        if (!b.ran)
+            continue;
+        auto pct = [&](std::uint64_t part) {
+            return fmt(b.run_tb ? 100.0 * static_cast<double>(part) /
+                                      static_cast<double>(b.run_tb)
+                                : 0.0);
+        };
+        row(os, "SPE" + std::to_string(b.spe), fmt(m.tbToUs(b.run_tb)),
+            pct(b.busy_tb()), pct(b.dma_cmd_tb), pct(b.dma_wait_tb),
+            pct(b.mbox_wait_tb), pct(b.signal_wait_tb),
+            fmt(b.utilization(), 3));
+    }
+    os << "</table>\n<p class='meta'>load imbalance (max/mean busy): "
+       << fmt(a.stats.loadImbalance(), 2) << "</p>\n";
+
+    beginTable(os, "DMA statistics",
+               {"SPE", "commands", "bytes", "mean latency (us)",
+                "p50 (us)", "max (us)", "overlap score"});
+    for (std::uint32_t i = 0; i < a.stats.dma.size(); ++i) {
+        const auto& d = a.stats.dma[i];
+        if (d.commands == 0)
+            continue;
+        row(os, "SPE" + std::to_string(i), d.commands, d.bytes,
+            fmt(m.tbToUs(static_cast<std::uint64_t>(d.latency_tb.mean())), 2),
+            fmt(m.tbToUs(d.latency_tb.quantile(0.5)), 2),
+            fmt(m.tbToUs(d.latency_tb.max()), 2),
+            fmt(a.stats.overlapScore(i), 2));
+    }
+    os << "</table>\n";
+
+    beginTable(os, "Event counts (Begin events)", {"operation", "count"});
+    for (std::size_t op = 0; op < rt::kNumApiOps; ++op) {
+        std::uint64_t total = 0;
+        for (const auto& r : a.stats.op_counts)
+            total += r[op];
+        if (total)
+            row(os, rt::apiOpName(static_cast<rt::ApiOp>(op)), total);
+    }
+    os << "</table>\n";
+
+    beginTable(os, "Tracing self-observation",
+               {"SPE", "flushes", "flushed records", "flush wait (cycles)"});
+    for (std::uint32_t i = 0; i < a.stats.flush.size(); ++i) {
+        const auto& f = a.stats.flush[i];
+        if (f.flushes)
+            row(os, "SPE" + std::to_string(i), f.flushes,
+                f.flushed_records, f.flush_wait_cycles);
+    }
+    os << "</table>\n</body></html>\n";
+    return os.str();
+}
+
+void
+writeHtmlReport(const std::string& path, const Analysis& a,
+                const std::string& title)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("writeHtmlReport: cannot open " + path);
+    os << renderHtmlReport(a, title);
+}
+
+} // namespace cell::ta

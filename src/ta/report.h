@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Self-contained HTML report.
+ *
+ * Bundles every analyzer view — summary, stall breakdown, DMA
+ * statistics and latency histogram, event counts, tracer
+ * self-observation — plus the inline SVG timeline into one HTML file
+ * that opens anywhere. The closest thing to the original TA's
+ * interactive window this reproduction ships.
+ */
+
+#ifndef CELL_TA_REPORT_H
+#define CELL_TA_REPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ta/analyzer.h"
+
+namespace cell::ta {
+
+/** Render the full HTML report for one analysis. */
+std::string renderHtmlReport(const Analysis& a,
+                             const std::string& title = "PDT trace");
+
+/** Write the report to @p path. @throws std::runtime_error. */
+void writeHtmlReport(const std::string& path, const Analysis& a,
+                     const std::string& title = "PDT trace");
+
+} // namespace cell::ta
+
+#endif // CELL_TA_REPORT_H

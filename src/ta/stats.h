@@ -1,0 +1,156 @@
+/**
+ * @file
+ * TA statistics: per-SPE stall breakdown, DMA transfer statistics,
+ * mailbox behaviour, event counts, and tracing self-observation
+ * (flush markers) — the numbers behind every view the tool prints.
+ */
+
+#ifndef CELL_TA_STATS_H
+#define CELL_TA_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ta/intervals.h"
+#include "ta/model.h"
+
+namespace cell::ta {
+
+/** Fixed-bucket histogram over uint64 samples. */
+class Histogram
+{
+  public:
+    /** Power-of-two buckets: [0,1), [1,2), [2,4), ... up to 2^@p bits. */
+    explicit Histogram(unsigned bits = 40);
+
+    void add(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    }
+    std::uint64_t sum() const { return sum_; }
+
+    /** Approximate p-quantile (0..1) from bucket boundaries. */
+    std::uint64_t quantile(double q) const;
+
+    const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+    /** Lower bound of bucket @p i. */
+    static std::uint64_t bucketLo(std::size_t i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/** Time breakdown of one SPE, all in timebase ticks. */
+struct SpuBreakdown
+{
+    std::uint32_t spe = 0;
+    bool ran = false;
+    std::uint64_t run_tb = 0;        ///< SpuStart .. SpuStop
+    std::uint64_t dma_cmd_tb = 0;    ///< inside MFC enqueue calls
+    std::uint64_t dma_wait_tb = 0;   ///< inside tag waits
+    std::uint64_t mbox_wait_tb = 0;  ///< inside blocking mailbox calls
+    std::uint64_t signal_wait_tb = 0;
+
+    std::uint64_t stall_tb() const
+    {
+        return dma_wait_tb + mbox_wait_tb + signal_wait_tb;
+    }
+    /** Time neither stalled nor issuing DMA: compute + tracer overhead. */
+    std::uint64_t busy_tb() const
+    {
+        const std::uint64_t other = stall_tb() + dma_cmd_tb;
+        return run_tb > other ? run_tb - other : 0;
+    }
+    double utilization() const
+    {
+        return run_tb ? static_cast<double>(busy_tb()) /
+                            static_cast<double>(run_tb)
+                      : 0.0;
+    }
+};
+
+/** DMA transfer statistics for one SPE (from its command stream). */
+struct DmaStats
+{
+    std::uint64_t commands = 0;
+    std::uint64_t bytes = 0;
+    /** Command-issue to observed-completion (first covering tag-wait
+     *  end), in timebase ticks. */
+    Histogram latency_tb;
+    /** Number of commands whose completion was never observed. */
+    std::uint64_t unobserved = 0;
+};
+
+/** Tracing self-observation from flush-marker records. */
+struct FlushStats
+{
+    std::uint64_t flushes = 0;
+    std::uint64_t flushed_records = 0;
+    std::uint64_t flush_wait_cycles = 0;
+};
+
+/** One DMA command matched to its observed completion. */
+struct DmaTransfer
+{
+    rt::ApiOp op = rt::ApiOp::SpuMfcGet;
+    std::uint32_t spe = 0;
+    std::uint64_t ls = 0;
+    std::uint64_t ea = 0;
+    std::uint32_t size = 0;   ///< bytes (list commands: list bytes)
+    std::uint32_t tag = 0;
+    std::uint64_t issue_tb = 0;
+    /** Tag-wait end covering this tag, or 0 if never observed. */
+    std::uint64_t complete_tb = 0;
+    bool observed = false;
+
+    std::uint64_t latency_tb() const
+    {
+        return observed ? complete_tb - issue_tb : 0;
+    }
+};
+
+/** Match every DMA command on SPE @p spe to the first covering
+ *  tag-wait end (the completion the *program* observed). */
+std::vector<DmaTransfer> matchDmaTransfers(const IntervalSet& ivs,
+                                           std::uint32_t spe);
+
+/** Everything TA computes from one trace. */
+struct TraceStats
+{
+    std::vector<SpuBreakdown> spu;      ///< indexed by SPE
+    std::vector<DmaStats> dma;          ///< indexed by SPE
+    std::vector<FlushStats> flush;      ///< indexed by SPE
+    /** Event counts: [core][op]. */
+    std::vector<std::array<std::uint64_t, rt::kNumApiOps>> op_counts;
+    std::uint64_t ppe_call_tb = 0;      ///< PPE time inside runtime calls
+    std::uint64_t total_records = 0;
+
+    /** Build all statistics. */
+    static TraceStats build(const TraceModel& model, const IntervalSet& ivs);
+
+    /** Fraction of DMA service time hidden behind computation on
+     *  SPE @p i: 1 - dma_wait / sum(command latencies), clamped to
+     *  [0,1]. 1.0 == perfectly overlapped (e.g. double buffering). */
+    double overlapScore(std::uint32_t i) const;
+
+    /** max/mean busy-time ratio across SPEs that ran (1.0 == balanced). */
+    double loadImbalance() const;
+};
+
+} // namespace cell::ta
+
+#endif // CELL_TA_STATS_H

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ASCII and SVG timeline renderers.
+ */
+
+#include "ta/timeline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cell::ta {
+
+namespace {
+
+/** Paint priority: higher wins when intervals overlap a cell. */
+int
+classPriority(IntervalClass c)
+{
+    switch (c) {
+      case IntervalClass::Run: return 1;
+      case IntervalClass::DmaCommand: return 2;
+      case IntervalClass::PpeCall: return 2;
+      case IntervalClass::DmaWait: return 3;
+      case IntervalClass::MailboxWait: return 4;
+      case IntervalClass::SignalWait: return 5;
+      case IntervalClass::Other: return 0;
+    }
+    return 0;
+}
+
+char
+classChar(IntervalClass c)
+{
+    switch (c) {
+      case IntervalClass::Run: return '#';
+      case IntervalClass::DmaCommand: return 'd';
+      case IntervalClass::DmaWait: return 'D';
+      case IntervalClass::MailboxWait: return 'M';
+      case IntervalClass::SignalWait: return 'S';
+      case IntervalClass::PpeCall: return 'P';
+      case IntervalClass::Other: return '.';
+    }
+    return '.';
+}
+
+const char*
+classColor(IntervalClass c)
+{
+    switch (c) {
+      case IntervalClass::Run: return "#4caf50";         // green: computing
+      case IntervalClass::DmaCommand: return "#2196f3";  // blue: issuing
+      case IntervalClass::DmaWait: return "#f44336";     // red: DMA wait
+      case IntervalClass::MailboxWait: return "#ff9800"; // orange
+      case IntervalClass::SignalWait: return "#9c27b0";  // purple
+      case IntervalClass::PpeCall: return "#607d8b";     // slate
+      case IntervalClass::Other: return "#bdbdbd";
+    }
+    return "#bdbdbd";
+}
+
+struct Window
+{
+    std::uint64_t start;
+    std::uint64_t span;
+};
+
+Window
+resolveWindow(const TraceModel& model, const TimelineOptions& opt)
+{
+    std::uint64_t start = opt.start_tb;
+    std::uint64_t end = opt.end_tb;
+    if (start == 0 && end == 0) {
+        start = model.startTb();
+        end = model.endTb();
+    }
+    if (end <= start)
+        end = start + 1;
+    return Window{start, end - start};
+}
+
+} // namespace
+
+std::string
+renderAscii(const TraceModel& model, const IntervalSet& ivs,
+            const TimelineOptions& opt)
+{
+    if (opt.width == 0)
+        throw std::invalid_argument("renderAscii: zero width");
+    const Window win = resolveWindow(model, opt);
+    std::ostringstream out;
+
+    // Label gutter width.
+    std::size_t gutter = 4;
+    for (const auto& tl : model.cores())
+        gutter = std::max(gutter, tl.label.size());
+
+    out << std::string(gutter, ' ') << " |" << "0"
+        << std::string(opt.width > 12 ? opt.width - 12 : 0, ' ')
+        << static_cast<std::uint64_t>(model.tbToUs(win.span)) << " us\n";
+
+    for (const auto& tl : model.cores()) {
+        if (tl.core == 0 && !opt.show_ppe)
+            continue;
+        std::string row(opt.width, '.');
+        std::vector<int> prio(opt.width, -1);
+
+        for (const Interval& iv : ivs.per_core[tl.core]) {
+            if (iv.end_tb < win.start || iv.start_tb > win.start + win.span)
+                continue;
+            const std::uint64_t s =
+                std::max(iv.start_tb, win.start) - win.start;
+            const std::uint64_t e =
+                std::min(iv.end_tb, win.start + win.span) - win.start;
+            auto c0 = static_cast<std::size_t>(
+                static_cast<double>(s) / win.span * opt.width);
+            auto c1 = static_cast<std::size_t>(
+                static_cast<double>(e) / win.span * opt.width);
+            c0 = std::min<std::size_t>(c0, opt.width - 1);
+            c1 = std::min<std::size_t>(std::max(c1, c0 + 1), opt.width);
+            const int p = classPriority(iv.cls);
+            for (std::size_t x = c0; x < c1; ++x) {
+                if (p > prio[x]) {
+                    prio[x] = p;
+                    row[x] = classChar(iv.cls);
+                }
+            }
+        }
+        out << tl.label << std::string(gutter - tl.label.size(), ' ')
+            << " |" << row << "|\n";
+    }
+    out << "  legend: # compute  d dma-issue  D dma-wait  M mbox-wait"
+           "  S signal-wait  P ppe-call  . idle\n";
+    return out.str();
+}
+
+std::string
+renderSvg(const TraceModel& model, const IntervalSet& ivs,
+          const TimelineOptions& opt)
+{
+    const Window win = resolveWindow(model, opt);
+    const unsigned label_w = 140;
+    const unsigned width = std::max(opt.width, 200u);
+    const unsigned rows =
+        static_cast<unsigned>(model.cores().size()) - (opt.show_ppe ? 0 : 1);
+    const unsigned height = rows * opt.row_height + 60;
+
+    std::ostringstream svg;
+    svg << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+        << label_w + width + 20 << "' height='" << height << "'>\n"
+        << "<style>text{font-family:monospace;font-size:11px;}</style>\n"
+        << "<rect width='100%' height='100%' fill='white'/>\n";
+
+    unsigned row = 0;
+    for (const auto& tl : model.cores()) {
+        if (tl.core == 0 && !opt.show_ppe)
+            continue;
+        const unsigned y = 20 + row * opt.row_height;
+        svg << "<text x='4' y='" << y + opt.row_height / 2 + 4 << "'>"
+            << tl.label << "</text>\n";
+        svg << "<rect x='" << label_w << "' y='" << y << "' width='" << width
+            << "' height='" << opt.row_height - 4
+            << "' fill='#eeeeee' stroke='#999'/>\n";
+
+        // Paint in priority order so waits overlay the run bar.
+        std::vector<const Interval*> sorted;
+        for (const Interval& iv : ivs.per_core[tl.core])
+            sorted.push_back(&iv);
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const Interval* a, const Interval* b) {
+                             return classPriority(a->cls) <
+                                    classPriority(b->cls);
+                         });
+        for (const Interval* iv : sorted) {
+            if (iv->end_tb < win.start ||
+                iv->start_tb > win.start + win.span)
+                continue;
+            const std::uint64_t s =
+                std::max(iv->start_tb, win.start) - win.start;
+            const std::uint64_t e =
+                std::min(iv->end_tb, win.start + win.span) - win.start;
+            const double x0 = static_cast<double>(s) / win.span * width;
+            double x1 = static_cast<double>(e) / win.span * width;
+            if (x1 - x0 < 0.5)
+                x1 = x0 + 0.5;
+            svg << "<rect x='" << label_w + x0 << "' y='" << y << "' width='"
+                << x1 - x0 << "' height='" << opt.row_height - 4 << "' fill='"
+                << classColor(iv->cls) << "'><title>"
+                << intervalClassName(iv->cls) << " "
+                << rt::apiOpName(iv->op) << " "
+                << model.tbToUs(iv->duration()) << "us</title></rect>\n";
+        }
+        ++row;
+    }
+
+    // Time axis and legend.
+    const unsigned axis_y = 20 + rows * opt.row_height + 14;
+    svg << "<text x='" << label_w << "' y='" << axis_y << "'>0</text>\n"
+        << "<text x='" << label_w + width - 60 << "' y='" << axis_y << "'>"
+        << model.tbToUs(win.span) << " us</text>\n";
+    static const IntervalClass legend[] = {
+        IntervalClass::Run, IntervalClass::DmaCommand, IntervalClass::DmaWait,
+        IntervalClass::MailboxWait, IntervalClass::SignalWait,
+        IntervalClass::PpeCall};
+    unsigned lx = label_w;
+    for (IntervalClass c : legend) {
+        svg << "<rect x='" << lx << "' y='" << axis_y + 8
+            << "' width='10' height='10' fill='" << classColor(c) << "'/>"
+            << "<text x='" << lx + 14 << "' y='" << axis_y + 17 << "'>"
+            << intervalClassName(c) << "</text>\n";
+        lx += 110;
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+void
+writeSvg(const std::string& path, const TraceModel& model,
+         const IntervalSet& ivs, const TimelineOptions& opt)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("writeSvg: cannot open " + path);
+    os << renderSvg(model, ivs, opt);
+}
+
+} // namespace cell::ta

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Timeline visualization: the TA's signature view. One row per core,
+ * time left-to-right, colored (SVG) or lettered (ASCII) by state:
+ * computing, issuing DMA, waiting on DMA, waiting on a mailbox or
+ * signal. This is the picture the paper's use cases read buffering
+ * problems and load imbalance from.
+ */
+
+#ifndef CELL_TA_TIMELINE_H
+#define CELL_TA_TIMELINE_H
+
+#include <string>
+
+#include "ta/intervals.h"
+#include "ta/model.h"
+
+namespace cell::ta {
+
+/** Rendering options. */
+struct TimelineOptions
+{
+    /** Characters (ASCII) or pixels (SVG) across the time axis. */
+    unsigned width = 100;
+    /** SVG: pixel height of one core's row. */
+    unsigned row_height = 22;
+    /** Include the PPE row. */
+    bool show_ppe = true;
+    /** Restrict to [start_tb, end_tb]; 0,0 = whole trace. */
+    std::uint64_t start_tb = 0;
+    std::uint64_t end_tb = 0;
+};
+
+/**
+ * ASCII timeline. Legend:
+ *   '#' computing   'd' issuing DMA   'D' waiting on DMA
+ *   'M' mailbox wait   'S' signal wait   'P' PPE runtime call
+ *   '.' idle / not running
+ */
+std::string renderAscii(const TraceModel& model, const IntervalSet& ivs,
+                        const TimelineOptions& opt = {});
+
+/** SVG timeline document. */
+std::string renderSvg(const TraceModel& model, const IntervalSet& ivs,
+                      const TimelineOptions& opt = {});
+
+/** Write the SVG timeline to @p path. */
+void writeSvg(const std::string& path, const TraceModel& model,
+              const IntervalSet& ivs, const TimelineOptions& opt = {});
+
+} // namespace cell::ta
+
+#endif // CELL_TA_TIMELINE_H

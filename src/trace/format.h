@@ -1,0 +1,90 @@
+/**
+ * @file
+ * PDT trace file format.
+ *
+ * A trace is a header, a per-SPE program-name table, and a stream of
+ * fixed-size 32-byte records. Records carry *raw core-local*
+ * timestamps — the SPU's 32-bit decrementer value or the low 32 bits
+ * of the PPE timebase — exactly as the hardware tool recorded them,
+ * because reading a globally-coherent clock per event would be far too
+ * intrusive. Dedicated synchronization records (one at each core's
+ * start, one at every buffer flush) pin raw values to the full 64-bit
+ * timebase; reconstructing a coherent global timeline from them,
+ * including across 32-bit wrap-arounds, is the trace analyzer's job.
+ *
+ * Record kinds 0..N map 1:1 onto rt::ApiOp; kinds >= 200 are tool
+ * records (sync, flush markers) emitted by PDT itself.
+ */
+
+#ifndef CELL_TRACE_FORMAT_H
+#define CELL_TRACE_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cell::trace {
+
+/** File magic: "CBEPDT01". */
+constexpr std::uint64_t kMagic = 0x3130544450454243ULL;
+
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** Tool record kinds (outside the ApiOp range). */
+enum ToolRecordKind : std::uint8_t
+{
+    /** Clock sync: a = raw core-local stamp, b = 64-bit timebase. */
+    kSyncRecord = 200,
+    /** Buffer flush marker: a = records flushed, b = flush cycles. */
+    kFlushRecord = 201,
+};
+
+/** Phase values (match rt::ApiPhase). */
+constexpr std::uint8_t kPhaseBegin = 0;
+constexpr std::uint8_t kPhaseEnd = 1;
+
+/**
+ * One trace record. 32 bytes, written verbatim.
+ *
+ * timestamp is core-local and 32-bit raw:
+ *   - SPE records: the decrementer value (counts DOWN, wraps);
+ *   - PPE records: the low 32 bits of the timebase (counts up, wraps).
+ */
+struct Record
+{
+    std::uint8_t kind;       ///< rt::ApiOp value, or ToolRecordKind
+    std::uint8_t phase;      ///< kPhaseBegin / kPhaseEnd
+    std::uint16_t core;      ///< 0 = PPE, 1 + i = SPE i
+    std::uint32_t timestamp; ///< raw core-local clock
+    std::uint64_t a;
+    std::uint64_t b;
+    std::uint32_t c;
+    std::uint32_t d;
+};
+static_assert(sizeof(Record) == 32, "trace records are 32 bytes");
+
+/** Fixed-size file header. */
+struct Header
+{
+    std::uint64_t magic = kMagic;
+    std::uint32_t version = kFormatVersion;
+    std::uint32_t num_spes = 0;
+    std::uint64_t core_hz = 0;
+    std::uint32_t timebase_divider = 0;
+    std::uint32_t reserved = 0;
+    std::uint64_t record_count = 0;
+};
+static_assert(sizeof(Header) == 40, "header is 40 bytes");
+
+/** A fully-loaded trace. */
+struct TraceData
+{
+    Header header;
+    /** Program name per SPE (index == SPE index). */
+    std::vector<std::string> spe_programs;
+    std::vector<Record> records;
+};
+
+} // namespace cell::trace
+
+#endif // CELL_TRACE_FORMAT_H

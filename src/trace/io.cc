@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Trace reader/writer implementation.
+ *
+ * Layout: Header, then per SPE {u32 length, bytes} program names, then
+ * header.record_count fixed 32-byte records.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace cell::trace {
+
+void
+write(std::ostream& os, const TraceData& trace)
+{
+    Header hdr = trace.header;
+    hdr.magic = kMagic;
+    hdr.version = kFormatVersion;
+    hdr.num_spes = static_cast<std::uint32_t>(trace.spe_programs.size());
+    hdr.record_count = trace.records.size();
+
+    os.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    for (const std::string& name : trace.spe_programs) {
+        const auto len = static_cast<std::uint32_t>(name.size());
+        os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+        os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    }
+    if (!trace.records.empty()) {
+        os.write(reinterpret_cast<const char*>(trace.records.data()),
+                 static_cast<std::streamsize>(
+                     trace.records.size() * sizeof(Record)));
+    }
+    if (!os)
+        throw std::runtime_error("trace::write: stream failure");
+}
+
+void
+writeFile(const std::string& path, const TraceData& trace)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("trace::writeFile: cannot open " + path);
+    write(os, trace);
+}
+
+std::vector<std::uint8_t>
+writeBuffer(const TraceData& trace)
+{
+    std::ostringstream os(std::ios::binary);
+    write(os, trace);
+    const std::string s = os.str();
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TraceData
+read(std::istream& is)
+{
+    TraceData trace;
+    is.read(reinterpret_cast<char*>(&trace.header), sizeof(Header));
+    if (!is || is.gcount() != sizeof(Header))
+        throw std::runtime_error("trace::read: truncated header");
+    if (trace.header.magic != kMagic)
+        throw std::runtime_error("trace::read: bad magic (not a PDT trace)");
+    if (trace.header.version != kFormatVersion)
+        throw std::runtime_error("trace::read: unsupported format version");
+
+    trace.spe_programs.resize(trace.header.num_spes);
+    for (auto& name : trace.spe_programs) {
+        std::uint32_t len = 0;
+        is.read(reinterpret_cast<char*>(&len), sizeof(len));
+        if (!is)
+            throw std::runtime_error("trace::read: truncated name table");
+        if (len > (1u << 20))
+            throw std::runtime_error("trace::read: implausible name length");
+        name.resize(len);
+        is.read(name.data(), len);
+        if (!is)
+            throw std::runtime_error("trace::read: truncated name table");
+    }
+
+    // The record count is untrusted input: read in bounded chunks so
+    // a corrupt header cannot trigger a giant up-front allocation —
+    // the stream runs dry (and throws) long before memory does.
+    constexpr std::uint64_t kChunk = 4096;
+    std::uint64_t remaining = trace.header.record_count;
+    trace.records.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunk)));
+    std::vector<Record> chunk;
+    while (remaining > 0) {
+        const auto n =
+            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunk));
+        chunk.resize(n);
+        is.read(reinterpret_cast<char*>(chunk.data()),
+                static_cast<std::streamsize>(n * sizeof(Record)));
+        if (!is)
+            throw std::runtime_error("trace::read: truncated record stream");
+        trace.records.insert(trace.records.end(), chunk.begin(), chunk.end());
+        remaining -= n;
+    }
+    return trace;
+}
+
+TraceData
+readFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("trace::readFile: cannot open " + path);
+    return read(is);
+}
+
+TraceData
+readBuffer(const std::vector<std::uint8_t>& buf)
+{
+    std::istringstream is(std::string(buf.begin(), buf.end()),
+                          std::ios::binary);
+    return read(is);
+}
+
+} // namespace cell::trace

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Trace deserialization.
+ */
+
+#ifndef CELL_TRACE_READER_H
+#define CELL_TRACE_READER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/format.h"
+
+namespace cell::trace {
+
+/** Parse a trace from a binary stream. @throws std::runtime_error on
+ *  bad magic, version mismatch, or truncation. */
+TraceData read(std::istream& is);
+
+/** Parse a trace from @p path. */
+TraceData readFile(const std::string& path);
+
+/** Parse from an in-memory byte buffer. */
+TraceData readBuffer(const std::vector<std::uint8_t>& buf);
+
+} // namespace cell::trace
+
+#endif // CELL_TRACE_READER_H

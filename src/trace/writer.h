@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Trace serialization.
+ */
+
+#ifndef CELL_TRACE_WRITER_H
+#define CELL_TRACE_WRITER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/format.h"
+
+namespace cell::trace {
+
+/** Serialize @p trace to a binary stream. @throws std::runtime_error. */
+void write(std::ostream& os, const TraceData& trace);
+
+/** Serialize @p trace to @p path. @throws std::runtime_error. */
+void writeFile(const std::string& path, const TraceData& trace);
+
+/** Serialize to an in-memory byte buffer. */
+std::vector<std::uint8_t> writeBuffer(const TraceData& trace);
+
+} // namespace cell::trace
+
+#endif // CELL_TRACE_WRITER_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared workload helpers: deterministic data generation, host<->
+ * simulated-memory transfer, float<->mailbox bit casting, and the
+ * base class all workloads follow.
+ *
+ * A workload object owns everything its coroutines reference, so it
+ * must outlive CellSystem::run(). Usage pattern:
+ *
+ *   rt::CellSystem sys(cfg);
+ *   wl::Triad wl(sys, params);   // allocates + fills inputs
+ *   wl.start();                  // spawns the PPE main program
+ *   sys.run();                   // simulate to completion
+ *   assert(wl.verify());
+ *   sim::Tick t = wl.elapsed();  // PPE-measured wall time
+ */
+
+#ifndef CELL_WL_COMMON_H
+#define CELL_WL_COMMON_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "rt/system.h"
+
+namespace cell::wl {
+
+using rt::CoTask;
+using rt::PpeEnv;
+using rt::SpuEnv;
+using sim::EffAddr;
+using sim::LsAddr;
+using sim::TagId;
+using sim::Tick;
+
+/** Deterministic 32-bit LCG (fixed seed => reproducible inputs). */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint32_t seed) : state_(seed ? seed : 1) {}
+
+    std::uint32_t next()
+    {
+        state_ = state_ * 1664525u + 1013904223u;
+        return state_;
+    }
+
+    /** Uniform float in [0, 1). */
+    float nextFloat()
+    {
+        return static_cast<float>(next() >> 8) / static_cast<float>(1 << 24);
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint32_t nextBelow(std::uint32_t n) { return next() % n; }
+
+  private:
+    std::uint32_t state_;
+};
+
+/** Bit-cast float to a mailbox word and back. */
+inline std::uint32_t
+floatToWord(float f)
+{
+    std::uint32_t w;
+    std::memcpy(&w, &f, 4);
+    return w;
+}
+
+inline float
+wordToFloat(std::uint32_t w)
+{
+    float f;
+    std::memcpy(&f, &w, 4);
+    return f;
+}
+
+/** Allocate main storage and copy a host vector into it. */
+template <typename T>
+EffAddr
+uploadVector(rt::CellSystem& sys, const std::vector<T>& data,
+             std::uint64_t align = 128)
+{
+    const EffAddr ea = sys.alloc(data.size() * sizeof(T), align);
+    sys.machine().memory().write(ea, data.data(), data.size() * sizeof(T));
+    return ea;
+}
+
+/** Copy a region of simulated main storage into a host vector. */
+template <typename T>
+std::vector<T>
+downloadVector(rt::CellSystem& sys, EffAddr ea, std::size_t count)
+{
+    std::vector<T> out(count);
+    sys.machine().memory().read(ea, out.data(), count * sizeof(T));
+    return out;
+}
+
+/** Relative-error float comparison for verification. */
+inline bool
+nearlyEqual(float a, float b, float rel = 1e-4f)
+{
+    const float diff = a > b ? a - b : b - a;
+    const float mag = (a < 0 ? -a : a) + (b < 0 ? -b : b) + 1e-6f;
+    return diff <= rel * mag;
+}
+
+/**
+ * Base class: keeps the system reference and the PPE-measured
+ * start/end times every workload reports.
+ */
+class WorkloadBase
+{
+  public:
+    explicit WorkloadBase(rt::CellSystem& sys) : sys_(sys) {}
+    virtual ~WorkloadBase() = default;
+
+    WorkloadBase(const WorkloadBase&) = delete;
+    WorkloadBase& operator=(const WorkloadBase&) = delete;
+
+    /** Spawn the PPE main program (call once, before sys.run()). */
+    virtual void start() = 0;
+
+    /** Check results against a host-computed reference. */
+    virtual bool verify() const = 0;
+
+    /** PPE-observed cycles from work start to all-SPEs-joined. */
+    Tick elapsed() const { return end_tick_ - start_tick_; }
+    Tick startTick() const { return start_tick_; }
+    Tick endTick() const { return end_tick_; }
+
+  protected:
+    rt::CellSystem& sys_;
+    Tick start_tick_ = 0;
+    Tick end_tick_ = 0;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_COMMON_H

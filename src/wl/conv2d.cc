@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Row-band 3x3 convolution implementation.
+ */
+
+#include "wl/conv2d.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+struct ConvBlock
+{
+    EffAddr in;
+    EffAddr out;
+    std::uint32_t width;
+    std::uint32_t height;
+    std::uint32_t row_first;  ///< first output row
+    std::uint32_t row_count;
+    std::uint32_t compute_per_pixel;
+    float kernel[9];
+    std::uint32_t pad[5];
+};
+static_assert(sizeof(ConvBlock) == 96, "param block is 96 bytes");
+
+} // namespace
+
+Conv2d::Conv2d(rt::CellSystem& sys, Conv2dParams p) : WorkloadBase(sys), p_(p)
+{
+    if (p_.width % 4 != 0 || p_.width * 4 > sim::kMaxDmaSize || p_.width < 8)
+        throw std::invalid_argument("Conv2d: width must be 8..4096, x4");
+    if (p_.height < 2)
+        throw std::invalid_argument("Conv2d: height too small");
+    if (p_.n_spes == 0 || p_.n_spes > sys.numSpes())
+        throw std::invalid_argument("Conv2d: bad n_spes");
+
+    Lcg rng(0xC04);
+    host_in_.resize(std::size_t{p_.width} * p_.height);
+    for (auto& v : host_in_)
+        v = rng.nextFloat();
+    in_ = uploadVector(sys_, host_in_);
+    out_ = sys_.alloc(std::uint64_t{p_.width} * p_.height * 4);
+}
+
+void
+Conv2d::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "conv.ppe");
+}
+
+CoTask<void>
+Conv2d::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    std::uint32_t row = 0;
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+        const std::uint32_t rows =
+            p_.height / p_.n_spes + (s < p_.height % p_.n_spes ? 1 : 0);
+        ConvBlock pb{};
+        pb.in = in_;
+        pb.out = out_;
+        pb.width = p_.width;
+        pb.height = p_.height;
+        pb.row_first = row;
+        pb.row_count = rows;
+        pb.compute_per_pixel = p_.compute_per_pixel;
+        for (int k = 0; k < 9; ++k)
+            pb.kernel[k] = p_.kernel[static_cast<std::size_t>(k)];
+        row += rows;
+
+        const EffAddr pb_ea = sys_.alloc(sizeof(pb));
+        sys_.machine().memory().write(pb_ea, &pb, sizeof(pb));
+        rt::SpuProgramImage img;
+        img.name = "conv2d_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, pb_ea);
+    }
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+        co_await sys_.context(s).join();
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+Conv2d::spuMain(SpuEnv& env)
+{
+    const LsAddr pb_ls = env.lsAlloc(sizeof(ConvBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(ConvBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<ConvBlock>(pb_ls);
+    if (pb.row_count == 0)
+        co_return;
+
+    const std::uint32_t row_bytes = pb.width * 4;
+    // Rolling window of 4 row buffers (3 live + 1 prefetch) + 2 output.
+    LsAddr rows[4];
+    for (auto& r : rows)
+        r = env.lsAlloc(row_bytes);
+    LsAddr out_buf[2] = {env.lsAlloc(row_bytes), env.lsAlloc(row_bytes)};
+
+    auto clampRow = [&](std::int64_t y) {
+        if (y < 0)
+            return std::uint32_t{0};
+        if (y >= pb.height)
+            return pb.height - 1;
+        return static_cast<std::uint32_t>(y);
+    };
+    auto rowEa = [&](std::uint32_t y) {
+        return pb.in + std::uint64_t{y} * row_bytes;
+    };
+
+    // Load the initial window: input rows (first-1, first, first+1)
+    // into slots 0..2 on tags 0..2.
+    const std::int64_t first = pb.row_first;
+    for (int i = 0; i < 3; ++i) {
+        co_await env.mfcGet(rows[i], rowEa(clampRow(first - 1 + i)),
+                            row_bytes, static_cast<TagId>(i % 3));
+    }
+    co_await env.waitTagAll(0x7);
+
+    for (std::uint32_t r = 0; r < pb.row_count; ++r) {
+        const std::uint32_t y = pb.row_first + r;
+        const std::uint32_t top = r % 4;          // y-1
+        const std::uint32_t mid = (r + 1) % 4;    // y
+        const std::uint32_t bot = (r + 2) % 4;    // y+1
+        const std::uint32_t next = (r + 3) % 4;   // prefetch y+2
+        const std::uint32_t oslot = r % 2;
+
+        // Prefetch the next bottom row while this row computes.
+        if (r + 1 < pb.row_count) {
+            co_await env.mfcGet(rows[next], rowEa(clampRow(
+                                    static_cast<std::int64_t>(y) + 2)),
+                                row_bytes, 3);
+        }
+        // Make sure the previous PUT of this output slot drained.
+        co_await env.waitTagAll(1u << (4 + oslot));
+
+        auto at = [&](std::uint32_t slot, std::int64_t x) {
+            if (x < 0)
+                x = 0;
+            if (x >= pb.width)
+                x = pb.width - 1;
+            return env.ls().load<float>(rows[slot] +
+                                        static_cast<LsAddr>(x) * 4);
+        };
+        for (std::uint32_t x = 0; x < pb.width; ++x) {
+            const std::int64_t xi = x;
+            float acc = 0.0f;
+            const std::uint32_t slots[3] = {top, mid, bot};
+            for (int ky = 0; ky < 3; ++ky) {
+                for (int kx = 0; kx < 3; ++kx) {
+                    acc += pb.kernel[ky * 3 + kx] *
+                           at(slots[ky], xi + kx - 1);
+                }
+            }
+            env.ls().store<float>(out_buf[oslot] + x * 4, acc);
+        }
+        co_await env.compute(std::uint64_t{pb.width} * pb.compute_per_pixel +
+                             120);
+
+        co_await env.mfcPut(out_buf[oslot],
+                            pb.out + std::uint64_t{y} * row_bytes, row_bytes,
+                            static_cast<TagId>(4 + oslot));
+        // Wait for the prefetched row before the window rolls.
+        if (r + 1 < pb.row_count)
+            co_await env.waitTagAll(1u << 3);
+    }
+    co_await env.waitTagAll((1u << 4) | (1u << 5));
+}
+
+bool
+Conv2d::verify() const
+{
+    const auto got =
+        downloadVector<float>(sys_, out_, std::size_t{p_.width} * p_.height);
+    auto ref = [&](std::int64_t y, std::int64_t x) {
+        y = std::max<std::int64_t>(0, std::min<std::int64_t>(y, p_.height - 1));
+        x = std::max<std::int64_t>(0, std::min<std::int64_t>(x, p_.width - 1));
+        return host_in_[static_cast<std::size_t>(y) * p_.width +
+                        static_cast<std::size_t>(x)];
+    };
+    for (std::uint32_t y = 0; y < p_.height; ++y) {
+        for (std::uint32_t x = 0; x < p_.width; ++x) {
+            float want = 0.0f;
+            for (int ky = 0; ky < 3; ++ky)
+                for (int kx = 0; kx < 3; ++kx)
+                    want += p_.kernel[static_cast<std::size_t>(ky * 3 + kx)] *
+                            ref(std::int64_t{y} + ky - 1,
+                                std::int64_t{x} + kx - 1);
+            if (!nearlyEqual(got[std::size_t{y} * p_.width + x], want, 1e-3f))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cell::wl

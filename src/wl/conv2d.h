@@ -1,0 +1,54 @@
+/**
+ * @file
+ * 3x3 convolution over a 2-D float image, row-band parallel.
+ *
+ * Each SPE filters a contiguous band of output rows. It keeps a
+ * rolling window of three input rows in local store, prefetching the
+ * next row (double buffered) while the current output row computes —
+ * the streaming-with-halo pattern typical of Cell image kernels.
+ * Borders are edge-replicated.
+ */
+
+#ifndef CELL_WL_CONV2D_H
+#define CELL_WL_CONV2D_H
+
+#include <array>
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct Conv2dParams
+{
+    std::uint32_t width = 512;  ///< multiple of 4, <= 4096
+    std::uint32_t height = 256;
+    std::uint32_t n_spes = 8;
+    /** 3x3 kernel, row-major. Default: sharpen. */
+    std::array<float, 9> kernel{0.f, -1.f, 0.f, -1.f, 5.f, -1.f, 0.f, -1.f, 0.f};
+    std::uint32_t compute_per_pixel = 11; ///< 9 madds + addressing
+};
+
+/** The convolution workload. */
+class Conv2d : public WorkloadBase
+{
+  public:
+    Conv2d(rt::CellSystem& sys, Conv2dParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    const Conv2dParams& params() const { return p_; }
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    Conv2dParams p_;
+    EffAddr in_ = 0;
+    EffAddr out_ = 0;
+    std::vector<float> host_in_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_CONV2D_H

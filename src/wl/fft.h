@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Batched radix-2 complex FFT.
+ *
+ * The Cell SDK's flagship demo (FFT16M) streamed batches of
+ * fixed-size FFTs through the SPEs; this workload reproduces that
+ * pattern: each SPE GETs a batch of n-point complex-float signals,
+ * runs an in-place iterative radix-2 FFT (bit-reversal + butterfly
+ * passes, real arithmetic in the local store), and PUTs the spectra
+ * back, double-buffering batches. Compute cost is charged per
+ * butterfly. Verification recomputes the same algorithm on the host.
+ */
+
+#ifndef CELL_WL_FFT_H
+#define CELL_WL_FFT_H
+
+#include <complex>
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct FftParams
+{
+    /** Points per FFT; power of two, 8..1024. */
+    std::uint32_t fft_size = 256;
+    /** Number of independent FFTs. */
+    std::uint32_t n_ffts = 128;
+    /** FFTs per SPE batch (batch bytes = 8 * fft_size * this,
+     *  <= 16 KiB per DMA chunk is handled via getLarge). */
+    std::uint32_t batch = 4;
+    std::uint32_t n_spes = 8;
+    /** Cycles charged per butterfly (complex mul + 2 adds). */
+    std::uint32_t cycles_per_butterfly = 4;
+};
+
+/** The batched-FFT workload. */
+class Fft : public WorkloadBase
+{
+  public:
+    Fft(rt::CellSystem& sys, FftParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    const FftParams& params() const { return p_; }
+
+    /** The reference transform (also what the SPEs run). */
+    static void referenceFft(std::complex<float>* data, std::uint32_t n);
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    FftParams p_;
+    EffAddr in_ = 0;
+    EffAddr out_ = 0;
+    std::vector<std::complex<float>> host_in_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_FFT_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Sparse gather implementation.
+ */
+
+#include "wl/gather.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+struct GatherBlock
+{
+    EffAddr table;
+    EffAddr index;
+    EffAddr out;
+    std::uint32_t index_first;
+    std::uint32_t index_count; ///< multiple of 32
+    std::uint32_t compute_per_row;
+    std::uint32_t pad[7];
+};
+static_assert(sizeof(GatherBlock) == 64, "param block is 64 bytes");
+
+} // namespace
+
+Gather::Gather(rt::CellSystem& sys, GatherParams p) : WorkloadBase(sys), p_(p)
+{
+    if (p_.n_indices % kBatch != 0)
+        throw std::invalid_argument("Gather: n_indices must be x32");
+    if (p_.n_spes == 0 || p_.n_spes > sys.numSpes())
+        throw std::invalid_argument("Gather: bad n_spes");
+    if (p_.table_rows == 0)
+        throw std::invalid_argument("Gather: empty table");
+
+    Lcg rng(0x6A7);
+    host_table_.resize(std::size_t{p_.table_rows} * kRowFloats);
+    for (auto& v : host_table_)
+        v = rng.nextFloat();
+    host_index_.resize(p_.n_indices);
+    for (auto& ix : host_index_)
+        ix = rng.nextBelow(p_.table_rows);
+    table_ = uploadVector(sys_, host_table_);
+    index_ = uploadVector(sys_, host_index_);
+    out_ = sys_.alloc(std::uint64_t{p_.n_indices} * 4);
+}
+
+void
+Gather::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "gather.ppe");
+}
+
+CoTask<void>
+Gather::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    const std::uint32_t batches = p_.n_indices / kBatch;
+    std::uint32_t done = 0;
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+        const std::uint32_t own =
+            batches / p_.n_spes + (s < batches % p_.n_spes ? 1 : 0);
+        GatherBlock pb{};
+        pb.table = table_;
+        pb.index = index_;
+        pb.out = out_;
+        pb.index_first = done * kBatch;
+        pb.index_count = own * kBatch;
+        pb.compute_per_row = p_.compute_per_row;
+        done += own;
+
+        const EffAddr pb_ea = sys_.alloc(sizeof(pb));
+        sys_.machine().memory().write(pb_ea, &pb, sizeof(pb));
+        rt::SpuProgramImage img;
+        img.name = "gather_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, pb_ea);
+    }
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+        co_await sys_.context(s).join();
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+Gather::spuMain(SpuEnv& env)
+{
+    const LsAddr pb_ls = env.lsAlloc(sizeof(GatherBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(GatherBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<GatherBlock>(pb_ls);
+    if (pb.index_count == 0)
+        co_return;
+
+    // Fetch this SPE's whole index slice up front.
+    const std::uint32_t index_bytes = pb.index_count * 4;
+    const LsAddr idx_ls = env.lsAlloc(index_bytes);
+    co_await env.getLarge(idx_ls, pb.index + std::uint64_t{pb.index_first} * 4,
+                          index_bytes, 0);
+    co_await env.waitTagAll(1u << 0);
+
+    const std::uint32_t n_batches = pb.index_count / kBatch;
+    LsAddr rows[2] = {env.lsAlloc(kBatch * kRowBytes),
+                      env.lsAlloc(kBatch * kRowBytes)};
+    LsAddr lists[2] = {env.lsAlloc(kBatch * 8, 8), env.lsAlloc(kBatch * 8, 8)};
+    LsAddr sums[2] = {env.lsAlloc(kBatch * 4), env.lsAlloc(kBatch * 4)};
+
+    auto issueBatch = [&](std::uint32_t bt, std::uint32_t slot)
+        -> CoTask<void> {
+        for (std::uint32_t i = 0; i < kBatch; ++i) {
+            const std::uint32_t ix = env.ls().load<std::uint32_t>(
+                idx_ls + (bt * kBatch + i) * 4);
+            const EffAddr ea = pb.table + std::uint64_t{ix} * kRowBytes;
+            env.ls().store(lists[slot] + i * 8,
+                           sim::MfcListElement::make(
+                               kRowBytes, static_cast<std::uint32_t>(ea)));
+        }
+        co_await env.mfcGetList(rows[slot],
+                                pb.table & 0xFFFF'FFFF'0000'0000ULL,
+                                lists[slot], kBatch * 8, slot);
+    };
+
+    co_await issueBatch(0, 0);
+    for (std::uint32_t bt = 0; bt < n_batches; ++bt) {
+        const std::uint32_t slot = bt % 2;
+        // Wait for this slot's GETL and for its previous sums PUT.
+        co_await env.waitTagAll((1u << slot) | (1u << (4 + slot)));
+        if (bt + 1 < n_batches)
+            co_await issueBatch(bt + 1, slot ^ 1);
+
+        for (std::uint32_t i = 0; i < kBatch; ++i) {
+            float acc = 0.0f;
+            for (std::uint32_t f = 0; f < kRowFloats; ++f)
+                acc += env.ls().load<float>(rows[slot] +
+                                            (i * kRowFloats + f) * 4);
+            env.ls().store<float>(sums[slot] + i * 4, acc);
+        }
+        co_await env.compute(std::uint64_t{kBatch} * pb.compute_per_row + 90);
+
+        co_await env.mfcPut(
+            sums[slot],
+            pb.out + (std::uint64_t{pb.index_first} + bt * kBatch) * 4,
+            kBatch * 4, static_cast<TagId>(4 + slot));
+    }
+    co_await env.waitTagAll((1u << 4) | (1u << 5));
+}
+
+bool
+Gather::verify() const
+{
+    const auto got = downloadVector<float>(sys_, out_, p_.n_indices);
+    for (std::uint32_t i = 0; i < p_.n_indices; ++i) {
+        float want = 0.0f;
+        const std::uint32_t row = host_index_[i];
+        for (std::uint32_t f = 0; f < kRowFloats; ++f)
+            want += host_table_[std::size_t{row} * kRowFloats + f];
+        if (!nearlyEqual(got[i], want, 1e-3f))
+            return false;
+    }
+    return true;
+}
+
+} // namespace cell::wl

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sparse row gather via MFC DMA lists.
+ *
+ * A table of 128-byte rows is gathered through an index array: each
+ * SPE fetches its slice of indices, then processes batches of 32
+ * random rows with a single GETL (one list element per row), reduces
+ * every row to its sum, and PUTs the 32 sums back. Irregular,
+ * list-heavy DMA with data-dependent EIB behaviour — the access
+ * pattern PDT's DMA statistics are most interesting for.
+ */
+
+#ifndef CELL_WL_GATHER_H
+#define CELL_WL_GATHER_H
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct GatherParams
+{
+    std::uint32_t table_rows = 4096; ///< 128-byte rows in the table
+    std::uint32_t n_indices = 8192;  ///< multiple of 32
+    std::uint32_t n_spes = 8;
+    std::uint32_t compute_per_row = 40; ///< cycles to reduce one row
+};
+
+/** The gather workload. */
+class Gather : public WorkloadBase
+{
+  public:
+    static constexpr std::uint32_t kRowFloats = 32;
+    static constexpr std::uint32_t kRowBytes = kRowFloats * 4;
+    static constexpr std::uint32_t kBatch = 32;
+
+    Gather(rt::CellSystem& sys, GatherParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    const GatherParams& params() const { return p_; }
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    GatherParams p_;
+    EffAddr table_ = 0;
+    EffAddr index_ = 0;
+    EffAddr out_ = 0;
+    std::vector<float> host_table_;
+    std::vector<std::uint32_t> host_index_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_GATHER_H

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Blocked matmul implementation.
+ */
+
+#include "wl/matmul.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+struct MatmulBlock
+{
+    EffAddr a;
+    EffAddr b;
+    EffAddr c;
+    std::uint32_t n;           ///< matrix dimension
+    std::uint32_t first_tile;  ///< first owned C tile (linear index)
+    std::uint32_t tile_count;  ///< owned C tiles
+    std::uint32_t cycles_per_tile_mult;
+    std::uint32_t pad[6];
+};
+static_assert(sizeof(MatmulBlock) == 64, "param block is one DMA quadline");
+
+constexpr std::uint32_t kT = Matmul::kTile;
+constexpr std::uint32_t kTileBytes = kT * kT * 4;     // 4 KiB
+constexpr std::uint32_t kRowBytes = kT * 4;           // 128 B
+constexpr std::uint32_t kListBytes = kT * 8;          // 32 elements
+
+} // namespace
+
+Matmul::Matmul(rt::CellSystem& sys, MatmulParams p) : WorkloadBase(sys), p_(p)
+{
+    if (p_.n == 0 || p_.n % kTile != 0)
+        throw std::invalid_argument("Matmul: n must be a multiple of 32");
+    if (p_.n_spes == 0 || p_.n_spes > sys.numSpes())
+        throw std::invalid_argument("Matmul: bad n_spes");
+
+    Lcg rng(0x3A73);
+    host_a_.resize(std::size_t{p_.n} * p_.n);
+    host_b_.resize(std::size_t{p_.n} * p_.n);
+    for (auto& v : host_a_)
+        v = rng.nextFloat() - 0.5f;
+    for (auto& v : host_b_)
+        v = rng.nextFloat() - 0.5f;
+    a_ = uploadVector(sys_, host_a_);
+    b_ = uploadVector(sys_, host_b_);
+    c_ = sys_.alloc(std::uint64_t{p_.n} * p_.n * 4);
+}
+
+std::uint32_t
+Matmul::tilesForSpe(std::uint32_t s) const
+{
+    const std::uint32_t tiles_dim = p_.n / kTile;
+    const std::uint32_t total = tiles_dim * tiles_dim;
+    // Shares proportional to 1 + skew * s, distributed largest-
+    // remainder style but deterministic and simple: prefix sums.
+    std::uint64_t wsum = 0;
+    for (std::uint32_t i = 0; i < p_.n_spes; ++i)
+        wsum += 1 + std::uint64_t{p_.skew} * i;
+    const std::uint64_t w = 1 + std::uint64_t{p_.skew} * s;
+    std::uint64_t before = 0;
+    for (std::uint32_t i = 0; i < s; ++i)
+        before += 1 + std::uint64_t{p_.skew} * i;
+    const auto lo = static_cast<std::uint32_t>(before * total / wsum);
+    const auto hi = static_cast<std::uint32_t>((before + w) * total / wsum);
+    return hi - lo;
+}
+
+void
+Matmul::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "matmul.ppe");
+}
+
+CoTask<void>
+Matmul::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    std::uint32_t next_tile = 0;
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+        MatmulBlock pb{};
+        pb.a = a_;
+        pb.b = b_;
+        pb.c = c_;
+        pb.n = p_.n;
+        pb.first_tile = next_tile;
+        pb.tile_count = tilesForSpe(s);
+        pb.cycles_per_tile_mult = p_.cycles_per_tile_mult;
+        next_tile += pb.tile_count;
+
+        const EffAddr pb_ea = sys_.alloc(sizeof(pb));
+        sys_.machine().memory().write(pb_ea, &pb, sizeof(pb));
+
+        rt::SpuProgramImage img;
+        img.name = "matmul_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, pb_ea);
+    }
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+        co_await sys_.context(s).join();
+
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+Matmul::spuMain(SpuEnv& env)
+{
+    const LsAddr pb_ls = env.lsAlloc(sizeof(MatmulBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(MatmulBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<MatmulBlock>(pb_ls);
+    if (pb.tile_count == 0)
+        co_return;
+
+    const std::uint32_t tiles_dim = pb.n / kT;
+    const std::uint32_t row_stride = pb.n * 4;
+
+    // LS layout: double-buffered A/B tile pairs, one C accumulator,
+    // and DMA lists for the in-flight fetches plus the C writeback.
+    LsAddr buf_a[2] = {env.lsAlloc(kTileBytes), env.lsAlloc(kTileBytes)};
+    LsAddr buf_b[2] = {env.lsAlloc(kTileBytes), env.lsAlloc(kTileBytes)};
+    const LsAddr buf_c = env.lsAlloc(kTileBytes);
+    LsAddr list_a[2] = {env.lsAlloc(kListBytes, 8), env.lsAlloc(kListBytes, 8)};
+    LsAddr list_b[2] = {env.lsAlloc(kListBytes, 8), env.lsAlloc(kListBytes, 8)};
+    const LsAddr list_c = env.lsAlloc(kListBytes, 8);
+
+    // EA of tile (ti, tj) row r.
+    auto tileRowEa = [&](EffAddr base, std::uint32_t ti, std::uint32_t tj,
+                         std::uint32_t r) {
+        return base +
+               (std::uint64_t{ti} * kT + r) * row_stride +
+               std::uint64_t{tj} * kRowBytes;
+    };
+    // Build a 32-row gather/scatter list for a tile.
+    auto buildList = [&](LsAddr list, EffAddr base, std::uint32_t ti,
+                         std::uint32_t tj) {
+        for (std::uint32_t r = 0; r < kT; ++r) {
+            const EffAddr ea = tileRowEa(base, ti, tj, r);
+            env.ls().store(list + r * 8,
+                           sim::MfcListElement::make(
+                               kRowBytes,
+                               static_cast<std::uint32_t>(ea)));
+        }
+        return base & 0xFFFF'FFFF'0000'0000ULL;
+    };
+    // Issue the GETL pair for step k of tile (ti, tj) into slot.
+    auto fetchPair = [&](std::uint32_t slot, std::uint32_t ti,
+                         std::uint32_t tj, std::uint32_t k) -> CoTask<void> {
+        const EffAddr ha = buildList(list_a[slot], pb.a, ti, k);
+        co_await env.mfcGetList(buf_a[slot], ha, list_a[slot], kListBytes,
+                                slot);
+        const EffAddr hb = buildList(list_b[slot], pb.b, k, tj);
+        co_await env.mfcGetList(buf_b[slot], hb, list_b[slot], kListBytes,
+                                slot);
+    };
+
+    for (std::uint32_t t = 0; t < pb.tile_count; ++t) {
+        const std::uint32_t ct = pb.first_tile + t;
+        const std::uint32_t ti = ct / tiles_dim;
+        const std::uint32_t tj = ct % tiles_dim;
+
+        env.ls().clear(buf_c, kTileBytes);
+        co_await fetchPair(0, ti, tj, 0);
+
+        for (std::uint32_t k = 0; k < tiles_dim; ++k) {
+            const std::uint32_t slot = k % 2;
+            co_await env.waitTagAll(1u << slot);
+            if (k + 1 < tiles_dim)
+                co_await fetchPair(slot ^ 1, ti, tj, k + 1);
+
+            // 32x32x32 tile multiply-accumulate (real arithmetic).
+            for (std::uint32_t i = 0; i < kT; ++i) {
+                for (std::uint32_t j = 0; j < kT; ++j) {
+                    float acc =
+                        env.ls().load<float>(buf_c + (i * kT + j) * 4);
+                    for (std::uint32_t kk = 0; kk < kT; ++kk) {
+                        acc += env.ls().load<float>(
+                                   buf_a[slot] + (i * kT + kk) * 4) *
+                               env.ls().load<float>(
+                                   buf_b[slot] + (kk * kT + j) * 4);
+                    }
+                    env.ls().store<float>(buf_c + (i * kT + j) * 4, acc);
+                }
+            }
+            co_await env.compute(pb.cycles_per_tile_mult);
+        }
+
+        // Scatter the finished C tile with a PUTL on tag 2.
+        const EffAddr hc = buildList(list_c, pb.c, ti, tj);
+        co_await env.mfcPutList(buf_c, hc, list_c, kListBytes, 2);
+        co_await env.waitTagAll(1u << 2);
+    }
+}
+
+bool
+Matmul::verify() const
+{
+    const auto got = downloadVector<float>(sys_, c_,
+                                           std::size_t{p_.n} * p_.n);
+    // Host reference (blocked the same way to match float ordering).
+    for (std::uint32_t i = 0; i < p_.n; ++i) {
+        for (std::uint32_t j = 0; j < p_.n; ++j) {
+            float want = 0.0f;
+            for (std::uint32_t k = 0; k < p_.n; ++k)
+                want += host_a_[std::size_t{i} * p_.n + k] *
+                        host_b_[std::size_t{k} * p_.n + j];
+            if (!nearlyEqual(got[std::size_t{i} * p_.n + j], want, 1e-3f))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cell::wl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Blocked single-precision matrix multiply, C = A x B.
+ *
+ * Matrices are N x N floats, row-major in main storage, processed in
+ * 32 x 32 tiles. A tile is not contiguous in memory, so tile fetches
+ * use MFC DMA *lists* (one 128-byte element per tile row) — the same
+ * structure the SDK's matrix kernels used, and a rich event source
+ * for PDT.
+ *
+ * The `skew` parameter deliberately misdistributes tiles across SPEs
+ * (SPE s gets a share proportional to 1 + skew * s) to create the
+ * load-imbalance picture of use case F5; skew = 0 is the balanced
+ * baseline.
+ */
+
+#ifndef CELL_WL_MATMUL_H
+#define CELL_WL_MATMUL_H
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct MatmulParams
+{
+    /** Matrix dimension; must be a multiple of 32. */
+    std::uint32_t n = 128;
+    std::uint32_t n_spes = 8;
+    /** Load skew: SPE s's tile share is proportional to 1 + skew*s. */
+    std::uint32_t skew = 0;
+    /** Cycles charged per 32x32x32 tile multiply (2*32^3 flops at
+     *  8 flops/cycle = 8192). */
+    std::uint32_t cycles_per_tile_mult = 8192;
+};
+
+/** The blocked matmul workload. */
+class Matmul : public WorkloadBase
+{
+  public:
+    static constexpr std::uint32_t kTile = 32;
+
+    Matmul(rt::CellSystem& sys, MatmulParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    const MatmulParams& params() const { return p_; }
+
+    /** Tiles assigned to SPE @p s under the current skew. */
+    std::uint32_t tilesForSpe(std::uint32_t s) const;
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    MatmulParams p_;
+    EffAddr a_ = 0;
+    EffAddr b_ = 0;
+    EffAddr c_ = 0;
+    std::vector<float> host_a_;
+    std::vector<float> host_b_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_MATMUL_H

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * SPE pipeline implementation.
+ */
+
+#include "wl/pipeline.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+struct PipeBlock
+{
+    EffAddr in;
+    EffAddr out;
+    EffAddr prev_aperture; ///< LS aperture EA of the previous stage
+    std::uint32_t n_elements;
+    std::uint32_t tile_elems;
+    std::uint32_t stage;
+    std::uint32_t n_stages;
+    std::uint32_t prev_spe;
+    std::uint32_t next_spe;
+    float w;
+    float b;
+    std::uint32_t compute_per_elem;
+    std::uint32_t user_events;
+};
+static_assert(sizeof(PipeBlock) == 64, "param block is 64 bytes");
+
+} // namespace
+
+Pipeline::Pipeline(rt::CellSystem& sys, PipelineParams p)
+    : WorkloadBase(sys), p_(p)
+{
+    if (p_.n_stages < 2 || p_.n_stages > sys.numSpes())
+        throw std::invalid_argument("Pipeline: stages must be 2..numSpes");
+    if (p_.n_elements % 4 != 0 || p_.tile_elems % 4 != 0 ||
+        p_.n_elements % p_.tile_elems != 0 ||
+        p_.tile_elems * 4 > sim::kMaxDmaSize)
+        throw std::invalid_argument("Pipeline: bad sizes");
+
+    Lcg rng(0x919E);
+    host_in_.resize(p_.n_elements);
+    for (auto& v : host_in_)
+        v = rng.nextFloat();
+    in_ = uploadVector(sys_, host_in_);
+    out_ = sys_.alloc(std::uint64_t{p_.n_elements} * 4);
+}
+
+void
+Pipeline::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "pipe.ppe");
+}
+
+CoTask<void>
+Pipeline::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    for (std::uint32_t s = 0; s < p_.n_stages; ++s) {
+        PipeBlock pb{};
+        pb.in = in_;
+        pb.out = out_;
+        pb.prev_aperture =
+            s > 0 ? sys_.config().lsAperture(s - 1) : 0;
+        pb.n_elements = p_.n_elements;
+        pb.tile_elems = p_.tile_elems;
+        pb.stage = s;
+        pb.n_stages = p_.n_stages;
+        pb.prev_spe = s > 0 ? s - 1 : 0;
+        pb.next_spe = s + 1 < p_.n_stages ? s + 1 : 0;
+        pb.w = p_.w;
+        pb.b = p_.b;
+        pb.compute_per_elem = p_.compute_per_elem;
+        pb.user_events = p_.user_events ? 1 : 0;
+
+        const EffAddr pb_ea = sys_.alloc(sizeof(pb));
+        sys_.machine().memory().write(pb_ea, &pb, sizeof(pb));
+        rt::SpuProgramImage img;
+        img.name = "pipeline_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, pb_ea);
+    }
+
+    // Wire the hand-off addresses: every producer publishes its two
+    // out-buffer LS addresses; the PPE forwards them to the consumer.
+    for (std::uint32_t s = 0; s + 1 < p_.n_stages; ++s) {
+        const std::uint32_t b0 = co_await sys_.context(s).readOutMbox();
+        const std::uint32_t b1 = co_await sys_.context(s).readOutMbox();
+        co_await sys_.context(s + 1).writeInMbox(b0);
+        co_await sys_.context(s + 1).writeInMbox(b1);
+    }
+
+    for (std::uint32_t s = 0; s < p_.n_stages; ++s)
+        co_await sys_.context(s).join();
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+Pipeline::spuMain(SpuEnv& env)
+{
+    const LsAddr pb_ls = env.lsAlloc(sizeof(PipeBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(PipeBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<PipeBlock>(pb_ls);
+
+    const bool first = pb.stage == 0;
+    const bool last = pb.stage + 1 == pb.n_stages;
+    const std::uint32_t tile_bytes = pb.tile_elems * 4;
+    const std::uint32_t n_tiles = pb.n_elements / pb.tile_elems;
+
+    LsAddr in_buf[2] = {env.lsAlloc(tile_bytes), env.lsAlloc(tile_bytes)};
+    LsAddr out_buf[2] = {env.lsAlloc(tile_bytes), env.lsAlloc(tile_bytes)};
+
+    // Publish my out buffers / learn the producer's.
+    LsAddr prev_out[2] = {0, 0};
+    if (!last) {
+        co_await env.writeOutMbox(out_buf[0]);
+        co_await env.writeOutMbox(out_buf[1]);
+    }
+    if (!first) {
+        prev_out[0] = co_await env.readInMbox();
+        prev_out[1] = co_await env.readInMbox();
+    }
+
+    std::uint32_t filled_mask = 0; ///< producer's "slot filled" bits seen
+    std::uint32_t freed_mask = 0;  ///< consumer's "slot freed" bits seen
+
+    for (std::uint32_t t = 0; t < n_tiles; ++t) {
+        const std::uint32_t slot = t % 2;
+        const std::uint32_t bit = 1u << slot;
+
+        // --- acquire the input tile into in_buf[slot] ---
+        if (first) {
+            co_await env.mfcGet(in_buf[slot],
+                                pb.in + std::uint64_t{t} * tile_bytes,
+                                tile_bytes, slot);
+            co_await env.waitTagAll(bit);
+        } else {
+            while (!(filled_mask & bit))
+                filled_mask |= co_await env.readSignal1();
+            filled_mask &= ~bit;
+            co_await env.mfcGet(in_buf[slot],
+                                pb.prev_aperture + prev_out[slot],
+                                tile_bytes, slot);
+            co_await env.waitTagAll(bit);
+            co_await env.sendSignal(pb.prev_spe, 2, bit);
+        }
+
+        // --- make sure out_buf[slot] is reusable ---
+        if (!last) {
+            if (t >= 2) {
+                while (!(freed_mask & bit))
+                    freed_mask |= co_await env.readSignal2();
+                freed_mask &= ~bit;
+            }
+        } else if (t >= 2) {
+            co_await env.waitTagAll(1u << (4 + slot)); // previous PUT
+        }
+
+        // --- transform ---
+        for (std::uint32_t i = 0; i < pb.tile_elems; ++i) {
+            const float x = env.ls().load<float>(in_buf[slot] + i * 4);
+            env.ls().store<float>(out_buf[slot] + i * 4, pb.w * x + pb.b);
+        }
+        co_await env.compute(
+            std::uint64_t{pb.tile_elems} * pb.compute_per_elem + 60);
+        if (pb.user_events)
+            co_await env.userEvent(pb.stage, t);
+
+        // --- hand off ---
+        if (!last) {
+            co_await env.sendSignal(pb.next_spe, 1, bit);
+        } else {
+            co_await env.mfcPut(out_buf[slot],
+                                pb.out + std::uint64_t{t} * tile_bytes,
+                                tile_bytes, static_cast<TagId>(4 + slot));
+        }
+    }
+
+    if (last)
+        co_await env.waitTagAll((1u << 4) | (1u << 5));
+}
+
+bool
+Pipeline::verify() const
+{
+    const auto got = downloadVector<float>(sys_, out_, p_.n_elements);
+    for (std::uint32_t i = 0; i < p_.n_elements; ++i) {
+        float want = host_in_[i];
+        for (std::uint32_t s = 0; s < p_.n_stages; ++s)
+            want = p_.w * want + p_.b;
+        if (!nearlyEqual(got[i], want, 1e-3f))
+            return false;
+    }
+    return true;
+}
+
+} // namespace cell::wl

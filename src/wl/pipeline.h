@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SPE-to-SPE software pipeline.
+ *
+ * N SPEs form a chain: stage 0 streams tiles in from main storage,
+ * every stage applies y = w*x + b and forwards the tile to the next
+ * stage with an LS-to-LS DMA (the consumer pulls from the producer's
+ * local-store aperture), and the last stage writes results back.
+ * Flow control is pure SPE-to-SPE signalling: the producer raises
+ * "slot filled" on the consumer's signal register 1, the consumer
+ * raises "slot free" on the producer's register 2 — no PPE in the
+ * loop. The tile hand-off addresses are exchanged at startup through
+ * the mailboxes via the PPE.
+ *
+ * Stages also mark each processed tile with a PDT user event, which
+ * the pipeline example uses to show custom events in the analyzer.
+ */
+
+#ifndef CELL_WL_PIPELINE_H
+#define CELL_WL_PIPELINE_H
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct PipelineParams
+{
+    std::uint32_t n_elements = 1 << 14; ///< multiple of 4
+    std::uint32_t tile_elems = 512;     ///< multiple of 4
+    std::uint32_t n_stages = 4;         ///< 2..num SPEs
+    float w = 1.5f;
+    float b = 0.25f;
+    std::uint32_t compute_per_elem = 3;
+    /** Emit a user event per processed tile. */
+    bool user_events = false;
+};
+
+/** The pipeline workload. */
+class Pipeline : public WorkloadBase
+{
+  public:
+    Pipeline(rt::CellSystem& sys, PipelineParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    const PipelineParams& params() const { return p_; }
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    PipelineParams p_;
+    EffAddr in_ = 0;
+    EffAddr out_ = 0;
+    std::vector<float> host_in_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_PIPELINE_H

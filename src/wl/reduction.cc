@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Dot-product reduction implementation.
+ */
+
+#include "wl/reduction.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+struct ReduceBlock
+{
+    EffAddr a;
+    EffAddr b;
+    std::uint32_t count;
+    std::uint32_t tile_elems;
+    std::uint32_t report_every_tile;
+    std::uint32_t compute_per_elem;
+    std::uint32_t pad[8];
+};
+static_assert(sizeof(ReduceBlock) == 64, "param block is 64 bytes");
+
+} // namespace
+
+Reduction::Reduction(rt::CellSystem& sys, ReductionParams p)
+    : WorkloadBase(sys), p_(p)
+{
+    if (p_.n_spes == 0 || p_.n_spes > sys.numSpes())
+        throw std::invalid_argument("Reduction: bad n_spes");
+    if (p_.n_elements % 4 != 0 || p_.tile_elems % 4 != 0 ||
+        p_.tile_elems * 4 > sim::kMaxDmaSize)
+        throw std::invalid_argument("Reduction: bad sizes");
+
+    Lcg rng(0xD07);
+    host_a_.resize(p_.n_elements);
+    host_b_.resize(p_.n_elements);
+    for (std::uint32_t i = 0; i < p_.n_elements; ++i) {
+        host_a_[i] = rng.nextFloat();
+        host_b_[i] = rng.nextFloat();
+    }
+    a_ = uploadVector(sys_, host_a_);
+    b_ = uploadVector(sys_, host_b_);
+}
+
+void
+Reduction::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "reduce.ppe");
+}
+
+CoTask<void>
+Reduction::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    const std::uint32_t n = p_.n_elements / 4;
+    std::uint32_t done = 0;
+    std::vector<std::uint32_t> tiles_per_spe(p_.n_spes);
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+        const std::uint32_t quads = n / p_.n_spes + (s < n % p_.n_spes ? 1 : 0);
+        ReduceBlock pb{};
+        pb.a = a_ + std::uint64_t{done} * 16;
+        pb.b = b_ + std::uint64_t{done} * 16;
+        pb.count = quads * 4;
+        pb.tile_elems = p_.tile_elems;
+        pb.report_every_tile = p_.report_every_tile ? 1 : 0;
+        pb.compute_per_elem = p_.compute_per_elem;
+        done += quads;
+        tiles_per_spe[s] =
+            (pb.count + p_.tile_elems - 1) / p_.tile_elems;
+
+        const EffAddr pb_ea = sys_.alloc(sizeof(pb));
+        sys_.machine().memory().write(pb_ea, &pb, sizeof(pb));
+        rt::SpuProgramImage img;
+        img.name = "reduce_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, pb_ea);
+    }
+
+    double acc = 0.0;
+    if (p_.report_every_tile) {
+        // Chatty mode: collect round-robin, acknowledging each tile.
+        std::uint32_t rounds = 0;
+        for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+            rounds = std::max(rounds, tiles_per_spe[s]);
+        for (std::uint32_t r = 0; r < rounds; ++r) {
+            for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+                if (r >= tiles_per_spe[s])
+                    continue;
+                const std::uint32_t w =
+                    co_await sys_.context(s).readOutMbox();
+                acc += wordToFloat(w);
+                co_await sys_.context(s).writeInMbox(1); // ack
+            }
+        }
+    } else {
+        for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+            if (tiles_per_spe[s] == 0)
+                continue;
+            const std::uint32_t w = co_await sys_.context(s).readOutMbox();
+            acc += wordToFloat(w);
+        }
+    }
+    result_ = static_cast<float>(acc);
+
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+        co_await sys_.context(s).join();
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+Reduction::spuMain(SpuEnv& env)
+{
+    const LsAddr pb_ls = env.lsAlloc(sizeof(ReduceBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(ReduceBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<ReduceBlock>(pb_ls);
+    if (pb.count == 0)
+        co_return;
+
+    const std::uint32_t tile_bytes = pb.tile_elems * 4;
+    LsAddr buf_a[2] = {env.lsAlloc(tile_bytes), env.lsAlloc(tile_bytes)};
+    LsAddr buf_b[2] = {env.lsAlloc(tile_bytes), env.lsAlloc(tile_bytes)};
+
+    const std::uint32_t n_tiles =
+        (pb.count + pb.tile_elems - 1) / pb.tile_elems;
+    auto tile_count = [&](std::uint32_t t) {
+        return std::min(pb.tile_elems, pb.count - t * pb.tile_elems);
+    };
+
+    // Prefetch tile 0.
+    {
+        const std::uint32_t bytes = tile_count(0) * 4;
+        co_await env.mfcGet(buf_a[0], pb.a, bytes, 0);
+        co_await env.mfcGet(buf_b[0], pb.b, bytes, 0);
+    }
+
+    double total = 0.0;
+    for (std::uint32_t t = 0; t < n_tiles; ++t) {
+        const std::uint32_t slot = t % 2;
+        co_await env.waitTagAll(1u << slot);
+        if (t + 1 < n_tiles) {
+            const std::uint32_t nb = tile_count(t + 1) * 4;
+            co_await env.mfcGet(buf_a[slot ^ 1],
+                                pb.a + std::uint64_t{t + 1} * tile_bytes, nb,
+                                slot ^ 1);
+            co_await env.mfcGet(buf_b[slot ^ 1],
+                                pb.b + std::uint64_t{t + 1} * tile_bytes, nb,
+                                slot ^ 1);
+        }
+
+        const std::uint32_t cnt = tile_count(t);
+        double tile_sum = 0.0;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+            tile_sum += static_cast<double>(
+                            env.ls().load<float>(buf_a[slot] + i * 4)) *
+                        env.ls().load<float>(buf_b[slot] + i * 4);
+        }
+        co_await env.compute(std::uint64_t{cnt} * pb.compute_per_elem + 80);
+
+        if (pb.report_every_tile) {
+            co_await env.writeOutMbox(
+                floatToWord(static_cast<float>(tile_sum)));
+            co_await env.readInMbox(); // wait for the PPE ack
+        } else {
+            total += tile_sum;
+        }
+    }
+
+    if (!pb.report_every_tile)
+        co_await env.writeOutMbox(floatToWord(static_cast<float>(total)));
+}
+
+bool
+Reduction::verify() const
+{
+    double want = 0.0;
+    for (std::uint32_t i = 0; i < p_.n_elements; ++i)
+        want += static_cast<double>(host_a_[i]) * host_b_[i];
+    return nearlyEqual(result_, static_cast<float>(want), 1e-3f);
+}
+
+} // namespace cell::wl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parallel dot product with mailbox coordination.
+ *
+ * Each SPE reduces its slice of two vectors tile by tile and reports
+ * partial results to the PPE through its outbound mailbox. Two
+ * coordination styles, selected by `report_every_tile`:
+ *
+ *   - false: one mailbox message per SPE at the end (the right way);
+ *   - true:  a message per *tile*, with the PPE acknowledging each one
+ *            through the inbound mailbox — a chatty ping-pong that
+ *            serializes SPEs behind the single PPE reader. This is the
+ *            pathological pattern of use case F6, which TA exposes as
+ *            dominant mailbox-stall time.
+ */
+
+#ifndef CELL_WL_REDUCTION_H
+#define CELL_WL_REDUCTION_H
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct ReductionParams
+{
+    std::uint32_t n_elements = 1 << 16; ///< multiple of 4
+    std::uint32_t n_spes = 8;
+    std::uint32_t tile_elems = 1024;    ///< multiple of 4
+    /** Chatty per-tile mailbox reporting (the bad pattern). */
+    bool report_every_tile = false;
+    std::uint32_t compute_per_elem = 2;
+};
+
+/** The dot-product workload. */
+class Reduction : public WorkloadBase
+{
+  public:
+    Reduction(rt::CellSystem& sys, ReductionParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    /** The dot product the PPE accumulated from mailbox messages. */
+    float result() const { return result_; }
+
+    const ReductionParams& params() const { return p_; }
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    ReductionParams p_;
+    EffAddr a_ = 0;
+    EffAddr b_ = 0;
+    std::vector<float> host_a_;
+    std::vector<float> host_b_;
+    float result_ = 0.0f;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_REDUCTION_H

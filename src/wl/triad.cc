@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Streaming triad implementation.
+ */
+
+#include "wl/triad.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+/** Parameter block each SPE fetches from main storage at startup. */
+struct TriadBlock
+{
+    EffAddr a;
+    EffAddr b;
+    EffAddr c;
+    std::uint32_t count;        ///< elements this SPE owns
+    std::uint32_t tile_elems;
+    std::uint32_t buffering;
+    std::uint32_t compute_per_elem;
+    float scale;
+    std::uint32_t pad[5];
+};
+static_assert(sizeof(TriadBlock) == 64, "param block stays 64 bytes");
+
+} // namespace
+
+Triad::Triad(rt::CellSystem& sys, TriadParams p) : WorkloadBase(sys), p_(p)
+{
+    if (p_.n_spes == 0 || p_.n_spes > sys.numSpes())
+        throw std::invalid_argument("Triad: bad n_spes");
+    if (p_.tile_elems == 0 || p_.tile_elems % 4 != 0 ||
+        p_.tile_elems * 4 > sim::kMaxDmaSize)
+        throw std::invalid_argument("Triad: tile must be 4..4096 elems, x4");
+    if (p_.buffering < 1 || p_.buffering > 3)
+        throw std::invalid_argument("Triad: buffering must be 1..3");
+    if (p_.n_elements % 4 != 0)
+        throw std::invalid_argument("Triad: n_elements must be multiple of 4");
+
+    Lcg rng(0x771AD);
+    host_a_.resize(p_.n_elements);
+    host_b_.resize(p_.n_elements);
+    for (std::uint32_t i = 0; i < p_.n_elements; ++i) {
+        host_a_[i] = rng.nextFloat();
+        host_b_[i] = rng.nextFloat();
+    }
+    a_ = uploadVector(sys_, host_a_);
+    b_ = uploadVector(sys_, host_b_);
+    c_ = sys_.alloc(std::uint64_t{p_.n_elements} * 4);
+}
+
+void
+Triad::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "triad.ppe");
+}
+
+CoTask<void>
+Triad::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    // Slice the arrays; each SPE's share is a multiple of 4 elements.
+    const std::uint32_t n = p_.n_elements / 4;
+    std::uint32_t done = 0;
+    std::vector<EffAddr> blocks(p_.n_spes);
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+        const std::uint32_t quads = n / p_.n_spes + (s < n % p_.n_spes ? 1 : 0);
+        TriadBlock pb{};
+        pb.a = a_ + std::uint64_t{done} * 16;
+        pb.b = b_ + std::uint64_t{done} * 16;
+        pb.c = c_ + std::uint64_t{done} * 16;
+        pb.count = quads * 4;
+        pb.tile_elems = p_.tile_elems;
+        pb.buffering = p_.buffering;
+        pb.compute_per_elem = p_.compute_per_elem;
+        pb.scale = p_.scale;
+        blocks[s] = sys_.alloc(sizeof(TriadBlock));
+        sys_.machine().memory().write(blocks[s], &pb, sizeof(pb));
+        done += quads;
+
+        rt::SpuProgramImage img;
+        img.name = "triad_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, blocks[s]);
+    }
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+        co_await sys_.context(s).join();
+
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+Triad::spuMain(SpuEnv& env)
+{
+    // Fetch the parameter block.
+    const LsAddr pb_ls = env.lsAlloc(sizeof(TriadBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(TriadBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<TriadBlock>(pb_ls);
+    if (pb.count == 0)
+        co_return;
+
+    const std::uint32_t tile_bytes = pb.tile_elems * 4;
+    const std::uint32_t nbuf = pb.buffering;
+    LsAddr buf_a[3] = {}, buf_b[3] = {}, buf_c[3] = {};
+    for (std::uint32_t i = 0; i < nbuf; ++i) {
+        buf_a[i] = env.lsAlloc(tile_bytes);
+        buf_b[i] = env.lsAlloc(tile_bytes);
+        buf_c[i] = env.lsAlloc(tile_bytes);
+    }
+
+    const std::uint32_t n_tiles =
+        (pb.count + pb.tile_elems - 1) / pb.tile_elems;
+    auto tile_count = [&](std::uint32_t t) {
+        return std::min(pb.tile_elems, pb.count - t * pb.tile_elems);
+    };
+
+    // Prologue: prefetch the first `nbuf` tiles, tag == slot.
+    for (std::uint32_t t = 0; t < std::min(nbuf, n_tiles); ++t) {
+        const std::uint32_t bytes = tile_count(t) * 4;
+        co_await env.mfcGet(buf_a[t], pb.a + std::uint64_t{t} * tile_bytes,
+                            bytes, t);
+        co_await env.mfcGet(buf_b[t], pb.b + std::uint64_t{t} * tile_bytes,
+                            bytes, t);
+    }
+
+    for (std::uint32_t t = 0; t < n_tiles; ++t) {
+        const std::uint32_t slot = t % nbuf;
+        const std::uint32_t cnt = tile_count(t);
+
+        // Wait for this slot's GET (and its previous PUT, same tag).
+        co_await env.waitTagAll(1u << slot);
+
+        // Compute the tile (real arithmetic + modeled cycles).
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+            const float av = env.ls().load<float>(buf_a[slot] + i * 4);
+            const float bv = env.ls().load<float>(buf_b[slot] + i * 4);
+            env.ls().store<float>(buf_c[slot] + i * 4,
+                                  av + pb.scale * bv);
+        }
+        co_await env.compute(std::uint64_t{cnt} * pb.compute_per_elem + 100);
+
+        // Write the result tile out and prefetch tile t + nbuf.
+        co_await env.mfcPut(buf_c[slot], pb.c + std::uint64_t{t} * tile_bytes,
+                            cnt * 4, slot);
+        const std::uint32_t nt = t + nbuf;
+        if (nt < n_tiles) {
+            const std::uint32_t nbytes = tile_count(nt) * 4;
+            co_await env.mfcGet(buf_a[slot],
+                                pb.a + std::uint64_t{nt} * tile_bytes, nbytes,
+                                slot);
+            co_await env.mfcGet(buf_b[slot],
+                                pb.b + std::uint64_t{nt} * tile_bytes, nbytes,
+                                slot);
+        }
+    }
+
+    // Drain all outstanding PUTs before stopping.
+    co_await env.waitTagAll((1u << nbuf) - 1);
+}
+
+bool
+Triad::verify() const
+{
+    const auto got = downloadVector<float>(sys_, c_, p_.n_elements);
+    for (std::uint32_t i = 0; i < p_.n_elements; ++i) {
+        const float want = host_a_[i] + p_.scale * host_b_[i];
+        if (!nearlyEqual(got[i], want))
+            return false;
+    }
+    return true;
+}
+
+} // namespace cell::wl

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Streaming triad: C[i] = A[i] + s * B[i].
+ *
+ * The canonical SPE streaming kernel and the paper's flagship use
+ * case: each SPE walks its slice of the arrays tile by tile, DMAing
+ * tiles in and results out. The `buffering` parameter selects single,
+ * double, or triple buffering — with one buffer the SPU waits for
+ * every DMA; with two+ the next tile's GET overlaps the current
+ * tile's compute, which is precisely the difference PDT+TA visualize.
+ */
+
+#ifndef CELL_WL_TRIAD_H
+#define CELL_WL_TRIAD_H
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct TriadParams
+{
+    /** Total elements (split across SPEs). */
+    std::uint32_t n_elements = 1 << 16;
+    /** SPEs to use. */
+    std::uint32_t n_spes = 8;
+    /** Elements per tile (tile bytes = 4 * this; <= 16 KiB / 4). */
+    std::uint32_t tile_elems = 1024;
+    /** 1 = single buffered, 2 = double, 3 = triple. */
+    std::uint32_t buffering = 2;
+    /** Extra compute cycles charged per element (arithmetic weight). */
+    std::uint32_t compute_per_elem = 4;
+    float scale = 2.5f;
+};
+
+/** The triad workload. */
+class Triad : public WorkloadBase
+{
+  public:
+    Triad(rt::CellSystem& sys, TriadParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    const TriadParams& params() const { return p_; }
+
+  private:
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    TriadParams p_;
+    EffAddr a_ = 0;
+    EffAddr b_ = 0;
+    EffAddr c_ = 0;
+    std::vector<float> host_a_;
+    std::vector<float> host_b_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_TRIAD_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Work-queue implementation.
+ */
+
+#include "wl/workqueue.h"
+
+#include <stdexcept>
+
+namespace cell::wl {
+
+namespace {
+
+/** Per-item descriptor, fetched by the worker with a 32-byte GET. */
+struct ItemDesc
+{
+    EffAddr in;
+    EffAddr out;
+    std::uint32_t count;
+    std::uint32_t cost;
+    std::uint64_t pad;
+};
+static_assert(sizeof(ItemDesc) == 32, "descriptor is 32 bytes");
+
+/** Startup parameter block. */
+struct WqBlock
+{
+    EffAddr items;
+    std::uint32_t first;
+    std::uint32_t count;
+    std::uint32_t dynamic;
+    std::uint32_t tile_elems;
+    std::uint32_t pad[2];
+};
+static_assert(sizeof(WqBlock) == 32, "param block is 32 bytes");
+
+} // namespace
+
+WorkQueue::WorkQueue(rt::CellSystem& sys, WorkQueueParams p)
+    : WorkloadBase(sys), p_(p), items_per_spe_(sys.numSpes(), 0)
+{
+    if (p_.n_spes == 0 || p_.n_spes > sys.numSpes())
+        throw std::invalid_argument("WorkQueue: bad n_spes");
+    if (p_.tile_elems % 4 != 0 || p_.tile_elems * 4 > sim::kMaxDmaSize)
+        throw std::invalid_argument("WorkQueue: bad tile size");
+    if (p_.n_items == 0)
+        throw std::invalid_argument("WorkQueue: no items");
+
+    Lcg rng(0x90B);
+    host_in_.resize(std::size_t{p_.n_items} * p_.tile_elems);
+    for (auto& v : host_in_)
+        v = rng.nextFloat();
+    in_ = uploadVector(sys_, host_in_);
+    out_ = sys_.alloc(host_in_.size() * 4);
+
+    // Build the descriptor table: cost ramps with the item index, so
+    // a contiguous static split is badly imbalanced.
+    std::vector<ItemDesc> descs(p_.n_items);
+    for (std::uint32_t i = 0; i < p_.n_items; ++i) {
+        descs[i].in = in_ + std::uint64_t{i} * p_.tile_elems * 4;
+        descs[i].out = out_ + std::uint64_t{i} * p_.tile_elems * 4;
+        descs[i].count = p_.tile_elems;
+        descs[i].cost = p_.cost_base + p_.cost_slope * i;
+    }
+    items_ea_ = uploadVector(sys_, descs);
+}
+
+void
+WorkQueue::start()
+{
+    sys_.runPpe([this](PpeEnv& env) { return ppeMain(env); }, "wq.ppe");
+}
+
+CoTask<void>
+WorkQueue::dispatcher(std::uint32_t spe)
+{
+    // Models one libspe2 event-handler thread serving one SPE.
+    for (;;) {
+        const std::uint32_t msg = co_await sys_.context(spe).readOutIrqMbox();
+        if (msg != kReady)
+            throw std::logic_error("WorkQueue: unexpected worker message");
+        if (next_item_ >= p_.n_items) {
+            co_await sys_.context(spe).writeInMbox(kStop);
+            co_return;
+        }
+        const std::uint32_t item = next_item_++;
+        items_per_spe_[spe] += 1;
+        co_await sys_.context(spe).writeInMbox(item);
+    }
+}
+
+CoTask<void>
+WorkQueue::ppeMain(PpeEnv& env)
+{
+    (void)env;
+    start_tick_ = sys_.engine().now();
+
+    std::uint32_t handed = 0;
+    std::vector<sim::ProcessRef> dispatchers;
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s) {
+        WqBlock pb{};
+        pb.items = items_ea_;
+        pb.dynamic = p_.dynamic ? 1 : 0;
+        pb.tile_elems = p_.tile_elems;
+        if (!p_.dynamic) {
+            const std::uint32_t own = p_.n_items / p_.n_spes +
+                                      (s < p_.n_items % p_.n_spes ? 1 : 0);
+            pb.first = handed;
+            pb.count = own;
+            handed += own;
+            items_per_spe_[s] = own;
+        }
+        const EffAddr pb_ea = sys_.alloc(sizeof(pb));
+        sys_.machine().memory().write(pb_ea, &pb, sizeof(pb));
+
+        rt::SpuProgramImage img;
+        img.name = p_.dynamic ? "wq_dyn_spu" : "wq_static_spu";
+        img.main = [this](SpuEnv& e) { return spuMain(e); };
+        co_await sys_.context(s).start(img, pb_ea);
+
+        if (p_.dynamic) {
+            dispatchers.push_back(sys_.engine().spawn(
+                [](WorkQueue* self, std::uint32_t spe) -> sim::Task {
+                    co_await self->dispatcher(spe);
+                }(this, s),
+                "wq.dispatch" + std::to_string(s)));
+        }
+    }
+    for (auto& d : dispatchers)
+        co_await d.join();
+    for (std::uint32_t s = 0; s < p_.n_spes; ++s)
+        co_await sys_.context(s).join();
+    end_tick_ = sys_.engine().now();
+}
+
+CoTask<void>
+WorkQueue::spuMain(SpuEnv& env)
+{
+    const LsAddr pb_ls = env.lsAlloc(sizeof(WqBlock), 16);
+    co_await env.mfcGet(pb_ls, env.argp(), sizeof(WqBlock), 0);
+    co_await env.waitTagAll(1u << 0);
+    const auto pb = env.ls().load<WqBlock>(pb_ls);
+
+    const std::uint32_t tile_bytes = pb.tile_elems * 4;
+    const LsAddr desc_ls = env.lsAlloc(sizeof(ItemDesc), 16);
+    const LsAddr tile = env.lsAlloc(tile_bytes);
+
+    auto process = [&](std::uint32_t item) -> CoTask<void> {
+        co_await env.mfcGet(desc_ls,
+                            pb.items + std::uint64_t{item} * sizeof(ItemDesc),
+                            sizeof(ItemDesc), 1);
+        co_await env.waitTagAll(1u << 1);
+        const auto d = env.ls().load<ItemDesc>(desc_ls);
+        co_await env.mfcGet(tile, d.in, d.count * 4, 1);
+        co_await env.waitTagAll(1u << 1);
+        for (std::uint32_t i = 0; i < d.count; ++i) {
+            env.ls().store<float>(
+                tile + i * 4, 2.0f * env.ls().load<float>(tile + i * 4) + 1.0f);
+        }
+        co_await env.compute(d.cost);
+        co_await env.mfcPut(tile, d.out, d.count * 4, 1);
+        co_await env.waitTagAll(1u << 1);
+    };
+
+    if (pb.dynamic) {
+        co_await env.writeOutIrqMbox(kReady);
+        for (;;) {
+            const std::uint32_t item = co_await env.readInMbox();
+            if (item == kStop)
+                break;
+            co_await process(item);
+            co_await env.writeOutIrqMbox(kReady);
+        }
+    } else {
+        for (std::uint32_t i = 0; i < pb.count; ++i)
+            co_await process(pb.first + i);
+    }
+}
+
+bool
+WorkQueue::verify() const
+{
+    const auto got = downloadVector<float>(sys_, out_, host_in_.size());
+    for (std::size_t i = 0; i < host_in_.size(); ++i) {
+        if (!nearlyEqual(got[i], 2.0f * host_in_[i] + 1.0f))
+            return false;
+    }
+    // In dynamic mode every item was handed out exactly once.
+    std::uint64_t total = 0;
+    for (auto n : items_per_spe_)
+        total += n;
+    return total == p_.n_items;
+}
+
+} // namespace cell::wl

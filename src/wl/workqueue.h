@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Master-worker work queue with deliberately uneven item costs.
+ *
+ * The PPE owns a queue of work items whose compute cost ramps up
+ * steeply across the item index. Two scheduling modes:
+ *
+ *   - Static: items are split contiguously up front — the SPE that
+ *     draws the expensive tail becomes the straggler.
+ *   - Dynamic: each SPE announces readiness through its outbound-
+ *     interrupt mailbox; a per-SPE PPE dispatcher (modeling libspe2's
+ *     event-handler threads) hands it the next item through the
+ *     inbound mailbox. Work self-balances.
+ *
+ * Item payload: scale-accumulate over a tile of floats, cost
+ * proportional to the item's weight. The same pattern the paper-era
+ * SDK demos used for irregular offload, and a rich mailbox/lifecycle
+ * event source for PDT.
+ */
+
+#ifndef CELL_WL_WORKQUEUE_H
+#define CELL_WL_WORKQUEUE_H
+
+#include "wl/common.h"
+
+namespace cell::wl {
+
+struct WorkQueueParams
+{
+    std::uint32_t n_items = 64;
+    std::uint32_t tile_elems = 512; ///< multiple of 4
+    std::uint32_t n_spes = 8;
+    /** Dynamic (queue) vs static (contiguous pre-split) scheduling. */
+    bool dynamic = true;
+    /** Item i costs base + slope * i cycles of compute. */
+    std::uint32_t cost_base = 500;
+    std::uint32_t cost_slope = 150;
+};
+
+/** The work-queue workload. */
+class WorkQueue : public WorkloadBase
+{
+  public:
+    WorkQueue(rt::CellSystem& sys, WorkQueueParams p);
+
+    void start() override;
+    bool verify() const override;
+
+    /** Items each SPE ended up processing (filled during the run). */
+    const std::vector<std::uint32_t>& itemsPerSpe() const
+    {
+        return items_per_spe_;
+    }
+
+    const WorkQueueParams& params() const { return p_; }
+
+  private:
+    static constexpr std::uint32_t kStop = 0xFFFF'FFFFu;
+    static constexpr std::uint32_t kReady = 0x600Du;
+
+    CoTask<void> ppeMain(PpeEnv& env);
+    CoTask<void> dispatcher(std::uint32_t spe);
+    CoTask<void> spuMain(SpuEnv& env);
+
+    WorkQueueParams p_;
+    EffAddr in_ = 0;
+    EffAddr out_ = 0;
+    EffAddr items_ea_ = 0; ///< per-item descriptor table
+    std::vector<float> host_in_;
+    std::uint32_t next_item_ = 0; ///< shared queue cursor (dynamic)
+    std::vector<std::uint32_t> items_per_spe_;
+};
+
+} // namespace cell::wl
+
+#endif // CELL_WL_WORKQUEUE_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Machine-configuration sweeps: the whole stack (workload + tracer +
+ * analyzer) must stay correct across machine shapes — SPE counts,
+ * timebase dividers, EIB widths — not just the default Cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdt/tracer.h"
+#include "ta/analyzer.h"
+#include "wl/triad.h"
+
+namespace cell {
+namespace {
+
+struct MachineCase
+{
+    std::uint32_t num_spes;
+    std::uint32_t timebase_divider;
+    std::uint32_t num_rings;
+    std::uint32_t mic_bytes_per_cycle;
+};
+
+class MachineSweep : public ::testing::TestWithParam<MachineCase>
+{};
+
+TEST_P(MachineSweep, StackWorksOnThisMachine)
+{
+    const auto& c = GetParam();
+    sim::MachineConfig mc;
+    mc.num_spes = c.num_spes;
+    mc.timebase_divider = c.timebase_divider;
+    mc.eib.num_rings = c.num_rings;
+    mc.eib.mic_bytes_per_cycle = c.mic_bytes_per_cycle;
+
+    rt::CellSystem sys(mc);
+    pdt::Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 8192;
+    p.n_spes = std::min(c.num_spes, 4u);
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    ASSERT_TRUE(wl.verify());
+
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+    EXPECT_EQ(a.model.numSpes(), c.num_spes);
+    EXPECT_EQ(a.model.header().timebase_divider, c.timebase_divider);
+    for (std::uint32_t s = 0; s < p.n_spes; ++s) {
+        EXPECT_TRUE(a.stats.spu[s].ran);
+        EXPECT_GT(a.stats.spu[s].utilization(), 0.0);
+        EXPECT_LE(a.stats.spu[s].utilization(), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, MachineSweep,
+    ::testing::Values(
+        MachineCase{1, 120, 4, 8},   // one SPE
+        MachineCase{2, 120, 4, 8},
+        MachineCase{8, 120, 4, 8},   // the real Cell
+        MachineCase{16, 120, 4, 8},  // dual-Cell blade worth of SPEs
+        MachineCase{8, 40, 4, 8},    // faster timebase (PS3-like)
+        MachineCase{8, 1, 4, 8},     // cycle-granular decrementer
+        MachineCase{8, 1000, 4, 8},  // very coarse timebase
+        MachineCase{8, 120, 1, 8},   // single-ring EIB
+        MachineCase{8, 120, 4, 2},   // starved memory bandwidth
+        MachineCase{8, 120, 8, 16}));// beefy fantasy interconnect
+
+TEST(MachineSweep, FasterMemoryNeverSlowsTheWorkload)
+{
+    auto elapsed = [](std::uint32_t mic_bytes) {
+        sim::MachineConfig mc;
+        mc.eib.mic_bytes_per_cycle = mic_bytes;
+        rt::CellSystem sys(mc);
+        wl::TriadParams p;
+        p.n_elements = 32768;
+        p.n_spes = 8;
+        p.buffering = 1; // expose transfer latency fully
+        wl::Triad wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+        return wl.elapsed();
+    };
+    const auto slow = elapsed(2);
+    const auto mid = elapsed(8);
+    const auto fast = elapsed(32);
+    EXPECT_GE(slow, mid);
+    EXPECT_GE(mid, fast);
+}
+
+TEST(MachineSweep, MoreSpesNeverSlowAFixedProblem)
+{
+    auto elapsed = [](std::uint32_t spes) {
+        rt::CellSystem sys;
+        wl::TriadParams p;
+        p.n_elements = 65536;
+        p.n_spes = spes;
+        p.compute_per_elem = 32; // compute-bound: should scale
+        wl::Triad wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+        return wl.elapsed();
+    };
+    const auto t1 = elapsed(1);
+    const auto t2 = elapsed(2);
+    const auto t4 = elapsed(4);
+    const auto t8 = elapsed(8);
+    EXPECT_GT(t1, t2);
+    EXPECT_GT(t2, t4);
+    EXPECT_GT(t4, t8);
+    // Compute-bound: near-linear scaling 1 -> 8.
+    EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t8), 6.0);
+}
+
+TEST(MachineSweep, CoarseTimebaseOnlyCoarsensTimes)
+{
+    // With divider 1000 the TA's resolution is 1000 cycles; run time
+    // must still agree with ground truth within one tick.
+    sim::MachineConfig mc;
+    mc.timebase_divider = 1000;
+    rt::CellSystem sys(mc);
+    pdt::Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 8192;
+    p.n_spes = 2;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    ASSERT_TRUE(wl.verify());
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+    const auto& truth = sys.machine().spe(0).stats();
+    const double truth_cycles =
+        static_cast<double>(truth.run_end - truth.run_start);
+    const double ta_cycles =
+        static_cast<double>(a.model.tbToCycles(a.stats.spu[0].run_tb));
+    EXPECT_NEAR(ta_cycles, truth_cycles, 2000.0);
+}
+
+} // namespace
+} // namespace cell

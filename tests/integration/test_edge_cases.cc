@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Edge cases across module boundaries: aperture violations, arena
+ * collisions, empty analyses, tracer re-attachment, and API misuse
+ * that must fail loudly instead of corrupting the simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pdt/tracer.h"
+#include "ta/analyzer.h"
+#include "ta/compare.h"
+#include "ta/profile.h"
+#include "ta/timeline.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "wl/triad.h"
+
+namespace cell {
+namespace {
+
+TEST(EdgeCases, DmaStraddlingLsApertureEndThrows)
+{
+    sim::MachineConfig cfg;
+    cfg.num_spes = 2;
+    sim::Machine m(cfg);
+    // A read touching past the 256 KiB LS inside SPE0's 1 MiB aperture
+    // window must throw, not silently read the gap.
+    std::uint8_t buf[32];
+    EXPECT_THROW(
+        m.readEa(cfg.lsAperture(0) + sim::kLocalStoreSize - 16, buf, 32),
+        std::out_of_range);
+    // Past the populated apertures the window ends (it is sized by
+    // num_spes), so the EA routes to plain main storage.
+    EXPECT_NO_THROW(m.readEa(cfg.lsAperture(5), buf, 32));
+}
+
+TEST(EdgeCases, ArenaAllocatorRefusesLsApertureCollision)
+{
+    sim::MachineConfig cfg;
+    cfg.ls_map_base = 0x1000'0000; // right where the arena starts
+    rt::CellSystem sys(cfg);
+    EXPECT_THROW(sys.alloc(128), std::runtime_error);
+}
+
+TEST(EdgeCases, EmptyAnalysisPrintsWithoutCrashing)
+{
+    trace::TraceData empty;
+    empty.header.num_spes = 8;
+    empty.header.core_hz = 3'200'000'000ULL;
+    empty.header.timebase_divider = 120;
+    empty.spe_programs.resize(8);
+    const ta::Analysis a = ta::analyze(empty);
+
+    std::ostringstream os;
+    ta::printSummary(os, a);
+    ta::printStallBreakdown(os, a);
+    ta::printDmaReport(os, a);
+    ta::printDmaHistogram(os, a);
+    ta::printEventCounts(os, a);
+    ta::printTracingReport(os, a);
+    ta::printActivity(os, a);
+    ta::exportBreakdownCsv(os, a);
+    ta::exportIntervalsCsv(os, a);
+    ta::exportDmaTransfersCsv(os, a);
+    EXPECT_FALSE(os.str().empty());
+    EXPECT_NO_THROW(ta::renderAscii(a.model, a.intervals));
+    EXPECT_NO_THROW(ta::renderSvg(a.model, a.intervals));
+}
+
+TEST(EdgeCases, CompareEmptyToEmpty)
+{
+    trace::TraceData empty;
+    empty.header.num_spes = 2;
+    empty.header.core_hz = 3'200'000'000ULL;
+    empty.header.timebase_divider = 120;
+    empty.spe_programs.resize(2);
+    const ta::Analysis a = ta::analyze(empty);
+    const ta::Analysis b = ta::analyze(empty);
+    std::ostringstream os;
+    EXPECT_NO_THROW(ta::printComparison(os, a, b));
+}
+
+TEST(EdgeCases, TracerDetachStopsCharging)
+{
+    rt::CellSystem sys;
+    auto tracer = std::make_unique<pdt::Pdt>(sys);
+    tracer->detach();
+    EXPECT_EQ(sys.hook(), nullptr);
+    EXPECT_EQ(sys.spuLsLimit(), sim::kLocalStoreSize);
+
+    wl::TriadParams p;
+    p.n_elements = 4096;
+    p.n_spes = 1;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+    EXPECT_EQ(sys.machine().spe(0).stats().tracer_cycles, 0u);
+    EXPECT_EQ(tracer->stats().totalRecords(), 0u);
+}
+
+TEST(EdgeCases, SecondTracerAfterDetachWorks)
+{
+    rt::CellSystem sys;
+    {
+        pdt::Pdt first(sys);
+        // destructor detaches
+    }
+    pdt::Pdt second(sys);
+    wl::TriadParams p;
+    p.n_elements = 4096;
+    p.n_spes = 1;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+    EXPECT_GT(second.stats().totalRecords(), 0u);
+}
+
+TEST(EdgeCases, ContextOfOutOfRangeSpeThrows)
+{
+    rt::CellSystem sys;
+    EXPECT_THROW(sys.context(99), std::out_of_range);
+}
+
+TEST(EdgeCases, RunWithNoWorkIsANoop)
+{
+    rt::CellSystem sys;
+    sys.run();
+    EXPECT_EQ(sys.engine().now(), 0u);
+    pdt::Pdt tracer(sys);
+    sys.run();
+    const trace::TraceData data = tracer.finalize();
+    EXPECT_TRUE(data.records.empty());
+    EXPECT_NO_THROW(ta::analyze(data));
+}
+
+TEST(EdgeCases, StartWithEmptyProgramThrows)
+{
+    rt::CellSystem sys;
+    bool threw = false;
+    sys.runPpe([&](rt::PpeEnv&) -> rt::CoTask<void> {
+        rt::SpuProgramImage img; // no main
+        try {
+            co_await sys.context(0).start(img);
+        } catch (const std::invalid_argument&) {
+            threw = true;
+        }
+    });
+    sys.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST(EdgeCases, TimelineWindowBeyondTraceIsEmptyNotCrashing)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 4096;
+    p.n_spes = 1;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+    ta::TimelineOptions opt;
+    opt.start_tb = a.model.endTb() + 1000;
+    opt.end_tb = a.model.endTb() + 2000;
+    const std::string out = ta::renderAscii(a.model, a.intervals, opt);
+    EXPECT_NE(out.find("SPE0"), std::string::npos);
+}
+
+TEST(EdgeCases, ZeroLengthNameTableRoundTrips)
+{
+    trace::TraceData t;
+    t.spe_programs = {"", "", ""};
+    const trace::TraceData back =
+        trace::readBuffer(trace::writeBuffer(t));
+    EXPECT_EQ(back.spe_programs.size(), 3u);
+    EXPECT_TRUE(back.spe_programs[1].empty());
+}
+
+TEST(EdgeCases, MachineTicksToNsConversion)
+{
+    sim::Machine m;
+    // 3200 cycles at 3.2 GHz = 1000 ns.
+    EXPECT_DOUBLE_EQ(m.ticksToNs(3200), 1000.0);
+}
+
+} // namespace
+} // namespace cell

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * End-to-end integration: workloads run on the simulated Cell, PDT
+ * traces them, TA analyzes the traces, and the analysis agrees with
+ * simulator ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pdt/tracer.h"
+#include "ta/analyzer.h"
+#include "ta/timeline.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "wl/matmul.h"
+#include "wl/reduction.h"
+#include "wl/triad.h"
+
+namespace cell {
+namespace {
+
+wl::TriadParams
+smallTriad(std::uint32_t spes, std::uint32_t buffering)
+{
+    wl::TriadParams p;
+    p.n_elements = 8192;
+    p.n_spes = spes;
+    p.tile_elems = 512;
+    p.buffering = buffering;
+    return p;
+}
+
+TEST(EndToEnd, TriadRunsUntraced)
+{
+    rt::CellSystem sys;
+    wl::Triad wl(sys, smallTriad(4, 2));
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+    EXPECT_GT(wl.elapsed(), 0u);
+    // No tracer: no tracer cycles charged anywhere.
+    for (std::uint32_t s = 0; s < sys.numSpes(); ++s)
+        EXPECT_EQ(sys.machine().spe(s).stats().tracer_cycles, 0u);
+}
+
+TEST(EndToEnd, TriadTracedProducesAnalyzableTrace)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::Triad wl(sys, smallTriad(4, 2));
+    wl.start();
+    sys.run();
+    ASSERT_TRUE(wl.verify()); // tracing must not corrupt results
+
+    const trace::TraceData data = tracer.finalize();
+    EXPECT_GT(data.records.size(), 100u);
+    EXPECT_EQ(data.header.num_spes, sys.numSpes());
+    EXPECT_EQ(data.spe_programs[0], "triad_spu");
+
+    const ta::Analysis a = ta::analyze(data);
+    // All 4 SPEs ran.
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        EXPECT_TRUE(a.stats.spu[s].ran) << "SPE" << s;
+        EXPECT_GT(a.stats.spu[s].run_tb, 0u);
+        EXPECT_GT(a.stats.dma[s].commands, 0u);
+    }
+    // SPEs 4..7 never ran.
+    for (std::uint32_t s = 4; s < 8; ++s)
+        EXPECT_FALSE(a.stats.spu[s].ran);
+}
+
+TEST(EndToEnd, TraceSurvivesFileRoundTrip)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::Triad wl(sys, smallTriad(2, 2));
+    wl.start();
+    sys.run();
+    const trace::TraceData data = tracer.finalize();
+
+    const auto buf = trace::writeBuffer(data);
+    const trace::TraceData back = trace::readBuffer(buf);
+    ASSERT_EQ(back.records.size(), data.records.size());
+    EXPECT_EQ(back.header.core_hz, data.header.core_hz);
+    EXPECT_EQ(back.spe_programs, data.spe_programs);
+    for (std::size_t i = 0; i < data.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].kind, data.records[i].kind);
+        EXPECT_EQ(back.records[i].timestamp, data.records[i].timestamp);
+    }
+}
+
+TEST(EndToEnd, TaTimesMatchGroundTruth)
+{
+    // The TA-reconstructed SPE run time must agree with the
+    // simulator's own accounting to within one timebase tick's
+    // conversion error.
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::Triad wl(sys, smallTriad(2, 2));
+    wl.start();
+    sys.run();
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        const auto& truth = sys.machine().spe(s).stats();
+        const std::uint64_t truth_cycles = truth.run_end - truth.run_start;
+        const std::uint64_t ta_cycles =
+            a.model.tbToCycles(a.stats.spu[s].run_tb);
+        const std::uint64_t div = sys.config().timebase_divider;
+        EXPECT_NEAR(static_cast<double>(ta_cycles),
+                    static_cast<double>(truth_cycles), 2.0 * div)
+            << "SPE" << s;
+    }
+}
+
+TEST(EndToEnd, DoubleBufferingBeatsSingleAndTaSeesWhy)
+{
+    // Paper use case: same triad, buffering 1 vs 2. Double buffering
+    // must be faster, and TA must attribute the single-buffer loss to
+    // DMA wait.
+    sim::Tick t_single = 0;
+    sim::Tick t_double = 0;
+    double wait_share_single = 0;
+    double wait_share_double = 0;
+
+    for (std::uint32_t buffering : {1u, 2u}) {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        wl::Triad wl(sys, smallTriad(4, buffering));
+        wl.start();
+        sys.run();
+        ASSERT_TRUE(wl.verify());
+        const ta::Analysis a = ta::analyze(tracer.finalize());
+        const auto& b = a.stats.spu[0];
+        const double share = static_cast<double>(b.dma_wait_tb) /
+                             static_cast<double>(b.run_tb);
+        if (buffering == 1) {
+            t_single = wl.elapsed();
+            wait_share_single = share;
+        } else {
+            t_double = wl.elapsed();
+            wait_share_double = share;
+        }
+    }
+    EXPECT_LT(t_double, t_single);
+    EXPECT_LT(wait_share_double, wait_share_single);
+}
+
+TEST(EndToEnd, TimelineRendersAllViews)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::Triad wl(sys, smallTriad(2, 2));
+    wl.start();
+    sys.run();
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+
+    const std::string ascii = ta::renderAscii(a.model, a.intervals);
+    EXPECT_NE(ascii.find("SPE0"), std::string::npos);
+    EXPECT_NE(ascii.find('#'), std::string::npos);
+
+    const std::string svg = ta::renderSvg(a.model, a.intervals);
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+
+    std::ostringstream os;
+    ta::printSummary(os, a);
+    ta::printStallBreakdown(os, a);
+    ta::printDmaReport(os, a);
+    ta::printEventCounts(os, a);
+    ta::printTracingReport(os, a);
+    ta::exportBreakdownCsv(os, a);
+    ta::exportIntervalsCsv(os, a);
+    EXPECT_NE(os.str().find("SPE time breakdown"), std::string::npos);
+}
+
+TEST(EndToEnd, ChattyMailboxPatternIsVisible)
+{
+    // Use case F6: per-tile mailbox ping-pong vs a single report.
+    double chatty_share = 0;
+    double quiet_share = 0;
+    for (bool chatty : {false, true}) {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        wl::ReductionParams p;
+        p.n_elements = 16384;
+        p.n_spes = 4;
+        p.tile_elems = 512;
+        p.report_every_tile = chatty;
+        wl::Reduction wl(sys, p);
+        wl.start();
+        sys.run();
+        ASSERT_TRUE(wl.verify());
+        const ta::Analysis a = ta::analyze(tracer.finalize());
+        double share = 0;
+        for (std::uint32_t s = 0; s < 4; ++s) {
+            share += static_cast<double>(a.stats.spu[s].mbox_wait_tb) /
+                     static_cast<double>(a.stats.spu[s].run_tb);
+        }
+        (chatty ? chatty_share : quiet_share) = share / 4;
+    }
+    EXPECT_GT(chatty_share, quiet_share + 0.05);
+}
+
+TEST(EndToEnd, MatmulTracedAndVerified)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::MatmulParams p;
+    p.n = 64;
+    p.n_spes = 2;
+    wl::Matmul wl(sys, p);
+    wl.start();
+    sys.run();
+    ASSERT_TRUE(wl.verify());
+    const ta::Analysis a = ta::analyze(tracer.finalize());
+    // List commands must show up in the op counts.
+    std::uint64_t getl = 0;
+    for (const auto& row : a.stats.op_counts)
+        getl += row[static_cast<std::size_t>(rt::ApiOp::SpuMfcGetList)];
+    EXPECT_GT(getl, 0u);
+}
+
+} // namespace
+} // namespace cell

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * PdtConfig validation and parser tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdt/config.h"
+
+namespace cell::pdt {
+namespace {
+
+TEST(PdtConfig, DefaultsAreValid)
+{
+    PdtConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.recordsPerHalf(), 128u);
+    EXPECT_EQ(cfg.groups, kAllGroups);
+}
+
+TEST(PdtConfig, RejectsBadBufferSizes)
+{
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.spu_buffer_bytes = 100; // not multiple of 32
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.spu_buffer_bytes = 64; // < 4 records
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.spu_buffer_bytes = 32768; // > one DMA
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.spu_buffer_bytes = 128;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PdtConfig, RejectsBadTagAndArena)
+{
+    PdtConfig cfg;
+    cfg.trace_tag = 32;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.trace_tag = 31;
+    cfg.arena_bytes_per_spe = 100;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PdtConfigParse, ParsesGroupsList)
+{
+    const PdtConfig cfg = PdtConfig::parse("groups=DMA,MAILBOX\n");
+    EXPECT_EQ(cfg.groups, groupBit(rt::ApiGroup::Dma) |
+                              groupBit(rt::ApiGroup::Mailbox));
+}
+
+TEST(PdtConfigParse, ParsesAllAndNone)
+{
+    EXPECT_EQ(PdtConfig::parse("groups=ALL").groups, kAllGroups);
+    EXPECT_EQ(PdtConfig::parse("groups=NONE").groups, 0u);
+}
+
+TEST(PdtConfigParse, ParsesNumbersAndHex)
+{
+    const PdtConfig cfg = PdtConfig::parse(
+        "buffer=8192\n"
+        "spes=0x0F\n"
+        "double_buffer=0\n"
+        "record_cost=55\n"
+        "arena=1048576\n"
+        "trace_ppe=1\n");
+    EXPECT_EQ(cfg.spu_buffer_bytes, 8192u);
+    EXPECT_EQ(cfg.spe_mask, 0x0Fu);
+    EXPECT_FALSE(cfg.double_buffered);
+    EXPECT_EQ(cfg.spu_record_cost, 55u);
+    EXPECT_EQ(cfg.arena_bytes_per_spe, 1048576u);
+    EXPECT_TRUE(cfg.trace_ppe);
+}
+
+TEST(PdtConfigParse, SkipsCommentsAndBlankLines)
+{
+    const PdtConfig cfg = PdtConfig::parse(
+        "# a comment\n"
+        "\n"
+        "   buffer=256   # trailing comment\n");
+    EXPECT_EQ(cfg.spu_buffer_bytes, 256u);
+}
+
+TEST(PdtConfigParse, RejectsUnknownKeysAndGroups)
+{
+    EXPECT_THROW(PdtConfig::parse("bogus=1"), std::invalid_argument);
+    EXPECT_THROW(PdtConfig::parse("groups=NOPE"), std::invalid_argument);
+    EXPECT_THROW(PdtConfig::parse("no equals sign"), std::invalid_argument);
+}
+
+TEST(PdtConfigParse, ParsedResultIsValidated)
+{
+    EXPECT_THROW(PdtConfig::parse("buffer=7"), std::invalid_argument);
+}
+
+TEST(PdtConfigParse, BaseConfigIsPreserved)
+{
+    PdtConfig base;
+    base.spu_record_cost = 99;
+    const PdtConfig cfg = PdtConfig::parse("buffer=256", base);
+    EXPECT_EQ(cfg.spu_record_cost, 99u);
+    EXPECT_EQ(cfg.spu_buffer_bytes, 256u);
+}
+
+} // namespace
+} // namespace cell::pdt

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * PDT tracer tests: buffer mechanics, flushing, filtering, overhead
+ * accounting, LS reservation, arena overflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdt/tracer.h"
+#include "ta/model.h"
+#include "wl/triad.h"
+
+namespace cell::pdt {
+namespace {
+
+using rt::CellSystem;
+using rt::CoTask;
+using rt::SpuEnv;
+using rt::SpuProgramImage;
+
+/** Run a one-SPE program under a tracer with config @p cfg. */
+template <typename Fn>
+trace::TraceData
+traceProgram(Fn body, PdtConfig cfg = {}, CellSystem* ext_sys = nullptr,
+             PdtStats* out_stats = nullptr)
+{
+    CellSystem local_sys;
+    CellSystem& sys = ext_sys ? *ext_sys : local_sys;
+    Pdt tracer(sys, cfg);
+    sys.runPpe([&](rt::PpeEnv&) -> CoTask<void> {
+        SpuProgramImage img;
+        img.name = "traced";
+        img.main = body;
+        co_await sys.context(0).start(img);
+        co_await sys.context(0).join();
+    });
+    sys.run();
+    if (out_stats)
+        *out_stats = tracer.stats();
+    return tracer.finalize();
+}
+
+CoTask<void>
+emitUserEvents(SpuEnv& env)
+{
+    for (std::uint32_t i = 0; i < 100; ++i)
+        co_await env.userEvent(i, i * 10);
+}
+
+TEST(Pdt, RecordsUserEventsInOrder)
+{
+    const trace::TraceData data = traceProgram(emitUserEvents);
+    std::vector<std::uint64_t> ids;
+    for (const auto& rec : data.records) {
+        if (rec.kind == static_cast<std::uint8_t>(rt::ApiOp::SpuUserEvent))
+            ids.push_back(rec.a);
+    }
+    ASSERT_EQ(ids.size(), 100u);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(ids[i], i);
+}
+
+TEST(Pdt, EveryHalfStartsWithASyncRecord)
+{
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256; // 8 records per half -> many flushes
+    PdtStats stats;
+    const trace::TraceData data =
+        traceProgram(emitUserEvents, cfg, nullptr, &stats);
+
+    // SPE stream: count sync records; there must be one per flushed
+    // half (plus the in-LS remainder's).
+    std::uint64_t syncs = 0;
+    for (const auto& rec : data.records) {
+        if (rec.core == 1 && rec.kind == trace::kSyncRecord)
+            ++syncs;
+    }
+    EXPECT_GE(syncs, stats.spu[0].flushes);
+    EXPECT_GT(stats.spu[0].flushes, 5u);
+}
+
+TEST(Pdt, FlushMarkersDescribeFlushes)
+{
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256;
+    PdtStats stats;
+    const trace::TraceData data =
+        traceProgram(emitUserEvents, cfg, nullptr, &stats);
+
+    std::uint64_t marker_records = 0;
+    std::uint64_t markers = 0;
+    for (const auto& rec : data.records) {
+        if (rec.core == 1 && rec.kind == trace::kFlushRecord) {
+            ++markers;
+            marker_records += rec.a;
+        }
+    }
+    // Every flush except possibly the final one gets a marker in the
+    // next half.
+    EXPECT_GE(markers + 1, stats.spu[0].flushes);
+    EXPECT_GT(marker_records, 0u);
+}
+
+TEST(Pdt, GroupFilteringDropsRecordsButKeepsCheckCost)
+{
+    PdtConfig cfg;
+    cfg.groups = groupBit(rt::ApiGroup::Lifecycle);
+    PdtStats stats;
+    CellSystem sys;
+    const trace::TraceData data =
+        traceProgram(emitUserEvents, cfg, &sys, &stats);
+
+    for (const auto& rec : data.records)
+        EXPECT_NE(rec.kind, static_cast<std::uint8_t>(rt::ApiOp::SpuUserEvent));
+    EXPECT_EQ(stats.spu[0].filtered, 100u);
+    // Filtered events still charged the check.
+    EXPECT_GE(sys.machine().spe(0).stats().tracer_cycles,
+              100u * cfg.filtered_check_cost);
+}
+
+TEST(Pdt, SpeMaskDisablesPerSpe)
+{
+    CellSystem sys;
+    PdtConfig cfg;
+    cfg.spe_mask = 0x2; // only SPE1
+    Pdt tracer(sys, cfg);
+    sys.runPpe([&](rt::PpeEnv&) -> CoTask<void> {
+        for (std::uint32_t s : {0u, 1u}) {
+            SpuProgramImage img;
+            img.name = "m";
+            img.main = emitUserEvents;
+            co_await sys.context(s).start(img);
+        }
+        co_await sys.context(0).join();
+        co_await sys.context(1).join();
+    });
+    sys.run();
+    const trace::TraceData data = tracer.finalize();
+    std::uint64_t spe0 = 0, spe1 = 0;
+    for (const auto& rec : data.records) {
+        if (rec.core == 1)
+            ++spe0;
+        if (rec.core == 2)
+            ++spe1;
+    }
+    EXPECT_EQ(spe0, 0u);
+    EXPECT_GT(spe1, 100u);
+}
+
+TEST(Pdt, TracePpeFalseSilencesPpeStream)
+{
+    CellSystem sys;
+    PdtConfig cfg;
+    cfg.trace_ppe = false;
+    PdtStats stats;
+    const trace::TraceData data =
+        traceProgram(emitUserEvents, cfg, &sys, &stats);
+    for (const auto& rec : data.records)
+        EXPECT_NE(rec.core, 0u);
+    EXPECT_EQ(stats.ppe_records, 0u);
+}
+
+TEST(Pdt, ReservesLocalStoreForBuffers)
+{
+    CellSystem sys;
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 8192;
+    Pdt tracer(sys, cfg);
+    EXPECT_EQ(sys.spuLsLimit(), (sim::kLocalStoreSize - 2 * 8192) & ~15u);
+
+    // Single-buffered reserves one half only.
+    CellSystem sys2;
+    cfg.double_buffered = false;
+    Pdt tracer2(sys2, cfg);
+    EXPECT_EQ(sys2.spuLsLimit(), (sim::kLocalStoreSize - 8192) & ~15u);
+
+    tracer.detach();
+    EXPECT_EQ(sys.spuLsLimit(), sim::kLocalStoreSize);
+}
+
+TEST(Pdt, ArenaOverflowStopsTracingNotTheProgram)
+{
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256;
+    cfg.arena_bytes_per_spe = 512; // absurdly small: 2 flushes max
+    PdtStats stats;
+    const trace::TraceData data =
+        traceProgram(emitUserEvents, cfg, nullptr, &stats);
+    EXPECT_TRUE(stats.spu[0].overflowed);
+    EXPECT_GT(stats.spu[0].dropped, 0u);
+    // Whatever was flushed is still a readable trace.
+    EXPECT_GT(data.records.size(), 0u);
+    EXPECT_LE(data.records.size() * 32, 512u + 4096u /* ppe */);
+}
+
+TEST(Pdt, WrapArenaKeepsMostRecentWindow)
+{
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256;        // 8 records per half
+    cfg.arena_bytes_per_spe = 1024;    // 4 flushed halves max
+    cfg.wrap_arena = true;
+    PdtStats stats;
+    const trace::TraceData data =
+        traceProgram(emitUserEvents, cfg, nullptr, &stats);
+
+    EXPECT_FALSE(stats.spu[0].overflowed);
+    EXPECT_GT(stats.spu[0].dropped, 0u); // old flushes overwritten
+
+    // The surviving user events must be the most recent ones, in
+    // order, ending at id 99.
+    std::vector<std::uint64_t> ids;
+    for (const auto& rec : data.records) {
+        if (rec.kind == static_cast<std::uint8_t>(rt::ApiOp::SpuUserEvent))
+            ids.push_back(rec.a);
+    }
+    ASSERT_FALSE(ids.empty());
+    EXPECT_LT(ids.size(), 100u); // some were lost, by design
+    EXPECT_EQ(ids.back(), 99u);
+    for (std::size_t i = 1; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], ids[i - 1] + 1);
+
+    // The wrapped trace must still be analyzable (a sync record leads
+    // every surviving half).
+    EXPECT_NO_THROW(ta::TraceModel::build(data));
+}
+
+TEST(Pdt, SingleBufferFlushesBlock)
+{
+    // Identical program; single-buffered tracing must cost at least
+    // as much as double-buffered (it waits for every flush DMA).
+    auto elapsed = [](bool dbl) {
+        CellSystem sys;
+        PdtConfig cfg;
+        cfg.spu_buffer_bytes = 256;
+        cfg.double_buffered = dbl;
+        Pdt tracer(sys, cfg);
+        sim::Tick t = 0;
+        sys.runPpe([&](rt::PpeEnv&) -> CoTask<void> {
+            SpuProgramImage img;
+            img.main = emitUserEvents;
+            co_await sys.context(0).start(img);
+            co_await sys.context(0).join();
+            t = sys.engine().now();
+        });
+        sys.run();
+        return t;
+    };
+    EXPECT_LE(elapsed(true), elapsed(false));
+}
+
+TEST(Pdt, HeaderCarriesMachineParameters)
+{
+    CellSystem sys;
+    Pdt tracer(sys);
+    sys.run();
+    const trace::TraceData data = tracer.finalize();
+    EXPECT_EQ(data.header.core_hz, sys.config().core_hz);
+    EXPECT_EQ(data.header.timebase_divider, sys.config().timebase_divider);
+    EXPECT_EQ(data.header.num_spes, sys.numSpes());
+}
+
+TEST(Pdt, TracerCyclesAccountedPerSpe)
+{
+    CellSystem sys;
+    PdtStats stats;
+    traceProgram(emitUserEvents, {}, &sys, &stats);
+    // 100 user events + start/stop ~= 102 records at 40 cycles.
+    const auto cycles = sys.machine().spe(0).stats().tracer_cycles;
+    EXPECT_GE(cycles, 100u * PdtConfig{}.spu_record_cost);
+    EXPECT_EQ(sys.machine().spe(1).stats().tracer_cycles, 0u);
+}
+
+TEST(Pdt, TracedRunIsDeterministic)
+{
+    auto run = [] {
+        PdtConfig cfg;
+        cfg.spu_buffer_bytes = 512;
+        return traceProgram(emitUserEvents, cfg);
+    };
+    const trace::TraceData a = run();
+    const trace::TraceData b = run();
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].kind, b.records[i].kind);
+        EXPECT_EQ(a.records[i].timestamp, b.records[i].timestamp);
+        EXPECT_EQ(a.records[i].a, b.records[i].a);
+    }
+}
+
+TEST(Pdt, WorksAcrossManySpesConcurrently)
+{
+    CellSystem sys;
+    Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 16384;
+    p.n_spes = 8;
+    wl::Triad triad(sys, p);
+    triad.start();
+    sys.run();
+    EXPECT_TRUE(triad.verify());
+    const trace::TraceData data = tracer.finalize();
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        std::uint64_t n = 0;
+        for (const auto& rec : data.records)
+            n += rec.core == s + 1 ? 1 : 0;
+        EXPECT_GT(n, 10u) << "SPE" << s;
+    }
+}
+
+} // namespace
+} // namespace cell::pdt

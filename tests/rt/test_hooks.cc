@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Instrumentation-hook tests: every runtime operation must emit the
+ * documented Begin/End events with the documented payloads, on the
+ * right core, in order — the contract PDT's event stream relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/system.h"
+
+namespace cell::rt {
+namespace {
+
+/** Hook that records every event and charges nothing. */
+class RecordingHook : public ApiHook
+{
+  public:
+    std::vector<ApiEvent> events;
+
+    sim::CoTask<void> onApiEvent(const ApiEvent& ev) override
+    {
+        events.push_back(ev);
+        co_return;
+    }
+
+    /** Events of one op in order. */
+    std::vector<ApiEvent> of(ApiOp op) const
+    {
+        std::vector<ApiEvent> out;
+        for (const auto& e : events)
+            if (e.op == op)
+                out.push_back(e);
+        return out;
+    }
+};
+
+TEST(ApiNames, AllOpsHaveDistinctNames)
+{
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < kNumApiOps; ++i) {
+        const std::string n = apiOpName(static_cast<ApiOp>(i));
+        EXPECT_NE(n, "UNKNOWN") << "op " << i;
+        for (const auto& prev : names)
+            EXPECT_NE(n, prev);
+        names.push_back(n);
+    }
+}
+
+TEST(ApiNames, AllGroupsHaveNames)
+{
+    for (std::size_t g = 0; g < kNumApiGroups; ++g)
+        EXPECT_STRNE(apiGroupName(static_cast<ApiGroup>(g)), "UNKNOWN");
+}
+
+TEST(ApiGroups, EveryOpMapsToAGroup)
+{
+    for (std::size_t i = 0; i < kNumApiOps; ++i) {
+        const auto g = apiOpGroup(static_cast<ApiOp>(i));
+        EXPECT_LT(static_cast<std::size_t>(g), kNumApiGroups);
+    }
+}
+
+TEST(ApiGroups, SpotChecks)
+{
+    EXPECT_EQ(apiOpGroup(ApiOp::SpuMfcGet), ApiGroup::Dma);
+    EXPECT_EQ(apiOpGroup(ApiOp::SpuTagWaitAll), ApiGroup::DmaWait);
+    EXPECT_EQ(apiOpGroup(ApiOp::SpuMboxRead), ApiGroup::Mailbox);
+    EXPECT_EQ(apiOpGroup(ApiOp::SpuSendSignal), ApiGroup::Signal);
+    EXPECT_EQ(apiOpGroup(ApiOp::SpuStart), ApiGroup::Lifecycle);
+    EXPECT_EQ(apiOpGroup(ApiOp::SpuUserEvent), ApiGroup::User);
+    EXPECT_EQ(apiOpGroup(ApiOp::PpeProxyGet), ApiGroup::Dma);
+}
+
+CoTask<void>
+dmaProgram(SpuEnv& env)
+{
+    const sim::LsAddr buf = env.lsAlloc(256);
+    co_await env.mfcGet(buf, env.argp(), 256, 7);
+    co_await env.waitTagAll(1u << 7);
+    co_await env.userEvent(99, 0xABCD);
+}
+
+TEST(Hooks, DmaEventsCarryDocumentedPayloads)
+{
+    CellSystem sys;
+    RecordingHook hook;
+    sys.setHook(&hook);
+    const sim::EffAddr src = sys.alloc(256);
+
+    sys.runPpe([&](PpeEnv&) -> CoTask<void> {
+        SpuProgramImage img;
+        img.main = dmaProgram;
+        co_await sys.context(2).start(img, src);
+        co_await sys.context(2).join();
+    });
+    sys.run();
+
+    const auto gets = hook.of(ApiOp::SpuMfcGet);
+    ASSERT_EQ(gets.size(), 2u); // Begin + End
+    EXPECT_EQ(gets[0].phase, ApiPhase::Begin);
+    EXPECT_EQ(gets[1].phase, ApiPhase::End);
+    EXPECT_TRUE(gets[0].core.isSpe());
+    EXPECT_EQ(gets[0].core.speIndex(), 2u);
+    EXPECT_EQ(gets[0].b, src);  // EA
+    EXPECT_EQ(gets[0].c, 256u); // size
+    EXPECT_EQ(gets[0].d, 7u);   // tag
+
+    const auto waits = hook.of(ApiOp::SpuTagWaitAll);
+    ASSERT_EQ(waits.size(), 2u);
+    EXPECT_EQ(waits[0].a, 1u << 7); // mask
+    EXPECT_EQ(waits[1].b, 1u << 7); // completed mask
+
+    const auto users = hook.of(ApiOp::SpuUserEvent);
+    ASSERT_EQ(users.size(), 1u); // single marker
+    EXPECT_EQ(users[0].a, 99u);
+    EXPECT_EQ(users[0].b, 0xABCDu);
+}
+
+TEST(Hooks, LifecycleOrderIsStartThenStop)
+{
+    CellSystem sys;
+    RecordingHook hook;
+    sys.setHook(&hook);
+    sys.runPpe([&](PpeEnv&) -> CoTask<void> {
+        SpuProgramImage img;
+        img.main = [](SpuEnv& e) -> CoTask<void> {
+            e.setExitCode(9);
+            co_return;
+        };
+        co_await sys.context(0).start(img);
+        co_await sys.context(0).join();
+    });
+    sys.run();
+
+    // Event order: create, run(Begin), start, stop, run(End) happens
+    // before start... verify the essential ordering constraints.
+    std::vector<ApiOp> ops;
+    for (const auto& e : hook.events)
+        ops.push_back(e.op);
+    auto idx = [&](ApiOp op) {
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            if (ops[i] == op)
+                return static_cast<std::ptrdiff_t>(i);
+        return std::ptrdiff_t{-1};
+    };
+    EXPECT_LT(idx(ApiOp::PpeContextCreate), idx(ApiOp::PpeContextRun));
+    EXPECT_LT(idx(ApiOp::PpeContextRun), idx(ApiOp::SpuStart));
+    EXPECT_LT(idx(ApiOp::SpuStart), idx(ApiOp::SpuStop));
+    EXPECT_LT(idx(ApiOp::SpuStop), idx(ApiOp::PpeContextJoin) + 1000);
+
+    const auto stops = hook.of(ApiOp::SpuStop);
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0].a, 9u); // exit code
+}
+
+TEST(Hooks, PpeEventsAreOnThePpeCore)
+{
+    CellSystem sys;
+    RecordingHook hook;
+    sys.setHook(&hook);
+    sys.runPpe([&](PpeEnv& env) -> CoTask<void> {
+        co_await env.userEvent(5, 6);
+        SpuProgramImage img;
+        img.main = [](SpuEnv& e) -> CoTask<void> {
+            co_await e.writeOutMbox(1);
+        };
+        co_await sys.context(0).start(img);
+        co_await sys.context(0).readOutMbox();
+        co_await sys.context(0).join();
+    });
+    sys.run();
+
+    for (const auto& e : hook.events) {
+        switch (e.op) {
+          case ApiOp::PpeUserEvent:
+          case ApiOp::PpeContextCreate:
+          case ApiOp::PpeContextRun:
+          case ApiOp::PpeContextJoin:
+          case ApiOp::PpeMboxRead:
+            EXPECT_TRUE(e.core.isPpe()) << apiOpName(e.op);
+            break;
+          case ApiOp::SpuStart:
+          case ApiOp::SpuStop:
+          case ApiOp::SpuMboxWrite:
+            EXPECT_TRUE(e.core.isSpe()) << apiOpName(e.op);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+TEST(Hooks, NoHookMeansNoOverheadPath)
+{
+    // Two identical runs, one with a null hook reinstalled: identical
+    // cycle counts (hook dispatch itself must be free when absent).
+    auto run = [](bool set_then_clear) {
+        CellSystem sys;
+        if (set_then_clear) {
+            RecordingHook hook;
+            sys.setHook(&hook);
+            sys.setHook(nullptr);
+        }
+        sim::Tick elapsed = 0;
+        sys.runPpe([&](PpeEnv&) -> CoTask<void> {
+            SpuProgramImage img;
+            img.main = dmaProgram;
+            co_await sys.context(0).start(img, 0x4000);
+            co_await sys.context(0).join();
+            elapsed = sys.engine().now();
+        });
+        sys.run();
+        return elapsed;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Hooks, BeginAndEndAlwaysPairForBlockingOps)
+{
+    CellSystem sys;
+    RecordingHook hook;
+    sys.setHook(&hook);
+    const sim::EffAddr src = sys.alloc(4096);
+
+    sys.runPpe([&](PpeEnv&) -> CoTask<void> {
+        SpuProgramImage img;
+        img.main = [&sys, src](SpuEnv& e) -> CoTask<void> {
+            const sim::LsAddr b = e.lsAlloc(4096);
+            for (int i = 0; i < 3; ++i) {
+                co_await e.mfcGet(b, src, 4096, 1);
+                co_await e.waitTagAll(1u << 1);
+            }
+            co_await e.writeOutMbox(7);
+        };
+        co_await sys.context(0).start(img);
+        co_await sys.context(0).readOutMbox();
+        co_await sys.context(0).join();
+    });
+    sys.run();
+
+    for (ApiOp op : {ApiOp::SpuMfcGet, ApiOp::SpuTagWaitAll,
+                     ApiOp::SpuMboxWrite, ApiOp::PpeMboxRead}) {
+        const auto evs = hook.of(op);
+        ASSERT_EQ(evs.size() % 2, 0u) << apiOpName(op);
+        for (std::size_t i = 0; i < evs.size(); i += 2) {
+            EXPECT_EQ(evs[i].phase, ApiPhase::Begin) << apiOpName(op);
+            EXPECT_EQ(evs[i + 1].phase, ApiPhase::End) << apiOpName(op);
+        }
+    }
+}
+
+} // namespace
+} // namespace cell::rt

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * SPU channel-interface tests: the architected rdch/wrch/rchcnt
+ * semantics, including the five-write MFC command-issue sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/channels.h"
+#include "sim/machine.h"
+
+namespace cell::sim {
+namespace {
+
+MachineConfig
+cfg1()
+{
+    MachineConfig c;
+    c.num_spes = 2;
+    return c;
+}
+
+/** Issue one GET through the raw channel sequence. */
+CoTask<void>
+channelGet(SpuChannels& ch, LsAddr ls, EffAddr ea, std::uint32_t size,
+           TagId tag)
+{
+    co_await ch.write(MFC_LSA, ls);
+    co_await ch.write(MFC_EAH, static_cast<std::uint32_t>(ea >> 32));
+    co_await ch.write(MFC_EAL, static_cast<std::uint32_t>(ea));
+    co_await ch.write(MFC_Size, size);
+    co_await ch.write(MFC_TagID, tag);
+    co_await ch.write(MFC_Cmd, MFC_GET_CMD);
+}
+
+/** Architected tag-wait-all: mask, update ALL, read status. */
+CoTask<TagMask>
+channelTagWaitAll(SpuChannels& ch, TagMask mask)
+{
+    co_await ch.write(MFC_WrTagMask, mask);
+    co_await ch.write(MFC_WrTagUpdate, MFC_TAG_UPDATE_ALL);
+    co_return co_await ch.read(MFC_RdTagStat);
+}
+
+Task
+dmaViaChannels(SpuChannels& ch, bool* ok)
+{
+    co_await channelGet(ch, 0x1000, 0x8000, 256, 6);
+    const TagMask done = co_await channelTagWaitAll(ch, 1u << 6);
+    *ok = done == (1u << 6);
+}
+
+TEST(Channels, MfcCommandSequenceMovesData)
+{
+    Machine m(cfg1());
+    std::vector<std::uint8_t> pat(256);
+    std::iota(pat.begin(), pat.end(), 1);
+    m.memory().write(0x8000, pat.data(), pat.size());
+
+    SpuChannels ch(m.spe(0));
+    bool ok = false;
+    m.spawnPpe(dmaViaChannels(ch, &ok));
+    m.run();
+    EXPECT_TRUE(ok);
+    std::vector<std::uint8_t> got(256);
+    m.spe(0).localStore().read(0x1000, got.data(), got.size());
+    EXPECT_EQ(got, pat);
+}
+
+Task
+fencedPutViaChannels(Machine& m, SpuChannels& ch)
+{
+    m.spe(0).localStore().store<std::uint8_t>(0x0, 0x11);
+    m.spe(0).localStore().store<std::uint8_t>(0x10, 0x22);
+    co_await ch.write(MFC_LSA, 0x0);
+    co_await ch.write(MFC_EAH, 0);
+    co_await ch.write(MFC_EAL, 0x9000);
+    co_await ch.write(MFC_Size, 1);
+    co_await ch.write(MFC_TagID, 3);
+    co_await ch.write(MFC_Cmd, MFC_PUT_CMD);
+    co_await ch.write(MFC_LSA, 0x10);
+    co_await ch.write(MFC_Cmd, MFC_PUTF_CMD); // fenced: ordered after
+    co_await channelTagWaitAll(ch, 1u << 3);
+}
+
+TEST(Channels, FencedOpcodeOrdersWrites)
+{
+    Machine m(cfg1());
+    SpuChannels ch(m.spe(0));
+    m.spawnPpe(fencedPutViaChannels(m, ch));
+    m.run();
+    EXPECT_EQ(m.memory().peek<std::uint8_t>(0x9000), 0x22);
+}
+
+Task
+listViaChannels(Machine& m, SpuChannels& ch)
+{
+    LocalStore& ls = m.spe(0).localStore();
+    ls.store(0x200, MfcListElement::make(128, 0x8000));
+    ls.store(0x208, MfcListElement::make(128, 0x8200));
+    co_await ch.write(MFC_LSA, 0x4000);
+    co_await ch.write(MFC_EAH, 0);
+    co_await ch.write(MFC_EAL, 0x200); // list address in LS
+    co_await ch.write(MFC_Size, 16);   // 2 elements
+    co_await ch.write(MFC_TagID, 9);
+    co_await ch.write(MFC_Cmd, MFC_GETL_CMD);
+    co_await channelTagWaitAll(ch, 1u << 9);
+}
+
+TEST(Channels, ListCommandViaChannels)
+{
+    Machine m(cfg1());
+    std::vector<std::uint8_t> a(128, 0xAA), b(128, 0xBB);
+    m.memory().write(0x8000, a.data(), a.size());
+    m.memory().write(0x8200, b.data(), b.size());
+    SpuChannels ch(m.spe(0));
+    m.spawnPpe(listViaChannels(m, ch));
+    m.run();
+    EXPECT_EQ(m.spe(0).localStore().load<std::uint8_t>(0x4000), 0xAA);
+    EXPECT_EQ(m.spe(0).localStore().load<std::uint8_t>(0x4080), 0xBB);
+    EXPECT_EQ(m.spe(0).mfc().stats().list_commands, 1u);
+}
+
+Task
+mailboxViaChannels(Machine& m, SpuChannels& ch, std::uint32_t* got)
+{
+    co_await ch.write(SPU_WrOutMbox, 0x1234);
+    *got = co_await ch.read(SPU_RdInMbox);
+    (void)m;
+}
+
+TEST(Channels, MailboxChannels)
+{
+    Machine m(cfg1());
+    SpuChannels ch(m.spe(0));
+    std::uint32_t got = 0;
+    m.spawnPpe(mailboxViaChannels(m, ch, &got));
+    m.engine().schedule(500, [&] { m.spe(0).inbound().tryPush(0x5678); });
+    m.run();
+    EXPECT_EQ(got, 0x5678u);
+    std::uint32_t out = 0;
+    EXPECT_TRUE(m.spe(0).outbound().tryPop(out));
+    EXPECT_EQ(out, 0x1234u);
+}
+
+TEST(Channels, CountsReflectArchitectedSemantics)
+{
+    Machine m(cfg1());
+    SpuChannels ch(m.spe(0));
+    // Parameter latches never stall.
+    EXPECT_EQ(ch.count(MFC_LSA), 1u);
+    EXPECT_EQ(ch.count(MFC_WrTagMask), 1u);
+    // Empty inbound mailbox: 0 readable.
+    EXPECT_EQ(ch.count(SPU_RdInMbox), 0u);
+    m.spe(0).inbound().tryPush(1);
+    m.spe(0).inbound().tryPush(2);
+    EXPECT_EQ(ch.count(SPU_RdInMbox), 2u);
+    // Outbound empty: 1 writable slot.
+    EXPECT_EQ(ch.count(SPU_WrOutMbox), 1u);
+    m.spe(0).outbound().tryPush(7);
+    EXPECT_EQ(ch.count(SPU_WrOutMbox), 0u);
+    // Signals.
+    EXPECT_EQ(ch.count(SPU_RdSigNotify1), 0u);
+    m.spe(0).signal1().post(0x4);
+    EXPECT_EQ(ch.count(SPU_RdSigNotify1), 1u);
+    // Free MFC queue: 16 slots.
+    EXPECT_EQ(ch.count(MFC_Cmd), 16u);
+}
+
+Task
+decViaChannels(Machine& m, SpuChannels& ch, std::uint32_t* v)
+{
+    co_await ch.write(SPU_WrDec, 1000);
+    co_await m.engine().delay(1200); // 10 ticks at divider 120
+    *v = co_await ch.read(SPU_RdDec);
+}
+
+TEST(Channels, DecrementerChannels)
+{
+    Machine m(cfg1());
+    SpuChannels ch(m.spe(0));
+    std::uint32_t v = 0;
+    m.spawnPpe(decViaChannels(m, ch, &v));
+    m.run();
+    EXPECT_LE(v, 990u);
+    EXPECT_GE(v, 989u);
+}
+
+Task
+badOps(Machine& m, SpuChannels& ch, int* caught)
+{
+    (void)m;
+    try {
+        co_await ch.write(99, 0);
+    } catch (const std::invalid_argument&) {
+        ++*caught;
+    }
+    try {
+        co_await ch.read(MFC_LSA);
+    } catch (const std::invalid_argument&) {
+        ++*caught;
+    }
+    try {
+        co_await ch.read(MFC_RdTagStat); // no WrTagUpdate first
+    } catch (const std::invalid_argument&) {
+        ++*caught;
+    }
+    try {
+        co_await ch.write(MFC_Cmd, 0xFF); // unknown opcode
+    } catch (const std::invalid_argument&) {
+        ++*caught;
+    }
+}
+
+TEST(Channels, IllegalAccessesThrow)
+{
+    Machine m(cfg1());
+    SpuChannels ch(m.spe(0));
+    int caught = 0;
+    m.spawnPpe(badOps(m, ch, &caught));
+    m.run();
+    EXPECT_EQ(caught, 4);
+    EXPECT_THROW(ch.count(99), std::invalid_argument);
+}
+
+Task
+immediateTagStat(Machine& m, SpuChannels& ch, TagMask* stat)
+{
+    (void)m;
+    co_await ch.write(MFC_WrTagMask, 0xFF);
+    co_await ch.write(MFC_WrTagUpdate, MFC_TAG_UPDATE_IMMEDIATE);
+    EXPECT_EQ(ch.count(MFC_RdTagStat), 1u);
+    *stat = co_await ch.read(MFC_RdTagStat);
+}
+
+TEST(Channels, ImmediateTagStatusDoesNotBlock)
+{
+    Machine m(cfg1());
+    SpuChannels ch(m.spe(0));
+    TagMask stat = 0;
+    m.spawnPpe(immediateTagStat(m, ch, &stat));
+    m.run();
+    EXPECT_EQ(stat, 0xFFu); // nothing outstanding: all groups done
+}
+
+} // namespace
+} // namespace cell::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timebase/decrementer tests, including 32-bit wrap behaviour that the
+ * trace analyzer's time reconstruction depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/decrementer.h"
+
+namespace cell::sim {
+namespace {
+
+TEST(Timebase, DividesCoreClock)
+{
+    Timebase tb(120);
+    EXPECT_EQ(tb.read(0), 0u);
+    EXPECT_EQ(tb.read(119), 0u);
+    EXPECT_EQ(tb.read(120), 1u);
+    EXPECT_EQ(tb.read(1200), 10u);
+}
+
+TEST(Decrementer, CountsDownAtTimebaseRate)
+{
+    Timebase tb(120);
+    Decrementer dec(tb);
+    dec.write(0, 1000);
+    EXPECT_EQ(dec.read(0), 1000u);
+    EXPECT_EQ(dec.read(120), 999u);
+    EXPECT_EQ(dec.read(120 * 500), 500u);
+}
+
+TEST(Decrementer, WriteRebasesTheCounter)
+{
+    Timebase tb(10);
+    Decrementer dec(tb);
+    dec.write(0, 100);
+    EXPECT_EQ(dec.read(50), 95u);
+    dec.write(50, 1000);
+    EXPECT_EQ(dec.read(50), 1000u);
+    EXPECT_EQ(dec.read(150), 990u);
+}
+
+TEST(Decrementer, WrapsModulo32Bits)
+{
+    Timebase tb(1);
+    Decrementer dec(tb);
+    dec.write(0, 5);
+    EXPECT_EQ(dec.read(5), 0u);
+    EXPECT_EQ(dec.read(6), 0xFFFF'FFFFu);
+    EXPECT_EQ(dec.read(7), 0xFFFF'FFFEu);
+}
+
+TEST(Decrementer, LongRunWrapsAreExact)
+{
+    Timebase tb(1);
+    Decrementer dec(tb);
+    dec.write(0, 0);
+    // After exactly 2^32 timebase ticks the counter is back to 0.
+    const Tick wrap = Tick{1} << 32;
+    EXPECT_EQ(dec.read(wrap), 0u);
+    EXPECT_EQ(dec.read(wrap + 1), 0xFFFF'FFFFu);
+}
+
+TEST(Decrementer, DefaultStartsAtAllOnes)
+{
+    Timebase tb(100);
+    Decrementer dec(tb);
+    EXPECT_EQ(dec.read(0), 0xFFFF'FFFFu);
+}
+
+} // namespace
+} // namespace cell::sim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Mailbox and signal-notification tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace cell::sim {
+namespace {
+
+TEST(Mailbox, TryPushPopRespectDepth)
+{
+    Engine eng;
+    Mailbox mb(eng, 4);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(mb.tryPush(i));
+    EXPECT_TRUE(mb.full());
+    EXPECT_FALSE(mb.tryPush(99));
+    std::uint32_t v = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(mb.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(mb.tryPop(v));
+}
+
+TEST(Mailbox, BlockingPopWaitsForPush)
+{
+    Engine eng;
+    Mailbox mb(eng, 1);
+    Tick popped_at = 0;
+    std::uint32_t got = 0;
+
+    auto consumer = [&]() -> Task {
+        got = co_await mb.pop();
+        popped_at = eng.now();
+    };
+    eng.spawn(consumer());
+    eng.schedule(1000, [&] { mb.tryPush(77); });
+    eng.run();
+    EXPECT_EQ(got, 77u);
+    EXPECT_EQ(popped_at, 1000u);
+}
+
+TEST(Mailbox, BlockingPushWaitsForSpace)
+{
+    Engine eng;
+    Mailbox mb(eng, 1);
+    Tick pushed_at = 0;
+
+    auto producer = [&]() -> Task {
+        co_await mb.push(1);
+        co_await mb.push(2); // blocks: depth 1
+        pushed_at = eng.now();
+    };
+    eng.spawn(producer());
+    eng.schedule(500, [&] {
+        std::uint32_t v;
+        mb.tryPop(v);
+    });
+    eng.run();
+    EXPECT_EQ(pushed_at, 500u);
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mb.tryPop(v));
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(Mailbox, FifoOrderPreservedUnderLoad)
+{
+    Engine eng;
+    Mailbox mb(eng, 4);
+    std::vector<std::uint32_t> received;
+
+    auto producer = [&]() -> Task {
+        for (std::uint32_t i = 0; i < 64; ++i)
+            co_await mb.push(i);
+    };
+    auto consumer = [&]() -> Task {
+        for (std::uint32_t i = 0; i < 64; ++i) {
+            received.push_back(co_await mb.pop());
+            co_await eng.delay(13);
+        }
+    };
+    eng.spawn(producer());
+    eng.spawn(consumer());
+    eng.run();
+    ASSERT_EQ(received.size(), 64u);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(received[i], i);
+}
+
+TEST(Signals, OrModeAccumulatesBits)
+{
+    Engine eng;
+    SignalRegister sig(eng, SignalMode::Or);
+    sig.post(0x1);
+    sig.post(0x4);
+    sig.post(0x8);
+    EXPECT_EQ(sig.peek(), 0xDu);
+    std::uint32_t v = 0;
+    EXPECT_TRUE(sig.tryRead(v));
+    EXPECT_EQ(v, 0xDu);
+    EXPECT_EQ(sig.peek(), 0u); // read clears
+}
+
+TEST(Signals, OverwriteModeReplacesValue)
+{
+    Engine eng;
+    SignalRegister sig(eng, SignalMode::Overwrite);
+    sig.post(0x1);
+    sig.post(0x4);
+    EXPECT_EQ(sig.peek(), 0x4u);
+}
+
+TEST(Signals, BlockingReadWaitsForNonZero)
+{
+    Engine eng;
+    SignalRegister sig(eng, SignalMode::Or);
+    Tick read_at = 0;
+    std::uint32_t got = 0;
+
+    auto reader = [&]() -> Task {
+        got = co_await sig.read();
+        read_at = eng.now();
+    };
+    eng.spawn(reader());
+    eng.schedule(250, [&] { sig.post(0x30); });
+    eng.run();
+    EXPECT_EQ(got, 0x30u);
+    EXPECT_EQ(read_at, 250u);
+}
+
+TEST(Signals, FanInFromManyPosters)
+{
+    // 8 posters each set their own bit; a reader collects until all
+    // eight bits have been seen — the classic OR-mode barrier.
+    Engine eng;
+    SignalRegister sig(eng, SignalMode::Or);
+    std::uint32_t collected = 0;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        eng.schedule(10 * (i + 1), [&sig, i] { sig.post(1u << i); });
+    auto reader = [&]() -> Task {
+        while (collected != 0xFF)
+            collected |= co_await sig.read();
+    };
+    eng.spawn(reader());
+    eng.run();
+    EXPECT_EQ(collected, 0xFFu);
+}
+
+TEST(SpuMailboxes, HaveArchitectedDepths)
+{
+    Machine m;
+    EXPECT_EQ(m.spe(0).inbound().depth(), 4u);
+    EXPECT_EQ(m.spe(0).outbound().depth(), 1u);
+    EXPECT_EQ(m.spe(0).outboundIrq().depth(), 1u);
+}
+
+TEST(SpuCompute, ChargesBusyCycles)
+{
+    Machine m;
+    auto prog = [&]() -> Task {
+        co_await m.spe(0).compute(1234);
+        co_await m.spe(0).chargeChannel();
+    };
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_EQ(m.spe(0).stats().compute_cycles, 1234u);
+    EXPECT_EQ(m.spe(0).stats().channel_cycles,
+              m.config().cost.spu_channel);
+    EXPECT_EQ(m.engine().now(), 1234u + m.config().cost.spu_channel);
+}
+
+} // namespace
+} // namespace cell::sim

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * MFC tests: DMA data movement, tag groups, fences/barriers, DMA
+ * lists, queue back-pressure — exercised through a whole Machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace cell::sim {
+namespace {
+
+MachineConfig
+smallCfg(std::uint32_t spes = 2)
+{
+    MachineConfig cfg;
+    cfg.num_spes = spes;
+    return cfg;
+}
+
+/** Fill main memory with a recognizable pattern. */
+void
+fillPattern(MainMemory& mem, EffAddr ea, std::size_t len, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> buf(len);
+    for (std::size_t i = 0; i < len; ++i)
+        buf[i] = static_cast<std::uint8_t>(seed + i);
+    mem.write(ea, buf.data(), len);
+}
+
+bool
+lsMatchesPattern(const LocalStore& ls, LsAddr addr, std::size_t len,
+                 std::uint8_t seed)
+{
+    std::vector<std::uint8_t> buf(len);
+    ls.read(addr, buf.data(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+        if (buf[i] != static_cast<std::uint8_t>(seed + i))
+            return false;
+    }
+    return true;
+}
+
+TEST(Mfc, GetMovesMemoryIntoLocalStore)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x10000, 4096, 3);
+
+    auto prog = [&]() -> Task {
+        MfcCommand cmd;
+        cmd.op = MfcOpcode::Get;
+        cmd.ls = 0x1000;
+        cmd.ea = 0x10000;
+        cmd.size = 4096;
+        cmd.tag = 5;
+        co_await m.spe(0).mfc().enqueueSpu(cmd);
+        co_await m.spe(0).mfc().waitTagStatusAll(1u << 5);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_TRUE(lsMatchesPattern(m.spe(0).localStore(), 0x1000, 4096, 3));
+    EXPECT_EQ(m.spe(0).mfc().stats().bytes_get, 4096u);
+}
+
+TEST(Mfc, PutMovesLocalStoreIntoMemory)
+{
+    Machine m(smallCfg());
+    std::vector<std::uint8_t> data(512);
+    std::iota(data.begin(), data.end(), 0);
+    m.spe(0).localStore().write(0x2000, data.data(), data.size());
+
+    auto prog = [&]() -> Task {
+        MfcCommand cmd;
+        cmd.op = MfcOpcode::Put;
+        cmd.ls = 0x2000;
+        cmd.ea = 0x20000;
+        cmd.size = 512;
+        cmd.tag = 0;
+        co_await m.spe(0).mfc().enqueueSpu(cmd);
+        co_await m.spe(0).mfc().waitTagStatusAll(1u << 0);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    std::vector<std::uint8_t> out(512);
+    m.memory().read(0x20000, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(Mfc, LsToLsDmaBetweenSpes)
+{
+    Machine m(smallCfg(2));
+    std::vector<std::uint8_t> data(256);
+    std::iota(data.begin(), data.end(), 9);
+    m.spe(1).localStore().write(0x3000, data.data(), data.size());
+
+    // SPE0 GETs from SPE1's LS aperture.
+    const EffAddr remote = m.config().lsAperture(1) + 0x3000;
+    auto prog = [&]() -> Task {
+        MfcCommand cmd;
+        cmd.op = MfcOpcode::Get;
+        cmd.ls = 0x100;
+        cmd.ea = remote;
+        cmd.size = 256;
+        cmd.tag = 1;
+        co_await m.spe(0).mfc().enqueueSpu(cmd);
+        co_await m.spe(0).mfc().waitTagStatusAll(1u << 1);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    std::vector<std::uint8_t> out(256);
+    m.spe(0).localStore().read(0x100, out.data(), out.size());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(m.eib().stats().ls_to_ls_transfers, 1u);
+}
+
+TEST(Mfc, TagStatusTracksPerGroup)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x0, 1024, 0);
+    std::vector<TagMask> statuses;
+
+    auto prog = [&]() -> Task {
+        Mfc& mfc = m.spe(0).mfc();
+        MfcCommand a{MfcOpcode::Get, 0x0, 0x0, 512, 2, false, false, 0, 0};
+        MfcCommand b{MfcOpcode::Get, 0x200, 0x200, 512, 7, false, false, 0, 0};
+        co_await mfc.enqueueSpu(a);
+        co_await mfc.enqueueSpu(b);
+        EXPECT_EQ(mfc.outstanding(2), 1u);
+        EXPECT_EQ(mfc.outstanding(7), 1u);
+        statuses.push_back(co_await mfc.waitTagStatusAny((1u << 2) | (1u << 7)));
+        statuses.push_back(co_await mfc.waitTagStatusAll((1u << 2) | (1u << 7)));
+    };
+    m.spawnPpe(prog());
+    m.run();
+    ASSERT_EQ(statuses.size(), 2u);
+    EXPECT_NE(statuses[0], 0u);
+    EXPECT_EQ(statuses[1], (1u << 2) | (1u << 7));
+    EXPECT_EQ(m.spe(0).mfc().outstanding(2), 0u);
+    EXPECT_EQ(m.spe(0).mfc().outstanding(7), 0u);
+}
+
+Task
+enqueueOne(Machine& m, MfcCommand cmd)
+{
+    co_await m.spe(0).mfc().enqueueSpu(cmd);
+}
+
+TEST(Mfc, InvalidCommandsAreRejected)
+{
+    Machine m(smallCfg());
+    MfcCommand bad_tag{MfcOpcode::Get, 0, 0, 16, 32, false, false, 0, 0};
+    m.spawnPpe(enqueueOne(m, bad_tag));
+    EXPECT_THROW(m.run(), std::invalid_argument);
+
+    Machine m2(smallCfg());
+    MfcCommand bad_size{MfcOpcode::Get, 0, 0, 24, 0, false, false, 0, 0};
+    m2.spawnPpe(enqueueOne(m2, bad_size));
+    EXPECT_THROW(m2.run(), std::invalid_argument);
+}
+
+TEST(Mfc, QueueBackPressureBlocksEnqueue)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x0, 1 << 20, 1);
+    Tick enqueue_done = 0;
+
+    auto prog = [&]() -> Task {
+        Mfc& mfc = m.spe(0).mfc();
+        // 24 large commands against a 16-deep queue: the 17th+ enqueue
+        // must block until transfers complete.
+        for (std::uint32_t i = 0; i < 24; ++i) {
+            MfcCommand cmd{MfcOpcode::Get,
+                           static_cast<LsAddr>(i % 16 * 0x4000 % 0x40000),
+                           static_cast<EffAddr>(i) * 0x4000, 16384, 0,
+                           false, false, 0, 0};
+            cmd.ls = static_cast<LsAddr>((i % 14) * 0x4000);
+            co_await mfc.enqueueSpu(cmd);
+        }
+        enqueue_done = m.engine().now();
+        co_await mfc.waitTagStatusAll(1u << 0);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    // The final enqueues must have waited for earlier completions, so
+    // enqueue_done is far beyond 24 * issue cost.
+    EXPECT_GT(enqueue_done, 24u * m.config().mfc.issue_latency);
+}
+
+TEST(Mfc, FenceOrdersWithinTagGroup)
+{
+    Machine m(smallCfg());
+    // PUT 0xAA to address X, then fenced PUT of 0xBB to the same
+    // address in the same tag group: the fence guarantees order.
+    auto prog = [&]() -> Task {
+        Mfc& mfc = m.spe(0).mfc();
+        m.spe(0).localStore().store<std::uint8_t>(0x0, 0xAA);
+        m.spe(0).localStore().store<std::uint8_t>(0x10, 0xBB);
+        MfcCommand first{MfcOpcode::Put, 0x0, 0x50000, 1, 3, false, false, 0, 0};
+        MfcCommand second{MfcOpcode::Put, 0x10, 0x50000, 1, 3, true, false, 0, 0};
+        // Different LS quadword offsets for the same EA are illegal for
+        // small transfers; use offset-matching addresses instead.
+        second.ls = 0x20;
+        co_await mfc.enqueueSpu(first);
+        co_await mfc.enqueueSpu(second);
+        co_await mfc.waitTagStatusAll(1u << 3);
+    };
+    m.spe(0).localStore().store<std::uint8_t>(0x20, 0xBB);
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_EQ(m.memory().peek<std::uint8_t>(0x50000), 0xBB);
+}
+
+TEST(Mfc, BarrierBlocksLaterCommandsInGroup)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x0, 65536, 0);
+    auto prog = [&]() -> Task {
+        Mfc& mfc = m.spe(0).mfc();
+        // Large PUT, then barriered GET, then another GET: the barrier
+        // must hold the third command until it completes.
+        MfcCommand a{MfcOpcode::Put, 0x0, 0x60000, 16384, 4, false, false, 0, 0};
+        MfcCommand b{MfcOpcode::Get, 0x4000, 0x0, 16384, 4, false, true, 0, 0};
+        MfcCommand c{MfcOpcode::Get, 0x8000, 0x4000, 16384, 4, false, false, 0, 0};
+        co_await mfc.enqueueSpu(a);
+        co_await mfc.enqueueSpu(b);
+        co_await mfc.enqueueSpu(c);
+        co_await mfc.waitTagStatusAll(1u << 4);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    // Completion order is implied by data landing correctly; the real
+    // assertion is in the stats: all three ran.
+    EXPECT_EQ(m.spe(0).mfc().stats().commands, 3u);
+}
+
+TEST(Mfc, IndependentTagBypassesBlockedGroup)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x0, 65536, 0);
+    Tick small_done = 0;
+    Tick big_done = 0;
+
+    auto prog = [&]() -> Task {
+        Mfc& mfc = m.spe(0).mfc();
+        // Tag 1: big PUT then fenced GET (stalls until PUT completes).
+        MfcCommand big{MfcOpcode::Put, 0x0, 0x70000, 16384, 1, false, false, 0, 0};
+        MfcCommand fenced{MfcOpcode::Get, 0x4000, 0x0, 16384, 1, true, false, 0, 0};
+        // Tag 2: small GET enqueued after — must NOT wait for tag 1.
+        MfcCommand small{MfcOpcode::Get, 0x8000, 0x100, 16, 2, false, false, 0, 0};
+        co_await mfc.enqueueSpu(big);
+        co_await mfc.enqueueSpu(fenced);
+        co_await mfc.enqueueSpu(small);
+        co_await mfc.waitTagStatusAll(1u << 2);
+        small_done = m.engine().now();
+        co_await mfc.waitTagStatusAll(1u << 1);
+        big_done = m.engine().now();
+    };
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_LT(small_done, big_done);
+}
+
+TEST(Mfc, DmaListGathersElements)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x1000, 256, 10);
+    fillPattern(m.memory(), 0x9000, 256, 20);
+    fillPattern(m.memory(), 0x5000, 256, 30);
+
+    auto prog = [&]() -> Task {
+        LocalStore& ls = m.spe(0).localStore();
+        // Build a 3-element gather list at LS 0x200.
+        ls.store(0x200, MfcListElement::make(256, 0x1000));
+        ls.store(0x208, MfcListElement::make(256, 0x9000));
+        ls.store(0x210, MfcListElement::make(256, 0x5000));
+        MfcCommand cmd;
+        cmd.op = MfcOpcode::GetList;
+        cmd.ls = 0x4000;
+        cmd.ea = 0; // high 32 bits zero
+        cmd.size = 3 * sizeof(MfcListElement);
+        cmd.list_ls = 0x200;
+        cmd.tag = 6;
+        co_await m.spe(0).mfc().enqueueSpu(cmd);
+        co_await m.spe(0).mfc().waitTagStatusAll(1u << 6);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_TRUE(lsMatchesPattern(m.spe(0).localStore(), 0x4000, 256, 10));
+    EXPECT_TRUE(lsMatchesPattern(m.spe(0).localStore(), 0x4100, 256, 20));
+    EXPECT_TRUE(lsMatchesPattern(m.spe(0).localStore(), 0x4200, 256, 30));
+    EXPECT_EQ(m.spe(0).mfc().stats().list_commands, 1u);
+    EXPECT_EQ(m.spe(0).mfc().stats().list_elements, 3u);
+}
+
+TEST(Mfc, DmaListStallAndNotify)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x1000, 512, 1);
+    bool saw_stall = false;
+
+    auto prog = [&]() -> Task {
+        LocalStore& ls = m.spe(0).localStore();
+        Mfc& mfc = m.spe(0).mfc();
+        ls.store(0x200, MfcListElement::make(256, 0x1000, /*stall=*/true));
+        ls.store(0x208, MfcListElement::make(256, 0x1100));
+        MfcCommand cmd;
+        cmd.op = MfcOpcode::GetList;
+        cmd.ls = 0x4000;
+        cmd.size = 2 * sizeof(MfcListElement);
+        cmd.list_ls = 0x200;
+        cmd.tag = 9;
+        co_await mfc.enqueueSpu(cmd);
+        // Wait for the stall, then acknowledge it.
+        while (!(mfc.stalledTags() & (1u << 9)))
+            co_await m.engine().delay(50);
+        saw_stall = true;
+        mfc.ackListStall(9);
+        co_await mfc.waitTagStatusAll(1u << 9);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_TRUE(saw_stall);
+    EXPECT_EQ(m.spe(0).mfc().stats().stall_notify_events, 1u);
+    EXPECT_TRUE(lsMatchesPattern(m.spe(0).localStore(), 0x4100, 256, 1));
+}
+
+TEST(Mfc, ProxyQueueWorksFromPpe)
+{
+    Machine m(smallCfg());
+    fillPattern(m.memory(), 0x8000, 1024, 42);
+    auto prog = [&]() -> Task {
+        Mfc& mfc = m.spe(0).mfc();
+        MfcCommand cmd{MfcOpcode::Get, 0x0, 0x8000, 1024, 12, false, false, 0, 0};
+        co_await mfc.enqueueProxy(cmd);
+        co_await mfc.waitTagStatusAll(1u << 12);
+    };
+    m.spawnPpe(prog());
+    m.run();
+    EXPECT_TRUE(lsMatchesPattern(m.spe(0).localStore(), 0x0, 1024, 42));
+}
+
+Task
+concurrentGets(Machine& m, std::uint32_t s)
+{
+    Mfc& mfc = m.spe(s).mfc();
+    for (int rep = 0; rep < 4; ++rep) {
+        MfcCommand cmd{MfcOpcode::Get,
+                       static_cast<LsAddr>(rep * 0x2000),
+                       0x100000 + s * 0x10000 + rep * 0x800ULL,
+                       2048, static_cast<TagId>(rep), false, false,
+                       0, 0};
+        co_await mfc.enqueueSpu(cmd);
+    }
+    co_await mfc.waitTagStatusAll(0xF);
+}
+
+TEST(Mfc, ManyConcurrentSpesKeepDataIntact)
+{
+    const std::uint32_t kSpes = 8;
+    Machine m(smallCfg(kSpes));
+    for (std::uint32_t s = 0; s < kSpes; ++s)
+        fillPattern(m.memory(), 0x100000 + s * 0x10000, 8192,
+                    static_cast<std::uint8_t>(s * 11));
+
+    for (std::uint32_t s = 0; s < kSpes; ++s)
+        m.spawnPpe(concurrentGets(m, s), "spe" + std::to_string(s));
+    m.run();
+    for (std::uint32_t s = 0; s < kSpes; ++s) {
+        for (int rep = 0; rep < 4; ++rep) {
+            EXPECT_TRUE(lsMatchesPattern(
+                m.spe(s).localStore(), static_cast<LsAddr>(rep * 0x2000), 2048,
+                static_cast<std::uint8_t>(s * 11 + rep * 0x800)));
+        }
+    }
+}
+
+} // namespace
+} // namespace cell::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace-comparison tests: deltas computed from two real traced runs
+ * and from synthetic analyses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pdt/tracer.h"
+#include "ta/compare.h"
+#include "wl/triad.h"
+
+namespace cell::ta {
+namespace {
+
+Analysis
+tracedTriad(std::uint32_t buffering)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 16384;
+    p.n_spes = 2;
+    p.buffering = buffering;
+    p.compute_per_elem = 2;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+    return analyze(tracer.finalize());
+}
+
+TEST(Compare, SingleToDoubleBufferingShrinksDmaWait)
+{
+    const Analysis a = tracedTriad(1);
+    const Analysis b = tracedTriad(2);
+    const Comparison cmp = Comparison::build(a, b);
+
+    EXPECT_LT(cmp.span_ratio, 1.0); // B faster
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        EXPECT_TRUE(cmp.spu[s].ran_in_both);
+        EXPECT_LT(cmp.spu[s].dma_wait_tb, 0); // less waiting in B
+        EXPECT_LT(cmp.spu[s].run_tb, 0);      // shorter run in B
+    }
+}
+
+TEST(Compare, IdenticalRunsCompareAsEqual)
+{
+    const Analysis a = tracedTriad(2);
+    const Analysis b = tracedTriad(2);
+    const Comparison cmp = Comparison::build(a, b);
+    EXPECT_DOUBLE_EQ(cmp.span_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(cmp.records_ratio, 1.0);
+    for (const SpuDelta& d : cmp.spu) {
+        EXPECT_EQ(d.run_tb, 0);
+        EXPECT_EQ(d.dma_wait_tb, 0);
+        EXPECT_EQ(d.mbox_wait_tb, 0);
+    }
+}
+
+TEST(Compare, PrintedReportNamesTheMover)
+{
+    const Analysis a = tracedTriad(1);
+    const Analysis b = tracedTriad(2);
+    std::ostringstream os;
+    printComparison(os, a, b);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Trace comparison"), std::string::npos);
+    EXPECT_NE(out.find("biggest mover: DMA wait"), std::string::npos);
+    EXPECT_NE(out.find("SPE0"), std::string::npos);
+}
+
+TEST(Compare, HandlesDifferentSpeCounts)
+{
+    // Compare a 2-SPE run against an analysis with no SPE activity:
+    // deltas exist only for SPEs present in both.
+    const Analysis a = tracedTriad(2);
+    trace::TraceData empty;
+    empty.header.num_spes = 1;
+    empty.header.core_hz = a.model.header().core_hz;
+    empty.header.timebase_divider = a.model.header().timebase_divider;
+    empty.spe_programs.resize(1);
+    const Analysis b = analyze(empty);
+    const Comparison cmp = Comparison::build(a, b);
+    ASSERT_EQ(cmp.spu.size(), 1u);
+    EXPECT_FALSE(cmp.spu[0].ran_in_both);
+}
+
+} // namespace
+} // namespace cell::ta

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * TraceModel tests: global-time reconstruction from raw core-local
+ * clocks — the analyzer's trickiest obligation, exercised with
+ * hand-built traces including decrementer and timebase wrap-arounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ta/model.h"
+
+namespace cell::ta {
+namespace {
+
+using trace::Record;
+using trace::TraceData;
+
+TraceData
+emptyTrace(std::uint32_t spes = 2)
+{
+    TraceData t;
+    t.header.num_spes = spes;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs.resize(spes);
+    return t;
+}
+
+Record
+spuSync(std::uint16_t core, std::uint32_t dec, std::uint64_t tb)
+{
+    Record r{};
+    r.kind = trace::kSyncRecord;
+    r.core = core;
+    r.timestamp = dec;
+    r.a = dec;
+    r.b = tb;
+    return r;
+}
+
+Record
+spuEvent(std::uint16_t core, std::uint32_t dec,
+         rt::ApiOp op = rt::ApiOp::SpuUserEvent,
+         std::uint8_t phase = trace::kPhaseBegin)
+{
+    Record r{};
+    r.kind = static_cast<std::uint8_t>(op);
+    r.phase = phase;
+    r.core = core;
+    r.timestamp = dec;
+    return r;
+}
+
+TEST(TraceModel, EmptyTraceBuilds)
+{
+    const TraceModel m = TraceModel::build(emptyTrace());
+    EXPECT_EQ(m.cores().size(), 3u);
+    EXPECT_EQ(m.spanTb(), 0u);
+    EXPECT_EQ(m.ppe().label, "PPE");
+}
+
+TEST(TraceModel, LabelsIncludeProgramNames)
+{
+    TraceData t = emptyTrace(2);
+    t.spe_programs[1] = "fft_spu";
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.spe(0).label, "SPE0");
+    EXPECT_EQ(m.spe(1).label, "SPE1 (fft_spu)");
+}
+
+TEST(TraceModel, SpuTimesComeFromDownCounter)
+{
+    TraceData t = emptyTrace();
+    // Sync: decrementer 1000 == timebase 5000.
+    t.records.push_back(spuSync(1, 1000, 5000));
+    // Decrementer counts DOWN: value 990 is 10 ticks later.
+    t.records.push_back(spuEvent(1, 990));
+    t.records.push_back(spuEvent(1, 900));
+    const TraceModel m = TraceModel::build(t);
+    ASSERT_EQ(m.spe(0).events.size(), 3u);
+    EXPECT_EQ(m.spe(0).events[1].time_tb, 5010u);
+    EXPECT_EQ(m.spe(0).events[2].time_tb, 5100u);
+}
+
+TEST(TraceModel, SpuDecrementerWrapIsHandled)
+{
+    TraceData t = emptyTrace();
+    // Sync near the bottom of the counter.
+    t.records.push_back(spuSync(1, 5, 100));
+    // The counter wraps 0,FFFFFFFF,...: value 0xFFFFFFFD is 8 later.
+    t.records.push_back(spuEvent(1, 0xFFFF'FFFD));
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.spe(0).events[1].time_tb, 108u);
+}
+
+TEST(TraceModel, PpeTimesComeFromUpCounterLow32)
+{
+    TraceData t = emptyTrace();
+    Record sync{};
+    sync.kind = trace::kSyncRecord;
+    sync.core = 0;
+    sync.timestamp = 0xFFFF'FFF0u; // low 32 bits near wrap
+    sync.a = sync.timestamp;
+    sync.b = 0x1'FFFF'FFF0ULL; // full 64-bit timebase
+    t.records.push_back(sync);
+
+    Record ev = spuEvent(0, 0x10); // low32 wrapped past zero
+    t.records.push_back(ev);
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.ppe().events[1].time_tb, 0x2'0000'0010ULL);
+}
+
+TEST(TraceModel, LaterSyncRebasesTheClock)
+{
+    TraceData t = emptyTrace();
+    t.records.push_back(spuSync(1, 1000, 5000));
+    t.records.push_back(spuEvent(1, 950)); // tb 5050
+    t.records.push_back(spuSync(1, 400, 9000)); // rebased
+    t.records.push_back(spuEvent(1, 390)); // tb 9010
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.spe(0).events[1].time_tb, 5050u);
+    EXPECT_EQ(m.spe(0).events[3].time_tb, 9010u);
+}
+
+TEST(TraceModel, EventBeforeSyncThrows)
+{
+    TraceData t = emptyTrace();
+    t.records.push_back(spuEvent(1, 100));
+    EXPECT_THROW(TraceModel::build(t), std::runtime_error);
+}
+
+TEST(TraceModel, BadCoreIdThrows)
+{
+    TraceData t = emptyTrace(1);
+    t.records.push_back(spuEvent(7, 100));
+    EXPECT_THROW(TraceModel::build(t), std::runtime_error);
+}
+
+TEST(TraceModel, MonotonicityIsEnforcedPerCore)
+{
+    TraceData t = emptyTrace();
+    t.records.push_back(spuSync(1, 1000, 5000));
+    t.records.push_back(spuEvent(1, 900)); // tb 5100
+    // A sync that would place the next event earlier (clock skew):
+    t.records.push_back(spuSync(1, 1000, 5050));
+    t.records.push_back(spuEvent(1, 999)); // raw tb 5051 < 5100
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.spe(0).events[3].time_tb, 5100u); // clamped
+}
+
+TEST(TraceModel, SpanCoversAllCores)
+{
+    TraceData t = emptyTrace();
+    t.records.push_back(spuSync(1, 1000, 100));
+    t.records.push_back(spuEvent(1, 990)); // tb 110
+    t.records.push_back(spuSync(2, 1000, 50));
+    t.records.push_back(spuEvent(2, 700)); // tb 350
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.startTb(), 50u);
+    EXPECT_EQ(m.endTb(), 350u);
+    EXPECT_EQ(m.spanTb(), 300u);
+}
+
+TEST(TraceModel, UnitConversions)
+{
+    const TraceModel m = TraceModel::build(emptyTrace());
+    // 1 tb tick = 120 cycles at 3.2 GHz = 37.5 ns.
+    EXPECT_DOUBLE_EQ(m.tbToNs(1), 37.5);
+    EXPECT_DOUBLE_EQ(m.tbToUs(1000), 37.5);
+    EXPECT_EQ(m.tbToCycles(10), 1200u);
+}
+
+TEST(TraceModel, InterleavedCoresKeepIndependentClocks)
+{
+    TraceData t = emptyTrace();
+    t.records.push_back(spuSync(1, 100, 1000));
+    t.records.push_back(spuSync(2, 50000, 1000));
+    t.records.push_back(spuEvent(1, 90));    // tb 1010
+    t.records.push_back(spuEvent(2, 49990)); // tb 1010
+    const TraceModel m = TraceModel::build(t);
+    EXPECT_EQ(m.spe(0).events[1].time_tb, 1010u);
+    EXPECT_EQ(m.spe(1).events[1].time_tb, 1010u);
+}
+
+} // namespace
+} // namespace cell::ta

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Activity-profile tests on synthetic and real traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pdt/tracer.h"
+#include "ta/profile.h"
+#include "wl/triad.h"
+
+namespace cell::ta {
+namespace {
+
+using trace::Record;
+using trace::TraceData;
+
+/** 1 SPE: run 0..1000, fully stalled 400..600. */
+TraceData
+synthetic()
+{
+    TraceData t;
+    t.header.num_spes = 1;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs = {"p"};
+
+    Record sync{};
+    sync.kind = trace::kSyncRecord;
+    sync.core = 1;
+    sync.timestamp = 1'000'000;
+    sync.a = 1'000'000;
+    sync.b = 0;
+    t.records.push_back(sync);
+
+    auto add = [&](std::uint64_t tb, rt::ApiOp op, std::uint8_t phase,
+                   std::uint64_t a = 0) {
+        Record r{};
+        r.kind = static_cast<std::uint8_t>(op);
+        r.phase = phase;
+        r.core = 1;
+        r.timestamp = static_cast<std::uint32_t>(1'000'000 - tb);
+        r.a = a;
+        t.records.push_back(r);
+    };
+    add(0, rt::ApiOp::SpuStart, trace::kPhaseBegin);
+    add(400, rt::ApiOp::SpuTagWaitAll, trace::kPhaseBegin, 1);
+    add(600, rt::ApiOp::SpuTagWaitAll, trace::kPhaseEnd, 1);
+    add(1000, rt::ApiOp::SpuStop, trace::kPhaseBegin);
+    return t;
+}
+
+TEST(ActivityProfile, FractionsMatchHandComputedValues)
+{
+    const Analysis a = analyze(synthetic());
+    const ActivityProfile p =
+        ActivityProfile::build(a.model, a.intervals, 10);
+    ASSERT_EQ(p.buckets, 10u);
+    EXPECT_EQ(p.bucket_tb, 100u);
+    // SPE0 (core 1): running everywhere, stalled in buckets 4 and 5.
+    for (std::uint32_t b = 0; b < 10; ++b) {
+        EXPECT_NEAR(p.running[1][b], 1.0, 1e-9) << "bucket " << b;
+        const double want_stall = (b == 4 || b == 5) ? 1.0 : 0.0;
+        EXPECT_NEAR(p.stalled[1][b], want_stall, 1e-9) << "bucket " << b;
+    }
+    EXPECT_NEAR(p.busyFrac(1, 0), 1.0, 1e-9);
+    EXPECT_NEAR(p.busyFrac(1, 4), 0.0, 1e-9);
+}
+
+TEST(ActivityProfile, PartialBucketOverlap)
+{
+    const Analysis a = analyze(synthetic());
+    // 4 buckets of 250: the stall [400,600) covers 40% of bucket 1
+    // ([250,500)) and 40% of bucket 2 ([500,750)).
+    const ActivityProfile p =
+        ActivityProfile::build(a.model, a.intervals, 4);
+    EXPECT_NEAR(p.stalled[1][1], 0.4, 1e-9);
+    EXPECT_NEAR(p.stalled[1][2], 0.4, 1e-9);
+    EXPECT_NEAR(p.stalled[1][0], 0.0, 1e-9);
+    EXPECT_NEAR(p.stalled[1][3], 0.0, 1e-9);
+}
+
+TEST(ActivityProfile, PrintedRowsHaveBucketWidth)
+{
+    const Analysis a = analyze(synthetic());
+    std::ostringstream os;
+    printActivity(os, a, 40);
+    const std::string out = os.str();
+    const auto pos = out.find("SPE0");
+    ASSERT_NE(pos, std::string::npos);
+    const auto bar = out.find('|', pos);
+    const auto end = out.find('|', bar + 1);
+    EXPECT_EQ(end - bar - 1, 40u);
+    // The stalled middle renders as 'x'.
+    EXPECT_NE(out.find('x'), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(ActivityProfile, CsvHasOneRowPerCoreBucket)
+{
+    const Analysis a = analyze(synthetic());
+    std::ostringstream os;
+    exportActivityCsv(os, a, 8);
+    std::size_t lines = 0;
+    for (char c : os.str())
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 1u + 2u * 8u); // header + (PPE + SPE0) x 8
+}
+
+TEST(ActivityProfile, RealTraceProfilesAreSane)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::TriadParams params;
+    params.n_elements = 8192;
+    params.n_spes = 2;
+    wl::Triad wl(sys, params);
+    wl.start();
+    sys.run();
+    ASSERT_TRUE(wl.verify());
+    const Analysis a = analyze(tracer.finalize());
+    const ActivityProfile p =
+        ActivityProfile::build(a.model, a.intervals, 50);
+    for (std::uint16_t core = 1; core <= 2; ++core) {
+        double total_run = 0;
+        for (std::uint32_t b = 0; b < p.buckets; ++b) {
+            EXPECT_GE(p.running[core][b], 0.0);
+            EXPECT_LE(p.running[core][b], 1.0);
+            EXPECT_LE(p.stalled[core][b], 1.0);
+            total_run += p.running[core][b];
+        }
+        EXPECT_GT(total_run, 1.0); // the SPEs actually ran
+    }
+}
+
+TEST(ActivityProfile, EmptyTraceDoesNotDivideByZero)
+{
+    TraceData t;
+    t.header.num_spes = 1;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs.resize(1);
+    const Analysis a = analyze(t);
+    const ActivityProfile p =
+        ActivityProfile::build(a.model, a.intervals, 10);
+    for (std::uint32_t b = 0; b < p.buckets; ++b)
+        EXPECT_EQ(p.running[1][b], 0.0);
+}
+
+} // namespace
+} // namespace cell::ta

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * HTML report tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "pdt/tracer.h"
+#include "ta/report.h"
+#include "wl/triad.h"
+
+namespace cell::ta {
+namespace {
+
+Analysis
+sampleAnalysis()
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 8192;
+    p.n_spes = 2;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+    return analyze(tracer.finalize());
+}
+
+TEST(HtmlReport, ContainsEverySection)
+{
+    const Analysis a = sampleAnalysis();
+    const std::string html = renderHtmlReport(a, "test run");
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("test run"), std::string::npos);
+    EXPECT_NE(html.find("Timeline"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("SPE time breakdown"), std::string::npos);
+    EXPECT_NE(html.find("DMA statistics"), std::string::npos);
+    EXPECT_NE(html.find("Event counts"), std::string::npos);
+    EXPECT_NE(html.find("Tracing self-observation"), std::string::npos);
+    EXPECT_NE(html.find("SPE0"), std::string::npos);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(HtmlReport, TitleIsEscaped)
+{
+    const Analysis a = sampleAnalysis();
+    const std::string html = renderHtmlReport(a, "a < b & c > d");
+    EXPECT_NE(html.find("a &lt; b &amp; c &gt; d"), std::string::npos);
+    EXPECT_EQ(html.find("<title>a < b"), std::string::npos);
+}
+
+TEST(HtmlReport, BalancedTags)
+{
+    const Analysis a = sampleAnalysis();
+    const std::string html = renderHtmlReport(a);
+    auto count = [&](const std::string& needle) {
+        std::size_t n = 0;
+        for (std::size_t p = html.find(needle); p != std::string::npos;
+             p = html.find(needle, p + 1))
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(count("<table>"), count("</table>"));
+    EXPECT_EQ(count("<tr>"), count("</tr>"));
+    EXPECT_EQ(count("<h2>"), count("</h2>"));
+    EXPECT_EQ(count("<svg"), count("</svg>"));
+}
+
+TEST(HtmlReport, WriteCreatesFile)
+{
+    const Analysis a = sampleAnalysis();
+    const std::string path = ::testing::TempDir() + "/rep_test.html";
+    writeHtmlReport(path, a, "file test");
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string all((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("file test"), std::string::npos);
+    std::remove(path.c_str());
+    EXPECT_THROW(writeHtmlReport("/no/such/dir/x.html", a),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace cell::ta

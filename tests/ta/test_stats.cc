@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Statistics tests: histogram math and trace-derived metrics on
+ * synthetic streams with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ta/stats.h"
+
+namespace cell::ta {
+namespace {
+
+using trace::Record;
+using trace::TraceData;
+
+TEST(Histogram, BucketsByPowersOfTwo)
+{
+    Histogram h;
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(1024);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1024u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 2 + 3 + 1024) / 5.0);
+    EXPECT_EQ(h.buckets()[0], 1u); // [0,1)
+    EXPECT_EQ(h.buckets()[1], 1u); // [1,2)
+    EXPECT_EQ(h.buckets()[2], 2u); // [2,4)
+    EXPECT_EQ(h.buckets()[11], 1u); // [1024,2048)
+}
+
+TEST(Histogram, QuantilesAreMonotone)
+{
+    Histogram h;
+    for (std::uint64_t i = 1; i <= 1000; ++i)
+        h.add(i);
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_LE(h.quantile(0.9), h.max());
+    // The true median (500) lies in the [256,512) bucket; the
+    // quantile reports that bucket's floor.
+    EXPECT_EQ(h.quantile(0.5), 256u);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+/** Build a synthetic 1-SPE trace with a known breakdown. */
+TraceData
+syntheticTrace()
+{
+    TraceData t;
+    t.header.num_spes = 1;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs = {"synthetic"};
+
+    auto add = [&](std::uint16_t core, std::uint64_t tb, std::uint8_t kind,
+                   std::uint8_t phase, std::uint64_t a = 0,
+                   std::uint64_t b = 0, std::uint32_t c = 0,
+                   std::uint32_t d = 0) {
+        Record r{};
+        r.kind = kind;
+        r.phase = phase;
+        r.core = core;
+        r.timestamp = static_cast<std::uint32_t>(
+            core == 0 ? tb : 1'000'000 - tb); // down-counter for SPE
+        r.a = a;
+        r.b = b;
+        r.c = c;
+        r.d = d;
+        t.records.push_back(r);
+    };
+    auto op = [](rt::ApiOp o) { return static_cast<std::uint8_t>(o); };
+
+    // Syncs.
+    add(0, 0, trace::kSyncRecord, 0, 0, 0);
+    {
+        Record sync{};
+        sync.kind = trace::kSyncRecord;
+        sync.core = 1;
+        sync.timestamp = 1'000'000;
+        sync.a = 1'000'000;
+        sync.b = 0;
+        t.records.push_back(sync);
+    }
+
+    // SPE stream: run 0..1000; DMA cmd 10..20 (size 4096, tag 2);
+    // tag wait 30..130 (mask 0x4); mbox wait 200..260; flush marker.
+    add(1, 0, op(rt::ApiOp::SpuStart), trace::kPhaseBegin);
+    add(1, 10, op(rt::ApiOp::SpuMfcGet), trace::kPhaseBegin, 0x100, 0x8000,
+        4096, 2);
+    add(1, 20, op(rt::ApiOp::SpuMfcGet), trace::kPhaseEnd);
+    add(1, 30, op(rt::ApiOp::SpuTagWaitAll), trace::kPhaseBegin, 0x4);
+    add(1, 130, op(rt::ApiOp::SpuTagWaitAll), trace::kPhaseEnd, 0x4, 0x4);
+    add(1, 200, op(rt::ApiOp::SpuMboxRead), trace::kPhaseBegin);
+    add(1, 260, op(rt::ApiOp::SpuMboxRead), trace::kPhaseEnd, 42);
+    add(1, 300, trace::kFlushRecord, 0, /*records*/ 7, /*wait*/ 55);
+    add(1, 1000, op(rt::ApiOp::SpuStop), trace::kPhaseBegin, 0);
+    return t;
+}
+
+TEST(TraceStats, BreakdownMatchesHandComputedValues)
+{
+    const TraceData t = syntheticTrace();
+    const TraceModel m = TraceModel::build(t);
+    const IntervalSet ivs = IntervalSet::build(m);
+    const TraceStats st = TraceStats::build(m, ivs);
+
+    const SpuBreakdown& b = st.spu[0];
+    EXPECT_TRUE(b.ran);
+    EXPECT_EQ(b.run_tb, 1000u);
+    EXPECT_EQ(b.dma_cmd_tb, 10u);
+    EXPECT_EQ(b.dma_wait_tb, 100u);
+    EXPECT_EQ(b.mbox_wait_tb, 60u);
+    EXPECT_EQ(b.signal_wait_tb, 0u);
+    EXPECT_EQ(b.stall_tb(), 160u);
+    EXPECT_EQ(b.busy_tb(), 1000u - 160u - 10u);
+    EXPECT_NEAR(b.utilization(), 0.83, 0.001);
+}
+
+TEST(TraceStats, DmaLatencyMatchedToCoveringTagWait)
+{
+    const TraceData t = syntheticTrace();
+    const TraceModel m = TraceModel::build(t);
+    const TraceStats st =
+        TraceStats::build(m, IntervalSet::build(m));
+
+    const DmaStats& d = st.dma[0];
+    EXPECT_EQ(d.commands, 1u);
+    EXPECT_EQ(d.bytes, 4096u);
+    EXPECT_EQ(d.unobserved, 0u);
+    ASSERT_EQ(d.latency_tb.count(), 1u);
+    // Command begin at tb 10; tag wait (mask covers tag 2) ends 130.
+    EXPECT_EQ(d.latency_tb.max(), 120u);
+}
+
+TEST(TraceStats, FlushMarkersAggregated)
+{
+    const TraceData t = syntheticTrace();
+    const TraceModel m = TraceModel::build(t);
+    const TraceStats st =
+        TraceStats::build(m, IntervalSet::build(m));
+    EXPECT_EQ(st.flush[0].flushes, 1u);
+    EXPECT_EQ(st.flush[0].flushed_records, 7u);
+    EXPECT_EQ(st.flush[0].flush_wait_cycles, 55u);
+}
+
+TEST(TraceStats, OpCountsCountBeginsOnly)
+{
+    const TraceData t = syntheticTrace();
+    const TraceModel m = TraceModel::build(t);
+    const TraceStats st =
+        TraceStats::build(m, IntervalSet::build(m));
+    EXPECT_EQ(st.op_counts[1][static_cast<std::size_t>(rt::ApiOp::SpuMfcGet)],
+              1u);
+    EXPECT_EQ(
+        st.op_counts[1][static_cast<std::size_t>(rt::ApiOp::SpuTagWaitAll)],
+        1u);
+    EXPECT_EQ(st.op_counts[1][static_cast<std::size_t>(rt::ApiOp::SpuStart)],
+              1u);
+}
+
+TEST(TraceStats, OverlapScoreBounds)
+{
+    const TraceData t = syntheticTrace();
+    const TraceModel m = TraceModel::build(t);
+    const TraceStats st =
+        TraceStats::build(m, IntervalSet::build(m));
+    // wait 100 of 120 service => overlap 1 - 100/120.
+    EXPECT_NEAR(st.overlapScore(0), 1.0 - 100.0 / 120.0, 1e-9);
+}
+
+TEST(TraceStats, LoadImbalanceOfSingleSpeIsOne)
+{
+    const TraceData t = syntheticTrace();
+    const TraceModel m = TraceModel::build(t);
+    const TraceStats st =
+        TraceStats::build(m, IntervalSet::build(m));
+    EXPECT_DOUBLE_EQ(st.loadImbalance(), 1.0);
+}
+
+TEST(TraceStats, NoRunMeansNoBreakdown)
+{
+    TraceData t;
+    t.header.num_spes = 2;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs.resize(2);
+    const TraceModel m = TraceModel::build(t);
+    const TraceStats st =
+        TraceStats::build(m, IntervalSet::build(m));
+    EXPECT_FALSE(st.spu[0].ran);
+    EXPECT_FALSE(st.spu[1].ran);
+    EXPECT_DOUBLE_EQ(st.loadImbalance(), 1.0);
+    EXPECT_DOUBLE_EQ(st.overlapScore(0), 1.0);
+}
+
+} // namespace
+} // namespace cell::ta

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Timeline renderer tests (ASCII and SVG) on synthetic traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ta/timeline.h"
+
+namespace cell::ta {
+namespace {
+
+using trace::Record;
+using trace::TraceData;
+
+/** 1 SPE: run 0..1000 with a DMA wait 200..600. */
+TraceData
+synthetic()
+{
+    TraceData t;
+    t.header.num_spes = 1;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs = {"render_me"};
+
+    auto add = [&](std::uint64_t tb, std::uint8_t kind, std::uint8_t phase,
+                   std::uint64_t a = 0) {
+        Record r{};
+        r.kind = kind;
+        r.phase = phase;
+        r.core = 1;
+        r.timestamp = static_cast<std::uint32_t>(1'000'000 - tb);
+        r.a = a;
+        t.records.push_back(r);
+    };
+    Record sync{};
+    sync.kind = trace::kSyncRecord;
+    sync.core = 1;
+    sync.timestamp = 1'000'000;
+    sync.a = 1'000'000;
+    sync.b = 0;
+    t.records.push_back(sync);
+
+    auto op = [](rt::ApiOp o) { return static_cast<std::uint8_t>(o); };
+    add(0, op(rt::ApiOp::SpuStart), trace::kPhaseBegin);
+    add(200, op(rt::ApiOp::SpuTagWaitAll), trace::kPhaseBegin, 1);
+    add(600, op(rt::ApiOp::SpuTagWaitAll), trace::kPhaseEnd, 1);
+    add(1000, op(rt::ApiOp::SpuStop), trace::kPhaseBegin);
+    return t;
+}
+
+TEST(Timeline, AsciiShowsRunAndWaitRegions)
+{
+    const TraceModel m = TraceModel::build(synthetic());
+    const IntervalSet ivs = IntervalSet::build(m);
+    const std::string out =
+        renderAscii(m, ivs, TimelineOptions{.width = 100});
+
+    ASSERT_NE(out.find("SPE0 (render_me)"), std::string::npos);
+    // Wait region 200..600 of a 1000-tick span: 'D' cells in columns
+    // ~20..60, compute '#' elsewhere inside the run.
+    const auto row_start = out.find("SPE0");
+    const auto bar = out.find('|', row_start);
+    ASSERT_NE(bar, std::string::npos);
+    const std::string cells = out.substr(bar + 1, 100);
+    EXPECT_EQ(cells[10], '#');
+    EXPECT_EQ(cells[40], 'D');
+    EXPECT_EQ(cells[80], '#');
+}
+
+TEST(Timeline, AsciiRespectsWindow)
+{
+    const TraceModel m = TraceModel::build(synthetic());
+    const IntervalSet ivs = IntervalSet::build(m);
+    TimelineOptions opt;
+    opt.width = 50;
+    opt.start_tb = 200;
+    opt.end_tb = 600; // only the wait
+    const std::string out = renderAscii(m, ivs, opt);
+    const auto bar = out.find('|', out.find("SPE0"));
+    const std::string cells = out.substr(bar + 1, 50);
+    for (char c : cells)
+        EXPECT_EQ(c, 'D') << out;
+}
+
+TEST(Timeline, AsciiZeroWidthThrows)
+{
+    const TraceModel m = TraceModel::build(synthetic());
+    const IntervalSet ivs = IntervalSet::build(m);
+    EXPECT_THROW(renderAscii(m, ivs, TimelineOptions{.width = 0}),
+                 std::invalid_argument);
+}
+
+TEST(Timeline, SvgIsWellFormedish)
+{
+    const TraceModel m = TraceModel::build(synthetic());
+    const IntervalSet ivs = IntervalSet::build(m);
+    const std::string svg = renderSvg(m, ivs);
+    EXPECT_EQ(svg.rfind("<svg", 0), std::string::npos ? 0u : 0u);
+    EXPECT_NE(svg.find("render_me"), std::string::npos);
+    EXPECT_NE(svg.find("#f44336"), std::string::npos); // DMA-wait red
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // Every <rect has a closing.
+    std::size_t opens = 0;
+    for (std::size_t p = svg.find("<rect"); p != std::string::npos;
+         p = svg.find("<rect", p + 1))
+        ++opens;
+    EXPECT_GT(opens, 2u);
+}
+
+TEST(Timeline, SvgHidePpeRow)
+{
+    const TraceModel m = TraceModel::build(synthetic());
+    const IntervalSet ivs = IntervalSet::build(m);
+    TimelineOptions opt;
+    opt.show_ppe = false;
+    const std::string svg = renderSvg(m, ivs, opt);
+    EXPECT_EQ(svg.find(">PPE<"), std::string::npos);
+}
+
+TEST(Timeline, WriteSvgCreatesFile)
+{
+    const TraceModel m = TraceModel::build(synthetic());
+    const IntervalSet ivs = IntervalSet::build(m);
+    const std::string path = ::testing::TempDir() + "/tl_test.svg";
+    writeSvg(path, m, ivs);
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string first;
+    std::getline(is, first);
+    EXPECT_NE(first.find("<svg"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cell::ta

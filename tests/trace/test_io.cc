@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Trace format serialization tests: round trips, error handling,
+ * layout guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace cell::trace {
+namespace {
+
+TraceData
+sampleTrace()
+{
+    TraceData t;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs = {"prog_a", "", "prog_c"};
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        Record r{};
+        r.kind = static_cast<std::uint8_t>(i % 30);
+        r.phase = i % 2;
+        r.core = static_cast<std::uint16_t>(i % 4);
+        r.timestamp = 1000 + i;
+        r.a = i;
+        r.b = ~std::uint64_t{i};
+        r.c = i * 3;
+        r.d = i * 7;
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+TEST(TraceIo, RecordLayoutIsStable)
+{
+    EXPECT_EQ(sizeof(Record), 32u);
+    EXPECT_EQ(sizeof(Header), 40u);
+    EXPECT_EQ(offsetof(Record, timestamp), 4u);
+    EXPECT_EQ(offsetof(Record, a), 8u);
+}
+
+TEST(TraceIo, BufferRoundTripPreservesEverything)
+{
+    const TraceData t = sampleTrace();
+    const auto buf = writeBuffer(t);
+    const TraceData back = readBuffer(buf);
+
+    EXPECT_EQ(back.header.magic, kMagic);
+    EXPECT_EQ(back.header.version, kFormatVersion);
+    EXPECT_EQ(back.header.core_hz, t.header.core_hz);
+    EXPECT_EQ(back.header.timebase_divider, t.header.timebase_divider);
+    EXPECT_EQ(back.header.num_spes, 3u);
+    EXPECT_EQ(back.spe_programs, t.spe_programs);
+    ASSERT_EQ(back.records.size(), t.records.size());
+    for (std::size_t i = 0; i < t.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].kind, t.records[i].kind);
+        EXPECT_EQ(back.records[i].phase, t.records[i].phase);
+        EXPECT_EQ(back.records[i].core, t.records[i].core);
+        EXPECT_EQ(back.records[i].timestamp, t.records[i].timestamp);
+        EXPECT_EQ(back.records[i].a, t.records[i].a);
+        EXPECT_EQ(back.records[i].b, t.records[i].b);
+        EXPECT_EQ(back.records[i].c, t.records[i].c);
+        EXPECT_EQ(back.records[i].d, t.records[i].d);
+    }
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/pdt_io_test.pdt";
+    const TraceData t = sampleTrace();
+    writeFile(path, t);
+    const TraceData back = readFile(path);
+    EXPECT_EQ(back.records.size(), t.records.size());
+    EXPECT_EQ(back.spe_programs, t.spe_programs);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    TraceData t;
+    const TraceData back = readBuffer(writeBuffer(t));
+    EXPECT_TRUE(back.records.empty());
+    EXPECT_TRUE(back.spe_programs.empty());
+}
+
+TEST(TraceIo, BadMagicIsRejected)
+{
+    auto buf = writeBuffer(sampleTrace());
+    buf[0] ^= 0xFF;
+    EXPECT_THROW(readBuffer(buf), std::runtime_error);
+}
+
+TEST(TraceIo, WrongVersionIsRejected)
+{
+    auto buf = writeBuffer(sampleTrace());
+    buf[8] = 99; // version field
+    EXPECT_THROW(readBuffer(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedHeaderIsRejected)
+{
+    auto buf = writeBuffer(sampleTrace());
+    buf.resize(10);
+    EXPECT_THROW(readBuffer(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedRecordsAreRejected)
+{
+    auto buf = writeBuffer(sampleTrace());
+    buf.resize(buf.size() - 16); // half a record missing
+    EXPECT_THROW(readBuffer(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedNameTableIsRejected)
+{
+    const TraceData t = sampleTrace();
+    auto buf = writeBuffer(t);
+    buf.resize(sizeof(Header) + 2);
+    EXPECT_THROW(readBuffer(buf), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(readFile("/nonexistent/dir/x.pdt"), std::runtime_error);
+    EXPECT_THROW(writeFile("/nonexistent/dir/x.pdt", sampleTrace()),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, LargeTraceRoundTrips)
+{
+    TraceData t;
+    t.spe_programs.resize(8, "p");
+    t.records.resize(100'000);
+    for (std::size_t i = 0; i < t.records.size(); ++i)
+        t.records[i].timestamp = static_cast<std::uint32_t>(i);
+    const TraceData back = readBuffer(writeBuffer(t));
+    ASSERT_EQ(back.records.size(), 100'000u);
+    EXPECT_EQ(back.records[99'999].timestamp, 99'999u);
+}
+
+} // namespace
+} // namespace cell::trace

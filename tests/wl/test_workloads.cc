@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Workload correctness tests: every kernel must produce numerically
+ * verified results across SPE counts, buffering depths, and parameter
+ * edge cases — traced and untraced.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdt/tracer.h"
+#include "wl/conv2d.h"
+#include "wl/gather.h"
+#include "wl/matmul.h"
+#include "wl/pipeline.h"
+#include "wl/reduction.h"
+#include "wl/triad.h"
+
+namespace cell::wl {
+namespace {
+
+struct TriadCase
+{
+    std::uint32_t spes;
+    std::uint32_t buffering;
+    std::uint32_t elems;
+    std::uint32_t tile;
+};
+
+class TriadP : public ::testing::TestWithParam<TriadCase>
+{};
+
+TEST_P(TriadP, Verifies)
+{
+    const auto& c = GetParam();
+    rt::CellSystem sys;
+    TriadParams p;
+    p.n_elements = c.elems;
+    p.n_spes = c.spes;
+    p.buffering = c.buffering;
+    p.tile_elems = c.tile;
+    Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+    EXPECT_GT(wl.elapsed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TriadP,
+    ::testing::Values(TriadCase{1, 1, 4096, 512},
+                      TriadCase{1, 2, 4096, 512},
+                      TriadCase{2, 3, 4096, 256},
+                      TriadCase{4, 2, 16384, 1024},
+                      TriadCase{8, 2, 16384, 1024},
+                      TriadCase{8, 1, 16384, 4096},
+                      // Partial final tile (count not tile-multiple).
+                      TriadCase{3, 2, 5120, 1024},
+                      // Tiny: fewer tiles than buffers.
+                      TriadCase{8, 3, 64, 16}));
+
+TEST(Triad, RejectsBadParams)
+{
+    rt::CellSystem sys;
+    TriadParams p;
+    p.n_spes = 99;
+    EXPECT_THROW(Triad(sys, p), std::invalid_argument);
+    p = {};
+    p.buffering = 4;
+    EXPECT_THROW(Triad(sys, p), std::invalid_argument);
+    p = {};
+    p.tile_elems = 6; // not multiple of 4
+    EXPECT_THROW(Triad(sys, p), std::invalid_argument);
+    p = {};
+    p.tile_elems = 8192; // > 16 KiB tile
+    EXPECT_THROW(Triad(sys, p), std::invalid_argument);
+}
+
+struct MatmulCase
+{
+    std::uint32_t n;
+    std::uint32_t spes;
+    std::uint32_t skew;
+};
+
+class MatmulP : public ::testing::TestWithParam<MatmulCase>
+{};
+
+TEST_P(MatmulP, Verifies)
+{
+    const auto& c = GetParam();
+    rt::CellSystem sys;
+    MatmulParams p;
+    p.n = c.n;
+    p.n_spes = c.spes;
+    p.skew = c.skew;
+    Matmul wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulP,
+                         ::testing::Values(MatmulCase{32, 1, 0},
+                                           MatmulCase{64, 2, 0},
+                                           MatmulCase{64, 3, 1},
+                                           MatmulCase{96, 8, 0},
+                                           MatmulCase{96, 8, 4},
+                                           MatmulCase{64, 8, 100}));
+
+TEST(Matmul, SkewedSharesSumToTotal)
+{
+    rt::CellSystem sys;
+    MatmulParams p;
+    p.n = 128;
+    p.n_spes = 8;
+    p.skew = 3;
+    Matmul wl(sys, p);
+    std::uint32_t total = 0;
+    for (std::uint32_t s = 0; s < 8; ++s)
+        total += wl.tilesForSpe(s);
+    EXPECT_EQ(total, (128 / 32) * (128 / 32));
+}
+
+TEST(Matmul, RejectsBadParams)
+{
+    rt::CellSystem sys;
+    MatmulParams p;
+    p.n = 48; // not multiple of 32
+    EXPECT_THROW(Matmul(sys, p), std::invalid_argument);
+    p = {};
+    p.n_spes = 0;
+    EXPECT_THROW(Matmul(sys, p), std::invalid_argument);
+}
+
+struct ConvCase
+{
+    std::uint32_t w;
+    std::uint32_t h;
+    std::uint32_t spes;
+};
+
+class ConvP : public ::testing::TestWithParam<ConvCase>
+{};
+
+TEST_P(ConvP, Verifies)
+{
+    const auto& c = GetParam();
+    rt::CellSystem sys;
+    Conv2dParams p;
+    p.width = c.w;
+    p.height = c.h;
+    p.n_spes = c.spes;
+    Conv2d wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvP,
+                         ::testing::Values(ConvCase{64, 16, 1},
+                                           ConvCase{128, 64, 4},
+                                           ConvCase{256, 64, 8},
+                                           // Height not divisible by SPEs.
+                                           ConvCase{64, 19, 4},
+                                           // More SPEs than rows: some idle.
+                                           ConvCase{64, 5, 8}));
+
+TEST(Conv2d, CustomKernelApplied)
+{
+    rt::CellSystem sys;
+    Conv2dParams p;
+    p.width = 64;
+    p.height = 16;
+    p.n_spes = 2;
+    p.kernel = {0, 0, 0, 0, 2, 0, 0, 0, 0}; // pure 2x scaling
+    Conv2d wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+TEST(Reduction, BothModesMatchReference)
+{
+    for (bool chatty : {false, true}) {
+        rt::CellSystem sys;
+        ReductionParams p;
+        p.n_elements = 8192;
+        p.n_spes = 4;
+        p.tile_elems = 512;
+        p.report_every_tile = chatty;
+        Reduction wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify()) << "chatty=" << chatty;
+        EXPECT_GT(wl.result(), 0.0f);
+    }
+}
+
+TEST(Reduction, UnevenSlices)
+{
+    rt::CellSystem sys;
+    ReductionParams p;
+    p.n_elements = 4096 + 512;
+    p.n_spes = 7;
+    p.tile_elems = 256;
+    Reduction wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+struct PipeCase
+{
+    std::uint32_t stages;
+    std::uint32_t elems;
+    std::uint32_t tile;
+};
+
+class PipeP : public ::testing::TestWithParam<PipeCase>
+{};
+
+TEST_P(PipeP, Verifies)
+{
+    const auto& c = GetParam();
+    rt::CellSystem sys;
+    PipelineParams p;
+    p.n_stages = c.stages;
+    p.n_elements = c.elems;
+    p.tile_elems = c.tile;
+    Pipeline wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipeP,
+                         ::testing::Values(PipeCase{2, 4096, 512},
+                                           PipeCase{4, 8192, 512},
+                                           PipeCase{8, 8192, 256},
+                                           // Single tile through the chain.
+                                           PipeCase{3, 512, 512}));
+
+TEST(Pipeline, UserEventsModeStillVerifies)
+{
+    rt::CellSystem sys;
+    PipelineParams p;
+    p.n_stages = 3;
+    p.n_elements = 2048;
+    p.tile_elems = 256;
+    p.user_events = true;
+    Pipeline wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+struct GatherCase
+{
+    std::uint32_t rows;
+    std::uint32_t indices;
+    std::uint32_t spes;
+};
+
+class GatherP : public ::testing::TestWithParam<GatherCase>
+{};
+
+TEST_P(GatherP, Verifies)
+{
+    const auto& c = GetParam();
+    rt::CellSystem sys;
+    GatherParams p;
+    p.table_rows = c.rows;
+    p.n_indices = c.indices;
+    p.n_spes = c.spes;
+    Gather wl(sys, p);
+    wl.start();
+    sys.run();
+    EXPECT_TRUE(wl.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GatherP,
+                         ::testing::Values(GatherCase{64, 256, 1},
+                                           GatherCase{1024, 2048, 4},
+                                           GatherCase{4096, 4096, 8},
+                                           // More SPEs than batches.
+                                           GatherCase{64, 64, 8}));
+
+TEST(AllWorkloads, VerifyUnderTracing)
+{
+    // Tracing must never corrupt results — the tool's prime directive.
+    {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        TriadParams p;
+        p.n_elements = 4096;
+        p.n_spes = 2;
+        Triad wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+    }
+    {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        MatmulParams p;
+        p.n = 64;
+        p.n_spes = 2;
+        Matmul wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+    }
+    {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        Conv2dParams p;
+        p.width = 64;
+        p.height = 16;
+        p.n_spes = 2;
+        Conv2d wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+    }
+    {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        PipelineParams p;
+        p.n_stages = 3;
+        p.n_elements = 2048;
+        p.tile_elems = 256;
+        Pipeline wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+    }
+    {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys);
+        GatherParams p;
+        p.table_rows = 256;
+        p.n_indices = 512;
+        p.n_spes = 2;
+        Gather wl(sys, p);
+        wl.start();
+        sys.run();
+        EXPECT_TRUE(wl.verify());
+    }
+}
+
+TEST(AllWorkloads, DeterministicElapsedTimes)
+{
+    auto run = [] {
+        rt::CellSystem sys;
+        TriadParams p;
+        p.n_elements = 8192;
+        p.n_spes = 4;
+        Triad wl(sys, p);
+        wl.start();
+        sys.run();
+        return wl.elapsed();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace cell::wl

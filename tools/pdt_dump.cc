@@ -1,0 +1,99 @@
+/**
+ * @file
+ * `pdt_dump` — raw trace record dump.
+ *
+ * Prints every record of a PDT trace file in stream order with raw
+ * timestamps and decoded op names; `--resolved` additionally shows the
+ * reconstructed global time in microseconds. The debugging companion
+ * to the analyzer: when TA's view looks wrong, this shows what PDT
+ * actually wrote.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "ta/model.h"
+#include "trace/reader.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace cell;
+    if (argc < 2) {
+        std::cerr << "usage: pdt_dump [--resolved] <trace.pdt> [max]\n";
+        return 2;
+    }
+    int argi = 1;
+    bool resolved = false;
+    if (std::string(argv[argi]) == "--resolved") {
+        resolved = true;
+        ++argi;
+    }
+    if (argi >= argc) {
+        std::cerr << "pdt_dump: missing trace file\n";
+        return 2;
+    }
+    const std::string path = argv[argi++];
+    std::size_t max = ~std::size_t{0};
+    if (argi < argc)
+        max = std::stoull(argv[argi]);
+
+    try {
+        const trace::TraceData data = trace::readFile(path);
+        std::cout << "# " << path << ": " << data.records.size()
+                  << " records, " << data.header.num_spes << " SPEs, core "
+                  << data.header.core_hz / 1'000'000 << " MHz, timebase /"
+                  << data.header.timebase_divider << "\n";
+        for (std::uint32_t i = 0; i < data.header.num_spes; ++i) {
+            if (!data.spe_programs[i].empty())
+                std::cout << "# SPE" << i << ": " << data.spe_programs[i]
+                          << "\n";
+        }
+
+        // Optional resolved-time column.
+        std::vector<double> times_us;
+        if (resolved) {
+            const ta::TraceModel model = ta::TraceModel::build(data);
+            // Walk per-core cursors in stream order to align 1:1.
+            std::vector<std::size_t> cursor(model.cores().size(), 0);
+            times_us.reserve(data.records.size());
+            for (const trace::Record& rec : data.records) {
+                const auto& tl = model.cores()[rec.core];
+                times_us.push_back(
+                    model.tbToUs(tl.events[cursor[rec.core]++].time_tb -
+                                 model.startTb()));
+            }
+        }
+
+        std::size_t n = 0;
+        for (const trace::Record& rec : data.records) {
+            if (n >= max)
+                break;
+            std::cout << std::setw(7) << n << "  core=" << std::setw(2)
+                      << rec.core << "  raw=" << std::setw(10)
+                      << rec.timestamp << "  ";
+            if (resolved)
+                std::cout << std::fixed << std::setprecision(3)
+                          << std::setw(12) << times_us[n] << "us  ";
+            if (rec.kind == trace::kSyncRecord) {
+                std::cout << "SYNC raw=" << rec.a << " tb=" << rec.b;
+            } else if (rec.kind == trace::kFlushRecord) {
+                std::cout << "FLUSH records=" << rec.a << " wait=" << rec.b;
+            } else {
+                std::cout << rt::apiOpName(static_cast<rt::ApiOp>(rec.kind))
+                          << (rec.phase == trace::kPhaseBegin ? " BEGIN"
+                                                              : " END")
+                          << "  a=0x" << std::hex << rec.a << " b=0x"
+                          << rec.b << std::dec << " c=" << rec.c
+                          << " d=" << rec.d;
+            }
+            std::cout << "\n";
+            ++n;
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "pdt_dump: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

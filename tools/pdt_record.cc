@@ -1,0 +1,139 @@
+/**
+ * @file
+ * `pdt_record` — run a workload under PDT and write the trace.
+ *
+ * The command-line face of the tracer (the paper's PDT shipped as a
+ * runtime plus launcher scripts; this plays the launcher):
+ *
+ *   pdt_record <workload> <out.pdt> [--config file] [--spes N]
+ *
+ * Workloads: triad triad1 triad3 matmul matmul-skewed conv2d fft
+ *            reduction reduction-chatty pipeline gather
+ *
+ * The optional config file uses PDT's key=value format, e.g.
+ *   groups=DMA,DMA_WAIT
+ *   buffer=8192
+ *   double_buffer=1
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "pdt/tracer.h"
+#include "trace/writer.h"
+#include "wl/conv2d.h"
+#include "wl/fft.h"
+#include "wl/gather.h"
+#include "wl/matmul.h"
+#include "wl/pipeline.h"
+#include "wl/reduction.h"
+#include "wl/triad.h"
+
+namespace {
+
+using namespace cell;
+
+std::unique_ptr<wl::WorkloadBase>
+makeWorkload(const std::string& name, rt::CellSystem& sys,
+             std::uint32_t spes)
+{
+    if (name == "triad" || name == "triad1" || name == "triad3") {
+        wl::TriadParams p;
+        p.n_spes = spes;
+        p.buffering = name == "triad1" ? 1 : (name == "triad3" ? 3 : 2);
+        return std::make_unique<wl::Triad>(sys, p);
+    }
+    if (name == "matmul" || name == "matmul-skewed") {
+        wl::MatmulParams p;
+        p.n_spes = spes;
+        p.skew = name == "matmul-skewed" ? 4 : 0;
+        return std::make_unique<wl::Matmul>(sys, p);
+    }
+    if (name == "conv2d") {
+        wl::Conv2dParams p;
+        p.n_spes = spes;
+        return std::make_unique<wl::Conv2d>(sys, p);
+    }
+    if (name == "fft") {
+        wl::FftParams p;
+        p.n_spes = spes;
+        return std::make_unique<wl::Fft>(sys, p);
+    }
+    if (name == "reduction" || name == "reduction-chatty") {
+        wl::ReductionParams p;
+        p.n_spes = spes;
+        p.report_every_tile = name == "reduction-chatty";
+        return std::make_unique<wl::Reduction>(sys, p);
+    }
+    if (name == "pipeline") {
+        wl::PipelineParams p;
+        p.n_stages = std::max(2u, spes);
+        return std::make_unique<wl::Pipeline>(sys, p);
+    }
+    if (name == "gather") {
+        wl::GatherParams p;
+        p.n_spes = spes;
+        return std::make_unique<wl::Gather>(sys, p);
+    }
+    throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: pdt_record <workload> <out.pdt> "
+                     "[--config file] [--spes N]\n";
+        return 2;
+    }
+    const std::string workload = argv[1];
+    const std::string out_path = argv[2];
+    pdt::PdtConfig cfg;
+    std::uint32_t spes = 8;
+    for (int i = 3; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        if (flag == "--config") {
+            std::ifstream is(argv[i + 1]);
+            if (!is) {
+                std::cerr << "pdt_record: cannot open config "
+                          << argv[i + 1] << "\n";
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << is.rdbuf();
+            cfg = pdt::PdtConfig::parse(ss.str(), cfg);
+        } else if (flag == "--spes") {
+            spes = static_cast<std::uint32_t>(std::stoul(argv[i + 1]));
+        } else {
+            std::cerr << "pdt_record: unknown flag " << flag << "\n";
+            return 2;
+        }
+    }
+
+    try {
+        rt::CellSystem sys;
+        pdt::Pdt tracer(sys, cfg);
+        auto w = makeWorkload(workload, sys, spes);
+        w->start();
+        sys.run();
+        if (!w->verify()) {
+            std::cerr << "pdt_record: workload verification FAILED\n";
+            return 1;
+        }
+        const trace::TraceData data = tracer.finalize();
+        trace::writeFile(out_path, data);
+        std::cout << "recorded " << data.records.size() << " records ("
+                  << data.records.size() * sizeof(trace::Record)
+                  << " bytes) in " << w->elapsed() << " cycles -> "
+                  << out_path << "\n";
+    } catch (const std::exception& e) {
+        std::cerr << "pdt_record: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

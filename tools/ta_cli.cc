@@ -1,0 +1,140 @@
+/**
+ * @file
+ * `ta` — the trace analyzer command-line tool.
+ *
+ * The paper's TA was an interactive (Eclipse-based) viewer; this CLI
+ * exposes the same analyses over PDT trace files:
+ *
+ *   ta summary    <trace.pdt>              overview
+ *   ta breakdown  <trace.pdt>              per-SPE stall breakdown
+ *   ta dma        <trace.pdt>              DMA statistics
+ *   ta events     <trace.pdt>              event counts
+ *   ta tracing    <trace.pdt>              tracer self-observation
+ *   ta timeline   <trace.pdt> [width]      ASCII timeline
+ *   ta svg        <trace.pdt> <out.svg>    SVG timeline
+ *   ta csv        <trace.pdt> <out.csv>    per-SPE breakdown CSV
+ *   ta intervals  <trace.pdt> <out.csv>    raw interval CSV
+ *   ta compare    <a.pdt> <b.pdt>          A/B comparison
+ *   ta all        <trace.pdt>              every textual view
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ta/analyzer.h"
+#include "ta/compare.h"
+#include "ta/profile.h"
+#include "ta/report.h"
+#include "ta/timeline.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ta <command> <trace.pdt> [args]\n"
+           "commands: summary breakdown dma events tracing timeline\n"
+           "          activity"
+           "          svg html csv intervals transfers compare all\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cell;
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+
+    try {
+        if (cmd == "compare") {
+            if (argc < 4)
+                return usage();
+            const ta::Analysis a = ta::analyzeFile(path);
+            const ta::Analysis b = ta::analyzeFile(argv[3]);
+            ta::printComparison(std::cout, a, b);
+            return 0;
+        }
+
+        const ta::Analysis a = ta::analyzeFile(path);
+        if (cmd == "summary") {
+            ta::printSummary(std::cout, a);
+        } else if (cmd == "breakdown") {
+            ta::printStallBreakdown(std::cout, a);
+        } else if (cmd == "dma") {
+            ta::printDmaReport(std::cout, a);
+            std::cout << "\n";
+            ta::printDmaHistogram(std::cout, a);
+        } else if (cmd == "events") {
+            ta::printEventCounts(std::cout, a);
+        } else if (cmd == "tracing") {
+            ta::printTracingReport(std::cout, a);
+        } else if (cmd == "timeline") {
+            ta::TimelineOptions opt;
+            if (argc > 3)
+                opt.width = static_cast<unsigned>(std::stoul(argv[3]));
+            std::cout << ta::renderAscii(a.model, a.intervals, opt);
+        } else if (cmd == "activity") {
+            unsigned buckets = 60;
+            if (argc > 3)
+                buckets = static_cast<unsigned>(std::stoul(argv[3]));
+            ta::printActivity(std::cout, a, buckets);
+        } else if (cmd == "html") {
+            if (argc < 4)
+                return usage();
+            ta::writeHtmlReport(argv[3], a, path);
+            std::cout << "wrote " << argv[3] << "\n";
+        } else if (cmd == "svg") {
+            if (argc < 4)
+                return usage();
+            ta::writeSvg(argv[3], a.model, a.intervals,
+                         ta::TimelineOptions{.width = 900});
+            std::cout << "wrote " << argv[3] << "\n";
+        } else if (cmd == "csv") {
+            if (argc < 4)
+                return usage();
+            std::ofstream os(argv[3]);
+            ta::exportBreakdownCsv(os, a);
+            std::cout << "wrote " << argv[3] << "\n";
+        } else if (cmd == "intervals") {
+            if (argc < 4)
+                return usage();
+            std::ofstream os(argv[3]);
+            ta::exportIntervalsCsv(os, a);
+            std::cout << "wrote " << argv[3] << "\n";
+        } else if (cmd == "transfers") {
+            if (argc < 4)
+                return usage();
+            std::ofstream os(argv[3]);
+            ta::exportDmaTransfersCsv(os, a);
+            std::cout << "wrote " << argv[3] << "\n";
+        } else if (cmd == "all") {
+            ta::printSummary(std::cout, a);
+            std::cout << "\n";
+            ta::printStallBreakdown(std::cout, a);
+            std::cout << "\n";
+            ta::printDmaReport(std::cout, a);
+            std::cout << "\n";
+            ta::printDmaHistogram(std::cout, a);
+            std::cout << "\n";
+            ta::printEventCounts(std::cout, a);
+            std::cout << "\n";
+            ta::printTracingReport(std::cout, a);
+            std::cout << "\n"
+                      << ta::renderAscii(a.model, a.intervals) << "\n";
+            ta::printActivity(std::cout, a);
+        } else {
+            return usage();
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "ta: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
