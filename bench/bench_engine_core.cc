@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Engine hot-path microbenchmarks.
+ *
+ * Measures the raw discrete-event machinery in isolation — no machine
+ * model, no workload — so regressions in the scheduler itself are
+ * visible without the Cell model's noise:
+ *
+ *   - BM_DelayResume:    one process spinning on delay(1); each
+ *                        iteration dispatches one coroutine resume.
+ *   - BM_CallbackEvent:  one EventCallback scheduled + dispatched per
+ *                        iteration (the SBO callable path).
+ *   - BM_PingPong64:     64 processes in a notify ring (CondVar wait,
+ *                        delay, notify next) — the cross-process
+ *                        wakeup pattern every sync primitive uses.
+ *
+ * Each benchmark also reports host heap allocations per dispatched
+ * event (host_allocs_per_event), counted via a global operator new
+ * override. On the steady-state path this must be zero: event storage
+ * is reused, payloads are inline, and coroutine frames come from the
+ * frame pool.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include <benchmark/benchmark.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+void*
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using cell::sim::CondVar;
+using cell::sim::Engine;
+using cell::sim::Task;
+using cell::sim::Tick;
+
+Task
+spinner(Engine& eng)
+{
+    for (;;)
+        co_await eng.delay(1);
+}
+
+void
+BM_DelayResume(benchmark::State& state)
+{
+    Engine eng;
+    eng.spawn(spinner(eng), "spinner");
+    Tick t = 0;
+    eng.run(t); // warm up: first resume + first reschedule
+    const std::uint64_t d0 = eng.eventsDispatched();
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    for (auto _ : state)
+        eng.run(++t);
+    const std::uint64_t events = eng.eventsDispatched() - d0;
+    const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["host_allocs_per_event"] =
+        events ? static_cast<double>(allocs) / static_cast<double>(events)
+               : 0.0;
+}
+BENCHMARK(BM_DelayResume);
+
+void
+BM_CallbackEvent(benchmark::State& state)
+{
+    Engine eng;
+    std::uint64_t sink = 0;
+    Tick t = 0;
+    // Warm up the event storage.
+    eng.schedule(t + 1, [&sink] { ++sink; });
+    eng.run(++t);
+    const std::uint64_t d0 = eng.eventsDispatched();
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    for (auto _ : state) {
+        eng.schedule(t + 1, [&sink] { ++sink; });
+        eng.run(++t);
+    }
+    const std::uint64_t events = eng.eventsDispatched() - d0;
+    const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["host_allocs_per_event"] =
+        events ? static_cast<double>(allocs) / static_cast<double>(events)
+               : 0.0;
+}
+BENCHMARK(BM_CallbackEvent);
+
+Task
+ringMember(Engine& eng, CondVar& me, CondVar& next, const bool& stop)
+{
+    for (;;) {
+        co_await me.wait();
+        if (stop)
+            co_return;
+        co_await eng.delay(1);
+        next.notifyOne();
+    }
+}
+
+void
+BM_PingPong64(benchmark::State& state)
+{
+    constexpr std::size_t kRing = 64;
+    Engine eng;
+    bool stop = false;
+    std::vector<std::unique_ptr<CondVar>> cvs;
+    cvs.reserve(kRing);
+    for (std::size_t i = 0; i < kRing; ++i)
+        cvs.push_back(std::make_unique<CondVar>(eng));
+    for (std::size_t i = 0; i < kRing; ++i)
+        eng.spawn(ringMember(eng, *cvs[i], *cvs[(i + 1) % kRing], stop),
+                  "ring");
+    Tick t = 0;
+    eng.run(t); // all members reach their first wait()
+    cvs[0]->notifyOne();
+    eng.run(++t); // warm up one hop
+    const std::uint64_t d0 = eng.eventsDispatched();
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    for (auto _ : state)
+        eng.run(++t);
+    const std::uint64_t events = eng.eventsDispatched() - d0;
+    const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["host_allocs_per_event"] =
+        events ? static_cast<double>(allocs) / static_cast<double>(events)
+               : 0.0;
+    // Let the ring members exit cleanly before the CondVars go away.
+    stop = true;
+    cvs[0]->notifyOne();
+}
+BENCHMARK(BM_PingPong64);
+
+#if defined(__GLIBC__)
+/** Same rationale as bench/common.h: measure the engine, not malloc
+ *  trim. Kept local to avoid pulling the full workload stack in. */
+const bool g_alloc_tuned = [] {
+    mallopt(M_TRIM_THRESHOLD, 64 << 20);
+    mallopt(M_MMAP_THRESHOLD, 64 << 20);
+    return true;
+}();
+#endif
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,10 @@
 #include <memory>
 #include <string>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "pdt/tracer.h"
 #include "rt/system.h"
 #include "ta/analyzer.h"
@@ -31,6 +35,35 @@
 #include "wl/triad.h"
 
 namespace cell::bench {
+
+/**
+ * Pin glibc's trim/mmap thresholds so benchmark iterations measure the
+ * simulator, not the kernel's page allocator. Each iteration builds and
+ * tears down a CellSystem (~4 MiB working set: local stores, memory
+ * pages, host arrays); with default thresholds glibc returns that
+ * memory to the OS on every teardown and the next iteration re-faults
+ * it, which can dominate iteration time and swamp the quantity under
+ * test. No effect on simulated results — purely host-side.
+ */
+inline bool
+tuneAllocatorForBench()
+{
+#if defined(__GLIBC__)
+    static const bool done = [] {
+        mallopt(M_TRIM_THRESHOLD, 64 << 20);
+        mallopt(M_MMAP_THRESHOLD, 64 << 20);
+        return true;
+    }();
+    return done;
+#else
+    return false;
+#endif
+}
+
+namespace detail {
+/** Runs the tuning during static init, before any benchmark. */
+inline const bool allocator_tuned = tuneAllocatorForBench();
+} // namespace detail
 
 /** Factory building a workload on a given system. */
 using WorkloadFactory =

@@ -141,6 +141,41 @@ class ApiHook
     virtual sim::CoTask<void> onApiEvent(const ApiEvent& ev) = 0;
 };
 
+/**
+ * Awaitable returned by the runtime's emit helpers.
+ *
+ * With no hook installed (the untraced baseline) it is ready
+ * immediately: no coroutine frame is allocated and co_await falls
+ * straight through — instrumentation callouts really do cost nothing.
+ * With a hook it wraps the CoTask that charges recording time.
+ */
+class HookAwait
+{
+  public:
+    /** No hook: awaiting completes synchronously, allocation-free. */
+    HookAwait() = default;
+
+    /** Hook installed: await the wrapped emission coroutine. */
+    explicit HookAwait(sim::CoTask<void> task)
+        : task_(std::move(task)), active_(true)
+    {}
+
+    bool await_ready() const noexcept { return !active_; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller)
+    {
+        return task_.await_suspend(caller);
+    }
+    void await_resume()
+    {
+        if (active_)
+            task_.await_resume();
+    }
+
+  private:
+    sim::CoTask<void> task_;
+    bool active_ = false;
+};
+
 } // namespace cell::rt
 
 #endif // CELL_RT_HOOKS_H

@@ -33,13 +33,11 @@ SpuEnv::lsAlloc(std::uint32_t size, std::uint32_t align)
 }
 
 CoTask<void>
-SpuEnv::emit(ApiOp op, ApiPhase phase, std::uint64_t a, std::uint64_t b,
-             std::uint64_t c, std::uint64_t d)
+SpuEnv::emitSlow(ApiOp op, ApiPhase phase, std::uint64_t a, std::uint64_t b,
+                 std::uint64_t c, std::uint64_t d)
 {
-    if (hook_) {
-        ApiEvent ev{op, phase, spu_.coreId(), a, b, c, d};
-        co_await hook_->onApiEvent(ev);
-    }
+    ApiEvent ev{op, phase, spu_.coreId(), a, b, c, d};
+    co_await hook_->onApiEvent(ev);
 }
 
 CoTask<void>
@@ -292,10 +290,5 @@ SpuEnv::sendSignal(std::uint32_t target_spe, std::uint32_t which,
         target.signal2().post(bits);
 }
 
-CoTask<void>
-SpuEnv::userEvent(std::uint32_t id, std::uint64_t payload)
-{
-    co_await emit(ApiOp::SpuUserEvent, ApiPhase::Begin, id, payload);
-}
 
 } // namespace cell::rt

@@ -140,8 +140,12 @@ class SpuEnv
     CoTask<void> writeDecrementer(std::uint32_t value);
     ///@}
 
-    /** Record an application-defined trace event (PDT user events). */
-    CoTask<void> userEvent(std::uint32_t id, std::uint64_t payload = 0);
+    /** Record an application-defined trace event (PDT user events).
+     *  Free (no frame, no suspension) when untraced. */
+    HookAwait userEvent(std::uint32_t id, std::uint64_t payload = 0)
+    {
+        return emit(ApiOp::SpuUserEvent, ApiPhase::Begin, id, payload);
+    }
 
     /** Set the exit code reported in the SPU_STOP event. */
     void setExitCode(std::uint32_t code) { exit_code_ = code; }
@@ -149,12 +153,23 @@ class SpuEnv
 
     sim::Spu& spu() { return spu_; }
 
-    /** Emit a hook event (used by the lifecycle wrapper too). */
-    CoTask<void> emit(ApiOp op, ApiPhase phase, std::uint64_t a = 0,
-                      std::uint64_t b = 0, std::uint64_t c = 0,
-                      std::uint64_t d = 0);
+    /**
+     * Emit a hook event (used by the lifecycle wrapper too). Returns a
+     * ready awaitable when untraced, so unhooked callouts allocate no
+     * coroutine frame and cost nothing on the host.
+     */
+    HookAwait emit(ApiOp op, ApiPhase phase, std::uint64_t a = 0,
+                   std::uint64_t b = 0, std::uint64_t c = 0,
+                   std::uint64_t d = 0)
+    {
+        if (!hook_)
+            return {};
+        return HookAwait(emitSlow(op, phase, a, b, c, d));
+    }
 
   private:
+    CoTask<void> emitSlow(ApiOp op, ApiPhase phase, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c, std::uint64_t d);
     CoTask<void> dmaCommand(ApiOp op, sim::MfcOpcode mfc_op, bool fence,
                             bool barrier, LsAddr ls, EffAddr ea,
                             std::uint32_t size, TagId tag, LsAddr list_ls);

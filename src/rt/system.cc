@@ -31,14 +31,27 @@ PpeEnv::readTimebase()
     co_return sys_.machine().readTimebase();
 }
 
+namespace {
+
 CoTask<void>
+ppeEmitSlow(ApiHook* hook, ApiOp op, ApiPhase phase, std::uint64_t a,
+            std::uint64_t b, std::uint64_t c, std::uint64_t d)
+{
+    ApiEvent ev{op, phase, sim::CoreId::ppe(), a, b, c, d};
+    co_await hook->onApiEvent(ev);
+}
+
+} // namespace
+
+HookAwait
 PpeEnv::userEvent(std::uint32_t id, std::uint64_t payload)
 {
-    if (ApiHook* hook = sys_.hook()) {
-        ApiEvent ev{ApiOp::PpeUserEvent, ApiPhase::Begin, sim::CoreId::ppe(),
-                    id, payload, 0, 0};
-        co_await hook->onApiEvent(ev);
-    }
+    ApiHook* hook = sys_.hook();
+    if (!hook)
+        return {};
+    return HookAwait(
+        ppeEmitSlow(hook, ApiOp::PpeUserEvent, ApiPhase::Begin, id, payload,
+                    0, 0));
 }
 
 // ------------------------------------------------------------ SpeContext
@@ -53,14 +66,22 @@ SpeContext::spu()
     return sys_.machine().spe(index_);
 }
 
-CoTask<void>
+HookAwait
 SpeContext::emitPpe(ApiOp op, ApiPhase phase, std::uint64_t a,
                     std::uint64_t b, std::uint64_t c, std::uint64_t d)
 {
-    if (ApiHook* hook = sys_.hook()) {
-        ApiEvent ev{op, phase, sim::CoreId::ppe(), a, b, c, d};
-        co_await hook->onApiEvent(ev);
-    }
+    ApiHook* hook = sys_.hook();
+    if (!hook)
+        return {};
+    return HookAwait(emitPpeSlow(op, phase, a, b, c, d));
+}
+
+CoTask<void>
+SpeContext::emitPpeSlow(ApiOp op, ApiPhase phase, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t c, std::uint64_t d)
+{
+    ApiEvent ev{op, phase, sim::CoreId::ppe(), a, b, c, d};
+    co_await sys_.hook()->onApiEvent(ev);
 }
 
 CoTask<void>

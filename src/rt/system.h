@@ -62,8 +62,9 @@ class PpeEnv
     /** Read the 64-bit timebase register (charges the access cost). */
     CoTask<std::uint64_t> readTimebase();
 
-    /** Record an application-defined PPE trace event. */
-    CoTask<void> userEvent(std::uint32_t id, std::uint64_t payload = 0);
+    /** Record an application-defined PPE trace event.
+     *  Free (no frame, no suspension) when untraced. */
+    HookAwait userEvent(std::uint32_t id, std::uint64_t payload = 0);
 
   private:
     CellSystem& sys_;
@@ -130,9 +131,13 @@ class SpeContext
   private:
     sim::Task spuThread(SpuProgramImage image, std::uint64_t argp,
                         std::uint64_t envp);
-    CoTask<void> emitPpe(ApiOp op, ApiPhase phase, std::uint64_t a = 0,
-                         std::uint64_t b = 0, std::uint64_t c = 0,
-                         std::uint64_t d = 0);
+    /** Ready (frame-free) when no hook is installed. */
+    HookAwait emitPpe(ApiOp op, ApiPhase phase, std::uint64_t a = 0,
+                      std::uint64_t b = 0, std::uint64_t c = 0,
+                      std::uint64_t d = 0);
+    CoTask<void> emitPpeSlow(ApiOp op, ApiPhase phase, std::uint64_t a,
+                             std::uint64_t b, std::uint64_t c,
+                             std::uint64_t d);
     CoTask<void> chargeMmio();
 
     CellSystem& sys_;

@@ -25,13 +25,22 @@
 #include <utility>
 #include <vector>
 
+#include "sim/frame_pool.h"
 #include "sim/types.h"
 
 namespace cell::sim {
 
 class Engine;
 
-/** Shared completion state of one simulated process. */
+/**
+ * Shared completion state of one simulated process.
+ *
+ * Lifetime: held by the coroutine promise until the frame is destroyed
+ * at final suspend, and by any ProcessRef/joiner. The Engine itself
+ * retains a reference only for processes that finish with an
+ * unconsumed error (so run() can surface it); cleanly completed
+ * processes leave no per-process state behind in the engine.
+ */
 struct ProcessState
 {
     bool done = false;
@@ -56,6 +65,12 @@ class [[nodiscard]] Task
     {
         std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
         Engine* engine = nullptr;
+
+        void* operator new(std::size_t n) { return FramePool::allocate(n); }
+        void operator delete(void* p, std::size_t n) noexcept
+        {
+            FramePool::deallocate(p, n);
+        }
 
         Task get_return_object()
         {
@@ -185,6 +200,12 @@ class [[nodiscard]] CoTask
         std::exception_ptr error;
         std::coroutine_handle<> continuation;
 
+        void* operator new(std::size_t n) { return FramePool::allocate(n); }
+        void operator delete(void* p, std::size_t n) noexcept
+        {
+            FramePool::deallocate(p, n);
+        }
+
         std::suspend_always initial_suspend() noexcept { return {}; }
         FinalAwaiter final_suspend() noexcept { return {}; }
         void unhandled_exception() { error = std::current_exception(); }
@@ -272,6 +293,12 @@ class [[nodiscard]] CoTask<void>
     {
         std::exception_ptr error;
         std::coroutine_handle<> continuation;
+
+        void* operator new(std::size_t n) { return FramePool::allocate(n); }
+        void operator delete(void* p, std::size_t n) noexcept
+        {
+            FramePool::deallocate(p, n);
+        }
 
         CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
         std::suspend_always initial_suspend() noexcept { return {}; }

@@ -6,6 +6,7 @@
 #include "sim/engine.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace cell::sim {
 
@@ -28,6 +29,7 @@ Task::promise_type::FinalAwaiter::await_suspend(
         for (std::coroutine_handle<> j : p.state->joiners)
             p.engine->scheduleResume(j, p.engine->now());
         p.state->joiners.clear();
+        p.engine->noteProcessFinished(p.state);
         p.engine->unregisterFrame(h.address());
     }
     // The coroutine is suspended at its final suspend point; destroying
@@ -41,17 +43,64 @@ Engine::~Engine()
 }
 
 void
-Engine::schedule(Tick when, std::function<void()> fn)
+Engine::throwPastEvent()
 {
-    if (when < now_)
-        throw std::logic_error("Engine::schedule: event in the past");
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    throw std::logic_error("Engine::schedule: event in the past");
 }
 
 void
-Engine::scheduleResume(std::coroutine_handle<> h, Tick when)
+Engine::schedule(Tick when, EventCallback fn)
 {
-    schedule(when, [h] { h.resume(); });
+    if (when < now_)
+        throwPastEvent();
+    Event ev;
+    ev.when = when;
+    ev.seq = next_seq_++;
+    ev.fn = std::move(fn);
+    enqueue(std::move(ev));
+}
+
+void
+Engine::heapPush(Event&& ev)
+{
+    heap_.push_back(std::move(ev));
+    // Sift up.
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+Engine::Event
+Engine::heapPop()
+{
+    Event top = std::move(heap_.front());
+    Event last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        // Sift the former last element down from the root.
+        const std::size_t n = heap_.size();
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t smallest = i;
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = 2 * i + 2;
+            if (l < n && before(heap_[l], smallest == i ? last : heap_[smallest]))
+                smallest = l;
+            if (r < n && before(heap_[r], smallest == i ? last : heap_[smallest]))
+                smallest = r;
+            if (smallest == i)
+                break;
+            heap_[i] = std::move(heap_[smallest]);
+            i = smallest;
+        }
+        heap_[i] = std::move(last);
+    }
+    return top;
 }
 
 ProcessRef
@@ -63,49 +112,76 @@ Engine::spawn(Task task, std::string name)
     handle.promise().engine = this;
     handle.promise().state->name = std::move(name);
     auto state = handle.promise().state;
-    spawned_.push_back(state);
+    ++spawn_count_;
     registerFrame(handle.address());
     scheduleResume(handle, now_);
     return ProcessRef(state, this);
+}
+
+void
+Engine::noteProcessFinished(const std::shared_ptr<ProcessState>& state)
+{
+    ++completed_count_;
+    // Keep only failing processes; completed clean ones are dropped so
+    // long simulations do not accumulate per-process state.
+    if (state->error)
+        failed_.push_back(state);
 }
 
 std::uint64_t
 Engine::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty()) {
-        const Event& top = queue_.top();
-        if (top.when > limit) {
-            now_ = limit;
-            break;
+    for (;;) {
+        // Drain the current-tick batch in FIFO (== sequence) order.
+        // Dispatching may append new same-tick events; the cursor walk
+        // picks them up in order. killAllProcesses() may clear the
+        // batch mid-drain, which the size check observes immediately.
+        while (batch_pos_ < batch_.size()) {
+            Event ev = std::move(batch_[batch_pos_]);
+            ++batch_pos_;
+            dispatch(ev);
+            ++n;
+            ++dispatched_;
         }
-        now_ = top.when;
-        auto fn = std::move(const_cast<Event&>(top).fn);
-        queue_.pop();
-        fn();
-        ++n;
-        ++dispatched_;
+        batch_.clear(); // keeps capacity: pooled across ticks and runs
+        batch_pos_ = 0;
+
+        if (heap_.empty())
+            break;
+        const Tick t = heap_.front().when;
+        if (t > limit)
+            break;
+        now_ = t;
+        // Pull every event at this tick into the batch in one pass;
+        // they leave the (tick, seq)-ordered heap in sequence order.
+        do {
+            batch_.push_back(heapPop());
+        } while (!heap_.empty() && heap_.front().when == t);
     }
-    if (queue_.empty() && now_ < limit && limit != ~Tick{0})
+    if (now_ < limit && limit != ~Tick{0})
         now_ = limit;
     // Surface the first process failure nobody joined on.
-    for (const auto& st : spawned_) {
-        if (st->error) {
-            auto err = st->error;
-            st->error = nullptr;
-            std::rethrow_exception(err);
-        }
-    }
+    if (!failed_.empty())
+        surfaceFailure();
     return n;
 }
 
-std::size_t
-Engine::processesCompleted() const
+void
+Engine::surfaceFailure()
 {
-    std::size_t n = 0;
-    for (const auto& st : spawned_)
-        n += st->done ? 1 : 0;
-    return n;
+    // Joiners may have consumed errors since the process finished;
+    // drop those entries. Rethrow the first live error, keeping any
+    // later failures queued for subsequent run() calls.
+    while (!failed_.empty()) {
+        auto state = failed_.front();
+        failed_.erase(failed_.begin());
+        if (state->error) {
+            auto err = state->error;
+            state->error = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
 }
 
 void
@@ -121,8 +197,11 @@ Engine::killAllProcesses()
         std::coroutine_handle<>::from_address(addr).destroy();
     }
     live_frames_.clear();
-    // Drop pending events; they may reference destroyed frames.
-    queue_ = {};
+    // Drop pending events; they may reference destroyed frames. clear()
+    // keeps the pooled storage so a reused engine stays allocation-free.
+    heap_.clear();
+    batch_.clear();
+    batch_pos_ = 0;
 }
 
 } // namespace cell::sim

@@ -2,9 +2,22 @@
  * @file
  * Deterministic discrete-event simulation engine.
  *
- * The engine keeps a priority queue of (tick, sequence) ordered events.
- * Events scheduled for the same tick fire in the order they were
- * scheduled, which makes the whole simulation reproducible run-to-run.
+ * Events are ordered by (tick, sequence): events scheduled for the same
+ * tick fire in the order they were scheduled, which makes the whole
+ * simulation reproducible run-to-run. Internally the engine keeps two
+ * structures (see docs/MODEL.md, "Engine internals"):
+ *
+ *  - an index-based binary min-heap of *future* events (when > now),
+ *    with storage reused across run() calls;
+ *  - a FIFO batch of *current-tick* events. Scheduling at the current
+ *    tick appends here directly — no heap traffic — and when simulated
+ *    time advances to a new tick every event at that tick is drained
+ *    into the batch once and dispatched in sequence order.
+ *
+ * Event payloads are a tagged fast path: a bare coroutine_handle for
+ * process resumption (the overwhelmingly common case) or an
+ * EventCallback (small-buffer-optimized callable) for plain callbacks.
+ * Neither allocates on the steady-state path.
  */
 
 #ifndef CELL_SIM_ENGINE_H
@@ -12,14 +25,13 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/coro.h"
+#include "sim/event.h"
 #include "sim/types.h"
 
 namespace cell::sim {
@@ -43,10 +55,10 @@ class Engine
     Tick now() const { return now_; }
 
     /** Schedule a plain callback at absolute tick @p when (>= now). */
-    void schedule(Tick when, std::function<void()> fn);
+    void schedule(Tick when, EventCallback fn);
 
     /** Schedule a plain callback @p delta cycles from now. */
-    void scheduleAfter(TickDelta delta, std::function<void()> fn)
+    void scheduleAfter(TickDelta delta, EventCallback fn)
     {
         schedule(now_ + delta, std::move(fn));
     }
@@ -79,7 +91,16 @@ class Engine
     DelayAwaiter delay(TickDelta delta) { return DelayAwaiter{*this, delta}; }
 
     /** Schedule resumption of a suspended coroutine at @p when. */
-    void scheduleResume(std::coroutine_handle<> h, Tick when);
+    void scheduleResume(std::coroutine_handle<> h, Tick when)
+    {
+        if (when < now_)
+            throwPastEvent();
+        Event ev;
+        ev.when = when;
+        ev.seq = next_seq_++;
+        ev.resume = h;
+        enqueue(std::move(ev));
+    }
 
     /**
      * Run until the event queue drains or @p limit ticks is reached.
@@ -93,16 +114,16 @@ class Engine
     std::uint64_t run(Tick limit = ~Tick{0});
 
     /** True if no events remain. */
-    bool idle() const { return queue_.empty(); }
+    bool idle() const { return heap_.empty() && batch_pos_ >= batch_.size(); }
 
     /** Number of events dispatched so far. */
     std::uint64_t eventsDispatched() const { return dispatched_; }
 
     /** Number of processes that have been spawned. */
-    std::size_t processesSpawned() const { return spawned_.size(); }
+    std::size_t processesSpawned() const { return spawn_count_; }
 
     /** Number of spawned processes that have run to completion. */
-    std::size_t processesCompleted() const;
+    std::size_t processesCompleted() const { return completed_count_; }
 
     /**
      * Destroy all still-suspended process frames. After this the engine
@@ -115,26 +136,65 @@ class Engine
     ///@{
     void registerFrame(void* frame) { live_frames_.insert(frame); }
     void unregisterFrame(void* frame) { live_frames_.erase(frame); }
+    /** Called at each process's final suspend: accounting + error list. */
+    void noteProcessFinished(const std::shared_ptr<ProcessState>& state);
     ///@}
 
   private:
+    /**
+     * One scheduled event. `resume` is the dedicated fast path (a bare
+     * coroutine resumption, as produced by delay()/scheduleResume());
+     * when it is null, `fn` holds the callback. Moves are cheap: three
+     * words plus, for callback events only, one manager-function call.
+     */
     struct Event
     {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-
-        bool operator>(const Event& o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::coroutine_handle<> resume{};
+        EventCallback fn;
     };
+
+    /** (tick, seq) strict weak ordering; a precedes b => a fires first. */
+    static bool before(const Event& a, const Event& b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    void enqueue(Event&& ev)
+    {
+        if (ev.when == now_)
+            batch_.push_back(std::move(ev)); // same tick: straight to FIFO
+        else
+            heapPush(std::move(ev));
+    }
+
+    void heapPush(Event&& ev);
+    Event heapPop();
+    static void dispatch(Event& ev)
+    {
+        if (ev.resume)
+            ev.resume.resume();
+        else
+            ev.fn();
+    }
+    [[noreturn]] static void throwPastEvent();
+    void surfaceFailure();
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-    std::vector<std::shared_ptr<ProcessState>> spawned_;
+
+    /** Future events (when > now at loop boundaries), binary min-heap. */
+    std::vector<Event> heap_;
+    /** Current-tick events in sequence order; batch_pos_ is the cursor. */
+    std::vector<Event> batch_;
+    std::size_t batch_pos_ = 0;
+
+    std::uint64_t spawn_count_ = 0;
+    std::uint64_t completed_count_ = 0;
+    /** Processes that finished with an unconsumed error (usually empty). */
+    std::vector<std::shared_ptr<ProcessState>> failed_;
     std::unordered_set<void*> live_frames_;
 };
 

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Allocation-free event payloads for the discrete-event engine.
+ *
+ * The engine's original event payload was std::function<void()>, which
+ * heap-allocates for any capture larger than the implementation's tiny
+ * inline buffer and drags a virtual-ish dispatch through every move the
+ * priority queue makes. EventCallback replaces it: a move-only callable
+ * with a 64-byte inline buffer (sized so the largest in-tree capture,
+ * the MFC completion closure, stays inline) and a single manager
+ * function pointer for invoke/move/destroy. Callables that do not fit
+ * fall back to one heap allocation, so correctness never depends on the
+ * buffer size — only speed does, and fitsInline<F> lets hot call sites
+ * static_assert their closures stay on the fast path.
+ */
+
+#ifndef CELL_SIM_EVENT_H
+#define CELL_SIM_EVENT_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cell::sim {
+
+/**
+ * Small-buffer-optimized move-only `void()` callable.
+ *
+ * Invariants:
+ *  - moving is noexcept and never allocates;
+ *  - inline storage is used iff the callable is nothrow-move-
+ *    constructible and fits kInlineCapacity (otherwise one heap
+ *    allocation at construction, pointer-sized moves afterwards);
+ *  - a moved-from callback is empty and safely destructible.
+ */
+class EventCallback
+{
+  public:
+    /** Inline storage size; covers every closure the simulator schedules. */
+    static constexpr std::size_t kInlineCapacity = 64;
+
+    /** True if F will be stored inline (no heap allocation). */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(std::decay_t<F>) <= kInlineCapacity &&
+        alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+    EventCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventCallback(F&& f) // NOLINT: implicit by design (lambda -> callback)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+            mgr_ = &inlineManager<Fn>;
+        } else {
+            *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+            mgr_ = &heapManager<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback&& other) noexcept { moveFrom(other); }
+
+    EventCallback& operator=(EventCallback&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback&) = delete;
+    EventCallback& operator=(const EventCallback&) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const noexcept { return mgr_ != nullptr; }
+
+    /** Invoke the held callable (undefined if empty). */
+    void operator()() { mgr_(Op::Invoke, buf_, nullptr); }
+
+    /** Destroy the held callable, leaving the callback empty. */
+    void reset() noexcept
+    {
+        if (mgr_) {
+            mgr_(Op::Destroy, buf_, nullptr);
+            mgr_ = nullptr;
+        }
+    }
+
+  private:
+    enum class Op
+    {
+        Invoke,
+        Move,    ///< move-construct from @p other storage into @p self
+        Destroy,
+    };
+
+    using Manager = void (*)(Op, void* self, void* other);
+
+    void moveFrom(EventCallback& other) noexcept
+    {
+        mgr_ = other.mgr_;
+        if (mgr_) {
+            mgr_(Op::Move, buf_, other.buf_);
+            other.mgr_ = nullptr;
+        }
+    }
+
+    template <typename Fn>
+    static void inlineManager(Op op, void* self, void* other)
+    {
+        auto* fn = std::launder(reinterpret_cast<Fn*>(self));
+        switch (op) {
+          case Op::Invoke:
+            (*fn)();
+            break;
+          case Op::Move: {
+            auto* src = std::launder(reinterpret_cast<Fn*>(other));
+            ::new (self) Fn(std::move(*src));
+            src->~Fn();
+            break;
+          }
+          case Op::Destroy:
+            fn->~Fn();
+            break;
+        }
+    }
+
+    template <typename Fn>
+    static void heapManager(Op op, void* self, void* other)
+    {
+        switch (op) {
+          case Op::Invoke:
+            (**reinterpret_cast<Fn**>(self))();
+            break;
+          case Op::Move:
+            *reinterpret_cast<Fn**>(self) = *reinterpret_cast<Fn**>(other);
+            break;
+          case Op::Destroy:
+            delete *reinterpret_cast<Fn**>(self);
+            break;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+    Manager mgr_ = nullptr;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_EVENT_H

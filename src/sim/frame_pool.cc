@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Coroutine-frame freelist implementation.
+ */
+
+#include "sim/frame_pool.h"
+
+#include <new>
+#include <vector>
+
+namespace cell::sim {
+
+namespace {
+
+constexpr std::size_t kBuckets = FramePool::kMaxPooled / FramePool::kGranularity;
+/** Per-bucket cache cap: bounds idle memory at ~16 MiB worst case. */
+constexpr std::size_t kMaxPerBucket = 1024;
+
+struct Cache
+{
+    std::vector<void*> free_list[kBuckets];
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    ~Cache()
+    {
+        for (auto& bucket : free_list)
+            for (void* p : bucket)
+                ::operator delete(p);
+    }
+};
+
+Cache&
+cache()
+{
+    thread_local Cache tls;
+    return tls;
+}
+
+/** Bucket index for a request, or kBuckets if not pooled. */
+inline std::size_t
+bucketFor(std::size_t bytes)
+{
+    if (bytes == 0 || bytes > FramePool::kMaxPooled)
+        return kBuckets;
+    return (bytes - 1) / FramePool::kGranularity;
+}
+
+} // namespace
+
+void*
+FramePool::allocate(std::size_t bytes)
+{
+    const std::size_t idx = bucketFor(bytes);
+    if (idx >= kBuckets)
+        return ::operator new(bytes);
+    Cache& c = cache();
+    auto& bucket = c.free_list[idx];
+    if (!bucket.empty()) {
+        void* p = bucket.back();
+        bucket.pop_back();
+        ++c.hits;
+        return p;
+    }
+    ++c.misses;
+    return ::operator new((idx + 1) * kGranularity);
+}
+
+void
+FramePool::deallocate(void* p, std::size_t bytes) noexcept
+{
+    if (!p)
+        return;
+    const std::size_t idx = bucketFor(bytes);
+    if (idx >= kBuckets) {
+        ::operator delete(p);
+        return;
+    }
+    auto& bucket = cache().free_list[idx];
+    if (bucket.size() >= kMaxPerBucket) {
+        ::operator delete(p);
+        return;
+    }
+    bucket.push_back(p);
+}
+
+std::uint64_t
+FramePool::hits() noexcept
+{
+    return cache().hits;
+}
+
+std::uint64_t
+FramePool::misses() noexcept
+{
+    return cache().misses;
+}
+
+void
+FramePool::trim() noexcept
+{
+    for (auto& bucket : cache().free_list) {
+        for (void* p : bucket)
+            ::operator delete(p);
+        bucket.clear();
+        bucket.shrink_to_fit();
+    }
+}
+
+} // namespace cell::sim

@@ -32,7 +32,7 @@ class LocalStore
   public:
     LocalStore() : bytes_(kLocalStoreSize, 0) {}
 
-    std::size_t size() const { return bytes_.size(); }
+    std::size_t size() const { return kLocalStoreSize; }
 
     /** Raw pointer for bulk copies (bounds must be pre-checked). */
     std::uint8_t* data() { return bytes_.data(); }
@@ -68,6 +68,23 @@ class LocalStore
         write(addr, &v, sizeof(T));
     }
 
+    /**
+     * Bounds-checked raw window: pointer to @p len bytes at @p addr.
+     * One range check up front, then direct access — the fast path for
+     * per-element tile loops that would otherwise pay a check per
+     * load/store.
+     */
+    std::uint8_t* span(LsAddr addr, std::size_t len)
+    {
+        checkRange(addr, len);
+        return bytes_.data() + addr;
+    }
+    const std::uint8_t* span(LsAddr addr, std::size_t len) const
+    {
+        checkRange(addr, len);
+        return bytes_.data() + addr;
+    }
+
     /** Zero a range. */
     void clear(LsAddr addr, std::size_t len)
     {
@@ -88,7 +105,7 @@ class LocalStore
   private:
     void checkRange(LsAddr addr, std::size_t len) const
     {
-        if (static_cast<std::size_t>(addr) + len > bytes_.size())
+        if (static_cast<std::size_t>(addr) + len > kLocalStoreSize)
             throw std::out_of_range("LocalStore: access beyond 256 KiB");
     }
 

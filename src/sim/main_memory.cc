@@ -49,7 +49,20 @@ MainMemory::write(EffAddr ea, const void* src, std::size_t len)
     while (len > 0) {
         const std::size_t off = ea & (kPageSize - 1);
         const std::size_t chunk = std::min(len, kPageSize - off);
-        std::memcpy(pageFor(ea).data() + off, in, chunk);
+        if (off == 0 && chunk == kPageSize) {
+            // Full-page write: build the page straight from the source
+            // instead of zero-filling 64 KiB that is about to be
+            // overwritten. Overwrites an existing page just as well.
+            auto key = ea >> kPageBits;
+            auto it = pages_.find(key);
+            if (it == pages_.end()) {
+                pages_.emplace(key, Page(in, in + kPageSize));
+            } else {
+                std::memcpy(it->second.data(), in, kPageSize);
+            }
+        } else {
+            std::memcpy(pageFor(ea).data() + off, in, chunk);
+        }
         in += chunk;
         ea += chunk;
         len -= chunk;

@@ -168,13 +168,17 @@ Mfc::issueSimple(const MfcCommand& cmd, bool proxy)
     else
         stats_.bytes_put += cmd.size;
     const Tick enqueued_at = engine_.now();
-    engine_.schedule(grant.complete, [this, cmd, proxy, enqueued_at] {
+    auto complete = [this, cmd, proxy, enqueued_at] {
         moveBytes(cmd.op, cmd.ls, cmd.ea, cmd.size);
         const std::uint64_t lat = engine_.now() - enqueued_at;
         stats_.total_latency += lat;
         stats_.max_latency = std::max(stats_.max_latency, lat);
         finish(cmd, proxy);
-    });
+    };
+    // The completion closure is the largest event the simulator
+    // schedules; keep it on the engine's inline (allocation-free) path.
+    static_assert(EventCallback::fitsInline<decltype(complete)>);
+    engine_.schedule(grant.complete, std::move(complete));
 }
 
 Task

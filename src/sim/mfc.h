@@ -19,11 +19,11 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "sim/config.h"
 #include "sim/eib.h"
+#include "sim/event.h"
 #include "sim/local_store.h"
 #include "sim/sync.h"
 #include "sim/types.h"
@@ -166,8 +166,12 @@ class Mfc
     /** Validate a command's shape; throws std::invalid_argument. */
     static void validate(const MfcCommand& cmd);
 
-    /** Observer poked on every command completion (SPU event facility). */
-    void setOnComplete(std::function<void()> fn)
+    /**
+     * Observer poked on every command completion (SPU event facility).
+     * Takes the engine's allocation-free callable so the completion
+     * path shares the event system's zero-allocation discipline.
+     */
+    void setOnComplete(EventCallback fn)
     {
         on_complete_ = std::move(fn);
     }
@@ -207,7 +211,7 @@ class Mfc
 
     /** Single wakeup source: queue/tag/stall state changed. */
     CondVar cv_;
-    std::function<void()> on_complete_;
+    EventCallback on_complete_;
 
     MfcStats stats_;
 };

@@ -4,12 +4,19 @@
  *
  * Layout: Header, then per SPE {u32 length, bytes} program names, then
  * header.record_count fixed 32-byte records.
+ *
+ * Buffer-based I/O (writeBuffer/readBuffer) serializes directly
+ * to/from the byte vector — no stringstream detour, no intermediate
+ * string copy. Stream-based read() sizes the record array in one step
+ * when the stream is seekable, after validating the untrusted record
+ * count against the bytes actually remaining; only non-seekable
+ * streams fall back to bounded chunked reads.
  */
 
 #include <algorithm>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
 
 #include "trace/reader.h"
@@ -17,15 +24,153 @@
 
 namespace cell::trace {
 
-void
-write(std::ostream& os, const TraceData& trace)
+namespace {
+
+/** The header as it should appear on disk for @p trace. */
+Header
+headerFor(const TraceData& trace)
 {
     Header hdr = trace.header;
     hdr.magic = kMagic;
     hdr.version = kFormatVersion;
     hdr.num_spes = static_cast<std::uint32_t>(trace.spe_programs.size());
     hdr.record_count = trace.records.size();
+    return hdr;
+}
 
+/** Sequential reader over an in-memory byte range. */
+class BufReader
+{
+  public:
+    BufReader(const std::uint8_t* begin, std::size_t len)
+        : p_(begin), end_(begin + len)
+    {}
+
+    void read(void* dst, std::size_t n)
+    {
+        if (n > remaining())
+            throw std::runtime_error("trace::read: truncated input");
+        std::memcpy(dst, p_, n);
+        p_ += n;
+    }
+
+    /** Exact; an in-memory buffer always knows its size. */
+    bool knowsRemaining() const { return true; }
+    std::uint64_t remaining() const
+    {
+        return static_cast<std::uint64_t>(end_ - p_);
+    }
+
+  private:
+    const std::uint8_t* p_;
+    const std::uint8_t* end_;
+};
+
+/** Sequential reader over an istream; remaining() needs seekability. */
+class StreamReader
+{
+  public:
+    explicit StreamReader(std::istream& is) : is_(is)
+    {
+        // Probe seekability once: tellg()/seekg() fail harmlessly on
+        // pipes. Clear the state afterwards so reads still work.
+        const auto pos = is_.tellg();
+        if (pos != std::streampos(-1)) {
+            is_.seekg(0, std::ios::end);
+            const auto end = is_.tellg();
+            is_.seekg(pos);
+            if (end != std::streampos(-1) && is_) {
+                knows_remaining_ = true;
+                remaining_ = static_cast<std::uint64_t>(end - pos);
+            }
+        }
+        is_.clear();
+    }
+
+    void read(void* dst, std::size_t n)
+    {
+        is_.read(reinterpret_cast<char*>(dst),
+                 static_cast<std::streamsize>(n));
+        if (!is_ || static_cast<std::size_t>(is_.gcount()) != n)
+            throw std::runtime_error("trace::read: truncated input");
+        if (knows_remaining_)
+            remaining_ -= n;
+    }
+
+    bool knowsRemaining() const { return knows_remaining_; }
+    std::uint64_t remaining() const { return remaining_; }
+
+  private:
+    std::istream& is_;
+    bool knows_remaining_ = false;
+    std::uint64_t remaining_ = 0;
+};
+
+/** Shared parse over any sequential reader. */
+template <typename Reader>
+TraceData
+readImpl(Reader& in)
+{
+    TraceData trace;
+    in.read(&trace.header, sizeof(Header));
+    if (trace.header.magic != kMagic)
+        throw std::runtime_error("trace::read: bad magic (not a PDT trace)");
+    if (trace.header.version != kFormatVersion)
+        throw std::runtime_error("trace::read: unsupported format version");
+
+    trace.spe_programs.resize(trace.header.num_spes);
+    for (auto& name : trace.spe_programs) {
+        std::uint32_t len = 0;
+        in.read(&len, sizeof(len));
+        if (len > (1u << 20))
+            throw std::runtime_error("trace::read: implausible name length");
+        name.resize(len);
+        in.read(name.data(), len);
+    }
+
+    // The record count is untrusted input. When the reader knows how
+    // many bytes are left (memory buffer, seekable stream), reject an
+    // oversized count up front and read everything in one step.
+    // Otherwise read in bounded chunks so a corrupt header cannot
+    // trigger a giant allocation — the stream runs dry (and throws)
+    // long before memory does.
+    const std::uint64_t count = trace.header.record_count;
+    if (count > std::numeric_limits<std::size_t>::max() / sizeof(Record))
+        throw std::runtime_error("trace::read: record count overflows");
+    if (in.knowsRemaining()) {
+        if (count * sizeof(Record) > in.remaining())
+            throw std::runtime_error(
+                "trace::read: record count exceeds remaining input (" +
+                std::to_string(count) + " records, " +
+                std::to_string(in.remaining()) + " bytes left)");
+        trace.records.resize(static_cast<std::size_t>(count));
+        if (count > 0)
+            in.read(trace.records.data(),
+                    static_cast<std::size_t>(count) * sizeof(Record));
+        return trace;
+    }
+    constexpr std::uint64_t kChunk = 4096;
+    std::uint64_t remaining = count;
+    trace.records.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunk)));
+    std::vector<Record> chunk;
+    while (remaining > 0) {
+        const auto n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, kChunk));
+        chunk.resize(n);
+        in.read(chunk.data(), n * sizeof(Record));
+        trace.records.insert(trace.records.end(), chunk.begin(), chunk.end());
+        remaining -= n;
+    }
+    return trace;
+}
+
+} // namespace
+
+void
+write(std::ostream& os, const TraceData& trace)
+{
+    const Header hdr = headerFor(trace);
     os.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
     for (const std::string& name : trace.spe_programs) {
         const auto len = static_cast<std::uint32_t>(name.size());
@@ -53,58 +198,35 @@ writeFile(const std::string& path, const TraceData& trace)
 std::vector<std::uint8_t>
 writeBuffer(const TraceData& trace)
 {
-    std::ostringstream os(std::ios::binary);
-    write(os, trace);
-    const std::string s = os.str();
-    return std::vector<std::uint8_t>(s.begin(), s.end());
+    const Header hdr = headerFor(trace);
+    std::size_t total = sizeof(hdr);
+    for (const std::string& name : trace.spe_programs)
+        total += sizeof(std::uint32_t) + name.size();
+    total += trace.records.size() * sizeof(Record);
+
+    std::vector<std::uint8_t> out(total);
+    std::uint8_t* p = out.data();
+    auto append = [&p](const void* src, std::size_t n) {
+        std::memcpy(p, src, n);
+        p += n;
+    };
+    append(&hdr, sizeof(hdr));
+    for (const std::string& name : trace.spe_programs) {
+        const auto len = static_cast<std::uint32_t>(name.size());
+        append(&len, sizeof(len));
+        if (!name.empty())
+            append(name.data(), name.size());
+    }
+    if (!trace.records.empty())
+        append(trace.records.data(), trace.records.size() * sizeof(Record));
+    return out;
 }
 
 TraceData
 read(std::istream& is)
 {
-    TraceData trace;
-    is.read(reinterpret_cast<char*>(&trace.header), sizeof(Header));
-    if (!is || is.gcount() != sizeof(Header))
-        throw std::runtime_error("trace::read: truncated header");
-    if (trace.header.magic != kMagic)
-        throw std::runtime_error("trace::read: bad magic (not a PDT trace)");
-    if (trace.header.version != kFormatVersion)
-        throw std::runtime_error("trace::read: unsupported format version");
-
-    trace.spe_programs.resize(trace.header.num_spes);
-    for (auto& name : trace.spe_programs) {
-        std::uint32_t len = 0;
-        is.read(reinterpret_cast<char*>(&len), sizeof(len));
-        if (!is)
-            throw std::runtime_error("trace::read: truncated name table");
-        if (len > (1u << 20))
-            throw std::runtime_error("trace::read: implausible name length");
-        name.resize(len);
-        is.read(name.data(), len);
-        if (!is)
-            throw std::runtime_error("trace::read: truncated name table");
-    }
-
-    // The record count is untrusted input: read in bounded chunks so
-    // a corrupt header cannot trigger a giant up-front allocation —
-    // the stream runs dry (and throws) long before memory does.
-    constexpr std::uint64_t kChunk = 4096;
-    std::uint64_t remaining = trace.header.record_count;
-    trace.records.reserve(
-        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunk)));
-    std::vector<Record> chunk;
-    while (remaining > 0) {
-        const auto n =
-            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunk));
-        chunk.resize(n);
-        is.read(reinterpret_cast<char*>(chunk.data()),
-                static_cast<std::streamsize>(n * sizeof(Record)));
-        if (!is)
-            throw std::runtime_error("trace::read: truncated record stream");
-        trace.records.insert(trace.records.end(), chunk.begin(), chunk.end());
-        remaining -= n;
-    }
-    return trace;
+    StreamReader in(is);
+    return readImpl(in);
 }
 
 TraceData
@@ -119,9 +241,8 @@ readFile(const std::string& path)
 TraceData
 readBuffer(const std::vector<std::uint8_t>& buf)
 {
-    std::istringstream is(std::string(buf.begin(), buf.end()),
-                          std::ios::binary);
-    return read(is);
+    BufReader in(buf.data(), buf.size());
+    return readImpl(in);
 }
 
 } // namespace cell::trace

@@ -59,6 +59,53 @@ class Lcg
     std::uint32_t state_;
 };
 
+/**
+ * Fill @p a and @p b with the exact sequence
+ *
+ *   a[i] = rng.nextFloat(); b[i] = rng.nextFloat();   // i = 0..n-1
+ *
+ * for `Lcg rng(seed)`, but ~3x faster. An LCG admits O(1) jump-ahead
+ * (x_{n+k} = A^k x_n + (A^{k-1}+...+1) C mod 2^32), so the single
+ * serial multiply-add chain is split into four independent lanes the
+ * CPU can overlap. Bit-identical to the scalar loop by construction.
+ */
+inline void
+lcgFillFloatPair(std::uint32_t seed, std::vector<float>& a,
+                 std::vector<float>& b, std::uint32_t n)
+{
+    constexpr std::uint32_t A = 1664525u, C = 1013904223u;
+    a.resize(n);
+    b.resize(n);
+    Lcg scalar(seed);
+    if (n < 2 || n % 2 != 0) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            a[i] = scalar.nextFloat();
+            b[i] = scalar.nextFloat();
+        }
+        return;
+    }
+    // Lane starting states x1..x4 (x0 is the seed, x1 the first draw).
+    std::uint32_t s0 = (seed ? seed : 1);
+    s0 = s0 * A + C;                 // x1 -> a[0], a[2], ...
+    std::uint32_t s1 = s0 * A + C;   // x2 -> b[0], b[2], ...
+    std::uint32_t s2 = s1 * A + C;   // x3 -> a[1], a[3], ...
+    std::uint32_t s3 = s2 * A + C;   // x4 -> b[1], b[3], ...
+    constexpr std::uint32_t A4 = A * A * A * A;
+    constexpr std::uint32_t C4 = (A * A * A + A * A + A + 1u) * C;
+    constexpr float kInv = 1.0f / static_cast<float>(1 << 24);
+    std::uint32_t i = 0;
+    for (; i + 1 < n; i += 2) {
+        a[i] = static_cast<float>(s0 >> 8) * kInv;
+        b[i] = static_cast<float>(s1 >> 8) * kInv;
+        a[i + 1] = static_cast<float>(s2 >> 8) * kInv;
+        b[i + 1] = static_cast<float>(s3 >> 8) * kInv;
+        s0 = s0 * A4 + C4;
+        s1 = s1 * A4 + C4;
+        s2 = s2 * A4 + C4;
+        s3 = s3 * A4 + C4;
+    }
+}
+
 /** Bit-cast float to a mailbox word and back. */
 inline std::uint32_t
 floatToWord(float f)

@@ -40,13 +40,7 @@ Triad::Triad(rt::CellSystem& sys, TriadParams p) : WorkloadBase(sys), p_(p)
     if (p_.n_elements % 4 != 0)
         throw std::invalid_argument("Triad: n_elements must be multiple of 4");
 
-    Lcg rng(0x771AD);
-    host_a_.resize(p_.n_elements);
-    host_b_.resize(p_.n_elements);
-    for (std::uint32_t i = 0; i < p_.n_elements; ++i) {
-        host_a_[i] = rng.nextFloat();
-        host_b_[i] = rng.nextFloat();
-    }
+    lcgFillFloatPair(0x771AD, host_a_, host_b_, p_.n_elements);
     a_ = uploadVector(sys_, host_a_);
     b_ = uploadVector(sys_, host_b_);
     c_ = sys_.alloc(std::uint64_t{p_.n_elements} * 4);
@@ -136,12 +130,21 @@ Triad::spuMain(SpuEnv& env)
         // Wait for this slot's GET (and its previous PUT, same tag).
         co_await env.waitTagAll(1u << slot);
 
-        // Compute the tile (real arithmetic + modeled cycles).
-        for (std::uint32_t i = 0; i < cnt; ++i) {
-            const float av = env.ls().load<float>(buf_a[slot] + i * 4);
-            const float bv = env.ls().load<float>(buf_b[slot] + i * 4);
-            env.ls().store<float>(buf_c[slot] + i * 4,
-                                  av + pb.scale * bv);
+        // Compute the tile (real arithmetic + modeled cycles). One
+        // bounds check per operand, then raw LS pointers: keeps the
+        // host loop vectorizable instead of re-deriving the LS base
+        // through the coroutine frame on every element.
+        {
+            sim::LocalStore& ls = env.ls();
+            const float* ta = reinterpret_cast<const float*>(
+                ls.span(buf_a[slot], std::size_t{cnt} * 4));
+            const float* tb = reinterpret_cast<const float*>(
+                ls.span(buf_b[slot], std::size_t{cnt} * 4));
+            float* tc = reinterpret_cast<float*>(
+                ls.span(buf_c[slot], std::size_t{cnt} * 4));
+            const float scale = pb.scale;
+            for (std::uint32_t i = 0; i < cnt; ++i)
+                tc[i] = ta[i] + scale * tb[i];
         }
         co_await env.compute(std::uint64_t{cnt} * pb.compute_per_elem + 100);
 
@@ -167,13 +170,23 @@ Triad::spuMain(SpuEnv& env)
 bool
 Triad::verify() const
 {
-    const auto got = downloadVector<float>(sys_, c_, p_.n_elements);
-    for (std::uint32_t i = 0; i < p_.n_elements; ++i) {
-        const float want = host_a_[i] + p_.scale * host_b_[i];
-        if (!nearlyEqual(got[i], want))
-            return false;
+    // Compare in 16 KiB chunks through a stack buffer instead of
+    // downloading the full array: no allocation, and the branch-free
+    // violation count vectorizes (only pass/fail is needed).
+    constexpr std::uint32_t kChunk = 4096;
+    float buf[kChunk];
+    std::uint32_t bad = 0;
+    for (std::uint32_t base = 0; base < p_.n_elements; base += kChunk) {
+        const std::uint32_t n = std::min(kChunk, p_.n_elements - base);
+        sys_.machine().memory().read(c_ + std::uint64_t{base} * 4, buf,
+                                     std::size_t{n} * 4);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const float want =
+                host_a_[base + i] + p_.scale * host_b_[base + i];
+            bad += !nearlyEqual(buf[i], want);
+        }
     }
-    return true;
+    return bad == 0;
 }
 
 } // namespace cell::wl
