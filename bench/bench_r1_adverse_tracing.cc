@@ -1,0 +1,182 @@
+/**
+ * @file
+ * R1 — tracing under adverse conditions.
+ *
+ * The robustness story the SDK's PDT needed on real hardware: DMA and
+ * mailbox latencies wobble, the EIB saturates, and the daemon draining
+ * the trace arena falls behind mid-run. This harness runs the same
+ * triad (a) clean, (b) under a deterministic noisy fault plan, and
+ * (c) under the same plan plus a trace-arena exhaustion window — once
+ * per overflow policy — and checks the contract end-to-end: the
+ * workload always verifies, and TA's per-core loss report matches the
+ * tracer's drop counters *exactly*, so the analyst knows precisely
+ * what is missing.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.h"
+#include "trace/writer.h"
+
+namespace {
+
+using namespace cell;
+
+struct FaultedOutcome
+{
+    sim::Tick elapsed = 0;
+    bool verified = false;
+    trace::TraceData trace;
+    pdt::PdtStats pdt_stats;
+    sim::FaultStats fault_stats;
+};
+
+FaultedOutcome
+runFaulted(const bench::WorkloadFactory& factory,
+           const sim::MachineConfig& mcfg, const pdt::PdtConfig& pcfg)
+{
+    rt::CellSystem sys(mcfg);
+    pdt::Pdt tracer(sys, pcfg);
+    auto workload = factory(sys);
+    workload->start();
+    sys.run();
+
+    FaultedOutcome out;
+    out.elapsed = workload->elapsed();
+    out.verified = workload->verify();
+    out.trace = tracer.finalize();
+    out.pdt_stats = tracer.stats();
+    out.fault_stats = sys.machine().faults().stats();
+    if (!out.verified) {
+        std::cerr << "BENCH ERROR: workload verification failed\n";
+        std::exit(1);
+    }
+    return out;
+}
+
+sim::FaultPlan
+noisyPlan()
+{
+    sim::FaultPlan plan;
+    plan.seed = 42;
+    plan.dma_delay_permille = 150;
+    plan.dma_delay_cycles = 3'000;
+    plan.dma_fail_permille = 30;
+    plan.eib_spike_permille = 80;
+    plan.mbox_stall_permille = 200;
+    return plan;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cell;
+    using namespace cell::bench;
+
+    const WorkloadFactory f = makeTriad(4, 2, 65536, 4);
+
+    // (a) clean baseline, (b) noisy faults with a healthy arena.
+    const FaultedOutcome clean = runFaulted(f, {}, {});
+    sim::MachineConfig noisy_cfg;
+    noisy_cfg.faults = noisyPlan();
+    const FaultedOutcome noisy = runFaulted(f, noisy_cfg, {});
+
+    std::cout << "R1: tracing under adverse conditions (triad, 4 SPEs, "
+                 "seed 42)\n\n"
+              << "run            slowdown   records  dropped  faults "
+                 "injected\n"
+              << std::fixed << std::setprecision(3);
+    const auto row = [&](const char* name, const FaultedOutcome& r) {
+        std::uint64_t dropped = 0;
+        for (const auto& s : r.pdt_stats.spu)
+            dropped += s.dropped;
+        std::cout << std::left << std::setw(15) << name << std::right
+                  << std::setw(8)
+                  << static_cast<double>(r.elapsed) /
+                         static_cast<double>(clean.elapsed)
+                  << std::setw(10) << r.trace.records.size() << std::setw(9)
+                  << dropped << std::setw(10)
+                  << r.fault_stats.totalInjected() << "\n";
+    };
+    row("clean", clean);
+    row("noisy faults", noisy);
+
+    // (c) noisy faults + the arena drain stalling mid-run, per policy.
+    // A small SPU buffer makes flushes frequent so the exhaustion
+    // transient window [2, 5) bites early; what happens next is the policy's
+    // call. 'exact' checks TA's per-core dropped-event counts against
+    // the tracer's own counters.
+    struct PolicyRow
+    {
+        const char* name;
+        pdt::OverflowPolicy policy;
+    };
+    const PolicyRow policies[] = {
+        {"stop", pdt::OverflowPolicy::Stop},
+        {"drop", pdt::OverflowPolicy::DropWithMarker},
+        {"block", pdt::OverflowPolicy::BlockAndFlush},
+        {"wrap", pdt::OverflowPolicy::WrapOldest},
+    };
+
+    std::cout << "\narena drain stalled on flush attempts [2,5), 512 B "
+                 "SPU buffer:\n"
+              << "policy   slowdown   records  dropped  markers  "
+                 "TA loss%  exact\n";
+
+    for (const PolicyRow& p : policies) {
+        sim::MachineConfig mcfg;
+        mcfg.faults = noisyPlan();
+        mcfg.faults.arena_exhaust_begin = 2;
+        mcfg.faults.arena_exhaust_end = 5;
+        pdt::PdtConfig pcfg;
+        pcfg.spu_buffer_bytes = 512;
+        pcfg.overflow_policy = p.policy;
+        const FaultedOutcome r = runFaulted(f, mcfg, pcfg);
+        const ta::Analysis a = ta::analyze(r.trace);
+
+        std::uint64_t tracer_dropped = 0, markers = 0;
+        for (const auto& s : r.pdt_stats.spu)
+            tracer_dropped += s.dropped;
+        std::uint64_t ta_dropped = 0;
+        double worst_loss = 0.0;
+        bool exact = true;
+        for (std::size_t core = 0; core < a.stats.loss.size(); ++core) {
+            const ta::CoreLoss& l = a.stats.loss[core];
+            ta_dropped += l.dropped_events;
+            markers += l.drop_markers;
+            worst_loss = std::max(worst_loss, l.lossPct());
+            const std::uint64_t want =
+                core == 0 ? 0 : r.pdt_stats.spu[core - 1].dropped;
+            exact = exact && l.dropped_events == want;
+        }
+        exact = exact && ta_dropped == tracer_dropped;
+
+        std::cout << std::left << std::setw(9) << p.name << std::right
+                  << std::setprecision(3) << std::setw(8)
+                  << static_cast<double>(r.elapsed) /
+                         static_cast<double>(clean.elapsed)
+                  << std::setw(10) << r.trace.records.size() << std::setw(9)
+                  << tracer_dropped << std::setw(9) << markers
+                  << std::setprecision(1) << std::setw(10) << worst_loss
+                  << std::setw(7) << (exact ? "yes" : "NO") << "\n";
+    }
+
+    // The analyst's view of the drop-with-marker run.
+    {
+        sim::MachineConfig mcfg;
+        mcfg.faults = noisyPlan();
+        mcfg.faults.arena_exhaust_begin = 2;
+        mcfg.faults.arena_exhaust_end = 5;
+        pdt::PdtConfig pcfg;
+        pcfg.spu_buffer_bytes = 512;
+        pcfg.overflow_policy = pdt::OverflowPolicy::DropWithMarker;
+        const FaultedOutcome r = runFaulted(f, mcfg, pcfg);
+        const ta::Analysis a = ta::analyze(r.trace);
+        std::cout << "\n`ta loss` on the drop-policy trace:\n";
+        ta::printLossReport(std::cout, a);
+    }
+    return 0;
+}

@@ -10,6 +10,18 @@
 
 namespace cell::pdt {
 
+const char*
+overflowPolicyName(OverflowPolicy p)
+{
+    switch (p) {
+      case OverflowPolicy::Stop: return "stop";
+      case OverflowPolicy::DropWithMarker: return "drop";
+      case OverflowPolicy::BlockAndFlush: return "block";
+      case OverflowPolicy::WrapOldest: return "wrap";
+    }
+    return "?";
+}
+
 void
 PdtConfig::validate() const
 {
@@ -28,6 +40,11 @@ PdtConfig::validate() const
     if (arena_bytes_per_spe < spu_buffer_bytes)
         throw std::invalid_argument(
             "PdtConfig: arena smaller than one buffer half");
+    if (overflow_policy == OverflowPolicy::BlockAndFlush &&
+        block_max_retries == 0) {
+        throw std::invalid_argument(
+            "PdtConfig: block policy needs at least one retry");
+    }
 }
 
 namespace {
@@ -61,6 +78,17 @@ std::uint64_t
 parseNumber(const std::string& value)
 {
     return std::stoull(value, nullptr, 0); // handles 0x... too
+}
+
+OverflowPolicy
+parsePolicy(const std::string& value)
+{
+    if (value == "stop") return OverflowPolicy::Stop;
+    if (value == "drop") return OverflowPolicy::DropWithMarker;
+    if (value == "block") return OverflowPolicy::BlockAndFlush;
+    if (value == "wrap") return OverflowPolicy::WrapOldest;
+    throw std::invalid_argument("PdtConfig: unknown overflow policy '" +
+                                value + "'");
 }
 
 } // namespace
@@ -108,6 +136,13 @@ PdtConfig::parse(const std::string& text, const PdtConfig& base)
             cfg.arena_bytes_per_spe = parseNumber(value);
         } else if (key == "wrap") {
             cfg.wrap_arena = parseNumber(value) != 0;
+        } else if (key == "overflow") {
+            cfg.overflow_policy = parsePolicy(value);
+        } else if (key == "block_retries") {
+            cfg.block_max_retries = static_cast<std::uint32_t>(parseNumber(value));
+        } else if (key == "block_backoff") {
+            cfg.block_backoff_cycles =
+                static_cast<std::uint32_t>(parseNumber(value));
         } else if (key == "record_cost") {
             cfg.spu_record_cost = static_cast<std::uint32_t>(parseNumber(value));
         } else {

@@ -30,6 +30,33 @@ groupBit(rt::ApiGroup g)
     return 1u << static_cast<unsigned>(g);
 }
 
+/**
+ * What the tracer does when a buffer half cannot be flushed (the
+ * main-storage arena is full, or fault injection says the trace
+ * consumer has fallen behind).
+ */
+enum class OverflowPolicy : std::uint8_t
+{
+    /** Stop tracing this SPE entirely (legacy default). The trace ends
+     *  at the overflow point; later events count as dropped. */
+    Stop,
+    /** Discard the unflushable half, keep tracing, and emit a
+     *  kDropRecord in the next half that does flush, carrying the
+     *  exact number of events lost. */
+    DropWithMarker,
+    /** Retry the flush with bounded backoff (each retry charges tracer
+     *  cycles on the SPU); fall back to drop-with-marker when the
+     *  retries are exhausted. */
+    BlockAndFlush,
+    /** Flight recorder: wrap the arena and overwrite the oldest
+     *  flushes; the trace keeps the most recent window. Overwritten
+     *  events are reported through drop markers too. */
+    WrapOldest,
+};
+
+/** Printable policy name ("stop", "drop", "block", "wrap"). */
+const char* overflowPolicyName(OverflowPolicy p);
+
 /** Tracer configuration. */
 struct PdtConfig
 {
@@ -54,8 +81,25 @@ struct PdtConfig
     std::uint64_t arena_bytes_per_spe = 16ull << 20;
     /** Flight-recorder mode: when the arena fills, wrap around and
      *  overwrite the oldest flushes instead of stopping — the trace
-     *  then holds the most recent window of events. */
+     *  then holds the most recent window of events. Legacy alias for
+     *  overflow_policy = WrapOldest. */
     bool wrap_arena = false;
+
+    /** What to do when a buffer half cannot be flushed. */
+    OverflowPolicy overflow_policy = OverflowPolicy::Stop;
+    /** BlockAndFlush: flush retries before falling back to dropping. */
+    std::uint32_t block_max_retries = 8;
+    /** BlockAndFlush: SPU cycles charged (and waited) per retry. */
+    std::uint32_t block_backoff_cycles = 2'000;
+
+    /** The policy actually in force (wrap_arena promotes Stop to
+     *  WrapOldest so existing configs keep their behaviour). */
+    OverflowPolicy effectivePolicy() const
+    {
+        if (wrap_arena && overflow_policy == OverflowPolicy::Stop)
+            return OverflowPolicy::WrapOldest;
+        return overflow_policy;
+    }
 
     /** SPU cycles to format+store one record (incl. decrementer read). */
     std::uint32_t spu_record_cost = 40;
@@ -80,6 +124,7 @@ struct PdtConfig
      *   buffer=8192
      *   double_buffer=0
      *   spes=0x0F
+     *   overflow=drop        # stop | drop | block | wrap
      * Unknown keys throw. Returns the parsed config on top of @p base.
      */
     static PdtConfig parse(const std::string& text);

@@ -6,6 +6,7 @@
 #include "pdt/tracer.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
@@ -109,11 +110,14 @@ Pdt::appendToHalf(std::uint32_t spe, Record rec)
         ls.write(addr, &r, sizeof(Record));
         st.cursor += 1;
         ctr.records += 1;
+        if (r.kind < trace::kSyncRecord)
+            st.cursor_events += 1;
     };
 
     if (st.cursor == 0) {
         // Fresh half: sync record first, then a marker describing the
-        // previous flush (if any).
+        // previous flush (if any), then a drop marker claiming any
+        // events lost since the last marker that made it out.
         put(makeSpuSync(spe));
         if (st.have_flush_marker) {
             Record marker{};
@@ -124,6 +128,19 @@ Pdt::appendToHalf(std::uint32_t spe, Record rec)
             marker.b = st.marker_wait;
             put(marker);
             st.have_flush_marker = false;
+        }
+        if (st.pending_drops > 0) {
+            Record gap{};
+            gap.kind = trace::kDropRecord;
+            gap.core = static_cast<std::uint16_t>(spe + 1);
+            gap.timestamp = spuTimestamp(spe);
+            gap.a = st.pending_drops;
+            gap.b = ctr.dropped;
+            put(gap);
+            // The claim is provisional: it returns to pending_drops if
+            // this half is discarded instead of flushed.
+            st.half_claimed += st.pending_drops;
+            st.pending_drops = 0;
         }
     }
     put(rec);
@@ -160,27 +177,56 @@ Pdt::flushHalf(std::uint32_t spe, bool final_flush)
 
     const std::uint32_t bytes =
         st.cursor * static_cast<std::uint32_t>(sizeof(Record));
+    const OverflowPolicy policy = cfg_.effectivePolicy();
 
-    if (st.arena_cursor + bytes > cfg_.arena_bytes_per_spe) {
-        if (!cfg_.wrap_arena) {
-            // Stop tracing this SPE rather than corrupt data.
+    bool room = arenaRoom(spe, bytes);
+    if (!room && policy == OverflowPolicy::BlockAndFlush) {
+        // Bounded retry with backoff: each round charges tracer time
+        // on the SPU (the application stalls — that's the price of
+        // this policy) and re-checks; injected arena exhaustion is
+        // windowed on attempts, so waiting can genuinely succeed.
+        for (std::uint32_t r = 0; r < cfg_.block_max_retries && !room; ++r) {
+            ctr.block_retries += 1;
+            const Tick w0 = sys_.engine().now();
+            co_await drainFlushes(spe);
+            spu.stats().tracer_cycles += cfg_.block_backoff_cycles;
+            co_await sys_.engine().delay(cfg_.block_backoff_cycles);
+            ctr.flush_wait_cycles += sys_.engine().now() - w0;
+            room = arenaRoom(spe, bytes);
+        }
+    }
+    if (!room) {
+        ctr.failed_flushes += 1;
+        if (policy == OverflowPolicy::Stop) {
+            // Stop tracing this SPE rather than corrupt data; the
+            // discarded half and every later event count as dropped.
             ctr.overflowed = true;
-            st.cursor = 0;
+            dropCurrentHalf(spe);
             co_return;
         }
-        // Flight-recorder mode: wrap to the start of the arena.
-        st.arena_cursor = 0;
+        // DropWithMarker, exhausted BlockAndFlush, and WrapOldest
+        // under injected exhaustion all shed this half and note the
+        // loss for the next drop marker.
+        dropCurrentHalf(spe);
+        co_return;
     }
-    if (cfg_.wrap_arena) {
+    if (policy == OverflowPolicy::WrapOldest) {
+        if (st.arena_cursor + bytes > cfg_.arena_bytes_per_spe) {
+            // Flight-recorder mode: wrap to the start of the arena.
+            st.arena_cursor = 0;
+        }
         // Drop any previously-flushed segment this write overwrites;
-        // the surviving segments are the most recent window.
+        // the surviving segments are the most recent window. Lost
+        // events (and any drop marker the segment carried) go back
+        // into the pending-drop accounting.
         const std::uint64_t lo = st.arena_cursor;
         const std::uint64_t hi = st.arena_cursor + bytes;
-        auto overlaps = [&](const std::pair<std::uint64_t,
-                                            std::uint32_t>& seg) {
-            const bool hit = seg.first < hi && lo < seg.first + seg.second;
-            if (hit)
-                ctr.dropped += seg.second / sizeof(Record);
+        auto overlaps = [&](const Segment& seg) {
+            const bool hit = seg.offset < hi && lo < seg.offset + seg.bytes;
+            if (hit) {
+                ctr.dropped += seg.events;
+                st.pending_drops += seg.events + seg.marker_drops;
+            }
             return hit;
         };
         st.segments.erase(std::remove_if(st.segments.begin(),
@@ -196,7 +242,9 @@ Pdt::flushHalf(std::uint32_t spe, bool final_flush)
     co_await drainFlushes(spe);
 
     const EffAddr dst = st.arena_base + st.arena_cursor;
-    st.segments.emplace_back(st.arena_cursor, bytes);
+    st.segments.push_back(
+        Segment{st.arena_cursor, bytes, st.cursor_events, st.half_claimed});
+    st.half_claimed = 0;
     st.arena_cursor += bytes;
 
     // Charge the DMA setup (channel writes) and enqueue the real PUT.
@@ -221,9 +269,49 @@ Pdt::flushHalf(std::uint32_t spe, bool final_flush)
     if (cfg_.double_buffered)
         st.half ^= 1;
     st.cursor = 0;
+    st.cursor_events = 0;
+    assert(dropAccountingConsistent(spe));
 
     if (final_flush || !cfg_.double_buffered)
         co_await drainFlushes(spe);
+}
+
+bool
+Pdt::arenaRoom(std::uint32_t spe, std::uint32_t bytes)
+{
+    SpuState& st = spu_state_[spe];
+    const std::uint64_t attempt = st.flush_attempts++;
+    sim::FaultInjector& faults = sys_.machine().faults();
+    if (faults.enabled() && faults.arenaExhausted(spe, attempt))
+        return false;
+    if (cfg_.effectivePolicy() == OverflowPolicy::WrapOldest)
+        return true; // wrapping makes room by overwriting
+    return st.arena_cursor + bytes <= cfg_.arena_bytes_per_spe;
+}
+
+void
+Pdt::dropCurrentHalf(std::uint32_t spe)
+{
+    SpuState& st = spu_state_[spe];
+    auto& ctr = stats_.spu[spe];
+    ctr.dropped += st.cursor_events;
+    // Lost events join the pending pool; a drop marker already written
+    // into this (now discarded) half returns its claim too.
+    st.pending_drops += st.cursor_events + st.half_claimed;
+    st.half_claimed = 0;
+    st.cursor = 0;
+    st.cursor_events = 0;
+    assert(dropAccountingConsistent(spe));
+}
+
+bool
+Pdt::dropAccountingConsistent(std::uint32_t spe) const
+{
+    const SpuState& st = spu_state_[spe];
+    std::uint64_t claimed = st.pending_drops + st.half_claimed;
+    for (const Segment& seg : st.segments)
+        claimed += seg.marker_drops;
+    return claimed == stats_.spu[spe].dropped;
 }
 
 CoTask<void>
@@ -257,10 +345,15 @@ Pdt::recordSpu(std::uint32_t spe, const ApiEvent& ev)
 
     if (!enabled) {
         // Filtered events still pay the enabled-check.
-        if (ctr.overflowed && spe_enabled && groupEnabled(ev.op))
+        if (ctr.overflowed && spe_enabled && groupEnabled(ev.op)) {
+            // Lost to the Stop policy; the finalize footer's drop
+            // marker accounts for these (same pool as discarded-half
+            // events, so totals stay exact).
             ctr.dropped += 1;
-        else
+            st.pending_drops += 1;
+        } else {
             ctr.filtered += 1;
+        }
         spu.stats().tracer_cycles += cfg_.filtered_check_cost;
         co_await sys_.engine().delay(cfg_.filtered_check_cost);
     } else {
@@ -348,13 +441,27 @@ Pdt::finalize() const
     // main storage (the DMA really moved these bytes).
     for (std::uint32_t i = 0; i < sys_.numSpes(); ++i) {
         const SpuState& st = spu_state_[i];
-        for (const auto& [offset, bytes] : st.segments) {
+        for (const Segment& seg : st.segments) {
             const std::uint32_t n_recs =
-                bytes / static_cast<std::uint32_t>(sizeof(Record));
+                seg.bytes / static_cast<std::uint32_t>(sizeof(Record));
             std::vector<Record> chunk(n_recs);
-            sys_.machine().memory().read(st.arena_base + offset,
-                                         chunk.data(), bytes);
+            sys_.machine().memory().read(st.arena_base + seg.offset,
+                                         chunk.data(), seg.bytes);
             out.records.insert(out.records.end(), chunk.begin(), chunk.end());
+        }
+        // Drops that never got a marker into a flushed half (trailing
+        // losses, Stop-policy tails) are declared in a footer, so the
+        // markers in any trace sum to exactly the dropped counter.
+        const std::uint64_t unclaimed = st.pending_drops + st.half_claimed;
+        if (unclaimed > 0) {
+            out.records.push_back(makeSpuSync(i));
+            Record gap{};
+            gap.kind = trace::kDropRecord;
+            gap.core = static_cast<std::uint16_t>(i + 1);
+            gap.timestamp = spuTimestamp(i);
+            gap.a = unclaimed;
+            gap.b = stats_.spu[i].dropped;
+            out.records.push_back(gap);
         }
     }
 

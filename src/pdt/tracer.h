@@ -42,10 +42,16 @@ struct SpuTracerCounters
     std::uint64_t records = 0;      ///< records written (incl. sync/flush)
     std::uint64_t events = 0;       ///< API events recorded
     std::uint64_t filtered = 0;     ///< events skipped by group/SPE filter
-    std::uint64_t dropped = 0;      ///< events lost to arena overflow
+    /** API events lost — to arena overflow, discarded halves, or
+     *  overwritten flight-recorder windows. Exact: every lost event is
+     *  counted exactly once, and the drop markers in the final trace
+     *  sum to exactly this value. */
+    std::uint64_t dropped = 0;
     std::uint64_t flushes = 0;
+    std::uint64_t failed_flushes = 0; ///< flush attempts with no arena room
     std::uint64_t bytes_flushed = 0;
     std::uint64_t flush_wait_cycles = 0; ///< stalls waiting for a free half
+    std::uint64_t block_retries = 0; ///< BlockAndFlush retry rounds taken
     bool overflowed = false;
 };
 
@@ -98,25 +104,50 @@ class Pdt : public rt::ApiHook
     const PdtConfig& config() const { return cfg_; }
     const PdtStats& stats() const { return stats_; }
 
+    /** Drop-accounting invariant for one SPE: unclaimed + half-claimed
+     *  + in-segment marker sums == the dropped counter. Always true;
+     *  exposed so tests can assert it at any point. */
+    bool dropAccountingConsistent(std::uint32_t spe) const;
+
     /** Detach from the system (restores a null hook). */
     void detach();
 
   private:
+    /** One flushed chunk of the arena. */
+    struct Segment
+    {
+        std::uint64_t offset = 0;   ///< arena offset in bytes
+        std::uint32_t bytes = 0;
+        /** API-event records inside (excludes sync/flush/drop records). */
+        std::uint32_t events = 0;
+        /** Drops claimed by the kDropRecord this segment carries. */
+        std::uint64_t marker_drops = 0;
+    };
+
     struct SpuState
     {
         bool initialized = false;
         sim::LsAddr buf_base = 0;   ///< LS base of half 0
         std::uint32_t half = 0;     ///< half being filled
         std::uint32_t cursor = 0;   ///< records used in current half
+        /** API-event records in the current half (kind < 200). */
+        std::uint32_t cursor_events = 0;
         bool outstanding[2] = {false, false}; ///< flush DMA in flight
         sim::EffAddr arena_base = 0;
         std::uint64_t arena_cursor = 0; ///< bytes used
-        /** (arena offset, bytes) of each flushed chunk, in order. */
-        std::vector<std::pair<std::uint64_t, std::uint32_t>> segments;
+        /** Flushed chunks, in write order. */
+        std::vector<Segment> segments;
         /** Pending flush-marker payload for the next half. */
         bool have_flush_marker = false;
         std::uint64_t marker_records = 0;
         std::uint64_t marker_wait = 0;
+        /** Flush attempts so far (feeds fault-injected exhaustion). */
+        std::uint64_t flush_attempts = 0;
+        /** Dropped events not yet claimed by an in-trace drop marker. */
+        std::uint64_t pending_drops = 0;
+        /** Drops claimed by the marker in the half being filled; they
+         *  return to pending_drops if this half is discarded. */
+        std::uint64_t half_claimed = 0;
     };
 
     sim::CoTask<void> recordSpu(std::uint32_t spe, const rt::ApiEvent& ev);
@@ -131,6 +162,13 @@ class Pdt : public rt::ApiHook
 
     /** Wait until no trace-flush DMA is outstanding. */
     sim::CoTask<void> drainFlushes(std::uint32_t spe);
+
+    /** One flush attempt's arena-room check (consults fault injection). */
+    bool arenaRoom(std::uint32_t spe, std::uint32_t bytes);
+
+    /** Discard the current half, moving its events into the drop
+     *  accounting (dropped + pending_drops). */
+    void dropCurrentHalf(std::uint32_t spe);
 
     trace::Record makeSpuRecord(std::uint32_t spe, const rt::ApiEvent& ev) const;
     trace::Record makeSpuSync(std::uint32_t spe) const;

@@ -41,6 +41,14 @@ SpuEnv::emitSlow(ApiOp op, ApiPhase phase, std::uint64_t a, std::uint64_t b,
 }
 
 CoTask<void>
+SpuEnv::injectStall(sim::FaultSite site)
+{
+    const sim::TickDelta d = machine_.faults().delayAt(site, spu_.index());
+    if (d > 0)
+        co_await spu_.engine().delay(d);
+}
+
+CoTask<void>
 SpuEnv::dmaCommand(ApiOp op, MfcOpcode mfc_op, bool fence, bool barrier,
                    LsAddr ls, EffAddr ea, std::uint32_t size, TagId tag,
                    LsAddr list_ls)
@@ -200,6 +208,8 @@ SpuEnv::readInMbox()
     co_await emit(ApiOp::SpuMboxRead, ApiPhase::Begin);
     co_await spu_.chargeChannel();
     const Tick t0 = spu_.engine().now();
+    if (machine_.faults().enabled())
+        co_await injectStall(sim::FaultSite::Mailbox);
     const std::uint32_t v = co_await spu_.inbound().pop();
     spu_.stats().addStall(SpuStallKind::MailboxWait, spu_.engine().now() - t0);
     co_await emit(ApiOp::SpuMboxRead, ApiPhase::End, v);
@@ -212,6 +222,8 @@ SpuEnv::writeOutMbox(std::uint32_t value)
     co_await emit(ApiOp::SpuMboxWrite, ApiPhase::Begin, value);
     co_await spu_.chargeChannel();
     const Tick t0 = spu_.engine().now();
+    if (machine_.faults().enabled())
+        co_await injectStall(sim::FaultSite::Mailbox);
     co_await spu_.outbound().push(value);
     spu_.stats().addStall(SpuStallKind::MailboxWait, spu_.engine().now() - t0);
     co_await emit(ApiOp::SpuMboxWrite, ApiPhase::End, value);
@@ -223,6 +235,8 @@ SpuEnv::writeOutIrqMbox(std::uint32_t value)
     co_await emit(ApiOp::SpuMboxIrqWrite, ApiPhase::Begin, value);
     co_await spu_.chargeChannel();
     const Tick t0 = spu_.engine().now();
+    if (machine_.faults().enabled())
+        co_await injectStall(sim::FaultSite::Mailbox);
     co_await spu_.outboundIrq().push(value);
     spu_.stats().addStall(SpuStallKind::MailboxWait, spu_.engine().now() - t0);
     co_await emit(ApiOp::SpuMboxIrqWrite, ApiPhase::End, value);
@@ -234,6 +248,8 @@ SpuEnv::readSignal1()
     co_await emit(ApiOp::SpuSignalRead1, ApiPhase::Begin);
     co_await spu_.chargeChannel();
     const Tick t0 = spu_.engine().now();
+    if (machine_.faults().enabled())
+        co_await injectStall(sim::FaultSite::Signal);
     const std::uint32_t v = co_await spu_.signal1().read();
     spu_.stats().addStall(SpuStallKind::SignalWait, spu_.engine().now() - t0);
     co_await emit(ApiOp::SpuSignalRead1, ApiPhase::End, v);
@@ -246,6 +262,8 @@ SpuEnv::readSignal2()
     co_await emit(ApiOp::SpuSignalRead2, ApiPhase::Begin);
     co_await spu_.chargeChannel();
     const Tick t0 = spu_.engine().now();
+    if (machine_.faults().enabled())
+        co_await injectStall(sim::FaultSite::Signal);
     const std::uint32_t v = co_await spu_.signal2().read();
     spu_.stats().addStall(SpuStallKind::SignalWait, spu_.engine().now() - t0);
     co_await emit(ApiOp::SpuSignalRead2, ApiPhase::End, v);

@@ -173,6 +173,9 @@ class SpuEnv
     CoTask<void> dmaCommand(ApiOp op, sim::MfcOpcode mfc_op, bool fence,
                             bool barrier, LsAddr ls, EffAddr ea,
                             std::uint32_t size, TagId tag, LsAddr list_ls);
+    /** Injected channel stall (mailbox/signal faults); call sites guard
+     *  on faults().enabled() so the inert path allocates no frame. */
+    CoTask<void> injectStall(sim::FaultSite site);
 
     sim::Machine& machine_;
     sim::Spu& spu_;

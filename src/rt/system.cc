@@ -92,6 +92,18 @@ SpeContext::chargeMmio()
     co_await sys_.engine().delay(cost);
 }
 
+CoTask<void>
+SpeContext::injectPpeStall(sim::FaultSite site)
+{
+    sim::FaultInjector& faults = sys_.machine().faults();
+    if (faults.enabled()) {
+        const sim::TickDelta d =
+            faults.delayAt(site, sim::FaultInjector::kPpeActor);
+        if (d > 0)
+            co_await sys_.engine().delay(d);
+    }
+}
+
 Task
 SpeContext::spuThread(SpuProgramImage image, std::uint64_t argp,
                       std::uint64_t envp)
@@ -146,6 +158,7 @@ SpeContext::writeInMbox(std::uint32_t value)
     co_await emitPpe(ApiOp::PpeMboxWrite, ApiPhase::Begin, value, index_);
     co_await chargeMmio();
     const Tick t0 = sys_.engine().now();
+    co_await injectPpeStall(sim::FaultSite::Mailbox);
     co_await spu().inbound().push(value);
     sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
     co_await emitPpe(ApiOp::PpeMboxWrite, ApiPhase::End, value, index_);
@@ -157,6 +170,7 @@ SpeContext::readOutMbox()
     co_await emitPpe(ApiOp::PpeMboxRead, ApiPhase::Begin, 0, index_);
     co_await chargeMmio();
     const Tick t0 = sys_.engine().now();
+    co_await injectPpeStall(sim::FaultSite::Mailbox);
     const std::uint32_t v = co_await spu().outbound().pop();
     sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
     co_await emitPpe(ApiOp::PpeMboxRead, ApiPhase::End, v, index_);
@@ -169,6 +183,7 @@ SpeContext::readOutIrqMbox()
     co_await emitPpe(ApiOp::PpeMboxIrqRead, ApiPhase::Begin, 0, index_);
     co_await chargeMmio();
     const Tick t0 = sys_.engine().now();
+    co_await injectPpeStall(sim::FaultSite::Mailbox);
     const std::uint32_t v = co_await spu().outboundIrq().pop();
     sys_.machine().ppeStats().wait_cycles += sys_.engine().now() - t0;
     co_await emitPpe(ApiOp::PpeMboxIrqRead, ApiPhase::End, v, index_);
@@ -186,6 +201,7 @@ SpeContext::postSignal1(std::uint32_t bits)
 {
     co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::Begin, bits, index_, 1);
     co_await chargeMmio();
+    co_await injectPpeStall(sim::FaultSite::Signal);
     spu().signal1().post(bits);
     co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::End, bits, index_, 1);
 }
@@ -195,6 +211,7 @@ SpeContext::postSignal2(std::uint32_t bits)
 {
     co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::Begin, bits, index_, 2);
     co_await chargeMmio();
+    co_await injectPpeStall(sim::FaultSite::Signal);
     spu().signal2().post(bits);
     co_await emitPpe(ApiOp::PpeSignalPost, ApiPhase::End, bits, index_, 2);
 }

@@ -139,6 +139,8 @@ class SpeContext
                              std::uint64_t b, std::uint64_t c,
                              std::uint64_t d);
     CoTask<void> chargeMmio();
+    /** Injected PPE-side channel stall (no-op when faults are inert). */
+    CoTask<void> injectPpeStall(sim::FaultSite site);
 
     CellSystem& sys_;
     std::uint32_t index_;

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/fault.h"
 #include "sim/types.h"
 
 namespace cell::sim {
@@ -82,6 +83,9 @@ struct MachineConfig
     EibConfig eib;
     MfcConfig mfc;
     AccessCostConfig cost;
+    /** Deterministic fault-injection plan (inert by default, so the
+     *  fault-free simulation is byte-identical with or without it). */
+    FaultPlan faults;
 
     /** Effective address of SPE @p index 's local-store aperture. */
     EffAddr lsAperture(std::uint32_t index) const

@@ -7,9 +7,13 @@
 
 #include <algorithm>
 
+#include "sim/fault.h"
+
 namespace cell::sim {
 
-Eib::Eib(const EibConfig& cfg) : cfg_(cfg), ring_free_(cfg.num_rings, 0) {}
+Eib::Eib(const EibConfig& cfg, FaultInjector* faults)
+    : cfg_(cfg), faults_(faults), ring_free_(cfg.num_rings, 0)
+{}
 
 TickDelta
 Eib::ringOccupancy(std::size_t bytes) const
@@ -47,6 +51,12 @@ Eib::reserve(TransferKind kind, std::size_t bytes, Tick now)
         start = std::max(start, mic_free_);
         occupancy = std::max(occupancy, micOccupancy(bytes));
     }
+    // An injected contention spike holds the granted resources longer,
+    // so it delays this transfer *and* queues up everything behind it —
+    // the same shape real EIB saturation has. The EIB is one shared
+    // resource, so all spikes draw from a single actor stream.
+    if (faults_ && faults_->enabled())
+        occupancy += faults_->delayAt(FaultSite::EibTransfer, 0);
     // Resources are held for the data phase only; DRAM access latency
     // is pipelined (it delays this transfer's completion but not the
     // next transfer's start), so small transfers still sustain the

@@ -23,6 +23,8 @@
 
 namespace cell::sim {
 
+class FaultInjector;
+
 /** What a transfer touches, which decides the resources it reserves. */
 enum class TransferKind : std::uint8_t
 {
@@ -57,7 +59,9 @@ struct EibStats
 class Eib
 {
   public:
-    explicit Eib(const EibConfig& cfg);
+    /** @p faults (optional) lets the injector model contention spikes
+     *  as extra ring/MIC occupancy that delays later transfers too. */
+    explicit Eib(const EibConfig& cfg, FaultInjector* faults = nullptr);
 
     /**
      * Reserve bus (and MIC) time for a transfer of @p bytes issued at
@@ -75,6 +79,7 @@ class Eib
 
   private:
     EibConfig cfg_;
+    FaultInjector* faults_;
     std::vector<Tick> ring_free_;
     Tick mic_free_ = 0;
     EibStats stats_;

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Fault-injection implementation: counter-based PRNG draws and the
+ * key=value FaultPlan parser.
+ */
+
+#include "sim/fault.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cell::sim {
+
+namespace {
+
+/** splitmix64 finalizer — a strong, stateless 64-bit mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E37'79B9'7F4A'7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+parseU64(const std::string& key, const std::string& value)
+{
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(value, &pos, 0);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("FaultPlan: bad value for " + key +
+                                    ": '" + value + "'");
+    }
+    if (pos != value.size())
+        throw std::invalid_argument("FaultPlan: trailing junk in " + key +
+                                    ": '" + value + "'");
+    return v;
+}
+
+std::string
+trim(const std::string& s)
+{
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return {};
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+const char*
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::MfcDma: return "MFC_DMA";
+      case FaultSite::MfcRetry: return "MFC_RETRY";
+      case FaultSite::EibTransfer: return "EIB";
+      case FaultSite::Mailbox: return "MAILBOX";
+      case FaultSite::Signal: return "SIGNAL";
+      case FaultSite::TraceArena: return "TRACE_ARENA";
+      case FaultSite::kCount: break;
+    }
+    return "?";
+}
+
+void
+FaultPlan::validate() const
+{
+    auto checkRate = [](const char* name, std::uint32_t permille) {
+        if (permille > 1000) {
+            throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                        " exceeds 1000 per-mille");
+        }
+    };
+    checkRate("dma_delay_permille", dma_delay_permille);
+    checkRate("dma_fail_permille", dma_fail_permille);
+    checkRate("eib_spike_permille", eib_spike_permille);
+    checkRate("mbox_stall_permille", mbox_stall_permille);
+    checkRate("signal_stall_permille", signal_stall_permille);
+    if (arena_exhaust_end < arena_exhaust_begin) {
+        throw std::invalid_argument(
+            "FaultPlan: arena_exhaust_end precedes arena_exhaust_begin");
+    }
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& text)
+{
+    return parse(text, FaultPlan{});
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& text, const FaultPlan& base)
+{
+    FaultPlan plan = base;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                        line + "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        const std::uint64_t v = parseU64(key, value);
+        auto u32 = [&]() {
+            if (v > 0xFFFF'FFFFULL)
+                throw std::invalid_argument("FaultPlan: " + key +
+                                            " does not fit in 32 bits");
+            return static_cast<std::uint32_t>(v);
+        };
+        if (key == "seed") plan.seed = v;
+        else if (key == "dma_delay_permille") plan.dma_delay_permille = u32();
+        else if (key == "dma_delay_cycles") plan.dma_delay_cycles = u32();
+        else if (key == "dma_fail_permille") plan.dma_fail_permille = u32();
+        else if (key == "dma_retry_cycles") plan.dma_retry_cycles = u32();
+        else if (key == "eib_spike_permille") plan.eib_spike_permille = u32();
+        else if (key == "eib_spike_cycles") plan.eib_spike_cycles = u32();
+        else if (key == "mbox_stall_permille") plan.mbox_stall_permille = u32();
+        else if (key == "mbox_stall_cycles") plan.mbox_stall_cycles = u32();
+        else if (key == "signal_stall_permille")
+            plan.signal_stall_permille = u32();
+        else if (key == "signal_stall_cycles") plan.signal_stall_cycles = u32();
+        else if (key == "arena_exhaust_begin") plan.arena_exhaust_begin = v;
+        else if (key == "arena_exhaust_end") plan.arena_exhaust_end = v;
+        else
+            throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
+    }
+    plan.validate();
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan)
+{
+    plan_.validate();
+    enabled_ = plan_.enabled();
+}
+
+std::uint64_t
+FaultInjector::draw(FaultSite site, std::uint32_t actor)
+{
+    // kPpeActor maps to slot 0 and SPE i to slot i+1 so the lazily
+    // sized counter vectors stay tiny.
+    const std::size_t s = static_cast<std::size_t>(site);
+    const std::size_t slot = actor == kPpeActor ? 0 : actor + 1;
+    auto& counters = seq_[s];
+    if (slot >= counters.size())
+        counters.resize(slot + 1, 0);
+    const std::uint64_t n = counters[slot]++;
+    // Independent streams: each (site, actor) pair walks its own
+    // counter, so changing one site's rate never shifts another's draws.
+    std::uint64_t key = plan_.seed;
+    key ^= mix64(static_cast<std::uint64_t>(s) + 1);
+    key ^= mix64((static_cast<std::uint64_t>(actor) << 8) | 0xA5u) << 1;
+    return mix64(key + n);
+}
+
+TickDelta
+FaultInjector::delayAt(FaultSite site, std::uint32_t actor)
+{
+    if (!enabled_)
+        return 0;
+    std::uint32_t permille = 0;
+    std::uint32_t cycles = 0;
+    switch (site) {
+      case FaultSite::MfcDma:
+        permille = plan_.dma_delay_permille;
+        cycles = plan_.dma_delay_cycles;
+        break;
+      case FaultSite::MfcRetry:
+        permille = plan_.dma_fail_permille;
+        cycles = plan_.dma_retry_cycles;
+        break;
+      case FaultSite::EibTransfer:
+        permille = plan_.eib_spike_permille;
+        cycles = plan_.eib_spike_cycles;
+        break;
+      case FaultSite::Mailbox:
+        permille = plan_.mbox_stall_permille;
+        cycles = plan_.mbox_stall_cycles;
+        break;
+      case FaultSite::Signal:
+        permille = plan_.signal_stall_permille;
+        cycles = plan_.signal_stall_cycles;
+        break;
+      case FaultSite::TraceArena:
+      case FaultSite::kCount:
+        return 0;
+    }
+    if (permille == 0)
+        return 0;
+    const std::size_t s = static_cast<std::size_t>(site);
+    stats_.draws[s] += 1;
+    if (draw(site, actor) % 1000 >= permille)
+        return 0;
+    stats_.injected[s] += 1;
+    stats_.injected_cycles += cycles;
+    return cycles;
+}
+
+bool
+FaultInjector::arenaExhausted(std::uint32_t spe, std::uint64_t attempt)
+{
+    (void)spe;
+    if (!enabled_ || plan_.arena_exhaust_end <= plan_.arena_exhaust_begin)
+        return false;
+    const std::size_t s = static_cast<std::size_t>(FaultSite::TraceArena);
+    stats_.draws[s] += 1;
+    const bool hit = attempt >= plan_.arena_exhaust_begin &&
+                     attempt < plan_.arena_exhaust_end;
+    if (hit)
+        stats_.injected[s] += 1;
+    return hit;
+}
+
+} // namespace cell::sim

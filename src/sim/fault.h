@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * Real Cell traces were recorded on hardware that misbehaved: DMA
+ * transfers were delayed or retried after ECC errors, the EIB saturated
+ * under contention, mailbox partners stalled, and the PDT daemon's
+ * main-storage arena filled faster than it drained. This module lets a
+ * simulation reproduce those adverse conditions *deterministically*: a
+ * FaultPlan (single seed + per-fault-class rates) drives a counter-based
+ * PRNG, so the same plan always injects the same faults at the same
+ * points and two runs produce byte-identical traces.
+ *
+ * Each (fault site, actor) pair owns an independent draw stream keyed
+ * by hash(seed, site, actor, sequence). Because per-actor operation
+ * order is itself deterministic (the engine dispatches in (tick, seq)
+ * order), injection never depends on cross-core interleaving.
+ *
+ * An inert injector (default-constructed, or any plan with all rates
+ * zero) costs one branch per hook point and injects nothing, so the
+ * fault-free simulation is bit-for-bit identical to a build without
+ * this module.
+ */
+
+#ifndef CELL_SIM_FAULT_H
+#define CELL_SIM_FAULT_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cell::sim {
+
+/** Where a fault can strike. */
+enum class FaultSite : std::uint8_t
+{
+    MfcDma,      ///< extra latency on one DMA command's completion
+    MfcRetry,    ///< failed transfer retried by the MFC (larger penalty)
+    EibTransfer, ///< contention spike holding a ring/MIC reservation
+    Mailbox,     ///< stalled mailbox channel operation
+    Signal,      ///< stalled signal-notification operation
+    TraceArena,  ///< trace-arena exhaustion window (consulted by PDT)
+
+    kCount,
+};
+
+constexpr std::size_t kNumFaultSites =
+    static_cast<std::size_t>(FaultSite::kCount);
+
+/** Printable site name ("MFC_DMA", "EIB", ...). */
+const char* faultSiteName(FaultSite site);
+
+/**
+ * The reproducible fault schedule. Rates are per-mille (0..1000)
+ * probabilities applied independently per operation; magnitudes are
+ * core cycles. All-zero rates (the default) mean no injection at all.
+ */
+struct FaultPlan
+{
+    /** Seed for every draw stream. Two runs with equal plans (same
+     *  seed included) inject identically. */
+    std::uint64_t seed = 1;
+
+    /** @name Delayed / failed MFC DMA transfers */
+    ///@{
+    std::uint32_t dma_delay_permille = 0;
+    std::uint32_t dma_delay_cycles = 2'000;
+    std::uint32_t dma_fail_permille = 0;
+    std::uint32_t dma_retry_cycles = 10'000;
+    ///@}
+
+    /** @name EIB contention spikes (per bus reservation) */
+    ///@{
+    std::uint32_t eib_spike_permille = 0;
+    std::uint32_t eib_spike_cycles = 4'000;
+    ///@}
+
+    /** @name Stalled mailbox / signal operations */
+    ///@{
+    std::uint32_t mbox_stall_permille = 0;
+    std::uint32_t mbox_stall_cycles = 1'500;
+    std::uint32_t signal_stall_permille = 0;
+    std::uint32_t signal_stall_cycles = 1'500;
+    ///@}
+
+    /**
+     * Mid-run trace-arena exhaustion: flush attempts in
+     * [arena_exhaust_begin, arena_exhaust_end) on every SPE see the
+     * arena as full (models the trace consumer falling behind). The
+     * window is per-SPE in units of flush *attempts*; 0,0 = never.
+     */
+    std::uint64_t arena_exhaust_begin = 0;
+    std::uint64_t arena_exhaust_end = 0;
+
+    /** True if any fault class can fire. */
+    bool enabled() const
+    {
+        return dma_delay_permille || dma_fail_permille ||
+               eib_spike_permille || mbox_stall_permille ||
+               signal_stall_permille ||
+               arena_exhaust_end > arena_exhaust_begin;
+    }
+
+    /** Validate; @throws std::invalid_argument on bad values. */
+    void validate() const;
+
+    /**
+     * Parse "key=value" lines (comments with '#'), e.g.
+     *   seed=42
+     *   dma_delay_permille=25
+     *   dma_delay_cycles=5000
+     *   arena_exhaust_begin=4
+     *   arena_exhaust_end=8
+     * Unknown keys throw. Returns the parsed plan on top of @p base.
+     */
+    static FaultPlan parse(const std::string& text);
+    static FaultPlan parse(const std::string& text, const FaultPlan& base);
+};
+
+/** Injection counters (ground truth for tests and reports). */
+struct FaultStats
+{
+    /** Faults fired, per site. */
+    std::array<std::uint64_t, kNumFaultSites> injected{};
+    /** Total extra cycles injected (latency-class faults). */
+    std::uint64_t injected_cycles = 0;
+    /** Draws taken (fired or not), per site. */
+    std::array<std::uint64_t, kNumFaultSites> draws{};
+
+    std::uint64_t totalInjected() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t v : injected)
+            n += v;
+        return n;
+    }
+};
+
+/**
+ * The injector. One per Machine; components consult it at their hook
+ * points. Not thread-safe (the simulation is single-threaded).
+ */
+class FaultInjector
+{
+  public:
+    /** Actor id used for PPE-side operations. */
+    static constexpr std::uint32_t kPpeActor = 0xFFFFu;
+
+    /** Inert injector: enabled() is false, every delay is zero. */
+    FaultInjector() = default;
+
+    explicit FaultInjector(FaultPlan plan);
+
+    bool enabled() const { return enabled_; }
+    const FaultPlan& plan() const { return plan_; }
+    const FaultStats& stats() const { return stats_; }
+
+    /**
+     * Extra cycles to inject at @p site for @p actor (SPE index, or
+     * kPpeActor). Zero when inert or the draw does not fire. Draws
+     * advance only the (site, actor) stream, so unrelated sites stay
+     * reproducible when one site's rate changes.
+     */
+    TickDelta delayAt(FaultSite site, std::uint32_t actor);
+
+    /** Combined DMA penalty for one command: delay fault + retry fault. */
+    TickDelta dmaPenalty(std::uint32_t spe)
+    {
+        return delayAt(FaultSite::MfcDma, spe) +
+               delayAt(FaultSite::MfcRetry, spe);
+    }
+
+    /**
+     * True when flush attempt @p attempt (0-based, per SPE) falls in
+     * the injected arena-exhaustion window.
+     */
+    bool arenaExhausted(std::uint32_t spe, std::uint64_t attempt);
+
+  private:
+    /** Counter-based PRNG draw for one (site, actor) stream. */
+    std::uint64_t draw(FaultSite site, std::uint32_t actor);
+
+    FaultPlan plan_{};
+    bool enabled_ = false;
+    FaultStats stats_;
+    /** Per-site, per-actor sequence counters (actors resized lazily). */
+    std::array<std::vector<std::uint64_t>, kNumFaultSites> seq_;
+};
+
+} // namespace cell::sim
+
+#endif // CELL_SIM_FAULT_H

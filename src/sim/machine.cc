@@ -14,11 +14,14 @@ Machine::Machine(MachineConfig cfg)
       engine_(),
       timebase_(cfg.timebase_divider),
       memory_(),
-      eib_(cfg.eib)
+      faults_(cfg.faults),
+      eib_(cfg.eib, &faults_)
 {
     spes_.reserve(cfg_.num_spes);
-    for (std::uint32_t i = 0; i < cfg_.num_spes; ++i)
-        spes_.push_back(std::make_unique<Spu>(engine_, eib_, *this, cfg_, i));
+    for (std::uint32_t i = 0; i < cfg_.num_spes; ++i) {
+        spes_.push_back(
+            std::make_unique<Spu>(engine_, eib_, *this, cfg_, i, &faults_));
+    }
     for (auto& spe : spes_)
         spe->mfc().start();
 }

@@ -16,6 +16,7 @@
 #include "sim/decrementer.h"
 #include "sim/eib.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/main_memory.h"
 #include "sim/mfc.h"
 #include "sim/spu.h"
@@ -48,6 +49,8 @@ class Machine : public StorageMap
     Engine& engine() { return engine_; }
     MainMemory& memory() { return memory_; }
     Eib& eib() { return eib_; }
+    FaultInjector& faults() { return faults_; }
+    const FaultInjector& faults() const { return faults_; }
     const MachineConfig& config() const { return cfg_; }
     const Timebase& timebase() const { return timebase_; }
 
@@ -88,6 +91,8 @@ class Machine : public StorageMap
     Engine engine_;
     Timebase timebase_;
     MainMemory memory_;
+    /** Declared before eib_/spes_: they capture a pointer to it. */
+    FaultInjector faults_;
     Eib eib_;
     std::vector<std::unique_ptr<Spu>> spes_;
     PpeStats ppe_stats_;

@@ -16,6 +16,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/fault.h"
+
 namespace cell::sim {
 
 const char*
@@ -31,9 +33,10 @@ mfcOpcodeName(MfcOpcode op)
 }
 
 Mfc::Mfc(Engine& engine, Eib& eib, StorageMap& storage, LocalStore& ls,
-         const MachineConfig& cfg, std::uint32_t spe_index)
+         const MachineConfig& cfg, std::uint32_t spe_index,
+         FaultInjector* faults)
     : engine_(engine), eib_(eib), storage_(storage), ls_(ls), cfg_(cfg),
-      spe_index_(spe_index), cv_(engine)
+      spe_index_(spe_index), faults_(faults), cv_(engine)
 {}
 
 void
@@ -167,6 +170,12 @@ Mfc::issueSimple(const MfcCommand& cmd, bool proxy)
         stats_.bytes_get += cmd.size;
     else
         stats_.bytes_put += cmd.size;
+    // Injected faults push this command's completion out: a delay fault
+    // models arbitration hiccups, a fail fault models a transfer the
+    // MFC retried after an error. Either way the data still lands.
+    Tick complete_at = grant.complete;
+    if (faults_ && faults_->enabled())
+        complete_at += faults_->dmaPenalty(spe_index_);
     const Tick enqueued_at = engine_.now();
     auto complete = [this, cmd, proxy, enqueued_at] {
         moveBytes(cmd.op, cmd.ls, cmd.ea, cmd.size);
@@ -178,7 +187,7 @@ Mfc::issueSimple(const MfcCommand& cmd, bool proxy)
     // The completion closure is the largest event the simulator
     // schedules; keep it on the engine's inline (allocation-free) path.
     static_assert(EventCallback::fitsInline<decltype(complete)>);
-    engine_.schedule(grant.complete, std::move(complete));
+    engine_.schedule(complete_at, std::move(complete));
 }
 
 Task
@@ -203,7 +212,10 @@ Mfc::listTask(MfcCommand cmd, bool proxy)
                 ? MfcOpcode::Get : MfcOpcode::Put;
             const EibGrant grant =
                 eib_.reserve(kindFor(cmd.op, ea), esize, engine_.now());
-            co_await engine_.delay(grant.complete - engine_.now());
+            TickDelta penalty = 0;
+            if (faults_ && faults_->enabled())
+                penalty = faults_->dmaPenalty(spe_index_);
+            co_await engine_.delay(grant.complete - engine_.now() + penalty);
             moveBytes(eop, ls, ea, esize);
             if (eop == MfcOpcode::Get)
                 stats_.bytes_get += esize;

@@ -30,6 +30,8 @@
 
 namespace cell::sim {
 
+class FaultInjector;
+
 /** Resolves effective addresses to backing storage (machine-level). */
 class StorageMap
 {
@@ -118,8 +120,10 @@ struct MfcStats
 class Mfc
 {
   public:
+    /** @p faults (optional) injects delayed/retried DMA completions. */
     Mfc(Engine& engine, Eib& eib, StorageMap& storage, LocalStore& ls,
-        const MachineConfig& cfg, std::uint32_t spe_index);
+        const MachineConfig& cfg, std::uint32_t spe_index,
+        FaultInjector* faults = nullptr);
 
     Mfc(const Mfc&) = delete;
     Mfc& operator=(const Mfc&) = delete;
@@ -191,6 +195,7 @@ class Mfc
     LocalStore& ls_;
     const MachineConfig& cfg_;
     std::uint32_t spe_index_;
+    FaultInjector* faults_;
 
     std::deque<MfcCommand> spu_queue_;
     std::deque<MfcCommand> proxy_queue_;

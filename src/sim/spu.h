@@ -73,13 +73,14 @@ class Spu
 {
   public:
     Spu(Engine& engine, Eib& eib, StorageMap& storage,
-        const MachineConfig& cfg, std::uint32_t index)
+        const MachineConfig& cfg, std::uint32_t index,
+        FaultInjector* faults = nullptr)
         : index_(index),
           engine_(engine),
           cfg_(cfg),
           timebase_(cfg.timebase_divider),
           ls_(),
-          mfc_(engine, eib, storage, ls_, cfg, index),
+          mfc_(engine, eib, storage, ls_, cfg, index, faults),
           inbound_(engine, kInboundMailboxDepth),
           outbound_(engine, kOutboundMailboxDepth),
           outbound_irq_(engine, kOutboundMailboxDepth),

@@ -13,9 +13,9 @@
 namespace cell::ta {
 
 Analysis
-analyze(const trace::TraceData& trace)
+analyze(const trace::TraceData& trace, bool lenient)
 {
-    Analysis a{TraceModel::build(trace), {}, {}};
+    Analysis a{TraceModel::build(trace, lenient), {}, {}};
     a.intervals = IntervalSet::build(a.model);
     a.stats = TraceStats::build(a.model, a.intervals);
     return a;
@@ -25,6 +25,12 @@ Analysis
 analyzeFile(const std::string& path)
 {
     return analyze(trace::readFile(path));
+}
+
+Analysis
+analyzeFileSalvage(const std::string& path, trace::ReadReport& report)
+{
+    return analyze(trace::readFileSalvage(path, report), /*lenient=*/true);
 }
 
 namespace {
@@ -48,6 +54,13 @@ printSummary(std::ostream& os, const Analysis& a)
        << std::fixed << std::setprecision(1) << m.tbToUs(m.spanTb())
        << " us (" << m.spanTb() << " timebase ticks)\n"
        << "records: " << a.stats.total_records << " total\n";
+    if (a.stats.anyLoss()) {
+        std::uint64_t dropped = 0;
+        for (const CoreLoss& l : a.stats.loss)
+            dropped += l.dropped_events;
+        os << "WARNING: incomplete trace — " << dropped
+           << " events dropped during tracing (see event-loss report)\n";
+    }
     for (const auto& tl : m.cores()) {
         os << "  " << std::left << std::setw(20) << tl.label << std::right
            << " " << std::setw(8) << tl.events.size() << " records";
@@ -170,6 +183,35 @@ printTracingReport(std::ostream& os, const Analysis& a)
            << f.flushed_records << std::setw(19) << f.flush_wait_cycles
            << "\n";
     }
+}
+
+void
+printLossReport(std::ostream& os, const Analysis& a)
+{
+    os << "=== Event loss ===\n";
+    if (!a.stats.anyLoss() && a.model.leniencySkipped() == 0) {
+        os << "no event loss: every emitted event is in the trace\n";
+        return;
+    }
+    os << "core    recorded   dropped  markers  gap_intervals   loss%\n";
+    for (std::size_t c = 0; c < a.stats.loss.size(); ++c) {
+        const CoreLoss& l = a.stats.loss[c];
+        if (l.recorded_events == 0 && l.dropped_events == 0)
+            continue;
+        const std::string label =
+            c == 0 ? "PPE" : "SPE" + std::to_string(c - 1);
+        os << std::left << std::setw(6) << label << std::right
+           << std::setw(10) << l.recorded_events << std::setw(10)
+           << l.dropped_events << std::setw(9) << l.drop_markers
+           << std::setw(15) << l.gap_intervals << std::fixed
+           << std::setprecision(2) << std::setw(8) << l.lossPct() << "\n";
+    }
+    if (a.model.leniencySkipped() > 0) {
+        os << "salvage: " << a.model.leniencySkipped()
+           << " records unusable (sync lost), excluded from timelines\n";
+    }
+    os << "durations of gap-spanning intervals include unobserved "
+          "activity; treat them as lower-quality samples\n";
 }
 
 void

@@ -14,6 +14,7 @@
 #include "ta/intervals.h"
 #include "ta/model.h"
 #include "ta/stats.h"
+#include "trace/reader.h"
 
 namespace cell::ta {
 
@@ -25,11 +26,19 @@ struct Analysis
     TraceStats stats;
 };
 
-/** Run model building, interval matching and statistics. */
-Analysis analyze(const trace::TraceData& trace);
+/** Run model building, interval matching and statistics. @p lenient
+ *  tolerates streams damaged by salvage (events whose sync record was
+ *  lost are skipped, see TraceModel::leniencySkipped()). */
+Analysis analyze(const trace::TraceData& trace, bool lenient = false);
 
 /** Load a trace file and analyze it. */
 Analysis analyzeFile(const std::string& path);
+
+/** Load a (possibly damaged) trace file in salvage mode and analyze
+ *  the recovered subset leniently. @p report receives what salvage
+ *  had to skip. */
+Analysis analyzeFileSalvage(const std::string& path,
+                            trace::ReadReport& report);
 
 /** One-paragraph overview: span, per-core record counts, utilization. */
 void printSummary(std::ostream& os, const Analysis& a);
@@ -48,6 +57,11 @@ void printEventCounts(std::ostream& os, const Analysis& a);
 
 /** Tracing self-observation: flushes, flush waits, record volume. */
 void printTracingReport(std::ostream& os, const Analysis& a);
+
+/** Per-core event-loss table: recorded vs dropped events, drop
+ *  markers, gap-spanning intervals, loss percentage. Prints a single
+ *  "no event loss" line when the trace is complete. */
+void printLossReport(std::ostream& os, const Analysis& a);
 
 /** CSV: one row per SPE with the breakdown columns. */
 void exportBreakdownCsv(std::ostream& os, const Analysis& a);

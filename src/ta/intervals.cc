@@ -80,8 +80,12 @@ IntervalSet::build(const TraceModel& model)
         std::array<std::optional<Event>, rt::kNumApiOps> pending;
         Event run_start_ev{};
         bool have_run_start = false;
+        // Epoch of the newest event seen (tool records included) —
+        // dangling intervals closed at trace end compare against it.
+        std::uint32_t final_epoch = 0;
 
         for (const Event& ev : tl.events) {
+            final_epoch = ev.epoch;
             if (ev.isToolRecord() || !ev.isKnownOp())
                 continue;
             const ApiOp op = ev.op();
@@ -101,6 +105,7 @@ IntervalSet::build(const TraceModel& model)
                 run.end_tb = ev.time_tb;
                 run.a = ev.a; // exit code
                 run.truncated = !have_run_start;
+                run.gap = have_run_start && run_start_ev.epoch != ev.epoch;
                 dst.push_back(run);
                 have_run_start = false;
                 continue;
@@ -137,6 +142,7 @@ IntervalSet::build(const TraceModel& model)
                     i.b = b.b;
                     i.c = b.c;
                     i.d = b.d;
+                    i.gap = b.epoch != ev.epoch;
                     pending[idx].reset();
                 } else {
                     // End without Begin (Begin filtered out?): degrade
@@ -166,6 +172,7 @@ IntervalSet::build(const TraceModel& model)
             i.c = p->c;
             i.d = p->d;
             i.truncated = true;
+            i.gap = p->epoch != final_epoch;
             dst.push_back(i);
         }
         if (have_run_start) {
@@ -176,6 +183,7 @@ IntervalSet::build(const TraceModel& model)
             run.start_tb = run_start_ev.time_tb;
             run.end_tb = end;
             run.truncated = true;
+            run.gap = run_start_ev.epoch != final_epoch;
             dst.push_back(run);
         }
 

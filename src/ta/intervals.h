@@ -52,6 +52,10 @@ struct Interval
     std::uint64_t end_b = 0;
     /** True if no End was found (closed at trace end). */
     bool truncated = false;
+    /** True if a recording gap (drop marker) falls between Begin and
+     *  End: events were lost inside this interval, so its duration may
+     *  include unobserved activity. */
+    bool gap = false;
 
     std::uint64_t duration() const { return end_tb - start_tb; }
 };

@@ -18,6 +18,7 @@ struct ClockState
     bool have_sync = false;
     std::uint32_t sync_raw = 0;
     std::uint64_t sync_tb = 0;
+    std::uint32_t epoch = 0; ///< drop epoch (bumped per kDropRecord)
 };
 
 /** Raw 32-bit clock delta since the sync point for one core. The SPU
@@ -34,7 +35,7 @@ rawDelta(bool is_spe, std::uint32_t sync_raw, std::uint32_t raw)
 } // namespace
 
 TraceModel
-TraceModel::build(const trace::TraceData& trace)
+TraceModel::build(const trace::TraceData& trace, bool lenient)
 {
     TraceModel model;
     model.header_ = trace.header;
@@ -54,8 +55,13 @@ TraceModel::build(const trace::TraceData& trace)
     std::vector<ClockState> clocks(n_cores);
 
     for (const trace::Record& rec : trace.records) {
-        if (rec.core >= n_cores)
+        if (rec.core >= n_cores) {
+            if (lenient) {
+                model.leniency_skipped_ += 1;
+                continue;
+            }
             throw std::runtime_error("TraceModel: record with bad core id");
+        }
         ClockState& clk = clocks[rec.core];
         const bool is_spe = rec.core != 0;
 
@@ -65,15 +71,25 @@ TraceModel::build(const trace::TraceData& trace)
             clk.sync_tb = rec.b;
         }
         if (!clk.have_sync) {
+            // A salvaged trace may have lost the sync record this
+            // stream prefix depended on; without it the events cannot
+            // be placed on the global clock.
+            if (lenient) {
+                model.leniency_skipped_ += 1;
+                continue;
+            }
             throw std::runtime_error(
                 "TraceModel: event before first sync record on core " +
                 std::to_string(rec.core));
         }
+        if (rec.kind == trace::kDropRecord)
+            clk.epoch += 1; // the gap ends here; what follows is new
 
         Event ev;
         ev.kind = rec.kind;
         ev.phase = rec.phase;
         ev.core = rec.core;
+        ev.epoch = clk.epoch;
         ev.a = rec.a;
         ev.b = rec.b;
         ev.c = rec.c;

@@ -33,6 +33,11 @@ struct Event
     std::uint8_t kind = 0;     ///< rt::ApiOp value or tool record kind
     std::uint8_t phase = 0;
     std::uint16_t core = 0;    ///< 0 = PPE, 1 + i = SPE i
+    /** Drop epoch: incremented at every kDropRecord on this core. Two
+     *  events with different epochs have a recording gap between them —
+     *  the tracer lost events there, so durations spanning them are
+     *  suspect. */
+    std::uint32_t epoch = 0;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
     std::uint32_t c = 0;
@@ -63,11 +68,21 @@ struct CoreTimeline
 class TraceModel
 {
   public:
-    /** Build from a loaded trace. @throws std::runtime_error if a
-     *  core's stream has events before its first sync record. */
-    static TraceModel build(const trace::TraceData& trace);
+    /**
+     * Build from a loaded trace. Strict (default): @throws
+     * std::runtime_error if a core's stream has events before its
+     * first sync record or a record names an impossible core. Lenient
+     * (@p lenient true, for salvaged traces): such records are skipped
+     * and counted in leniencySkipped() instead — a salvaged trace may
+     * have lost the sync a stream's prefix depended on.
+     */
+    static TraceModel build(const trace::TraceData& trace,
+                            bool lenient = false);
 
     const trace::Header& header() const { return header_; }
+
+    /** Records skipped by lenient mode (0 after a strict build). */
+    std::uint64_t leniencySkipped() const { return leniency_skipped_; }
 
     /** Timelines indexed by core id (0 = PPE, 1 + i = SPE i). */
     const std::vector<CoreTimeline>& cores() const { return cores_; }
@@ -99,6 +114,7 @@ class TraceModel
     std::vector<CoreTimeline> cores_;
     std::uint64_t start_tb_ = 0;
     std::uint64_t end_tb_ = 0;
+    std::uint64_t leniency_skipped_ = 0;
 };
 
 } // namespace cell::ta

@@ -95,11 +95,13 @@ TraceStats::build(const TraceModel& model, const IntervalSet& ivs)
     st.spu.resize(n_spes);
     st.dma.resize(n_spes);
     st.flush.resize(n_spes);
+    st.loss.resize(n_spes + 1);
     st.op_counts.resize(n_spes + 1);
     for (auto& row : st.op_counts)
         row.fill(0);
 
-    // Event counts and flush markers straight from the timelines.
+    // Event counts, flush markers and drop markers straight from the
+    // timelines.
     for (const CoreTimeline& tl : model.cores()) {
         for (const Event& ev : tl.events) {
             st.total_records += 1;
@@ -109,8 +111,25 @@ TraceStats::build(const TraceModel& model, const IntervalSet& ivs)
                 f.flushed_records += ev.a;
                 f.flush_wait_cycles += ev.b;
             }
+            if (ev.kind == trace::kDropRecord) {
+                CoreLoss& l = st.loss[tl.core];
+                l.drop_markers += 1;
+                l.dropped_events += ev.a; // events lost in this gap
+            }
+            if (!ev.isToolRecord())
+                st.loss[tl.core].recorded_events += 1;
             if (!ev.isToolRecord() && ev.isKnownOp() && ev.isBegin())
                 st.op_counts[tl.core][static_cast<std::size_t>(ev.op())] += 1;
+        }
+    }
+
+    // Gap-spanning intervals per core.
+    for (std::size_t core = 0; core < ivs.per_core.size(); ++core) {
+        if (core >= st.loss.size())
+            break;
+        for (const Interval& iv : ivs.per_core[core]) {
+            if (iv.gap)
+                st.loss[core].gap_intervals += 1;
         }
     }
 

@@ -103,6 +103,26 @@ struct FlushStats
     std::uint64_t flush_wait_cycles = 0;
 };
 
+/** Event-loss accounting for one core, from drop-marker records.
+ *  dropped_events sums the markers' gap counts, which the tracer keeps
+ *  exact — so lossPct() is the true fraction of this core's events
+ *  that never made it into the trace. */
+struct CoreLoss
+{
+    std::uint64_t recorded_events = 0; ///< API-event records present
+    std::uint64_t dropped_events = 0;  ///< Σ drop-marker gap counts
+    std::uint64_t drop_markers = 0;    ///< kDropRecord count
+    std::uint64_t gap_intervals = 0;   ///< intervals spanning a gap
+
+    std::uint64_t emitted() const { return recorded_events + dropped_events; }
+    double lossPct() const
+    {
+        return emitted() ? 100.0 * static_cast<double>(dropped_events) /
+                               static_cast<double>(emitted())
+                         : 0.0;
+    }
+};
+
 /** One DMA command matched to its observed completion. */
 struct DmaTransfer
 {
@@ -134,6 +154,7 @@ struct TraceStats
     std::vector<SpuBreakdown> spu;      ///< indexed by SPE
     std::vector<DmaStats> dma;          ///< indexed by SPE
     std::vector<FlushStats> flush;      ///< indexed by SPE
+    std::vector<CoreLoss> loss;         ///< indexed by core (0 = PPE)
     /** Event counts: [core][op]. */
     std::vector<std::array<std::uint64_t, rt::kNumApiOps>> op_counts;
     std::uint64_t ppe_call_tb = 0;      ///< PPE time inside runtime calls
@@ -149,6 +170,16 @@ struct TraceStats
 
     /** max/mean busy-time ratio across SPEs that ran (1.0 == balanced). */
     double loadImbalance() const;
+
+    /** True if any core lost events (a drop marker is present). */
+    bool anyLoss() const
+    {
+        for (const CoreLoss& l : loss) {
+            if (l.dropped_events > 0 || l.drop_markers > 0)
+                return true;
+        }
+        return false;
+    }
 };
 
 } // namespace cell::ta

@@ -37,6 +37,13 @@ enum ToolRecordKind : std::uint8_t
     kSyncRecord = 200,
     /** Buffer flush marker: a = records flushed, b = flush cycles. */
     kFlushRecord = 201,
+    /**
+     * Drop marker: events were lost before this point (arena overflow
+     * or an overwritten flight-recorder window). a = events dropped in
+     * the gap ending here, b = cumulative events dropped on this core.
+     * The analyzer flags intervals spanning one as unreliable.
+     */
+    kDropRecord = 202,
 };
 
 /** Phase values (match rt::ApiPhase). */

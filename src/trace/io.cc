@@ -48,10 +48,15 @@ class BufReader
 
     void read(void* dst, std::size_t n)
     {
-        if (n > remaining())
-            throw std::runtime_error("trace::read: truncated input");
+        if (n > remaining()) {
+            throw std::runtime_error(
+                "trace::read: truncated input at byte " +
+                std::to_string(consumed_) + " (need " + std::to_string(n) +
+                " bytes, " + std::to_string(remaining()) + " left)");
+        }
         std::memcpy(dst, p_, n);
         p_ += n;
+        consumed_ += n;
     }
 
     /** Exact; an in-memory buffer always knows its size. */
@@ -60,10 +65,12 @@ class BufReader
     {
         return static_cast<std::uint64_t>(end_ - p_);
     }
+    std::uint64_t consumed() const { return consumed_; }
 
   private:
     const std::uint8_t* p_;
     const std::uint8_t* end_;
+    std::uint64_t consumed_ = 0;
 };
 
 /** Sequential reader over an istream; remaining() needs seekability. */
@@ -91,19 +98,27 @@ class StreamReader
     {
         is_.read(reinterpret_cast<char*>(dst),
                  static_cast<std::streamsize>(n));
-        if (!is_ || static_cast<std::size_t>(is_.gcount()) != n)
-            throw std::runtime_error("trace::read: truncated input");
+        const auto got = static_cast<std::size_t>(is_.gcount());
+        if (!is_ || got != n) {
+            throw std::runtime_error(
+                "trace::read: truncated input at byte " +
+                std::to_string(consumed_ + got) + " (need " +
+                std::to_string(n - got) + " more bytes)");
+        }
+        consumed_ += n;
         if (knows_remaining_)
             remaining_ -= n;
     }
 
     bool knowsRemaining() const { return knows_remaining_; }
     std::uint64_t remaining() const { return remaining_; }
+    std::uint64_t consumed() const { return consumed_; }
 
   private:
     std::istream& is_;
     bool knows_remaining_ = false;
     std::uint64_t remaining_ = 0;
+    std::uint64_t consumed_ = 0;
 };
 
 /** Shared parse over any sequential reader. */
@@ -118,14 +133,26 @@ readImpl(Reader& in)
     if (trace.header.version != kFormatVersion)
         throw std::runtime_error("trace::read: unsupported format version");
 
+    std::uint32_t name_index = 0;
     trace.spe_programs.resize(trace.header.num_spes);
     for (auto& name : trace.spe_programs) {
         std::uint32_t len = 0;
-        in.read(&len, sizeof(len));
-        if (len > (1u << 20))
-            throw std::runtime_error("trace::read: implausible name length");
-        name.resize(len);
-        in.read(name.data(), len);
+        try {
+            in.read(&len, sizeof(len));
+            if (len > (1u << 20))
+                throw std::runtime_error(
+                    "trace::read: implausible name length " +
+                    std::to_string(len));
+            name.resize(len);
+            in.read(name.data(), len);
+        } catch (const std::runtime_error& e) {
+            throw std::runtime_error(std::string(e.what()) +
+                                     " (in name table entry " +
+                                     std::to_string(name_index) + " of " +
+                                     std::to_string(trace.header.num_spes) +
+                                     ")");
+        }
+        ++name_index;
     }
 
     // The record count is untrusted input. When the reader knows how
@@ -138,11 +165,15 @@ readImpl(Reader& in)
     if (count > std::numeric_limits<std::size_t>::max() / sizeof(Record))
         throw std::runtime_error("trace::read: record count overflows");
     if (in.knowsRemaining()) {
-        if (count * sizeof(Record) > in.remaining())
+        if (count * sizeof(Record) > in.remaining()) {
             throw std::runtime_error(
-                "trace::read: record count exceeds remaining input (" +
-                std::to_string(count) + " records, " +
-                std::to_string(in.remaining()) + " bytes left)");
+                "trace::read: truncated input: header claims " +
+                std::to_string(count) + " records but only " +
+                std::to_string(in.remaining() / sizeof(Record)) +
+                " complete records (" + std::to_string(in.remaining()) +
+                " bytes) remain after byte " + std::to_string(in.consumed()) +
+                "; --salvage recovers the parsable prefix");
+        }
         trace.records.resize(static_cast<std::size_t>(count));
         if (count > 0)
             in.read(trace.records.data(),
@@ -158,10 +189,146 @@ readImpl(Reader& in)
         const auto n = static_cast<std::size_t>(
             std::min<std::uint64_t>(remaining, kChunk));
         chunk.resize(n);
-        in.read(chunk.data(), n * sizeof(Record));
+        try {
+            in.read(chunk.data(), n * sizeof(Record));
+        } catch (const std::runtime_error& e) {
+            throw std::runtime_error(
+                std::string(e.what()) + " (after record " +
+                std::to_string(trace.records.size()) + " of " +
+                std::to_string(count) + ")");
+        }
         trace.records.insert(trace.records.end(), chunk.begin(), chunk.end());
         remaining -= n;
     }
+    return trace;
+}
+
+/** Append one problem note, capping the list so a trace with thousands
+ *  of corrupt records cannot balloon the report. */
+void
+note(ReadReport& rep, std::string text)
+{
+    constexpr std::size_t kMaxNotes = 16;
+    rep.salvaged = true;
+    if (rep.notes.size() < kMaxNotes)
+        rep.notes.push_back(std::move(text));
+    else if (rep.notes.size() == kMaxNotes)
+        rep.notes.push_back("... further problems elided");
+}
+
+/** Keep the plausible subset of @p raw, reporting everything skipped. */
+void
+filterRecords(const std::vector<Record>& raw, TraceData& trace,
+              ReadReport& rep)
+{
+    trace.records.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const Record& r = raw[i];
+        if (plausibleRecord(r, trace.header.num_spes)) {
+            trace.records.push_back(r);
+            continue;
+        }
+        rep.records_skipped += 1;
+        rep.bytes_dropped += sizeof(Record);
+        note(rep, "record " + std::to_string(i) + ": implausible fields "
+                  "(kind=" + std::to_string(r.kind) +
+                  " phase=" + std::to_string(r.phase) +
+                  " core=" + std::to_string(r.core) + "), skipped");
+    }
+    rep.records_read = trace.records.size();
+}
+
+/**
+ * Salvage parse: never throws past the header. Reads whatever prefix
+ * is structurally sound, resynchronizes on the 32-byte record stride
+ * past corrupt records, and reports every skip.
+ */
+template <typename Reader>
+TraceData
+readSalvageImpl(Reader& in, ReadReport& rep)
+{
+    rep = ReadReport{};
+    TraceData trace;
+    in.read(&trace.header, sizeof(Header)); // unrecoverable if absent
+    if (trace.header.magic != kMagic)
+        throw std::runtime_error("trace::read: bad magic (not a PDT trace)");
+    if (trace.header.version != kFormatVersion)
+        throw std::runtime_error("trace::read: unsupported format version");
+
+    rep.records_expected = trace.header.record_count;
+
+    // Name table. An implausible SPE count or a truncated name means
+    // everything after it is unaligned guesswork; salvage what parses
+    // and treat the rest of the file as the record region.
+    constexpr std::uint32_t kMaxSpes = 1024;
+    std::uint32_t num_spes = trace.header.num_spes;
+    if (num_spes > kMaxSpes) {
+        note(rep, "implausible SPE count " + std::to_string(num_spes) +
+                  ", clamped to 0 (names unrecoverable)");
+        num_spes = 0;
+        trace.header.num_spes = kMaxSpes; // plausibility bound for cores
+    }
+    trace.spe_programs.resize(num_spes);
+    for (std::uint32_t i = 0; i < num_spes; ++i) {
+        try {
+            std::uint32_t len = 0;
+            in.read(&len, sizeof(len));
+            if (len > (1u << 20)) {
+                note(rep, "name table entry " + std::to_string(i) +
+                          ": implausible length " + std::to_string(len) +
+                          ", name table abandoned");
+                break;
+            }
+            trace.spe_programs[i].resize(len);
+            in.read(trace.spe_programs[i].data(), len);
+        } catch (const std::runtime_error& e) {
+            note(rep, std::string("name table entry ") + std::to_string(i) +
+                      ": " + e.what());
+            return trace; // file ended inside the name table
+        }
+    }
+
+    // Records: read every complete 32-byte record present, regardless
+    // of what the (untrusted) header count says, then filter.
+    std::vector<Record> raw;
+    if (in.knowsRemaining()) {
+        const std::uint64_t avail = in.remaining() / sizeof(Record);
+        const std::uint64_t tail = in.remaining() % sizeof(Record);
+        if (rep.records_expected > avail) {
+            note(rep, "header claims " +
+                      std::to_string(rep.records_expected) +
+                      " records, only " + std::to_string(avail) +
+                      " complete records present; reading those");
+        }
+        const std::uint64_t n =
+            std::min<std::uint64_t>(rep.records_expected, avail);
+        raw.resize(static_cast<std::size_t>(n));
+        if (n > 0)
+            in.read(raw.data(), static_cast<std::size_t>(n) * sizeof(Record));
+        if (tail > 0 && rep.records_expected > avail) {
+            rep.bytes_dropped += tail;
+            note(rep, "partial trailing record (" + std::to_string(tail) +
+                      " bytes) dropped");
+        }
+    } else {
+        // Non-seekable stream: read record-by-record until the claimed
+        // count is reached or the stream runs dry.
+        raw.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(rep.records_expected, 4096)));
+        for (std::uint64_t i = 0; i < rep.records_expected; ++i) {
+            Record r;
+            try {
+                in.read(&r, sizeof(r));
+            } catch (const std::runtime_error&) {
+                note(rep, "stream ended after record " + std::to_string(i) +
+                          " of " + std::to_string(rep.records_expected));
+                break;
+            }
+            raw.push_back(r);
+        }
+    }
+    filterRecords(raw, trace, rep);
+    trace.header.record_count = trace.records.size();
     return trace;
 }
 
@@ -222,6 +389,35 @@ writeBuffer(const TraceData& trace)
     return out;
 }
 
+std::string
+ReadReport::summary() const
+{
+    std::string s = salvaged ? "salvaged " : "read ";
+    s += std::to_string(records_read) + "/" +
+         std::to_string(records_expected) + " records";
+    if (records_skipped > 0)
+        s += ", skipped " + std::to_string(records_skipped) + " corrupt";
+    if (bytes_dropped > 0)
+        s += ", dropped " + std::to_string(bytes_dropped) + " bytes";
+    if (!notes.empty())
+        s += " (" + std::to_string(notes.size()) + " notes)";
+    return s;
+}
+
+bool
+plausibleRecord(const Record& rec, std::uint32_t num_spes)
+{
+    // API records use a small dense kind space; tool records sit at
+    // 200..202. Anything else is damage (a bit flip has a ~3/4 chance
+    // of leaving the kind byte outside both ranges).
+    constexpr std::uint8_t kMaxApiKind = 64;
+    const bool kind_ok = rec.kind < kMaxApiKind ||
+                         (rec.kind >= kSyncRecord && rec.kind <= kDropRecord);
+    const bool phase_ok = rec.phase <= kPhaseEnd;
+    const bool core_ok = rec.core <= num_spes; // 0 = PPE, 1+i = SPE i
+    return kind_ok && phase_ok && core_ok;
+}
+
 TraceData
 read(std::istream& is)
 {
@@ -243,6 +439,29 @@ readBuffer(const std::vector<std::uint8_t>& buf)
 {
     BufReader in(buf.data(), buf.size());
     return readImpl(in);
+}
+
+TraceData
+readSalvage(std::istream& is, ReadReport& report)
+{
+    StreamReader in(is);
+    return readSalvageImpl(in, report);
+}
+
+TraceData
+readFileSalvage(const std::string& path, ReadReport& report)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("trace::readFileSalvage: cannot open " + path);
+    return readSalvage(is, report);
+}
+
+TraceData
+readBufferSalvage(const std::vector<std::uint8_t>& buf, ReadReport& report)
+{
+    BufReader in(buf.data(), buf.size());
+    return readSalvageImpl(in, report);
 }
 
 } // namespace cell::trace

@@ -1,20 +1,60 @@
 /**
  * @file
  * Trace deserialization.
+ *
+ * Two modes:
+ *
+ *  - Strict (read/readFile/readBuffer): any structural damage —
+ *    bad magic, version mismatch, truncation, an impossible record
+ *    count — throws std::runtime_error with the byte offset and record
+ *    index where parsing stopped. Use when the trace must be whole.
+ *
+ *  - Salvage (readSalvage/readFileSalvage/readBufferSalvage): recover
+ *    everything recoverable from a damaged trace. The undamaged prefix
+ *    always survives; after damage the reader resynchronizes on the
+ *    fixed 32-byte record stride, skipping records whose fields are
+ *    implausible, clamping an oversized header count to the bytes
+ *    actually present, and dropping a partial trailing record. What
+ *    was skipped is reported in a ReadReport so tools and the analyzer
+ *    can tell the user exactly what is missing. Only a damaged
+ *    header (bad magic / unknown version) is unrecoverable.
  */
 
 #ifndef CELL_TRACE_READER_H
 #define CELL_TRACE_READER_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/format.h"
 
 namespace cell::trace {
 
+/** What salvage recovered and what it had to give up. */
+struct ReadReport
+{
+    /** True if any damage was detected (and worked around). */
+    bool salvaged = false;
+    /** Records the header claimed. */
+    std::uint64_t records_expected = 0;
+    /** Records recovered into TraceData::records. */
+    std::uint64_t records_read = 0;
+    /** Complete 32-byte records skipped as implausible (corrupt). */
+    std::uint64_t records_skipped = 0;
+    /** Bytes discarded: skipped records plus any partial tail. */
+    std::uint64_t bytes_dropped = 0;
+    /** Human-readable diagnostics, one per problem found. */
+    std::vector<std::string> notes;
+
+    /** One-line summary ("salvaged 57/61 records, skipped 3, ..."). */
+    std::string summary() const;
+};
+
 /** Parse a trace from a binary stream. @throws std::runtime_error on
- *  bad magic, version mismatch, or truncation. */
+ *  bad magic, version mismatch, or truncation; the message carries the
+ *  byte offset and record index where parsing failed. */
 TraceData read(std::istream& is);
 
 /** Parse a trace from @p path. */
@@ -22,6 +62,23 @@ TraceData readFile(const std::string& path);
 
 /** Parse from an in-memory byte buffer. */
 TraceData readBuffer(const std::vector<std::uint8_t>& buf);
+
+/** @name Salvage mode
+ *  Recover the parsable subset of a damaged trace. @p report is
+ *  cleared and filled with what happened. Throws only when the header
+ *  itself is unusable (bad magic or unsupported version).
+ */
+///@{
+TraceData readSalvage(std::istream& is, ReadReport& report);
+TraceData readFileSalvage(const std::string& path, ReadReport& report);
+TraceData readBufferSalvage(const std::vector<std::uint8_t>& buf,
+                            ReadReport& report);
+///@}
+
+/** Salvage-mode record filter: false if a record's fields are outside
+ *  any plausible encoding (kind/phase/core range checks). Exposed for
+ *  the analyzer and tests. */
+bool plausibleRecord(const Record& rec, std::uint32_t num_spes);
 
 } // namespace cell::trace
 

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Overflow-policy tests: every OverflowPolicy under arena pressure,
+ * exact drop accounting (in-trace drop markers sum to the dropped
+ * counter), and recovery from fault-injected transient exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdt/tracer.h"
+#include "ta/model.h"
+
+namespace cell::pdt {
+namespace {
+
+using rt::CellSystem;
+using rt::CoTask;
+using rt::SpuEnv;
+using rt::SpuProgramImage;
+
+CoTask<void>
+emitUserEvents(SpuEnv& env)
+{
+    for (std::uint32_t i = 0; i < 100; ++i)
+        co_await env.userEvent(i, i * 10);
+}
+
+struct TracedRun
+{
+    trace::TraceData data;
+    PdtStats stats;
+    bool accounting_ok = false;
+};
+
+/** Run a one-SPE program under @p cfg on a machine with @p mcfg. */
+TracedRun
+runTraced(PdtConfig cfg, sim::MachineConfig mcfg = {})
+{
+    CellSystem sys(mcfg);
+    Pdt tracer(sys, cfg);
+    sys.runPpe([&](rt::PpeEnv&) -> CoTask<void> {
+        SpuProgramImage img;
+        img.name = "overflow";
+        img.main = emitUserEvents;
+        co_await sys.context(0).start(img);
+        co_await sys.context(0).join();
+    });
+    sys.run();
+    TracedRun out;
+    out.data = tracer.finalize();
+    out.stats = tracer.stats();
+    out.accounting_ok = tracer.dropAccountingConsistent(0);
+    return out;
+}
+
+/** Sum of drop-marker gap counts (record.a) for one core. */
+std::uint64_t
+sumDropMarkers(const trace::TraceData& data, std::uint16_t core)
+{
+    std::uint64_t sum = 0;
+    for (const auto& rec : data.records) {
+        if (rec.core == core && rec.kind == trace::kDropRecord)
+            sum += rec.a;
+    }
+    return sum;
+}
+
+/** The tiny-arena config that forces overflow for every policy. */
+PdtConfig
+tinyArena(OverflowPolicy policy)
+{
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256;     // 8 records per half
+    cfg.arena_bytes_per_spe = 512;  // 2 flushed halves max
+    cfg.overflow_policy = policy;
+    return cfg;
+}
+
+TEST(Overflow, StopPolicyMarkersCoverEveryDrop)
+{
+    const TracedRun r = runTraced(tinyArena(OverflowPolicy::Stop));
+    EXPECT_TRUE(r.stats.spu[0].overflowed);
+    EXPECT_GT(r.stats.spu[0].dropped, 0u);
+    EXPECT_GT(r.stats.spu[0].failed_flushes, 0u);
+    EXPECT_TRUE(r.accounting_ok);
+    // Exactness: the drop markers in the final trace account for every
+    // single lost event.
+    EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped);
+    EXPECT_NO_THROW(ta::TraceModel::build(r.data));
+}
+
+TEST(Overflow, DropWithMarkerKeepsTracing)
+{
+    const TracedRun r = runTraced(tinyArena(OverflowPolicy::DropWithMarker));
+    // Unlike Stop, the tracer keeps going: it never flips overflowed.
+    EXPECT_FALSE(r.stats.spu[0].overflowed);
+    EXPECT_GT(r.stats.spu[0].dropped, 0u);
+    EXPECT_TRUE(r.accounting_ok);
+    EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped);
+    EXPECT_NO_THROW(ta::TraceModel::build(r.data));
+}
+
+TEST(Overflow, WrapOldestKeepsMostRecentWindowWithExactMarkers)
+{
+    const TracedRun r = runTraced(tinyArena(OverflowPolicy::WrapOldest));
+    EXPECT_FALSE(r.stats.spu[0].overflowed);
+    EXPECT_GT(r.stats.spu[0].dropped, 0u);
+    EXPECT_TRUE(r.accounting_ok);
+    EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped);
+
+    // The surviving user events are the most recent, in order.
+    std::vector<std::uint64_t> ids;
+    for (const auto& rec : r.data.records) {
+        if (rec.kind == static_cast<std::uint8_t>(rt::ApiOp::SpuUserEvent))
+            ids.push_back(rec.a);
+    }
+    ASSERT_FALSE(ids.empty());
+    EXPECT_EQ(ids.back(), 99u);
+    for (std::size_t i = 1; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], ids[i - 1] + 1);
+    EXPECT_NO_THROW(ta::TraceModel::build(r.data));
+}
+
+TEST(Overflow, LegacyWrapArenaFlagStillWraps)
+{
+    PdtConfig cfg = tinyArena(OverflowPolicy::Stop);
+    cfg.wrap_arena = true;
+    EXPECT_EQ(cfg.effectivePolicy(), OverflowPolicy::WrapOldest);
+    const TracedRun r = runTraced(cfg);
+    EXPECT_FALSE(r.stats.spu[0].overflowed);
+    EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped);
+}
+
+TEST(Overflow, BlockAndFlushSurvivesTransientExhaustion)
+{
+    // Fault injection: flush attempts 1 and 2 see a full arena; the
+    // block policy waits them out, so nothing is lost.
+    sim::MachineConfig mcfg;
+    mcfg.faults.arena_exhaust_begin = 1;
+    mcfg.faults.arena_exhaust_end = 3;
+
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256;
+    cfg.overflow_policy = OverflowPolicy::BlockAndFlush;
+    cfg.block_max_retries = 4;
+    cfg.block_backoff_cycles = 500;
+
+    const TracedRun r = runTraced(cfg, mcfg);
+    EXPECT_EQ(r.stats.spu[0].dropped, 0u);
+    EXPECT_GT(r.stats.spu[0].block_retries, 0u);
+    EXPECT_GT(r.stats.spu[0].flush_wait_cycles, 0u);
+    EXPECT_TRUE(r.accounting_ok);
+    EXPECT_EQ(sumDropMarkers(r.data, 1), 0u);
+
+    // All 100 user events made it.
+    std::uint64_t n = 0;
+    for (const auto& rec : r.data.records) {
+        if (rec.kind == static_cast<std::uint8_t>(rt::ApiOp::SpuUserEvent))
+            ++n;
+    }
+    EXPECT_EQ(n, 100u);
+}
+
+TEST(Overflow, DropPolicyLosesWhatBlockSavesUnderSameFaults)
+{
+    sim::MachineConfig mcfg;
+    mcfg.faults.arena_exhaust_begin = 1;
+    mcfg.faults.arena_exhaust_end = 3;
+
+    PdtConfig cfg;
+    cfg.spu_buffer_bytes = 256;
+    cfg.overflow_policy = OverflowPolicy::DropWithMarker;
+
+    const TracedRun r = runTraced(cfg, mcfg);
+    EXPECT_GT(r.stats.spu[0].dropped, 0u);
+    EXPECT_TRUE(r.accounting_ok);
+    EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped);
+}
+
+TEST(Overflow, BlockFallsBackToDroppingWhenArenaStaysFull)
+{
+    // A genuinely full (tiny) arena never frees: block must exhaust
+    // its retries and then shed the half rather than hang.
+    PdtConfig cfg = tinyArena(OverflowPolicy::BlockAndFlush);
+    cfg.block_max_retries = 2;
+    cfg.block_backoff_cycles = 100;
+    const TracedRun r = runTraced(cfg);
+    EXPECT_GT(r.stats.spu[0].dropped, 0u);
+    EXPECT_GT(r.stats.spu[0].block_retries, 0u);
+    EXPECT_GT(r.stats.spu[0].failed_flushes, 0u);
+    EXPECT_TRUE(r.accounting_ok);
+    EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped);
+}
+
+TEST(Overflow, EveryPolicyYieldsAnalyzableTraceWithExactAccounting)
+{
+    for (const OverflowPolicy policy :
+         {OverflowPolicy::Stop, OverflowPolicy::DropWithMarker,
+          OverflowPolicy::BlockAndFlush, OverflowPolicy::WrapOldest}) {
+        PdtConfig cfg = tinyArena(policy);
+        cfg.block_max_retries = 2;
+        const TracedRun r = runTraced(cfg);
+        EXPECT_TRUE(r.accounting_ok) << overflowPolicyName(policy);
+        EXPECT_EQ(sumDropMarkers(r.data, 1), r.stats.spu[0].dropped)
+            << overflowPolicyName(policy);
+        EXPECT_NO_THROW(ta::TraceModel::build(r.data))
+            << overflowPolicyName(policy);
+    }
+}
+
+TEST(Overflow, ConfigParsesPolicies)
+{
+    EXPECT_EQ(PdtConfig::parse("overflow=stop").overflow_policy,
+              OverflowPolicy::Stop);
+    EXPECT_EQ(PdtConfig::parse("overflow=drop").overflow_policy,
+              OverflowPolicy::DropWithMarker);
+    const PdtConfig blk = PdtConfig::parse("overflow=block\n"
+                                           "block_retries=3\n"
+                                           "block_backoff=750\n");
+    EXPECT_EQ(blk.overflow_policy, OverflowPolicy::BlockAndFlush);
+    EXPECT_EQ(blk.block_max_retries, 3u);
+    EXPECT_EQ(blk.block_backoff_cycles, 750u);
+    EXPECT_EQ(PdtConfig::parse("overflow=wrap").overflow_policy,
+              OverflowPolicy::WrapOldest);
+    EXPECT_THROW(PdtConfig::parse("overflow=bogus"), std::invalid_argument);
+    EXPECT_THROW(PdtConfig::parse("overflow=block\nblock_retries=0"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cell::pdt

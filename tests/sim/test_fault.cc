@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Fault-injection tests: plan parsing/validation, determinism of the
+ * counter-based draw streams, per-actor independence, rate behaviour,
+ * and the arena-exhaustion window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault.h"
+
+namespace cell::sim {
+namespace {
+
+TEST(FaultPlan, DefaultIsDisabled)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, ValidateRejectsBadRates)
+{
+    FaultPlan plan;
+    plan.dma_delay_permille = 1001;
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+    plan = FaultPlan{};
+    plan.arena_exhaust_begin = 5;
+    plan.arena_exhaust_end = 3;
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ParsesKeyValueText)
+{
+    const FaultPlan plan = FaultPlan::parse("seed=42\n"
+                                            "dma_delay_permille=25 # comment\n"
+                                            "dma_delay_cycles=5000\n"
+                                            "mbox_stall_permille=10\n"
+                                            "arena_exhaust_begin=4\n"
+                                            "arena_exhaust_end=8\n");
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_EQ(plan.dma_delay_permille, 25u);
+    EXPECT_EQ(plan.dma_delay_cycles, 5000u);
+    EXPECT_EQ(plan.mbox_stall_permille, 10u);
+    EXPECT_EQ(plan.arena_exhaust_begin, 4u);
+    EXPECT_EQ(plan.arena_exhaust_end, 8u);
+    EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, ParseRejectsUnknownKeysAndBadValues)
+{
+    EXPECT_THROW(FaultPlan::parse("bogus_key=1"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("dma_delay_permille=2000"),
+                 std::invalid_argument);
+}
+
+TEST(FaultInjector, InertByDefault)
+{
+    FaultInjector inj;
+    EXPECT_FALSE(inj.enabled());
+    for (std::uint32_t actor = 0; actor < 4; ++actor) {
+        EXPECT_EQ(inj.delayAt(FaultSite::MfcDma, actor), 0);
+        EXPECT_EQ(inj.delayAt(FaultSite::Mailbox, actor), 0);
+    }
+    EXPECT_FALSE(inj.arenaExhausted(0, 0));
+    EXPECT_EQ(inj.stats().totalInjected(), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameDrawSequence)
+{
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.dma_delay_permille = 300;
+    FaultInjector a(plan);
+    FaultInjector b(plan);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.delayAt(FaultSite::MfcDma, 3),
+                  b.delayAt(FaultSite::MfcDma, 3));
+    }
+    EXPECT_EQ(a.stats().injected, b.stats().injected);
+    EXPECT_EQ(a.stats().injected_cycles, b.stats().injected_cycles);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultPlan pa, pb;
+    pa.seed = 1;
+    pb.seed = 2;
+    pa.dma_delay_permille = pb.dma_delay_permille = 500;
+    FaultInjector a(pa);
+    FaultInjector b(pb);
+    bool differed = false;
+    for (int i = 0; i < 200 && !differed; ++i) {
+        differed = a.delayAt(FaultSite::MfcDma, 0) !=
+                   b.delayAt(FaultSite::MfcDma, 0);
+    }
+    EXPECT_TRUE(differed);
+}
+
+TEST(FaultInjector, ActorStreamsAreIndependentOfInterleaving)
+{
+    // Drawing for actor 0 and actor 1 in different global orders must
+    // yield the same per-actor sequences — injection cannot depend on
+    // cross-core interleaving.
+    FaultPlan plan;
+    plan.seed = 9;
+    plan.mbox_stall_permille = 400;
+
+    FaultInjector x(plan);
+    std::vector<TickDelta> x0, x1;
+    for (int i = 0; i < 100; ++i) {
+        x0.push_back(x.delayAt(FaultSite::Mailbox, 0));
+        x1.push_back(x.delayAt(FaultSite::Mailbox, 1));
+    }
+
+    FaultInjector y(plan);
+    std::vector<TickDelta> y1, y0;
+    for (int i = 0; i < 100; ++i) // all of actor 1 first
+        y1.push_back(y.delayAt(FaultSite::Mailbox, 1));
+    for (int i = 0; i < 100; ++i)
+        y0.push_back(y.delayAt(FaultSite::Mailbox, 0));
+
+    EXPECT_EQ(x0, y0);
+    EXPECT_EQ(x1, y1);
+}
+
+TEST(FaultInjector, SiteStreamsAreIndependent)
+{
+    // Adding draws on one site must not change another site's stream.
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.dma_delay_permille = 500;
+    plan.mbox_stall_permille = 500;
+
+    FaultInjector a(plan);
+    std::vector<TickDelta> dma_a;
+    for (int i = 0; i < 50; ++i)
+        dma_a.push_back(a.delayAt(FaultSite::MfcDma, 0));
+
+    FaultInjector b(plan);
+    std::vector<TickDelta> dma_b;
+    for (int i = 0; i < 50; ++i) {
+        (void)b.delayAt(FaultSite::Mailbox, 0); // interleaved other site
+        dma_b.push_back(b.delayAt(FaultSite::MfcDma, 0));
+    }
+    EXPECT_EQ(dma_a, dma_b);
+}
+
+TEST(FaultInjector, RateEndpointsBehave)
+{
+    FaultPlan plan;
+    plan.dma_delay_permille = 1000; // always
+    plan.dma_delay_cycles = 123;
+    plan.mbox_stall_permille = 0; // never (but another site enables)
+    FaultInjector inj(plan);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(inj.delayAt(FaultSite::MfcDma, 0), 123);
+        EXPECT_EQ(inj.delayAt(FaultSite::Mailbox, 0), 0);
+    }
+    const auto& st = inj.stats();
+    EXPECT_EQ(st.injected[static_cast<std::size_t>(FaultSite::MfcDma)], 100u);
+    EXPECT_EQ(st.injected[static_cast<std::size_t>(FaultSite::Mailbox)], 0u);
+    EXPECT_EQ(st.injected_cycles, 100u * 123u);
+}
+
+TEST(FaultInjector, RateIsApproximatelyHonoured)
+{
+    FaultPlan plan;
+    plan.seed = 13;
+    plan.dma_delay_permille = 250; // 25%
+    FaultInjector inj(plan);
+    int fired = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        fired += inj.delayAt(FaultSite::MfcDma, 0) > 0 ? 1 : 0;
+    // 25% +/- 5 points is a ~7-sigma band; failure means a broken PRNG.
+    EXPECT_GT(fired, n / 5);
+    EXPECT_LT(fired, n * 3 / 10);
+}
+
+TEST(FaultInjector, PpeActorHasItsOwnStream)
+{
+    FaultPlan plan;
+    plan.seed = 17;
+    plan.mbox_stall_permille = 500;
+    FaultInjector inj(plan);
+    std::vector<TickDelta> ppe, spe0;
+    for (int i = 0; i < 100; ++i) {
+        ppe.push_back(inj.delayAt(FaultSite::Mailbox,
+                                  FaultInjector::kPpeActor));
+        spe0.push_back(inj.delayAt(FaultSite::Mailbox, 0));
+    }
+    EXPECT_NE(ppe, spe0);
+}
+
+TEST(FaultInjector, ArenaExhaustionWindowIsHalfOpen)
+{
+    FaultPlan plan;
+    plan.arena_exhaust_begin = 2;
+    plan.arena_exhaust_end = 4;
+    FaultInjector inj(plan);
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_FALSE(inj.arenaExhausted(0, 0));
+    EXPECT_FALSE(inj.arenaExhausted(0, 1));
+    EXPECT_TRUE(inj.arenaExhausted(0, 2));
+    EXPECT_TRUE(inj.arenaExhausted(0, 3));
+    EXPECT_FALSE(inj.arenaExhausted(0, 4));
+    // Per-SPE: the window applies to every SPE's attempt counter.
+    EXPECT_TRUE(inj.arenaExhausted(5, 2));
+}
+
+} // namespace
+} // namespace cell::sim

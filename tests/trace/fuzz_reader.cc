@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fuzz target for the trace reader.
+ *
+ * Property under test: for arbitrary input bytes, the strict reader
+ * either returns or throws std::runtime_error (never crashes, never
+ * allocates unboundedly), and the salvage reader additionally never
+ * throws once a valid header is present; whatever either returns must
+ * survive lenient trace-model construction.
+ *
+ * Two build modes:
+ *  - With -DCELL_FUZZ=ON (requires clang's libFuzzer), this compiles
+ *    to a real fuzzer via LLVMFuzzerTestOneInput.
+ *  - By default (FUZZ_CORPUS_MAIN) it gets a plain main() that replays
+ *    every file/directory passed on the command line — so the
+ *    committed corpus runs as a regression test under any compiler.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ta/model.h"
+#include "trace/reader.h"
+
+namespace {
+
+void
+oneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::vector<std::uint8_t> buf(data, data + size);
+
+    try {
+        const cell::trace::TraceData strict = cell::trace::readBuffer(buf);
+        cell::ta::TraceModel::build(strict, /*lenient=*/true);
+    } catch (const std::runtime_error&) {
+        // Structural damage: the documented failure mode.
+    }
+
+    try {
+        cell::trace::ReadReport rep;
+        const cell::trace::TraceData got =
+            cell::trace::readBufferSalvage(buf, rep);
+        // Salvage may only throw on a damaged header (checked above by
+        // reaching this point at all); past it, everything recovered
+        // must be analyzable.
+        cell::ta::TraceModel::build(got, /*lenient=*/true);
+    } catch (const std::runtime_error&) {
+        // Bad magic / version / headerless input.
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    oneInput(data, size);
+    return 0;
+}
+
+#ifdef FUZZ_CORPUS_MAIN
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+int
+replayFile(const std::filesystem::path& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "fuzz_reader: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    oneInput(bytes.data(), bytes.size());
+    std::printf("fuzz_reader: %s (%zu bytes) ok\n", path.c_str(),
+                bytes.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: fuzz_reader <corpus file or dir>...\n");
+        return 2;
+    }
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path p(argv[i]);
+        if (std::filesystem::is_directory(p)) {
+            for (const auto& e :
+                 std::filesystem::recursive_directory_iterator(p)) {
+                if (e.is_regular_file())
+                    rc |= replayFile(e.path());
+            }
+        } else {
+            rc |= replayFile(p);
+        }
+    }
+    return rc;
+}
+
+#endif // FUZZ_CORPUS_MAIN

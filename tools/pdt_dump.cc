@@ -7,6 +7,11 @@
  * reconstructed global time in microseconds. The debugging companion
  * to the analyzer: when TA's view looks wrong, this shows what PDT
  * actually wrote.
+ *
+ * A damaged file fails with a diagnostic naming the byte offset and
+ * record index where parsing stopped (exit 1). `--salvage` instead
+ * prints everything recoverable — the parsable prefix plus whatever
+ * resynchronizes after the damage — and lists what was skipped.
  */
 
 #include <iomanip>
@@ -16,18 +21,34 @@
 #include "ta/model.h"
 #include "trace/reader.h"
 
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: pdt_dump [--resolved] [--salvage] <trace.pdt> [max]\n";
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     using namespace cell;
-    if (argc < 2) {
-        std::cerr << "usage: pdt_dump [--resolved] <trace.pdt> [max]\n";
-        return 2;
-    }
+    if (argc < 2)
+        return usage();
     int argi = 1;
     bool resolved = false;
-    if (std::string(argv[argi]) == "--resolved") {
-        resolved = true;
+    bool salvage = false;
+    while (argi < argc && argv[argi][0] == '-') {
+        const std::string flag = argv[argi];
+        if (flag == "--resolved")
+            resolved = true;
+        else if (flag == "--salvage")
+            salvage = true;
+        else
+            return usage();
         ++argi;
     }
     if (argi >= argc) {
@@ -40,7 +61,15 @@ main(int argc, char** argv)
         max = std::stoull(argv[argi]);
 
     try {
-        const trace::TraceData data = trace::readFile(path);
+        trace::ReadReport report;
+        const trace::TraceData data =
+            salvage ? trace::readFileSalvage(path, report)
+                    : trace::readFile(path);
+        if (salvage && report.salvaged) {
+            std::cerr << "pdt_dump: " << report.summary() << "\n";
+            for (const std::string& note : report.notes)
+                std::cerr << "pdt_dump:   " << note << "\n";
+        }
         std::cout << "# " << path << ": " << data.records.size()
                   << " records, " << data.header.num_spes << " SPEs, core "
                   << data.header.core_hz / 1'000'000 << " MHz, timebase /"
@@ -54,15 +83,24 @@ main(int argc, char** argv)
         // Optional resolved-time column.
         std::vector<double> times_us;
         if (resolved) {
-            const ta::TraceModel model = ta::TraceModel::build(data);
-            // Walk per-core cursors in stream order to align 1:1.
-            std::vector<std::size_t> cursor(model.cores().size(), 0);
-            times_us.reserve(data.records.size());
-            for (const trace::Record& rec : data.records) {
-                const auto& tl = model.cores()[rec.core];
-                times_us.push_back(
-                    model.tbToUs(tl.events[cursor[rec.core]++].time_tb -
-                                 model.startTb()));
+            const ta::TraceModel model = ta::TraceModel::build(data, salvage);
+            if (model.leniencySkipped() > 0) {
+                // Some records could not be placed on the clock, so
+                // the 1:1 stream-order alignment below would mispair.
+                std::cerr << "pdt_dump: " << model.leniencySkipped()
+                          << " records unplaceable (sync lost); raw "
+                             "timestamps only\n";
+                resolved = false;
+            } else {
+                // Walk per-core cursors in stream order to align 1:1.
+                std::vector<std::size_t> cursor(model.cores().size(), 0);
+                times_us.reserve(data.records.size());
+                for (const trace::Record& rec : data.records) {
+                    const auto& tl = model.cores()[rec.core];
+                    times_us.push_back(
+                        model.tbToUs(tl.events[cursor[rec.core]++].time_tb -
+                                     model.startTb()));
+                }
             }
         }
 
@@ -80,6 +118,8 @@ main(int argc, char** argv)
                 std::cout << "SYNC raw=" << rec.a << " tb=" << rec.b;
             } else if (rec.kind == trace::kFlushRecord) {
                 std::cout << "FLUSH records=" << rec.a << " wait=" << rec.b;
+            } else if (rec.kind == trace::kDropRecord) {
+                std::cout << "DROP gap=" << rec.a << " total=" << rec.b;
             } else {
                 std::cout << rt::apiOpName(static_cast<rt::ApiOp>(rec.kind))
                           << (rec.phase == trace::kPhaseBegin ? " BEGIN"

@@ -10,12 +10,17 @@
  *   ta dma        <trace.pdt>              DMA statistics
  *   ta events     <trace.pdt>              event counts
  *   ta tracing    <trace.pdt>              tracer self-observation
+ *   ta loss       <trace.pdt>              per-core event-loss report
  *   ta timeline   <trace.pdt> [width]      ASCII timeline
  *   ta svg        <trace.pdt> <out.svg>    SVG timeline
  *   ta csv        <trace.pdt> <out.csv>    per-SPE breakdown CSV
  *   ta intervals  <trace.pdt> <out.csv>    raw interval CSV
  *   ta compare    <a.pdt> <b.pdt>          A/B comparison
  *   ta all        <trace.pdt>              every textual view
+ *
+ * A damaged trace fails with a diagnostic naming where parsing stopped
+ * (exit 1). `ta --salvage <command> <trace.pdt>` analyzes whatever a
+ * salvage read recovers, reporting what was skipped on stderr.
  */
 
 #include <fstream>
@@ -34,11 +39,26 @@ int
 usage()
 {
     std::cerr
-        << "usage: ta <command> <trace.pdt> [args]\n"
-           "commands: summary breakdown dma events tracing timeline\n"
+        << "usage: ta [--salvage] <command> <trace.pdt> [args]\n"
+           "commands: summary breakdown dma events tracing loss timeline\n"
            "          activity"
            "          svg html csv intervals transfers compare all\n";
     return 2;
+}
+
+cell::ta::Analysis
+load(const std::string& path, bool salvage)
+{
+    if (!salvage)
+        return cell::ta::analyzeFile(path);
+    cell::trace::ReadReport report;
+    cell::ta::Analysis a = cell::ta::analyzeFileSalvage(path, report);
+    if (report.salvaged) {
+        std::cerr << "ta: " << report.summary() << "\n";
+        for (const std::string& note : report.notes)
+            std::cerr << "ta:   " << note << "\n";
+    }
+    return a;
 }
 
 } // namespace
@@ -47,22 +67,30 @@ int
 main(int argc, char** argv)
 {
     using namespace cell;
-    if (argc < 3)
+    int argi = 1;
+    bool salvage = false;
+    if (argi < argc && std::string(argv[argi]) == "--salvage") {
+        salvage = true;
+        ++argi;
+    }
+    if (argc - argi < 2)
         return usage();
-    const std::string cmd = argv[1];
-    const std::string path = argv[2];
+    const std::string cmd = argv[argi];
+    const std::string path = argv[argi + 1];
+    argv += argi - 1; // keep argv[3] == first extra arg below
+    argc -= argi - 1;
 
     try {
         if (cmd == "compare") {
             if (argc < 4)
                 return usage();
-            const ta::Analysis a = ta::analyzeFile(path);
-            const ta::Analysis b = ta::analyzeFile(argv[3]);
+            const ta::Analysis a = load(path, salvage);
+            const ta::Analysis b = load(argv[3], salvage);
             ta::printComparison(std::cout, a, b);
             return 0;
         }
 
-        const ta::Analysis a = ta::analyzeFile(path);
+        const ta::Analysis a = load(path, salvage);
         if (cmd == "summary") {
             ta::printSummary(std::cout, a);
         } else if (cmd == "breakdown") {
@@ -75,6 +103,8 @@ main(int argc, char** argv)
             ta::printEventCounts(std::cout, a);
         } else if (cmd == "tracing") {
             ta::printTracingReport(std::cout, a);
+        } else if (cmd == "loss") {
+            ta::printLossReport(std::cout, a);
         } else if (cmd == "timeline") {
             ta::TimelineOptions opt;
             if (argc > 3)
@@ -126,6 +156,8 @@ main(int argc, char** argv)
             ta::printEventCounts(std::cout, a);
             std::cout << "\n";
             ta::printTracingReport(std::cout, a);
+            std::cout << "\n";
+            ta::printLossReport(std::cout, a);
             std::cout << "\n"
                       << ta::renderAscii(a.model, a.intervals) << "\n";
             ta::printActivity(std::cout, a);
