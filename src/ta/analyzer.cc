@@ -7,6 +7,7 @@
 
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "trace/reader.h"
 
@@ -245,6 +246,34 @@ exportDmaTransfersCsv(std::ostream& os, const Analysis& a)
                << (t.observed ? 1 : 0) << "\n";
         }
     }
+}
+
+std::string
+fullReport(const Analysis& a)
+{
+    std::ostringstream os;
+    printSummary(os, a);
+    printStallBreakdown(os, a);
+    printDmaReport(os, a);
+    printDmaHistogram(os, a);
+    printEventCounts(os, a);
+    printTracingReport(os, a);
+    printLossReport(os, a);
+    exportBreakdownCsv(os, a);
+    exportIntervalsCsv(os, a);
+    exportDmaTransfersCsv(os, a);
+    return os.str();
+}
+
+std::uint64_t
+fnv1a64(const std::string& data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char ch : data) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ull;
+    }
+    return h;
 }
 
 void

@@ -73,6 +73,14 @@ void exportIntervalsCsv(std::ostream& os, const Analysis& a);
  *  (spe,op,ls,ea,size,tag,issue_us,latency_us,observed). */
 void exportDmaTransfersCsv(std::ostream& os, const Analysis& a);
 
+/** Every textual view and CSV export concatenated into one string —
+ *  the canonical byte-compare artifact for the serial-vs-parallel
+ *  differential tests and the committed golden-trace digests. */
+std::string fullReport(const Analysis& a);
+
+/** FNV-1a 64-bit hash (golden-trace report digests). */
+std::uint64_t fnv1a64(const std::string& data);
+
 } // namespace cell::ta
 
 #endif // CELL_TA_ANALYZER_H

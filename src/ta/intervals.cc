@@ -67,14 +67,11 @@ classifyOp(ApiOp op)
     }
 }
 
-IntervalSet
-IntervalSet::build(const TraceModel& model)
+std::vector<Interval>
+buildCoreIntervals(const CoreTimeline& tl)
 {
-    IntervalSet out;
-    out.per_core.resize(model.cores().size());
-
-    for (const CoreTimeline& tl : model.cores()) {
-        auto& dst = out.per_core[tl.core];
+    std::vector<Interval> dst;
+    {
         // One pending Begin per op (runtime calls are sequential per
         // core); plus the run interval from SpuStart.
         std::array<std::optional<Event>, rt::kNumApiOps> pending;
@@ -192,6 +189,16 @@ IntervalSet::build(const TraceModel& model)
                              return x.start_tb < y.start_tb;
                          });
     }
+    return dst;
+}
+
+IntervalSet
+IntervalSet::build(const TraceModel& model)
+{
+    IntervalSet out;
+    out.per_core.resize(model.cores().size());
+    for (const CoreTimeline& tl : model.cores())
+        out.per_core[tl.core] = buildCoreIntervals(tl);
     return out;
 }
 

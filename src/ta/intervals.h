@@ -58,6 +58,9 @@ struct Interval
     bool gap = false;
 
     std::uint64_t duration() const { return end_tb - start_tb; }
+
+    /** Field-wise equality (serial-vs-parallel differential tests). */
+    bool operator==(const Interval&) const = default;
 };
 
 /** Intervals extracted from one trace, grouped per core. */
@@ -78,6 +81,11 @@ struct IntervalSet
 
 /** Stall classification for one operation, or Other. */
 IntervalClass classifyOp(rt::ApiOp op);
+
+/** Extract one core's intervals, sorted by start time. Cores are
+ *  independent — IntervalSet::build calls this per core, and the
+ *  parallel analyzer runs the same function on all cores at once. */
+std::vector<Interval> buildCoreIntervals(const CoreTimeline& tl);
 
 } // namespace cell::ta
 

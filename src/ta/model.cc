@@ -34,6 +34,22 @@ rawDelta(bool is_spe, std::uint32_t sync_raw, std::uint32_t raw)
 
 } // namespace
 
+std::vector<CoreTimeline>
+TraceModel::emptyTimelines(const trace::TraceData& trace)
+{
+    std::vector<CoreTimeline> cores(trace.header.num_spes + 1);
+    cores[0].core = 0;
+    cores[0].label = "PPE";
+    for (std::uint32_t i = 0; i < trace.header.num_spes; ++i) {
+        auto& tl = cores[i + 1];
+        tl.core = static_cast<std::uint16_t>(i + 1);
+        tl.label = "SPE" + std::to_string(i);
+        if (i < trace.spe_programs.size() && !trace.spe_programs[i].empty())
+            tl.label += " (" + trace.spe_programs[i] + ")";
+    }
+    return cores;
+}
+
 TraceModel
 TraceModel::build(const trace::TraceData& trace, bool lenient)
 {
@@ -41,16 +57,7 @@ TraceModel::build(const trace::TraceData& trace, bool lenient)
     model.header_ = trace.header;
 
     const std::uint32_t n_cores = trace.header.num_spes + 1;
-    model.cores_.resize(n_cores);
-    model.cores_[0].core = 0;
-    model.cores_[0].label = "PPE";
-    for (std::uint32_t i = 0; i < trace.header.num_spes; ++i) {
-        auto& tl = model.cores_[i + 1];
-        tl.core = static_cast<std::uint16_t>(i + 1);
-        tl.label = "SPE" + std::to_string(i);
-        if (i < trace.spe_programs.size() && !trace.spe_programs[i].empty())
-            tl.label += " (" + trace.spe_programs[i] + ")";
-    }
+    model.cores_ = emptyTimelines(trace);
 
     std::vector<ClockState> clocks(n_cores);
 
@@ -110,6 +117,31 @@ TraceModel::build(const trace::TraceData& trace, bool lenient)
             prev = ev.time_tb;
         }
     }
+
+    bool any = false;
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+    for (const auto& tl : model.cores_) {
+        if (tl.empty())
+            continue;
+        any = true;
+        lo = std::min(lo, tl.firstTime());
+        hi = std::max(hi, tl.lastTime());
+    }
+    model.start_tb_ = any ? lo : 0;
+    model.end_tb_ = any ? hi : 0;
+    return model;
+}
+
+TraceModel
+TraceModel::assemble(const trace::Header& header,
+                     std::vector<CoreTimeline>&& cores,
+                     std::uint64_t leniency_skipped)
+{
+    TraceModel model;
+    model.header_ = header;
+    model.cores_ = std::move(cores);
+    model.leniency_skipped_ = leniency_skipped;
 
     bool any = false;
     std::uint64_t lo = ~std::uint64_t{0};

@@ -50,6 +50,9 @@ struct Event
     bool isKnownOp() const { return kind < rt::kNumApiOps; }
     rt::ApiOp op() const { return static_cast<rt::ApiOp>(kind); }
     bool isBegin() const { return phase == trace::kPhaseBegin; }
+
+    /** Field-wise equality (serial-vs-parallel differential tests). */
+    bool operator==(const Event&) const = default;
 };
 
 /** All events of one core, time-ordered. */
@@ -78,6 +81,22 @@ class TraceModel
      */
     static TraceModel build(const trace::TraceData& trace,
                             bool lenient = false);
+
+    /**
+     * Assemble a model from externally-built timelines (the parallel
+     * builder's merge stage). @p cores must already be in canonical
+     * form: indexed by core id, labeled, and with per-core
+     * non-decreasing event times — assemble only derives the global
+     * start/end span.
+     */
+    static TraceModel assemble(const trace::Header& header,
+                               std::vector<CoreTimeline>&& cores,
+                               std::uint64_t leniency_skipped);
+
+    /** Empty, labeled timelines for @p trace — the canonical shells
+     *  both the serial and parallel builders fill. */
+    static std::vector<CoreTimeline>
+    emptyTimelines(const trace::TraceData& trace);
 
     const trace::Header& header() const { return header_; }
 

@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Parallel analysis pipeline implementation.
+ *
+ * The determinism argument, phase by phase:
+ *
+ *  - SCAN summaries are pure functions of their record range.
+ *  - COMBINE folds them strictly left-to-right, so the clock state
+ *    entering shard s is exactly the state the serial builder holds
+ *    after record s*shard_records - 1.
+ *  - EMIT replays the serial per-record loop verbatim from that state;
+ *    per-(shard, core) event runs are therefore the exact slices of
+ *    the serial per-core timelines.
+ *  - MERGE concatenates the slices in shard order — which is stream
+ *    order — and applies the same monotonic clamp, so the timelines,
+ *    and everything derived from them, are identical to serial.
+ *
+ * Threads only ever write disjoint state (their own shard's summary /
+ * event runs, their own core's timeline, intervals, or stats slots);
+ * phases are separated by the pool's completion barrier.
+ */
+
+#include "ta/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "trace/shard.h"
+
+namespace cell::ta {
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+WorkerPool::WorkerPool(unsigned threads)
+    : n_threads_(threads != 0
+                     ? threads
+                     : std::max(1u, std::thread::hardware_concurrency())),
+      ranges_(n_threads_)
+{
+    workers_.reserve(n_threads_ - 1);
+    for (unsigned i = 1; i < n_threads_; ++i)
+        workers_.emplace_back(&WorkerPool::workerMain, this, i);
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        shutdown_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::execute(std::uint64_t index)
+{
+    const auto* fn = job_.load(std::memory_order_acquire);
+    try {
+        (*fn)(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!first_error_)
+            first_error_ = std::current_exception();
+    }
+    const std::uint64_t done =
+        items_done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    assert(done <= items_total_.load(std::memory_order_acquire) &&
+           "WorkerPool executed an index twice");
+    if (done >= items_total_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(mu_); // pair with the caller's wait
+        done_cv_.notify_all();
+    }
+}
+
+bool
+WorkerPool::runOne(unsigned self)
+{
+    // Pop the front of our own range.
+    auto& my = ranges_[self].bits;
+    std::uint64_t cur = my.load(std::memory_order_acquire);
+    for (;;) {
+        const auto b = static_cast<std::uint32_t>(cur >> 32);
+        const auto e = static_cast<std::uint32_t>(cur);
+        if (b >= e)
+            break;
+        if (my.compare_exchange_weak(cur, pack(b + 1, e),
+                                     std::memory_order_acq_rel)) {
+            execute(b);
+            return true;
+        }
+    }
+    // Dry: steal the upper half of the largest remaining range. Within
+    // a job only the owner ever grows its own range (and only while it
+    // is empty), and thieves only CAS-shrink non-empty ranges, so the
+    // blind store below cannot clobber a concurrent transfer; the
+    // caller refills ranges only while the pool is quiescent.
+    for (;;) {
+        int victim = -1;
+        std::uint32_t best = 0;
+        std::uint64_t vcur = 0;
+        for (unsigned v = 0; v < n_threads_; ++v) {
+            if (v == self)
+                continue;
+            const std::uint64_t c =
+                ranges_[v].bits.load(std::memory_order_acquire);
+            const auto b = static_cast<std::uint32_t>(c >> 32);
+            const auto e = static_cast<std::uint32_t>(c);
+            // A single-item range has no upper half to take (mid would
+            // equal e, an index outside the range); its owner runs it.
+            if (e - b >= 2 && e - b > best) {
+                best = e - b;
+                victim = static_cast<int>(v);
+                vcur = c;
+            }
+        }
+        if (victim < 0)
+            return false;
+        const auto b = static_cast<std::uint32_t>(vcur >> 32);
+        const auto e = static_cast<std::uint32_t>(vcur);
+        const std::uint32_t mid = b + (e - b + 1) / 2; // victim keeps [b,mid)
+        if (!ranges_[static_cast<unsigned>(victim)].bits.compare_exchange_weak(
+                vcur, pack(b, mid), std::memory_order_acq_rel))
+            continue; // raced with the victim or another thief; rescan
+        ranges_[self].bits.store(pack(mid + 1, e), std::memory_order_release);
+        execute(mid);
+        return true;
+    }
+}
+
+void
+WorkerPool::workerMain(unsigned id)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        wake_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        ++active_;
+        lk.unlock();
+        while (runOne(id)) {
+        }
+        lk.lock();
+        // The last worker to park lets the next parallelFor refill the
+        // steal ranges: a worker still inside runOne() could hold a
+        // stale snapshot of a range and, because range layouts repeat
+        // across generations, CAS-steal from the *next* job and clobber
+        // its own freshly refilled range. Quiescence makes that window
+        // impossible.
+        if (--active_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+void
+WorkerPool::parallelFor(std::uint64_t n,
+                        const std::function<void(std::uint64_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (n_threads_ == 1 || n == 1) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (n > std::numeric_limits<std::uint32_t>::max())
+        throw std::logic_error("WorkerPool: index space too large");
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        // Wait for every worker from the previous job to park before
+        // touching the ranges (see the note in workerMain).
+        idle_cv_.wait(lk, [&] { return active_ == 0; });
+        first_error_ = nullptr;
+        items_done_.store(0, std::memory_order_relaxed);
+        items_total_.store(n, std::memory_order_relaxed);
+        job_.store(&fn, std::memory_order_release);
+        const std::uint64_t per = n / n_threads_;
+        const std::uint64_t rem = n % n_threads_;
+        std::uint64_t begin = 0;
+        for (unsigned w = 0; w < n_threads_; ++w) {
+            const std::uint64_t len = per + (w < rem ? 1 : 0);
+            ranges_[w].bits.store(
+                pack(static_cast<std::uint32_t>(begin),
+                     static_cast<std::uint32_t>(begin + len)),
+                std::memory_order_release);
+            begin += len;
+        }
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+    while (runOne(0)) {
+    }
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] {
+            return items_done_.load(std::memory_order_acquire) >=
+                   items_total_.load(std::memory_order_relaxed);
+        });
+        job_.store(nullptr, std::memory_order_relaxed);
+        err = first_error_;
+        first_error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
+// Scan / combine
+// ---------------------------------------------------------------------------
+
+namespace scan {
+
+namespace {
+constexpr std::uint64_t kNone = ~std::uint64_t{0};
+} // namespace
+
+RangeScan
+scanRange(const trace::TraceData& trace, std::uint64_t first,
+          std::uint64_t count, std::uint32_t n_cores)
+{
+    RangeScan rs;
+    rs.cores.resize(n_cores);
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        const trace::Record& rec = trace.records[i];
+        if (rec.core >= n_cores) {
+            rs.bad_core_records += 1;
+            if (rs.first_bad_core_index == kNone)
+                rs.first_bad_core_index = i;
+            continue;
+        }
+        CoreScan& cs = rs.cores[rec.core];
+        if (rec.kind == trace::kSyncRecord) {
+            cs.saw_sync = true;
+            cs.last_sync_raw = static_cast<std::uint32_t>(rec.a);
+            cs.last_sync_tb = rec.b;
+            continue; // the sync itself is never "before the sync"
+        }
+        if (rec.kind == trace::kDropRecord) {
+            cs.drops_total += 1;
+            if (!cs.saw_sync)
+                cs.drops_before_sync += 1;
+        }
+        if (!cs.saw_sync) {
+            cs.records_before_sync += 1;
+            if (cs.first_presync_index == kNone)
+                cs.first_presync_index = i;
+        }
+    }
+    return rs;
+}
+
+void
+combine(RangeScan& into, const RangeScan& next)
+{
+    into.bad_core_records += next.bad_core_records;
+    into.first_bad_core_index =
+        std::min(into.first_bad_core_index, next.first_bad_core_index);
+    for (std::size_t c = 0; c < into.cores.size(); ++c) {
+        CoreScan& a = into.cores[c];
+        const CoreScan& b = next.cores[c];
+        if (!a.saw_sync) {
+            // Everything pre-sync in `next` is still pre-(first-ever)-
+            // sync of the concatenation.
+            a.records_before_sync += b.records_before_sync;
+            a.drops_before_sync += b.drops_before_sync;
+            a.first_presync_index =
+                std::min(a.first_presync_index, b.first_presync_index);
+            a.saw_sync = b.saw_sync;
+            if (b.saw_sync) {
+                a.last_sync_raw = b.last_sync_raw;
+                a.last_sync_tb = b.last_sync_tb;
+            }
+        } else if (b.saw_sync) {
+            a.last_sync_raw = b.last_sync_raw;
+            a.last_sync_tb = b.last_sync_tb;
+        }
+        a.drops_total += b.drops_total;
+    }
+}
+
+} // namespace scan
+
+// ---------------------------------------------------------------------------
+// Sharded model build
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Per-core replay state (mirrors the serial builder's ClockState). */
+struct ClockState
+{
+    bool have_sync = false;
+    std::uint32_t sync_raw = 0;
+    std::uint64_t sync_tb = 0;
+    std::uint32_t epoch = 0;
+};
+
+/** Raw 32-bit clock delta since the sync point (same as serial). */
+std::uint32_t
+rawDelta(bool is_spe, std::uint32_t sync_raw, std::uint32_t raw)
+{
+    if (is_spe)
+        return sync_raw - raw; // down-counter
+    return raw - sync_raw;     // up-counter
+}
+
+/** Clock state after the records summarized by @p prefix. */
+std::vector<ClockState>
+clockStatesFrom(const scan::RangeScan& prefix)
+{
+    std::vector<ClockState> states(prefix.cores.size());
+    for (std::size_t c = 0; c < states.size(); ++c) {
+        const scan::CoreScan& cs = prefix.cores[c];
+        ClockState& st = states[c];
+        st.have_sync = cs.saw_sync;
+        st.sync_raw = cs.last_sync_raw;
+        st.sync_tb = cs.last_sync_tb;
+        // Only drops after the first-ever sync bump the epoch.
+        st.epoch =
+            static_cast<std::uint32_t>(cs.drops_total - cs.drops_before_sync);
+    }
+    return states;
+}
+
+/** Replay records [first, first+count) from @p entry — the serial
+ *  per-record loop verbatim — into per-core event runs. */
+std::vector<std::vector<Event>>
+emitRange(const trace::TraceData& trace, std::uint64_t first,
+          std::uint64_t count, const std::vector<ClockState>& entry)
+{
+    const auto n_cores = static_cast<std::uint32_t>(entry.size());
+    std::vector<std::vector<Event>> out(n_cores);
+    std::vector<ClockState> clocks = entry;
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        const trace::Record& rec = trace.records[i];
+        if (rec.core >= n_cores)
+            continue; // accounted in phase 2 (or thrown, strict)
+        ClockState& clk = clocks[rec.core];
+        const bool is_spe = rec.core != 0;
+        if (rec.kind == trace::kSyncRecord) {
+            clk.have_sync = true;
+            clk.sync_raw = static_cast<std::uint32_t>(rec.a);
+            clk.sync_tb = rec.b;
+        }
+        if (!clk.have_sync)
+            continue; // accounted in phase 2 (or thrown, strict)
+        if (rec.kind == trace::kDropRecord)
+            clk.epoch += 1;
+
+        Event ev;
+        ev.kind = rec.kind;
+        ev.phase = rec.phase;
+        ev.core = rec.core;
+        ev.epoch = clk.epoch;
+        ev.a = rec.a;
+        ev.b = rec.b;
+        ev.c = rec.c;
+        ev.d = rec.d;
+        ev.time_tb =
+            clk.sync_tb + rawDelta(is_spe, clk.sync_raw, rec.timestamp);
+        out[rec.core].push_back(ev);
+    }
+    return out;
+}
+
+unsigned
+resolveThreads(unsigned threads)
+{
+    return threads != 0 ? threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+TraceModel
+buildModelParallel(const trace::TraceData& trace, WorkerPool& pool,
+                   bool lenient, std::uint64_t shard_records)
+{
+    constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    const std::uint32_t n_cores = trace.header.num_spes + 1;
+    const std::uint64_t n = trace.records.size();
+    if (shard_records == 0) {
+        const std::uint64_t target = std::uint64_t{pool.threads()} * 8;
+        shard_records = std::max<std::uint64_t>(4096, (n + target - 1) /
+                                                          std::max<std::uint64_t>(target, 1));
+    }
+    const std::uint64_t n_shards =
+        n == 0 ? 0 : (n + shard_records - 1) / shard_records;
+
+    // Phase 1: scan every shard into its per-core summary.
+    std::vector<scan::RangeScan> scans(n_shards);
+    pool.parallelFor(n_shards, [&](std::uint64_t s) {
+        const std::uint64_t first = s * shard_records;
+        scans[s] = scan::scanRange(trace, first,
+                                   std::min(shard_records, n - first),
+                                   n_cores);
+    });
+
+    // Phase 2: fold summaries left to right; record the exact clock
+    // state entering each shard.
+    std::vector<std::vector<ClockState>> entry(n_shards);
+    scan::RangeScan prefix;
+    prefix.cores.resize(n_cores);
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+        entry[s] = clockStatesFrom(prefix);
+        scan::combine(prefix, scans[s]);
+    }
+
+    std::uint64_t leniency = 0;
+    if (lenient) {
+        leniency = prefix.bad_core_records;
+        for (const scan::CoreScan& cs : prefix.cores)
+            leniency += cs.records_before_sync;
+    } else {
+        // Strict mode: fail on the earliest offender, with the same
+        // diagnostics the serial builder raises.
+        std::uint64_t presync_idx = kNone;
+        std::uint16_t presync_core = 0;
+        for (std::size_t c = 0; c < prefix.cores.size(); ++c) {
+            if (prefix.cores[c].first_presync_index < presync_idx) {
+                presync_idx = prefix.cores[c].first_presync_index;
+                presync_core = static_cast<std::uint16_t>(c);
+            }
+        }
+        const std::uint64_t bad_idx = prefix.first_bad_core_index;
+        if (bad_idx != kNone || presync_idx != kNone) {
+            if (bad_idx < presync_idx)
+                throw std::runtime_error(
+                    "TraceModel: record with bad core id");
+            throw std::runtime_error(
+                "TraceModel: event before first sync record on core " +
+                std::to_string(presync_core));
+        }
+    }
+
+    // Phase 3: emit per-shard, per-core event runs.
+    std::vector<std::vector<std::vector<Event>>> emitted(n_shards);
+    pool.parallelFor(n_shards, [&](std::uint64_t s) {
+        const std::uint64_t first = s * shard_records;
+        emitted[s] = emitRange(trace, first, std::min(shard_records, n - first),
+                               entry[s]);
+    });
+
+    // Phase 4: merge in canonical (core, shard) order + monotonic
+    // clamp — shard order is stream order, so each core's event
+    // sequence equals the serial builder's.
+    std::vector<CoreTimeline> cores = TraceModel::emptyTimelines(trace);
+    pool.parallelFor(n_cores, [&](std::uint64_t c) {
+        auto& events = cores[c].events;
+        std::size_t total = 0;
+        for (std::uint64_t s = 0; s < n_shards; ++s)
+            total += emitted[s][c].size();
+        events.reserve(total);
+        for (std::uint64_t s = 0; s < n_shards; ++s)
+            events.insert(events.end(), emitted[s][c].begin(),
+                          emitted[s][c].end());
+        std::uint64_t prev = 0;
+        for (Event& ev : events) {
+            if (ev.time_tb < prev)
+                ev.time_tb = prev;
+            prev = ev.time_tb;
+        }
+    });
+    return TraceModel::assemble(trace.header, std::move(cores), leniency);
+}
+
+IntervalSet
+buildIntervalsParallel(const TraceModel& model, WorkerPool& pool)
+{
+    IntervalSet out;
+    out.per_core.resize(model.cores().size());
+    pool.parallelFor(model.cores().size(), [&](std::uint64_t c) {
+        out.per_core[c] = buildCoreIntervals(model.cores()[c]);
+    });
+    return out;
+}
+
+TraceStats
+buildStatsParallel(const TraceModel& model, const IntervalSet& ivs,
+                   WorkerPool& pool)
+{
+    TraceStats st;
+    st.resizeFor(model);
+    pool.parallelFor(model.cores().size(), [&](std::uint64_t c) {
+        st.buildCore(model, ivs, static_cast<std::uint16_t>(c));
+    });
+    for (const CoreTimeline& tl : model.cores())
+        st.total_records += tl.events.size();
+    return st;
+}
+
+Analysis
+analyzeParallel(const trace::TraceData& trace, WorkerPool& pool,
+                bool lenient, std::uint64_t shard_records)
+{
+    Analysis a{buildModelParallel(trace, pool, lenient, shard_records),
+               {},
+               {}};
+    a.intervals = buildIntervalsParallel(a.model, pool);
+    a.stats = buildStatsParallel(a.model, a.intervals, pool);
+    return a;
+}
+
+Analysis
+analyzeParallel(const trace::TraceData& trace, const ParallelOptions& opt,
+                bool lenient)
+{
+    const unsigned threads = resolveThreads(opt.threads);
+    if (threads <= 1)
+        return analyze(trace, lenient); // legacy serial path
+    WorkerPool pool(threads);
+    return analyzeParallel(trace, pool, lenient, opt.shard_records);
+}
+
+Analysis
+analyzeFileParallel(const std::string& path, const ParallelOptions& opt)
+{
+    const unsigned threads = resolveThreads(opt.threads);
+    if (threads <= 1)
+        return analyzeFile(path); // legacy serial path
+
+    trace::ShardOptions sopt;
+    sopt.target_shards = threads * 4;
+    const trace::ShardPlan plan = trace::planShardsFile(path, sopt);
+
+    trace::TraceData data;
+    data.header = plan.header;
+    data.spe_programs = plan.spe_programs;
+    data.records.resize(static_cast<std::size_t>(plan.record_count));
+
+    WorkerPool pool(threads);
+    pool.parallelFor(plan.shards.size(), [&](std::uint64_t s) {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            throw std::runtime_error("analyzeFileParallel: cannot open " +
+                                     path);
+        trace::readShardInto(is, plan, static_cast<std::size_t>(s),
+                             data.records.data() +
+                                 plan.shards[s].first_record);
+    });
+    return analyzeParallel(data, pool, /*lenient=*/false, opt.shard_records);
+}
+
+Analysis
+analyzeFileSalvageParallel(const std::string& path, trace::ReadReport& report,
+                           const ParallelOptions& opt)
+{
+    const unsigned threads = resolveThreads(opt.threads);
+    if (threads <= 1)
+        return analyzeFileSalvage(path, report);
+    // Salvage resync is inherently sequential (it must walk the damage
+    // to find the stride again), so the read stays serial; the
+    // recovered subset is analyzed in parallel, leniently.
+    const trace::TraceData data = trace::readFileSalvage(path, report);
+    ParallelOptions o = opt;
+    o.threads = threads;
+    return analyzeParallel(data, o, /*lenient=*/true);
+}
+
+} // namespace cell::ta

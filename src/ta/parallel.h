@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Parallel trace analysis: a work-stealing worker pool plus a sharded,
+ * three-phase TraceModel builder and per-core parallel interval /
+ * statistics construction.
+ *
+ * Pipeline (docs/MODEL.md "Parallel analysis" has the full story):
+ *
+ *   1. SCAN (parallel)    — each shard (a contiguous record range) is
+ *      scanned into a per-core summary: last sync seen, drop-marker
+ *      counts split around the shard's first sync, records that
+ *      precede any sync. The summary is a transfer function over the
+ *      per-core clock state, independent of what came before.
+ *   2. COMBINE (serial, O(shards x cores)) — summaries fold left to
+ *      right into the exact clock state entering every shard. The
+ *      fold is associative (property-tested), so any shard split of a
+ *      trace yields the same states.
+ *   3. EMIT (parallel)    — each shard replays the serial per-record
+ *      loop from its incoming state, producing per-core event runs.
+ *   4. MERGE (parallel per core) — runs concatenate in canonical
+ *      (core, shard) order — shard order IS stream order, so per-core
+ *      event order equals the serial builder's — then the same
+ *      monotonic-clamp pass runs per core.
+ *
+ * Intervals and statistics then build per core in parallel, through
+ * the very same per-core functions the serial path uses.
+ *
+ * Determinism contract: for any trace, any thread count, and any
+ * shard granularity, every structure this header produces is
+ * IDENTICAL to the serial analyzer's — same events, intervals,
+ * statistics, and byte-identical printed reports. Parallelism changes
+ * wall-clock time, never output. The differential test harness
+ * (tests/ta/test_parallel_diff.cc) enforces this on every workload,
+ * salvaged, and fault-injected trace in the suite.
+ */
+
+#ifndef CELL_TA_PARALLEL_H
+#define CELL_TA_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ta/analyzer.h"
+
+namespace cell::ta {
+
+/**
+ * A persistent pool of worker threads running index-space jobs with
+ * contiguous-range work stealing.
+ *
+ * parallelFor(n, fn) splits [0, n) into one contiguous range per
+ * worker (the calling thread is worker 0). Each worker pops indices
+ * off the front of its own range; a worker whose range runs dry
+ * steals the upper half of the largest remaining range. Ranges are
+ * single atomic words, so pop and steal are lock-free CAS loops.
+ *
+ * fn must be safe to call concurrently for distinct indices. An
+ * exception thrown by fn is captured and rethrown on the calling
+ * thread after the job drains (the first one wins; remaining indices
+ * still run). Nested parallelFor on the same pool is not supported.
+ */
+class WorkerPool
+{
+  public:
+    /** @p threads total workers including the caller; 0 = hardware
+     *  concurrency. A pool of 1 runs everything inline. */
+    explicit WorkerPool(unsigned threads = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    unsigned threads() const { return n_threads_; }
+
+    void parallelFor(std::uint64_t n,
+                     const std::function<void(std::uint64_t)>& fn);
+
+  private:
+    /** One steal range, packed begin:32 | end:32, cache-line apart. */
+    struct alignas(64) StealRange
+    {
+        std::atomic<std::uint64_t> bits{0};
+    };
+
+    static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e)
+    {
+        return (static_cast<std::uint64_t>(b) << 32) | e;
+    }
+
+    void workerMain(unsigned id);
+    bool runOne(unsigned self);
+    void execute(std::uint64_t index);
+
+    unsigned n_threads_;
+    std::vector<StealRange> ranges_;
+    std::vector<std::thread> workers_; ///< n_threads_ - 1 helpers
+
+    std::atomic<const std::function<void(std::uint64_t)>*> job_{nullptr};
+    std::atomic<std::uint64_t> items_total_{0};
+    std::atomic<std::uint64_t> items_done_{0};
+
+    std::mutex mu_;
+    std::condition_variable wake_cv_; ///< workers wait for a new job
+    std::condition_variable done_cv_; ///< caller waits for completion
+    std::condition_variable idle_cv_; ///< caller waits for quiescence
+    std::uint64_t generation_ = 0;    ///< guarded by mu_
+    unsigned active_ = 0;             ///< workers still draining; mu_
+    bool shutdown_ = false;           ///< guarded by mu_
+    std::exception_ptr first_error_;  ///< guarded by mu_
+};
+
+/** Knobs for the parallel analyzer. */
+struct ParallelOptions
+{
+    /** Worker threads; 0 = hardware concurrency. 1 forces the legacy
+     *  serial path (exactly analyze()/analyzeFile()). */
+    unsigned threads = 0;
+    /** Records per shard; 0 derives one from the thread count. Small
+     *  values are legal (tests use them to force many shards). */
+    std::uint64_t shard_records = 0;
+};
+
+/** Parallel equivalent of TraceModel::build — identical output. */
+TraceModel buildModelParallel(const trace::TraceData& trace,
+                              WorkerPool& pool, bool lenient = false,
+                              std::uint64_t shard_records = 0);
+
+/** Parallel equivalent of IntervalSet::build — identical output. */
+IntervalSet buildIntervalsParallel(const TraceModel& model,
+                                   WorkerPool& pool);
+
+/** Parallel equivalent of TraceStats::build — identical output. */
+TraceStats buildStatsParallel(const TraceModel& model,
+                              const IntervalSet& ivs, WorkerPool& pool);
+
+/** Full parallel analysis on an already-loaded trace. */
+Analysis analyzeParallel(const trace::TraceData& trace,
+                         const ParallelOptions& opt = {},
+                         bool lenient = false);
+
+/** Same, reusing an existing pool (benchmarks, repeated analyses). */
+Analysis analyzeParallel(const trace::TraceData& trace, WorkerPool& pool,
+                         bool lenient = false,
+                         std::uint64_t shard_records = 0);
+
+/** Shard the file itself (trace::planShardsFile), ingest the shards
+ *  concurrently, then run the parallel analysis. Equivalent to
+ *  analyzeFile() on any healthy trace; a damaged or non-seekable file
+ *  fails with a diagnostic. threads == 1 IS analyzeFile(). */
+Analysis analyzeFileParallel(const std::string& path,
+                             const ParallelOptions& opt = {});
+
+/** Salvage-read (serial — resync needs the whole stream) then analyze
+ *  the recovered subset in parallel, leniently. */
+Analysis analyzeFileSalvageParallel(const std::string& path,
+                                    trace::ReadReport& report,
+                                    const ParallelOptions& opt = {});
+
+/**
+ * Internals of the scan/combine phases, exposed so property tests can
+ * check the invariants the pipeline rests on (split-invariance and
+ * associativity of combine). Not part of the stable API.
+ */
+namespace scan {
+
+/** Per-core summary of one record range. */
+struct CoreScan
+{
+    bool saw_sync = false;
+    std::uint32_t last_sync_raw = 0;
+    std::uint64_t last_sync_tb = 0;
+    /** Drop markers in the range (all of them). */
+    std::uint64_t drops_total = 0;
+    /** Drop markers before the range's first sync record (==
+     *  drops_total when the range has no sync). */
+    std::uint64_t drops_before_sync = 0;
+    /** This core's records before the range's first sync record. */
+    std::uint64_t records_before_sync = 0;
+    /** Absolute index of the first such record (strict diagnostics). */
+    std::uint64_t first_presync_index = ~std::uint64_t{0};
+
+    bool operator==(const CoreScan&) const = default;
+};
+
+/** Summary of one record range over all cores. */
+struct RangeScan
+{
+    std::vector<CoreScan> cores;
+    std::uint64_t bad_core_records = 0;
+    std::uint64_t first_bad_core_index = ~std::uint64_t{0};
+
+    bool operator==(const RangeScan&) const = default;
+};
+
+/** Scan records [first, first+count) of @p trace. */
+RangeScan scanRange(const trace::TraceData& trace, std::uint64_t first,
+                    std::uint64_t count, std::uint32_t n_cores);
+
+/** Fold @p next (the range immediately after) into @p into.
+ *  Associative: combine(combine(a,b),c) == combine(a,combine(b,c)). */
+void combine(RangeScan& into, const RangeScan& next);
+
+} // namespace scan
+
+} // namespace cell::ta
+
+#endif // CELL_TA_PARALLEL_H

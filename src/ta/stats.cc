@@ -87,101 +87,110 @@ matchDmaTransfers(const IntervalSet& ivs, std::uint32_t spe)
     return out;
 }
 
+void
+TraceStats::resizeFor(const TraceModel& model)
+{
+    const std::uint32_t n_spes = model.numSpes();
+    spu.resize(n_spes);
+    dma.resize(n_spes);
+    flush.resize(n_spes);
+    loss.resize(n_spes + 1);
+    op_counts.resize(n_spes + 1);
+    for (auto& row : op_counts)
+        row.fill(0);
+}
+
+void
+TraceStats::buildCore(const TraceModel& model, const IntervalSet& ivs,
+                      std::uint16_t core)
+{
+    // Event counts, flush markers and drop markers straight from the
+    // timeline.
+    const CoreTimeline& tl = model.cores()[core];
+    for (const Event& ev : tl.events) {
+        if (ev.kind == trace::kFlushRecord && core > 0) {
+            FlushStats& f = flush[core - 1];
+            f.flushes += 1;
+            f.flushed_records += ev.a;
+            f.flush_wait_cycles += ev.b;
+        }
+        if (ev.kind == trace::kDropRecord) {
+            CoreLoss& l = loss[core];
+            l.drop_markers += 1;
+            l.dropped_events += ev.a; // events lost in this gap
+        }
+        if (!ev.isToolRecord())
+            loss[core].recorded_events += 1;
+        if (!ev.isToolRecord() && ev.isKnownOp() && ev.isBegin())
+            op_counts[core][static_cast<std::size_t>(ev.op())] += 1;
+    }
+
+    // Gap-spanning intervals.
+    for (const Interval& iv : ivs.per_core[core]) {
+        if (iv.gap)
+            loss[core].gap_intervals += 1;
+    }
+
+    if (core == 0) {
+        for (const Interval& iv : ivs.per_core[0]) {
+            if (iv.cls == IntervalClass::PpeCall)
+                ppe_call_tb += iv.duration();
+        }
+        return;
+    }
+
+    // Interval-derived SPE breakdown.
+    const std::uint32_t i = core - 1;
+    SpuBreakdown& b = spu[i];
+    b.spe = i;
+    for (const Interval& iv : ivs.per_core[core]) {
+        switch (iv.cls) {
+          case IntervalClass::Run:
+            b.ran = true;
+            b.run_tb += iv.duration();
+            break;
+          case IntervalClass::DmaCommand:
+            b.dma_cmd_tb += iv.duration();
+            break;
+          case IntervalClass::DmaWait:
+            b.dma_wait_tb += iv.duration();
+            break;
+          case IntervalClass::MailboxWait:
+            b.mbox_wait_tb += iv.duration();
+            break;
+          case IntervalClass::SignalWait:
+            b.signal_wait_tb += iv.duration();
+            break;
+          default:
+            break;
+        }
+    }
+
+    // DMA latency: each command matched to the first tag-wait end
+    // covering its tag group.
+    DmaStats& d = dma[i];
+    for (const DmaTransfer& t : matchDmaTransfers(ivs, i)) {
+        d.commands += 1;
+        // For plain commands size = bytes; list commands carry the
+        // list byte count instead, so only count plain bytes.
+        if (t.op != ApiOp::SpuMfcGetList && t.op != ApiOp::SpuMfcPutList)
+            d.bytes += t.size;
+        if (t.observed)
+            d.latency_tb.add(t.latency_tb());
+        else
+            d.unobserved += 1;
+    }
+}
+
 TraceStats
 TraceStats::build(const TraceModel& model, const IntervalSet& ivs)
 {
     TraceStats st;
-    const std::uint32_t n_spes = model.numSpes();
-    st.spu.resize(n_spes);
-    st.dma.resize(n_spes);
-    st.flush.resize(n_spes);
-    st.loss.resize(n_spes + 1);
-    st.op_counts.resize(n_spes + 1);
-    for (auto& row : st.op_counts)
-        row.fill(0);
-
-    // Event counts, flush markers and drop markers straight from the
-    // timelines.
-    for (const CoreTimeline& tl : model.cores()) {
-        for (const Event& ev : tl.events) {
-            st.total_records += 1;
-            if (ev.kind == trace::kFlushRecord && tl.core > 0) {
-                FlushStats& f = st.flush[tl.core - 1];
-                f.flushes += 1;
-                f.flushed_records += ev.a;
-                f.flush_wait_cycles += ev.b;
-            }
-            if (ev.kind == trace::kDropRecord) {
-                CoreLoss& l = st.loss[tl.core];
-                l.drop_markers += 1;
-                l.dropped_events += ev.a; // events lost in this gap
-            }
-            if (!ev.isToolRecord())
-                st.loss[tl.core].recorded_events += 1;
-            if (!ev.isToolRecord() && ev.isKnownOp() && ev.isBegin())
-                st.op_counts[tl.core][static_cast<std::size_t>(ev.op())] += 1;
-        }
-    }
-
-    // Gap-spanning intervals per core.
-    for (std::size_t core = 0; core < ivs.per_core.size(); ++core) {
-        if (core >= st.loss.size())
-            break;
-        for (const Interval& iv : ivs.per_core[core]) {
-            if (iv.gap)
-                st.loss[core].gap_intervals += 1;
-        }
-    }
-
-    // Interval-derived breakdowns.
-    for (std::uint32_t i = 0; i < n_spes; ++i) {
-        SpuBreakdown& b = st.spu[i];
-        b.spe = i;
-        const auto& intervals = ivs.per_core[i + 1];
-
-        for (const Interval& iv : intervals) {
-            switch (iv.cls) {
-              case IntervalClass::Run:
-                b.ran = true;
-                b.run_tb += iv.duration();
-                break;
-              case IntervalClass::DmaCommand:
-                b.dma_cmd_tb += iv.duration();
-                break;
-              case IntervalClass::DmaWait:
-                b.dma_wait_tb += iv.duration();
-                break;
-              case IntervalClass::MailboxWait:
-                b.mbox_wait_tb += iv.duration();
-                break;
-              case IntervalClass::SignalWait:
-                b.signal_wait_tb += iv.duration();
-                break;
-              default:
-                break;
-            }
-        }
-
-        // DMA latency: each command matched to the first tag-wait end
-        // covering its tag group.
-        DmaStats& d = st.dma[i];
-        for (const DmaTransfer& t : matchDmaTransfers(ivs, i)) {
-            d.commands += 1;
-            // For plain commands size = bytes; list commands carry the
-            // list byte count instead, so only count plain bytes.
-            if (t.op != ApiOp::SpuMfcGetList && t.op != ApiOp::SpuMfcPutList)
-                d.bytes += t.size;
-            if (t.observed)
-                d.latency_tb.add(t.latency_tb());
-            else
-                d.unobserved += 1;
-        }
-    }
-
-    for (const Interval& iv : ivs.per_core[0]) {
-        if (iv.cls == IntervalClass::PpeCall)
-            st.ppe_call_tb += iv.duration();
-    }
+    st.resizeFor(model);
+    for (std::size_t core = 0; core < model.cores().size(); ++core)
+        st.buildCore(model, ivs, static_cast<std::uint16_t>(core));
+    for (const CoreTimeline& tl : model.cores())
+        st.total_records += tl.events.size();
     return st;
 }
 

@@ -121,6 +121,9 @@ struct CoreLoss
                                static_cast<double>(emitted())
                          : 0.0;
     }
+
+    /** Field-wise equality (serial-vs-parallel differential tests). */
+    bool operator==(const CoreLoss&) const = default;
 };
 
 /** One DMA command matched to its observed completion. */
@@ -162,6 +165,17 @@ struct TraceStats
 
     /** Build all statistics. */
     static TraceStats build(const TraceModel& model, const IntervalSet& ivs);
+
+    /** Size every per-core table for @p model (before buildCore). */
+    void resizeFor(const TraceModel& model);
+
+    /** Build one core's slice of the statistics. Writes only slots
+     *  owned by @p core (loss/op_counts[core], and for SPEs
+     *  spu/dma/flush[core-1]; ppe_call_tb for core 0), so distinct
+     *  cores may run concurrently — the parallel analyzer does.
+     *  total_records is NOT touched; the caller sums it. */
+    void buildCore(const TraceModel& model, const IntervalSet& ivs,
+                   std::uint16_t core);
 
     /** Fraction of DMA service time hidden behind computation on
      *  SPE @p i: 1 - dma_wait / sum(command latencies), clamped to

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sharded trace reading: split one trace file into contiguous
+ * fixed-record-range shards on the 32-byte record stride, so multiple
+ * workers can ingest and analyze the record region concurrently.
+ *
+ * A ShardPlan is built from the file header and name table alone (one
+ * small sequential read); each shard is then a (first_record,
+ * num_records, byte_offset) triple any worker can read independently
+ * with its own stream. Shards always partition the record region
+ * exactly — concatenating shard reads in index order reproduces the
+ * byte sequence a serial read() would have produced, which is what the
+ * parallel analyzer's determinism contract rests on.
+ *
+ * Boundary validation reuses the salvage reader's resync predicate
+ * (plausibleRecord): interior shard boundaries are probed and, when the
+ * record at a proposed boundary looks implausible (possible stride
+ * damage), the boundary slides forward by whole records — within a
+ * small window — until a plausible record starts the shard. Sliding a
+ * boundary only moves records between adjacent shards; the partition,
+ * and therefore the merged result, is unchanged. On an undamaged trace
+ * this is a no-op.
+ *
+ * Sharding requires a seekable source. A pipe cannot be sharded — the
+ * plan would need the end offset, and workers could not seek — so
+ * planShards() rejects non-seekable streams with a clear error instead
+ * of misbehaving; stream input must use the serial reader.
+ */
+
+#ifndef CELL_TRACE_SHARD_H
+#define CELL_TRACE_SHARD_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/format.h"
+
+namespace cell::trace {
+
+/** One contiguous record range of a trace file. */
+struct Shard
+{
+    std::uint64_t first_record = 0; ///< index into the record region
+    std::uint64_t num_records = 0;
+    std::uint64_t byte_offset = 0;  ///< absolute file offset of first record
+};
+
+/** How to split a record region. */
+struct ShardOptions
+{
+    /** Desired shard count; 0 derives one from hardware concurrency. */
+    unsigned target_shards = 0;
+    /** Never split below this many records per shard (merge overhead
+     *  would beat the parallelism). */
+    std::uint64_t min_records_per_shard = 4096;
+    /** Records examined past a suspect boundary before giving up and
+     *  keeping it (salvage-style resync window). */
+    unsigned boundary_resync_window = 8;
+};
+
+/** The sharding of one trace file. */
+struct ShardPlan
+{
+    Header header;
+    std::vector<std::string> spe_programs;
+    /** Absolute file offset of the first record. */
+    std::uint64_t record_region_offset = 0;
+    /** Total records (== header.record_count, validated vs file size). */
+    std::uint64_t record_count = 0;
+    /** Boundaries moved by resync validation (0 on a healthy trace). */
+    std::uint64_t boundaries_adjusted = 0;
+    /** The shards, in record order; they partition [0, record_count). */
+    std::vector<Shard> shards;
+};
+
+/**
+ * Parse header + name table and plan shards over the record region.
+ * @throws std::runtime_error on bad magic, version mismatch, a record
+ * count that exceeds the bytes present, or — specifically — a
+ * non-seekable stream, which cannot be sharded.
+ */
+ShardPlan planShards(std::istream& is, const ShardOptions& opt = {});
+
+/** Plan shards for the trace file at @p path. */
+ShardPlan planShardsFile(const std::string& path,
+                         const ShardOptions& opt = {});
+
+/** Read shard @p index into @p dst (caller provides
+ *  plan.shards[index].num_records records of space). Seeks; any stream
+ *  may be used, including one private to a worker thread. */
+void readShardInto(std::istream& is, const ShardPlan& plan,
+                   std::size_t index, Record* dst);
+
+/** Convenience: read shard @p index into a fresh vector. */
+std::vector<Record> readShard(std::istream& is, const ShardPlan& plan,
+                              std::size_t index);
+
+} // namespace cell::trace
+
+#endif // CELL_TRACE_SHARD_H

@@ -10,12 +10,19 @@
  *  P4  Clock reconstruction survives decrementer wrap mid-trace.
  *  P5  EIB byte conservation.
  *  P6  Determinism of the entire traced stack.
+ *  P7  Any shard split of a trace merges to the same model as the
+ *      serial builder (parallel-pipeline split invariance).
+ *  P8  The scan/combine fold behind the parallel builder is
+ *      associative and agrees with whole-range scans.
  */
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "pdt/tracer.h"
 #include "ta/analyzer.h"
+#include "ta/parallel.h"
 #include "trace/writer.h"
 #include "wl/gather.h"
 #include "wl/reduction.h"
@@ -212,6 +219,163 @@ TEST(Properties, P3b_IntervalsNestInsideTheRun)
             EXPECT_GE(iv.start_tb, run->start_tb);
             EXPECT_LE(iv.end_tb, run->end_tb + 1);
         }
+    }
+}
+
+/**
+ * Seeded random trace: per-core sync records, drop markers, and event
+ * records in random stream order. @p messy additionally injects
+ * pre-sync events and bad core ids — records only lenient analysis
+ * accepts. Timestamps follow the real raw-clock conventions (PPE
+ * counts up, SPEs count down) but the property under test is pure
+ * serial/parallel agreement, whatever the values.
+ */
+trace::TraceData
+randomTrace(std::uint32_t seed, std::uint32_t n_spes, std::size_t n_records,
+            bool messy)
+{
+    std::mt19937 rng(seed);
+    trace::TraceData t;
+    t.header.num_spes = n_spes;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs.resize(n_spes, "rand");
+
+    const std::uint32_t n_cores = n_spes + 1;
+    std::vector<std::uint64_t> tb(n_cores, 1'000);
+    std::vector<std::uint64_t> sync_tb(n_cores, 0);
+    std::vector<std::uint32_t> sync_raw(n_cores, 0);
+    std::vector<bool> synced(n_cores, false);
+    const auto raw = [&](std::uint32_t core) {
+        return core == 0 ? static_cast<std::uint32_t>(tb[core])
+                         : static_cast<std::uint32_t>(~tb[core]);
+    };
+
+    for (std::size_t i = 0; i < n_records; ++i) {
+        const auto core = static_cast<std::uint16_t>(rng() % n_cores);
+        tb[core] += rng() % 50;
+        trace::Record r{};
+        r.core = core;
+        r.timestamp = raw(core);
+        const std::uint32_t roll = rng() % 100;
+        if (messy && roll < 3) {
+            r.core = static_cast<std::uint16_t>(n_cores + rng() % 4);
+            r.kind = static_cast<std::uint8_t>(rng() % 30);
+        } else if ((!synced[core] && !messy) || roll < 8) {
+            r.kind = trace::kSyncRecord;
+            sync_raw[core] = raw(core);
+            sync_tb[core] = tb[core];
+            synced[core] = true;
+            r.a = sync_raw[core];
+            r.b = sync_tb[core];
+        } else if (roll < 14) {
+            r.kind = trace::kDropRecord;
+            r.a = 1 + rng() % 20;
+            r.b = rng() % 1'000;
+        } else {
+            r.kind = static_cast<std::uint8_t>(rng() % 30);
+            r.phase = static_cast<std::uint8_t>(rng() % 2);
+            r.a = rng();
+            r.b = rng();
+            r.c = rng();
+            r.d = rng();
+        }
+        t.records.push_back(r);
+    }
+    t.header.record_count = t.records.size();
+    return t;
+}
+
+void
+expectSameModel(const ta::TraceModel& s, const ta::TraceModel& p)
+{
+    EXPECT_EQ(s.leniencySkipped(), p.leniencySkipped());
+    EXPECT_EQ(s.startTb(), p.startTb());
+    EXPECT_EQ(s.endTb(), p.endTb());
+    ASSERT_EQ(s.cores().size(), p.cores().size());
+    for (std::size_t c = 0; c < s.cores().size(); ++c) {
+        EXPECT_EQ(s.cores()[c].label, p.cores()[c].label);
+        EXPECT_TRUE(s.cores()[c].events == p.cores()[c].events)
+            << "core " << c << " events differ";
+    }
+}
+
+TEST(Properties, P7_AnyShardSplitMergesToTheSameModel)
+{
+    constexpr std::uint64_t kShardSizes[] = {1, 3, 7, 64, 1'000'000};
+    for (const std::uint32_t seed : {11u, 22u, 33u}) {
+        const bool messy = seed != 11u; // strict-valid and messy inputs
+        const trace::TraceData data = randomTrace(seed, 3, 4'000, messy);
+        const ta::TraceModel serial = ta::TraceModel::build(data, messy);
+        for (const std::uint64_t shard : kShardSizes) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " shard " +
+                         std::to_string(shard));
+            ta::WorkerPool pool(3);
+            const ta::TraceModel par =
+                ta::buildModelParallel(data, pool, messy, shard);
+            expectSameModel(serial, par);
+        }
+    }
+}
+
+TEST(Properties, P7b_WorkloadTraceSplitInvariance)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys);
+    wl::TriadParams p;
+    p.n_elements = 8192;
+    p.n_spes = 2;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    ASSERT_TRUE(wl.verify());
+    const trace::TraceData data = tracer.finalize();
+
+    const ta::TraceModel serial = ta::TraceModel::build(data);
+    for (const std::uint64_t shard : {1ull, 13ull, 257ull}) {
+        ta::WorkerPool pool(4);
+        const ta::TraceModel par =
+            ta::buildModelParallel(data, pool, false, shard);
+        expectSameModel(serial, par);
+    }
+}
+
+TEST(Properties, P8_ScanCombineIsAssociativeAndSplitInvariant)
+{
+    const std::uint32_t n_cores = 4;
+    const trace::TraceData data = randomTrace(77, 3, 3'000, true);
+    const auto n = static_cast<std::uint64_t>(data.records.size());
+    const ta::scan::RangeScan whole =
+        ta::scan::scanRange(data, 0, n, n_cores);
+
+    std::mt19937 rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint64_t i = rng() % (n + 1);
+        std::uint64_t j = rng() % (n + 1);
+        if (i > j)
+            std::swap(i, j);
+        const ta::scan::RangeScan a =
+            ta::scan::scanRange(data, 0, i, n_cores);
+        const ta::scan::RangeScan b =
+            ta::scan::scanRange(data, i, j - i, n_cores);
+        const ta::scan::RangeScan c =
+            ta::scan::scanRange(data, j, n - j, n_cores);
+
+        // (a · b) · c
+        ta::scan::RangeScan left = a;
+        ta::scan::combine(left, b);
+        ta::scan::combine(left, c);
+        // a · (b · c)
+        ta::scan::RangeScan right_inner = b;
+        ta::scan::combine(right_inner, c);
+        ta::scan::RangeScan right = a;
+        ta::scan::combine(right, right_inner);
+
+        EXPECT_TRUE(left == right) << "associativity broke at cuts " << i
+                                   << "," << j;
+        // Split invariance: the fold equals the whole-range scan.
+        EXPECT_TRUE(left == whole) << "split invariance broke at cuts "
+                                   << i << "," << j;
     }
 }
 

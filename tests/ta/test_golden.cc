@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Golden-trace regression tests.
+ *
+ * tests/ta/golden/ holds small committed PDT traces plus, per trace, a
+ * `.digest` file with the FNV-1a 64 hash of the serial analyzer's full
+ * report (every view + CSV export concatenated). Both the serial and
+ * the sharded parallel analyzer must keep reproducing those digests —
+ * any change to a reported number fails here, and must either be fixed
+ * or deliberately blessed by regenerating the fixtures:
+ *
+ *     build/tools/ta_golden gen tests/ta/golden
+ *
+ * CELL_GOLDEN_DIR is injected by the build (tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "ta/analyzer.h"
+#include "ta/parallel.h"
+#include "trace/reader.h"
+
+namespace cell {
+namespace {
+
+const char* const kFixtures[] = {"triad", "matmul", "workqueue",
+                                 "triad_drops"};
+
+std::string
+goldenPath(const std::string& name, const char* ext)
+{
+    return std::string(CELL_GOLDEN_DIR) + "/" + name + ext;
+}
+
+std::string
+committedDigest(const std::string& name)
+{
+    std::ifstream is(goldenPath(name, ".digest"));
+    std::string s;
+    is >> s;
+    return s;
+}
+
+std::string
+digestOf(const ta::Analysis& a)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << ta::fnv1a64(ta::fullReport(a));
+    return os.str();
+}
+
+TEST(Golden, SerialAnalyzerReproducesCommittedDigests)
+{
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string expect = committedDigest(name);
+        ASSERT_FALSE(expect.empty()) << "missing digest for " << name;
+        const trace::TraceData data =
+            trace::readFile(goldenPath(name, ".pdt"));
+        EXPECT_EQ(digestOf(ta::analyze(data)), expect);
+    }
+}
+
+TEST(Golden, ParallelAnalyzerReproducesCommittedDigests)
+{
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string expect = committedDigest(name);
+        ASSERT_FALSE(expect.empty()) << "missing digest for " << name;
+        const trace::TraceData data =
+            trace::readFile(goldenPath(name, ".pdt"));
+        ta::ParallelOptions opt;
+        opt.threads = 4;
+        opt.shard_records = 64; // many shards even on tiny fixtures
+        EXPECT_EQ(digestOf(ta::analyzeParallel(data, opt)), expect);
+    }
+}
+
+TEST(Golden, FileShardedIngestReproducesCommittedDigests)
+{
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string expect = committedDigest(name);
+        ta::ParallelOptions opt;
+        opt.threads = 4;
+        EXPECT_EQ(digestOf(ta::analyzeFileParallel(goldenPath(name, ".pdt"),
+                                                   opt)),
+                  expect);
+    }
+}
+
+} // namespace
+} // namespace cell

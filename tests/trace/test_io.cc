@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "trace/reader.h"
 #include "trace/writer.h"
@@ -130,6 +132,69 @@ TEST(TraceIo, MissingFileThrows)
     EXPECT_THROW(readFile("/nonexistent/dir/x.pdt"), std::runtime_error);
     EXPECT_THROW(writeFile("/nonexistent/dir/x.pdt", sampleTrace()),
                  std::runtime_error);
+}
+
+/** A read-only streambuf with seeking disabled — models a pipe, the
+ *  input for which the reader cannot know how many bytes remain. */
+class NonSeekableBuf : public std::streambuf
+{
+  public:
+    explicit NonSeekableBuf(std::string data) : data_(std::move(data))
+    {
+        setg(data_.data(), data_.data(), data_.data() + data_.size());
+    }
+
+  private:
+    std::string data_;
+};
+
+std::string
+bytesOf(const TraceData& t)
+{
+    const auto buf = writeBuffer(t);
+    return {reinterpret_cast<const char*>(buf.data()), buf.size()};
+}
+
+TEST(TraceIo, NonSeekableStreamRoundTrips)
+{
+    const TraceData t = sampleTrace();
+    NonSeekableBuf buf(bytesOf(t));
+    std::istream is(&buf);
+    const TraceData back = read(is);
+    ASSERT_EQ(back.records.size(), t.records.size());
+    EXPECT_EQ(back.spe_programs, t.spe_programs);
+    EXPECT_EQ(back.records[99].timestamp, t.records[99].timestamp);
+}
+
+TEST(TraceIo, NonSeekableTruncatedRecordsThrowCleanly)
+{
+    std::string bytes = bytesOf(sampleTrace());
+    bytes.resize(bytes.size() - 16); // half a record missing
+    NonSeekableBuf buf(std::move(bytes));
+    std::istream is(&buf);
+    try {
+        (void)read(is);
+        FAIL() << "read accepted a truncated non-seekable stream";
+    } catch (const std::runtime_error& e) {
+        // The record-count validation can only run up front on seekable
+        // input; on a pipe the error must still name where it stopped.
+        EXPECT_NE(std::string(e.what()).find("after record"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIo, NonSeekableLyingRecordCountDoesNotOverAllocate)
+{
+    // A corrupt header claiming 2^40 records must not trigger a giant
+    // up-front allocation when the stream size is unknowable — the
+    // chunked reader runs out of input (and throws) long before memory.
+    std::string bytes = bytesOf(sampleTrace());
+    const std::uint64_t lie = std::uint64_t{1} << 40;
+    std::memcpy(bytes.data() + 32, &lie, sizeof(lie)); // record_count
+    NonSeekableBuf buf(std::move(bytes));
+    std::istream is(&buf);
+    EXPECT_THROW((void)read(is), std::runtime_error);
 }
 
 TEST(TraceIo, LargeTraceRoundTrips)

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Shard-planner tests: the partition invariant, boundary resync
+ * validation, shard reads reproducing the serial byte sequence, and
+ * rejection of inputs that cannot be sharded (non-seekable streams,
+ * truncated files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "trace/reader.h"
+#include "trace/shard.h"
+#include "trace/writer.h"
+
+namespace cell::trace {
+namespace {
+
+/** A read-only streambuf with seeking disabled — models a pipe. */
+class NonSeekableBuf : public std::streambuf
+{
+  public:
+    explicit NonSeekableBuf(std::string data) : data_(std::move(data))
+    {
+        setg(data_.data(), data_.data(), data_.data() + data_.size());
+    }
+
+  private:
+    std::string data_;
+};
+
+TraceData
+sampleTrace(std::uint32_t n_records)
+{
+    TraceData t;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs = {"prog_a", "prog_b"};
+    for (std::uint32_t i = 0; i < n_records; ++i) {
+        Record r{};
+        r.kind = static_cast<std::uint8_t>(i % 30);
+        r.phase = i % 2;
+        r.core = static_cast<std::uint16_t>(i % 3);
+        r.timestamp = 1000 + i;
+        r.a = i;
+        r.b = i * 2;
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+std::string
+bytesOf(const TraceData& t)
+{
+    const auto buf = writeBuffer(t);
+    return {reinterpret_cast<const char*>(buf.data()), buf.size()};
+}
+
+TEST(TraceShard, PlanPartitionsTheRecordRegionExactly)
+{
+    const TraceData t = sampleTrace(1000);
+    std::istringstream is(bytesOf(t), std::ios::binary);
+    ShardOptions opt;
+    opt.target_shards = 7;
+    opt.min_records_per_shard = 64;
+    const ShardPlan plan = planShards(is, opt);
+
+    EXPECT_EQ(plan.record_count, 1000u);
+    EXPECT_EQ(plan.header.num_spes, 2u);
+    EXPECT_EQ(plan.spe_programs, t.spe_programs);
+    ASSERT_GT(plan.shards.size(), 1u);
+    std::uint64_t next = 0;
+    for (const Shard& s : plan.shards) {
+        EXPECT_EQ(s.first_record, next);
+        EXPECT_GT(s.num_records, 0u);
+        EXPECT_EQ(s.byte_offset,
+                  plan.record_region_offset + s.first_record * sizeof(Record));
+        next += s.num_records;
+    }
+    EXPECT_EQ(next, plan.record_count);
+    EXPECT_EQ(plan.boundaries_adjusted, 0u); // healthy trace: no-op
+}
+
+TEST(TraceShard, ShardReadsConcatenateToTheSerialRead)
+{
+    const TraceData t = sampleTrace(777);
+    const std::string bytes = bytesOf(t);
+    std::istringstream is(bytes, std::ios::binary);
+    ShardOptions opt;
+    opt.target_shards = 5;
+    opt.min_records_per_shard = 32;
+    const ShardPlan plan = planShards(is, opt);
+
+    std::vector<Record> merged;
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+        std::istringstream ss(bytes, std::ios::binary);
+        const std::vector<Record> part = readShard(ss, plan, s);
+        EXPECT_EQ(part.size(), plan.shards[s].num_records);
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(merged.size(), t.records.size());
+    EXPECT_EQ(0, std::memcmp(merged.data(), t.records.data(),
+                             merged.size() * sizeof(Record)));
+}
+
+TEST(TraceShard, TinyTraceCollapsesToOneShard)
+{
+    const TraceData t = sampleTrace(100);
+    std::istringstream is(bytesOf(t), std::ios::binary);
+    ShardOptions opt;
+    opt.target_shards = 8; // default min_records_per_shard (4096) wins
+    const ShardPlan plan = planShards(is, opt);
+    ASSERT_EQ(plan.shards.size(), 1u);
+    EXPECT_EQ(plan.shards[0].num_records, 100u);
+}
+
+TEST(TraceShard, ImplausibleBoundaryRecordSlidesForward)
+{
+    TraceData t = sampleTrace(512);
+    // With 4 shards of 128, record 128 starts shard 1. Make it
+    // implausible (kind far outside both the op and tool ranges) so
+    // boundary validation slides that boundary forward — and make the
+    // next record plausible, so it only slides by one.
+    t.records[128].kind = 99;
+    t.records[128].phase = 7;
+    std::istringstream is(bytesOf(t), std::ios::binary);
+    ShardOptions opt;
+    opt.target_shards = 4;
+    opt.min_records_per_shard = 8;
+    const ShardPlan plan = planShards(is, opt);
+
+    EXPECT_GE(plan.boundaries_adjusted, 1u);
+    // The partition invariant must survive the adjustment.
+    std::uint64_t next = 0;
+    for (const Shard& s : plan.shards) {
+        EXPECT_EQ(s.first_record, next);
+        next += s.num_records;
+    }
+    EXPECT_EQ(next, plan.record_count);
+    // No shard may now begin at the implausible record.
+    for (const Shard& s : plan.shards)
+        EXPECT_NE(s.first_record, 128u);
+}
+
+TEST(TraceShard, NonSeekableInputIsRejectedWithClearError)
+{
+    NonSeekableBuf buf(bytesOf(sampleTrace(1000)));
+    std::istream is(&buf);
+    try {
+        (void)planShards(is, {});
+        FAIL() << "planShards accepted a non-seekable stream";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("not seekable"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("--threads 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceShard, LyingRecordCountIsRejectedUpFront)
+{
+    std::string bytes = bytesOf(sampleTrace(100));
+    // Header offset 32: record_count. Claim far more records than the
+    // file holds.
+    const std::uint64_t lie = 1'000'000;
+    std::memcpy(bytes.data() + 32, &lie, sizeof(lie));
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+        (void)planShards(is, {});
+        FAIL() << "planShards accepted a lying record count";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("--salvage"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceShard, BadMagicIsRejected)
+{
+    std::string bytes = bytesOf(sampleTrace(10));
+    bytes[0] = 'X';
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW((void)planShards(is, {}), std::runtime_error);
+}
+
+TEST(TraceShard, PlanRestoresTheStreamPosition)
+{
+    const TraceData t = sampleTrace(300);
+    std::istringstream is(bytesOf(t), std::ios::binary);
+    const auto before = is.tellg();
+    ShardOptions opt;
+    opt.min_records_per_shard = 16;
+    (void)planShards(is, opt);
+    EXPECT_EQ(is.tellg(), before);
+}
+
+} // namespace
+} // namespace cell::trace

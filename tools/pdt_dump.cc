@@ -19,6 +19,7 @@
 #include <string>
 
 #include "ta/model.h"
+#include "ta/parallel.h"
 #include "trace/reader.h"
 
 namespace {
@@ -26,7 +27,8 @@ namespace {
 int
 usage()
 {
-    std::cerr << "usage: pdt_dump [--resolved] [--salvage] <trace.pdt> [max]\n";
+    std::cerr << "usage: pdt_dump [--resolved] [--salvage] [--threads N] "
+                 "<trace.pdt> [max]\n";
     return 2;
 }
 
@@ -38,27 +40,44 @@ main(int argc, char** argv)
     using namespace cell;
     if (argc < 2)
         return usage();
-    int argi = 1;
     bool resolved = false;
     bool salvage = false;
-    while (argi < argc && argv[argi][0] == '-') {
-        const std::string flag = argv[argi];
-        if (flag == "--resolved")
+    unsigned threads = 1; // model build threads; 1 = serial builder
+    std::string path;
+    std::size_t max = ~std::size_t{0};
+    int positionals = 0;
+    for (int argi = 1; argi < argc; ++argi) {
+        const std::string arg = argv[argi];
+        if (arg == "--resolved") {
             resolved = true;
-        else if (flag == "--salvage")
+        } else if (arg == "--salvage") {
             salvage = true;
-        else
+        } else if (arg == "--threads" && argi + 1 < argc) {
+            try {
+                threads = static_cast<unsigned>(std::stoul(argv[++argi]));
+            } catch (const std::exception&) {
+                return usage();
+            }
+        } else if (arg.rfind("-", 0) == 0 && arg.size() > 1) {
             return usage();
-        ++argi;
+        } else if (positionals == 0) {
+            path = arg;
+            ++positionals;
+        } else if (positionals == 1) {
+            try {
+                max = std::stoull(arg);
+            } catch (const std::exception&) {
+                return usage();
+            }
+            ++positionals;
+        } else {
+            return usage();
+        }
     }
-    if (argi >= argc) {
+    if (positionals == 0) {
         std::cerr << "pdt_dump: missing trace file\n";
         return 2;
     }
-    const std::string path = argv[argi++];
-    std::size_t max = ~std::size_t{0};
-    if (argi < argc)
-        max = std::stoull(argv[argi]);
 
     try {
         trace::ReadReport report;
@@ -83,7 +102,11 @@ main(int argc, char** argv)
         // Optional resolved-time column.
         std::vector<double> times_us;
         if (resolved) {
-            const ta::TraceModel model = ta::TraceModel::build(data, salvage);
+            ta::WorkerPool pool(threads);
+            const ta::TraceModel model =
+                pool.threads() > 1
+                    ? ta::buildModelParallel(data, pool, salvage)
+                    : ta::TraceModel::build(data, salvage);
             if (model.leniencySkipped() > 0) {
                 // Some records could not be placed on the clock, so
                 // the 1:1 stream-order alignment below would mispair.

@@ -21,6 +21,12 @@
  * A damaged trace fails with a diagnostic naming where parsing stopped
  * (exit 1). `ta --salvage <command> <trace.pdt>` analyzes whatever a
  * salvage read recovers, reporting what was skipped on stderr.
+ *
+ * `--threads N` selects the analysis thread count (default: hardware
+ * concurrency). The parallel path shards the file on the record
+ * stride, ingests and analyzes the shards concurrently, and produces
+ * byte-identical output to the serial analyzer; `--threads 1` forces
+ * the legacy serial path.
  */
 
 #include <fstream>
@@ -28,6 +34,7 @@
 #include <string>
 
 #include "ta/analyzer.h"
+#include "ta/parallel.h"
 #include "ta/compare.h"
 #include "ta/profile.h"
 #include "ta/report.h"
@@ -39,20 +46,24 @@ int
 usage()
 {
     std::cerr
-        << "usage: ta [--salvage] <command> <trace.pdt> [args]\n"
+        << "usage: ta [--salvage] [--threads N] <command> <trace.pdt> [args]\n"
            "commands: summary breakdown dma events tracing loss timeline\n"
            "          activity"
-           "          svg html csv intervals transfers compare all\n";
+           "          svg html csv intervals transfers compare all\n"
+           "--threads N: analysis threads (default: hardware concurrency;\n"
+           "             1 forces the serial path; output is identical)\n";
     return 2;
 }
 
 cell::ta::Analysis
-load(const std::string& path, bool salvage)
+load(const std::string& path, bool salvage, unsigned threads)
 {
+    const cell::ta::ParallelOptions popt{threads, 0};
     if (!salvage)
-        return cell::ta::analyzeFile(path);
+        return cell::ta::analyzeFileParallel(path, popt);
     cell::trace::ReadReport report;
-    cell::ta::Analysis a = cell::ta::analyzeFileSalvage(path, report);
+    cell::ta::Analysis a =
+        cell::ta::analyzeFileSalvageParallel(path, report, popt);
     if (report.salvaged) {
         std::cerr << "ta: " << report.summary() << "\n";
         for (const std::string& note : report.notes)
@@ -67,30 +78,44 @@ int
 main(int argc, char** argv)
 {
     using namespace cell;
-    int argi = 1;
     bool salvage = false;
-    if (argi < argc && std::string(argv[argi]) == "--salvage") {
-        salvage = true;
-        ++argi;
+    unsigned threads = 0; // 0 = hardware concurrency
+    // Accept flags anywhere; compact the positionals to argv[1..] so
+    // argv[3] is the first extra argument below.
+    int nkeep = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--salvage") {
+            salvage = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            try {
+                threads = static_cast<unsigned>(std::stoul(argv[++i]));
+            } catch (const std::exception&) {
+                return usage();
+            }
+        } else if (arg.rfind("-", 0) == 0 && arg.size() > 1) {
+            return usage();
+        } else {
+            argv[nkeep++] = argv[i];
+        }
     }
-    if (argc - argi < 2)
+    argc = nkeep;
+    if (argc < 3)
         return usage();
-    const std::string cmd = argv[argi];
-    const std::string path = argv[argi + 1];
-    argv += argi - 1; // keep argv[3] == first extra arg below
-    argc -= argi - 1;
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
 
     try {
         if (cmd == "compare") {
             if (argc < 4)
                 return usage();
-            const ta::Analysis a = load(path, salvage);
-            const ta::Analysis b = load(argv[3], salvage);
+            const ta::Analysis a = load(path, salvage, threads);
+            const ta::Analysis b = load(argv[3], salvage, threads);
             ta::printComparison(std::cout, a, b);
             return 0;
         }
 
-        const ta::Analysis a = load(path, salvage);
+        const ta::Analysis a = load(path, salvage, threads);
         if (cmd == "summary") {
             ta::printSummary(std::cout, a);
         } else if (cmd == "breakdown") {

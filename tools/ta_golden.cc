@@ -1,0 +1,226 @@
+/**
+ * @file
+ * `ta_golden` — golden-trace fixture maintenance.
+ *
+ * The golden fixtures under tests/ta/golden/ are small committed PDT
+ * traces plus a `.digest` file per trace holding the FNV-1a 64 hash of
+ * the serial analyzer's full report. tests/ta/test_golden.cc fails if
+ * either the serial or the parallel analyzer stops reproducing a
+ * digest — i.e. if an analyzer change silently alters any number any
+ * report prints.
+ *
+ *   ta_golden gen   <dir>    regenerate every fixture (trace + digest)
+ *   ta_golden check <dir>    re-analyze each fixture, verify digests
+ *
+ * Regenerate (and commit the diff) only when an analyzer change is
+ * *supposed* to change reported numbers; `check` is what CI runs.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdt/tracer.h"
+#include "rt/system.h"
+#include "ta/analyzer.h"
+#include "ta/parallel.h"
+#include "trace/writer.h"
+#include "wl/matmul.h"
+#include "wl/triad.h"
+#include "wl/workqueue.h"
+
+namespace {
+
+using namespace cell;
+
+/** One deterministic fixture: a named trace-producing run. */
+struct Fixture
+{
+    const char* name;
+    trace::TraceData (*produce)();
+};
+
+trace::TraceData
+runTriad()
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys, {});
+    wl::TriadParams p;
+    p.n_elements = 4096;
+    p.n_spes = 2;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    if (!wl.verify())
+        throw std::runtime_error("triad verification failed");
+    return tracer.finalize();
+}
+
+trace::TraceData
+runMatmul()
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys, {});
+    wl::MatmulParams p;
+    p.n = 64;
+    p.n_spes = 2;
+    wl::Matmul wl(sys, p);
+    wl.start();
+    sys.run();
+    if (!wl.verify())
+        throw std::runtime_error("matmul verification failed");
+    return tracer.finalize();
+}
+
+trace::TraceData
+runWorkQueue()
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys, {});
+    wl::WorkQueueParams p;
+    p.n_items = 32;
+    p.tile_elems = 256;
+    p.n_spes = 2;
+    wl::WorkQueue wl(sys, p);
+    wl.start();
+    sys.run();
+    if (!wl.verify())
+        throw std::runtime_error("workqueue verification failed");
+    return tracer.finalize();
+}
+
+/** Triad under injected faults and a tiny SPU buffer with the
+ *  drop-with-marker overflow policy: a trace full of drop markers and
+ *  gap epochs — the bookkeeping the merge must preserve exactly. */
+trace::TraceData
+runTriadDrops()
+{
+    sim::MachineConfig mcfg;
+    mcfg.faults.seed = 42;
+    mcfg.faults.dma_delay_permille = 150;
+    mcfg.faults.dma_delay_cycles = 3'000;
+    mcfg.faults.mbox_stall_permille = 200;
+    mcfg.faults.arena_exhaust_begin = 1; // flush attempts 1..3 fail →
+    mcfg.faults.arena_exhaust_end = 4;   // guaranteed drop markers
+    rt::CellSystem sys(mcfg);
+    pdt::PdtConfig pcfg;
+    pcfg.spu_buffer_bytes = 512;
+    pcfg.overflow_policy = pdt::OverflowPolicy::DropWithMarker;
+    pdt::Pdt tracer(sys, pcfg);
+    wl::TriadParams p;
+    p.n_elements = 4096;
+    p.n_spes = 2;
+    wl::Triad wl(sys, p);
+    wl.start();
+    sys.run();
+    if (!wl.verify())
+        throw std::runtime_error("triad (drops) verification failed");
+    return tracer.finalize();
+}
+
+const std::vector<Fixture> kFixtures = {
+    {"triad", runTriad},
+    {"matmul", runMatmul},
+    {"workqueue", runWorkQueue},
+    {"triad_drops", runTriadDrops},
+};
+
+std::string
+digestHex(const trace::TraceData& data)
+{
+    const ta::Analysis a = ta::analyze(data, /*lenient=*/false);
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << ta::fnv1a64(ta::fullReport(a));
+    return os.str();
+}
+
+std::string
+readDigestFile(const std::filesystem::path& p)
+{
+    std::ifstream is(p);
+    std::string s;
+    is >> s;
+    return s;
+}
+
+int
+gen(const std::filesystem::path& dir)
+{
+    std::filesystem::create_directories(dir);
+    for (const Fixture& f : kFixtures) {
+        const trace::TraceData data = f.produce();
+        const auto trace_path = dir / (std::string(f.name) + ".pdt");
+        trace::writeFile(trace_path.string(), data);
+        const std::string digest = digestHex(data);
+        std::ofstream os(dir / (std::string(f.name) + ".digest"));
+        os << digest << "\n";
+        std::cout << f.name << ": " << data.records.size() << " records, "
+                  << "digest " << digest << "\n";
+    }
+    return 0;
+}
+
+int
+check(const std::filesystem::path& dir)
+{
+    int failures = 0;
+    for (const Fixture& f : kFixtures) {
+        const auto trace_path = dir / (std::string(f.name) + ".pdt");
+        const auto digest_path = dir / (std::string(f.name) + ".digest");
+        const std::string expect = readDigestFile(digest_path);
+        if (expect.empty()) {
+            std::cerr << f.name << ": missing digest file\n";
+            ++failures;
+            continue;
+        }
+        // Serial and the sharded parallel pipeline must both hit it.
+        const std::string serial =
+            digestHex(trace::readFile(trace_path.string()));
+        ta::ParallelOptions popt;
+        popt.threads = 4;
+        popt.shard_records = 64; // force many shards even on tiny traces
+        const ta::Analysis par =
+            ta::analyzeParallel(trace::readFile(trace_path.string()), popt);
+        std::ostringstream ps;
+        ps << std::hex << std::setw(16) << std::setfill('0')
+           << ta::fnv1a64(ta::fullReport(par));
+        if (serial != expect || ps.str() != expect) {
+            std::cerr << f.name << ": digest mismatch (expect " << expect
+                      << ", serial " << serial << ", parallel " << ps.str()
+                      << ")\n";
+            ++failures;
+        } else {
+            std::cout << f.name << ": ok (" << expect << ")\n";
+        }
+    }
+    return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: ta_golden {gen|check} <dir>\n";
+        return 2;
+    }
+    const std::string mode = argv[1];
+    try {
+        if (mode == "gen")
+            return gen(argv[2]);
+        if (mode == "check")
+            return check(argv[2]);
+    } catch (const std::exception& e) {
+        std::cerr << "ta_golden: " << e.what() << "\n";
+        return 1;
+    }
+    std::cerr << "usage: ta_golden {gen|check} <dir>\n";
+    return 2;
+}
