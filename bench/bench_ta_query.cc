@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Windowed-query benchmark: indexed seek vs. full scan.
+ *
+ * One large synthetic trace (same shape as bench_ta_parallel's) is
+ * written to a temp file twice — plain v1 and v2 with a footer index —
+ * and both paths answer the same [from, to) windows. The windows are
+ * centered fractions of the trace span (1/1024, 1/64, 1/8, whole), so
+ * the JSON output reads as "how much does the index save as the window
+ * shrinks". BM_WindowIndexedCold clears the block cache every
+ * iteration to price the first-touch disk reads separately from the
+ * warm steady state.
+ *
+ *     cmake --build build --target bench   # writes BENCH_ta_query.json
+ *
+ * Indexed and full-scan answers are asserted byte-identical elsewhere
+ * (tests/ta/test_query_diff.cc); this file measures wall clock only.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "ta/parallel.h"
+#include "ta/query.h"
+#include "trace/writer.h"
+
+namespace {
+
+using namespace cell;
+
+/** Same synthetic shape as bench_ta_parallel: nine cores, ~1M records,
+ *  periodic drop markers, SPE decrementers counting down. */
+trace::TraceData
+bigTrace()
+{
+    constexpr std::uint32_t kCores = 9; // PPE + 8 SPEs
+    constexpr std::uint64_t kRecords = 1u << 20;
+    trace::TraceData d;
+    d.header.num_spes = kCores - 1;
+    d.header.core_hz = 3'200'000'000ULL;
+    d.header.timebase_divider = 8;
+    d.spe_programs.assign(kCores - 1, "synthetic");
+    d.records.reserve(kRecords + kCores);
+    std::uint32_t raw[kCores];
+    for (std::uint16_t c = 0; c < kCores; ++c) {
+        raw[c] = c == 0 ? 1000u : 0xFFFFF000u;
+        trace::Record r{};
+        r.kind = trace::kSyncRecord;
+        r.core = c;
+        r.a = raw[c];
+        r.b = 1000;
+        d.records.push_back(r);
+    }
+    bool begin[kCores] = {};
+    std::uint64_t dropped[kCores] = {};
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+        const auto c = static_cast<std::uint16_t>(i % kCores);
+        trace::Record r{};
+        r.core = c;
+        if (i % 65536 == 65535 && c != 0) {
+            r.kind = trace::kDropRecord;
+            r.a = 3;
+            r.b = dropped[c] += 3;
+        } else {
+            r.kind = static_cast<std::uint8_t>(1 + (i / kCores) % 8);
+            r.phase = begin[c] ? trace::kPhaseEnd : trace::kPhaseBegin;
+            begin[c] = !begin[c];
+        }
+        raw[c] += c == 0 ? 50u : -50u;
+        r.timestamp = raw[c];
+        d.records.push_back(r);
+    }
+    d.header.record_count = d.records.size();
+    return d;
+}
+
+/** The two on-disk variants plus the span the windows slice. */
+struct Fixture
+{
+    std::string v1_path;
+    std::string v2_path;
+    std::uint64_t start_tb = 0;
+    std::uint64_t span_tb = 0;
+    std::uint64_t n_records = 0;
+};
+
+const Fixture&
+fixture()
+{
+    static const Fixture f = [] {
+        const trace::TraceData d = bigTrace();
+        const std::string dir =
+            std::filesystem::temp_directory_path().string();
+        Fixture fx;
+        fx.v1_path = dir + "/bench_ta_query.v1.pdt";
+        fx.v2_path = dir + "/bench_ta_query.v2.pdt";
+        trace::writeFile(fx.v1_path, d);
+        trace::writeFile(fx.v2_path, d,
+                         trace::WriteOptions{.index_stride =
+                                                 trace::kDefaultIndexStride});
+        const ta::Analysis a = ta::analyze(d);
+        fx.start_tb = a.model.startTb();
+        fx.span_tb = a.model.spanTb();
+        fx.n_records = d.records.size();
+        return fx;
+    }();
+    return f;
+}
+
+/** Centered window covering 1/denom of the trace span. */
+void
+windowFor(std::uint64_t denom, std::uint64_t& from, std::uint64_t& to)
+{
+    const Fixture& f = fixture();
+    const std::uint64_t w = f.span_tb / denom;
+    from = f.start_tb + (f.span_tb - w) / 2;
+    to = from + (w == 0 ? 1 : w);
+}
+
+void
+runQuery(benchmark::State& state, const std::string& path, bool force_full,
+         bool cold)
+{
+    std::uint64_t from = 0, to = 0;
+    windowFor(static_cast<std::uint64_t>(state.range(0)), from, to);
+    ta::BlockCache cache; // private, so runs don't warm each other
+    ta::QueryOptions opt;
+    opt.threads = 4;
+    opt.force_full_scan = force_full;
+    opt.cache = &cache;
+    std::uint64_t scanned = 0;
+    bool used_index = false;
+    for (auto _ : state) {
+        if (cold)
+            cache.clear();
+        const ta::WindowResult r = ta::queryWindowFile(path, from, to, opt);
+        benchmark::DoNotOptimize(r.cores.size());
+        scanned = r.records_scanned;
+        used_index = r.used_index;
+    }
+    const Fixture& f = fixture();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(f.n_records));
+    state.counters["window_frac"] =
+        benchmark::Counter(1.0 / static_cast<double>(state.range(0)));
+    state.counters["records_scanned"] =
+        benchmark::Counter(static_cast<double>(scanned));
+    state.counters["used_index"] =
+        benchmark::Counter(used_index ? 1.0 : 0.0);
+}
+
+void
+BM_WindowIndexed(benchmark::State& state)
+{
+    runQuery(state, fixture().v2_path, /*force_full=*/false, /*cold=*/false);
+}
+BENCHMARK(BM_WindowIndexed)
+    ->Arg(1024)
+    ->Arg(64)
+    ->Arg(8)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WindowIndexedCold(benchmark::State& state)
+{
+    runQuery(state, fixture().v2_path, /*force_full=*/false, /*cold=*/true);
+}
+BENCHMARK(BM_WindowIndexedCold)
+    ->Arg(1024)
+    ->Arg(64)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WindowFullScan(benchmark::State& state)
+{
+    // Same v2 file, index deliberately ignored: isolates the seek win
+    // from any difference in the bytes on disk.
+    runQuery(state, fixture().v2_path, /*force_full=*/true, /*cold=*/false);
+}
+BENCHMARK(BM_WindowFullScan)
+    ->Arg(1024)
+    ->Arg(64)
+    ->Arg(8)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    std::remove(fixture().v1_path.c_str());
+    std::remove(fixture().v2_path.c_str());
+    return 0;
+}

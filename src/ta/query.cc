@@ -1,0 +1,655 @@
+/**
+ * @file
+ * Windowed query implementation: block cache, the window-aware
+ * interval matcher, the brute-force reference filter, and the indexed
+ * per-core replay.
+ *
+ * Correctness rests on three facts (argued in detail at the relevant
+ * code below, enforced end to end by tests/ta/test_query_diff.cc and
+ * properties P9/P9b):
+ *
+ *   1. Entry selection uses the LATEST index entry whose tick is
+ *      STRICTLY below the window start, so every skipped event has a
+ *      clamped time <= entry.tick < from — none can be in the window.
+ *   2. The matcher's per-op pending occupancy at the entry is exactly
+ *      the entry's open_begins mask intersected with the pendable ops;
+ *      a phantom (pre-entry) pending's End is consumed silently since
+ *      its interval started before the window.
+ *   3. Filtering to the window commutes with the reference's
+ *      stable_sort: windowed emission order equals the reference
+ *      emission order restricted to the shared items, and stable_sort
+ *      by start time preserves that restriction.
+ */
+
+#include "ta/query.h"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "ta/parallel.h"
+#include "trace/replay.h"
+#include "trace/shard.h"
+
+namespace cell::ta {
+
+using rt::ApiOp;
+
+// ---------------------------------------------------------------------------
+// Block cache
+
+BlockCache::BlockCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+}
+
+namespace {
+
+std::string
+blockKey(const std::string& file_id, std::uint64_t block)
+{
+    return file_id + '#' + std::to_string(block);
+}
+
+std::size_t
+blockBytes(const std::string& key, const BlockCache::Block& b)
+{
+    return key.size() + sizeof(trace::Record) * b->size() + 128;
+}
+
+} // namespace
+
+BlockCache::Block
+BlockCache::get(const std::string& file_id, std::uint64_t block,
+                const std::function<std::vector<trace::Record>()>& load)
+{
+    const std::string key = blockKey(file_id, block);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            stats_.hits += 1;
+            return it->second->block;
+        }
+        stats_.misses += 1;
+    }
+
+    // Load outside the lock: concurrent misses on the same key may
+    // both read the file; the blocks are identical and immutable, so
+    // whichever insert loses just drops its copy.
+    Block loaded = std::make_shared<const std::vector<trace::Record>>(load());
+
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->block;
+    }
+    lru_.push_front(Entry{key, loaded});
+    map_[key] = lru_.begin();
+    bytes_ += blockBytes(key, loaded);
+    while (bytes_ > capacity_ && lru_.size() > 1) {
+        const Entry& victim = lru_.back();
+        bytes_ -= blockBytes(victim.key, victim.block);
+        map_.erase(victim.key);
+        lru_.pop_back();
+        stats_.evictions += 1;
+    }
+    return loaded;
+}
+
+std::string
+BlockCache::fileId(const std::string& path)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    std::uint64_t sz = ec ? 0 : static_cast<std::uint64_t>(size);
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    const std::uint64_t mt =
+        ec ? 0
+           : static_cast<std::uint64_t>(
+                 mtime.time_since_epoch().count());
+    return path + '|' + std::to_string(sz) + '|' + std::to_string(mt);
+}
+
+BlockCache::Stats
+BlockCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+std::size_t
+BlockCache::sizeBytes() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return bytes_;
+}
+
+void
+BlockCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    lru_.clear();
+    map_.clear();
+    bytes_ = 0;
+}
+
+BlockCache&
+sharedBlockCache()
+{
+    static BlockCache cache;
+    return cache;
+}
+
+// ---------------------------------------------------------------------------
+// Window-aware interval matcher
+
+namespace {
+
+/** Ops the reference matcher keeps a pending Begin for: everything
+ *  classify()ed away from Other (Other Begins emit immediately and
+ *  SpuStart/SpuStop use the dedicated run slot). */
+std::uint64_t
+pendableOpsMask()
+{
+    static const std::uint64_t mask = [] {
+        std::uint64_t m = 0;
+        for (std::size_t k = 0; k < rt::kNumApiOps && k < 64; ++k) {
+            const auto op = static_cast<ApiOp>(k);
+            if (op == ApiOp::SpuStart || op == ApiOp::SpuStop)
+                continue;
+            if (classifyOp(op) != IntervalClass::Other)
+                m |= std::uint64_t{1} << k;
+        }
+        return m;
+    }();
+    return mask;
+}
+
+/**
+ * buildCoreIntervals (intervals.cc), restricted to intervals that
+ * START inside [from, to) — plus the phantom-pending machinery that
+ * makes mid-stream resume exact. Every branch mirrors the reference;
+ * where the reference would emit an interval, emitIfInWindow() keeps
+ * it only when start_tb lands in the window. A phantom slot marks "the
+ * reference has a pending here whose Begin predates the resume point":
+ * its End is consumed without emitting (the interval starts before the
+ * window, so the reference's emission is filtered out anyway), and a
+ * real Begin overwrites the phantom just as it would overwrite the
+ * reference's stale pending... except the reference can't have a stale
+ * pending (one slot per op), so a Begin simply clears the flag.
+ */
+class WindowMatcher
+{
+  public:
+    WindowMatcher(std::uint16_t core, std::uint64_t from, std::uint64_t to,
+                  std::uint64_t phantom_mask, bool phantom_run)
+        : core_(core), from_(from), to_(to), phantom_(phantom_mask),
+          phantom_run_(phantom_run)
+    {
+    }
+
+    void feed(const Event& ev)
+    {
+        final_epoch_ = ev.epoch;
+        if (ev.isToolRecord() || !ev.isKnownOp())
+            return;
+        const ApiOp op = ev.op();
+
+        if (op == ApiOp::SpuStart) {
+            run_start_ev_ = ev;
+            have_run_start_ = true;
+            phantom_run_ = false;
+            return;
+        }
+        if (op == ApiOp::SpuStop) {
+            if (!have_run_start_ && phantom_run_) {
+                // Run started before the resume point: the reference
+                // emits an interval starting before the window.
+                phantom_run_ = false;
+                return;
+            }
+            Interval run;
+            run.cls = IntervalClass::Run;
+            run.op = ApiOp::SpuStart;
+            run.core = core_;
+            run.start_tb =
+                have_run_start_ ? run_start_ev_.time_tb : ev.time_tb;
+            run.end_tb = ev.time_tb;
+            run.a = ev.a; // exit code
+            run.truncated = !have_run_start_;
+            run.gap = have_run_start_ && run_start_ev_.epoch != ev.epoch;
+            emitIfInWindow(run);
+            have_run_start_ = false;
+            return;
+        }
+
+        const auto idx = static_cast<std::size_t>(op);
+        const std::uint64_t bit = std::uint64_t{1} << idx;
+        if (ev.isBegin()) {
+            const auto cls = classifyOp(op);
+            if (cls == IntervalClass::Other) {
+                Interval i;
+                i.cls = cls;
+                i.op = op;
+                i.core = core_;
+                i.start_tb = i.end_tb = ev.time_tb;
+                i.a = ev.a;
+                i.b = ev.b;
+                i.c = ev.c;
+                i.d = ev.d;
+                emitIfInWindow(i);
+            } else {
+                pending_[idx] = ev;
+                phantom_ &= ~bit;
+            }
+        } else {
+            if (!pending_[idx] && (phantom_ & bit)) {
+                // End of a pre-window Begin: interval starts before
+                // the window, the reference's emission is filtered.
+                phantom_ &= ~bit;
+                return;
+            }
+            Interval i;
+            i.cls = classifyOp(op);
+            i.op = op;
+            i.core = core_;
+            if (pending_[idx]) {
+                const Event& b = *pending_[idx];
+                i.start_tb = b.time_tb;
+                i.a = b.a;
+                i.b = b.b;
+                i.c = b.c;
+                i.d = b.d;
+                i.gap = b.epoch != ev.epoch;
+                pending_[idx].reset();
+            } else {
+                i.start_tb = ev.time_tb;
+                i.truncated = true;
+            }
+            i.end_tb = ev.time_tb;
+            i.end_b = ev.b;
+            emitIfInWindow(i);
+        }
+    }
+
+    /** True if some real pending (or the run start) began inside the
+     *  window — its interval is a window member that only materializes
+     *  later, so replay must not stop yet. */
+    bool hasWindowPending() const
+    {
+        for (const auto& p : pending_) {
+            if (p && p->time_tb >= from_ && p->time_tb < to_)
+                return true;
+        }
+        return have_run_start_ && run_start_ev_.time_tb >= from_ &&
+               run_start_ev_.time_tb < to_;
+    }
+
+    /** Close dangling pendings at the core's last event time — the
+     *  reference's trace-end closure, same op-index order. Phantom
+     *  slots are skipped: their dangling intervals start pre-window. */
+    void finish(std::uint64_t last_time)
+    {
+        for (auto& p : pending_) {
+            if (!p)
+                continue;
+            Interval i;
+            i.cls = classifyOp(p->op());
+            i.op = p->op();
+            i.core = core_;
+            i.start_tb = p->time_tb;
+            i.end_tb = last_time;
+            i.a = p->a;
+            i.b = p->b;
+            i.c = p->c;
+            i.d = p->d;
+            i.truncated = true;
+            i.gap = p->epoch != final_epoch_;
+            emitIfInWindow(i);
+        }
+        if (have_run_start_) {
+            Interval run;
+            run.cls = IntervalClass::Run;
+            run.op = ApiOp::SpuStart;
+            run.core = core_;
+            run.start_tb = run_start_ev_.time_tb;
+            run.end_tb = last_time;
+            run.truncated = true;
+            run.gap = run_start_ev_.epoch != final_epoch_;
+            emitIfInWindow(run);
+        }
+    }
+
+    std::vector<Interval> take()
+    {
+        std::stable_sort(out_.begin(), out_.end(),
+                         [](const Interval& x, const Interval& y) {
+                             return x.start_tb < y.start_tb;
+                         });
+        return std::move(out_);
+    }
+
+  private:
+    void emitIfInWindow(const Interval& i)
+    {
+        if (i.start_tb >= from_ && i.start_tb < to_)
+            out_.push_back(i);
+    }
+
+    std::uint16_t core_;
+    std::uint64_t from_;
+    std::uint64_t to_;
+    std::uint64_t phantom_;
+    bool phantom_run_;
+    std::array<std::optional<Event>, rt::kNumApiOps> pending_;
+    Event run_start_ev_{};
+    bool have_run_start_ = false;
+    std::uint32_t final_epoch_ = 0;
+    std::vector<Interval> out_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Brute-force reference
+
+WindowResult
+queryWindow(const Analysis& a, std::uint64_t from, std::uint64_t to,
+            int core)
+{
+    WindowResult r;
+    r.from = from;
+    r.to = to;
+    r.header = a.model.header();
+    r.leniency_skipped = a.model.leniencySkipped();
+    r.cores.resize(a.model.cores().size());
+    r.intervals.resize(a.model.cores().size());
+    for (const CoreTimeline& tl : a.model.cores()) {
+        CoreTimeline& dst = r.cores[tl.core];
+        dst.core = tl.core;
+        dst.label = tl.label;
+        if (core >= 0 && tl.core != core)
+            continue;
+        for (const Event& ev : tl.events) {
+            if (ev.time_tb >= from && ev.time_tb < to)
+                dst.events.push_back(ev);
+        }
+        r.records_scanned += tl.events.size();
+        for (const Interval& iv : a.intervals.per_core[tl.core]) {
+            if (iv.start_tb >= from && iv.start_tb < to)
+                r.intervals[tl.core].push_back(iv);
+        }
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Indexed per-core replay
+
+namespace {
+
+struct CoreReplay
+{
+    std::vector<Event> events;
+    std::vector<Interval> intervals;
+    std::uint64_t scanned = 0;
+};
+
+/** Replay one core's window from its best index entry. */
+CoreReplay
+replayCoreWindow(const std::string& path, const trace::TraceIndex& idx,
+                 BlockCache& cache, const std::string& file_id,
+                 std::uint16_t core, std::uint64_t from, std::uint64_t to)
+{
+    CoreReplay out;
+    const trace::IndexCoreSummary& s = idx.cores[core];
+    if (s.num_entries == 0 || from >= to)
+        return out;
+
+    // Latest entry with tick strictly below the window start; entry
+    // ticks are validated non-decreasing, so partition_point applies.
+    const auto begin = idx.entries.begin() + s.first_entry;
+    const auto end = begin + s.num_entries;
+    auto it = std::partition_point(
+        begin, end,
+        [from](const trace::IndexEntry& e) { return e.tick < from; });
+    if (it != begin)
+        --it;
+    const trace::IndexEntry& e = *it;
+
+    const std::uint64_t region = idx.header.record_region_offset;
+    const std::uint64_t total = idx.header.record_count;
+    std::uint64_t rec_i = (e.byte_offset - region) / sizeof(trace::Record);
+    const std::uint64_t rec_end =
+        (s.end_offset - region) / sizeof(trace::Record);
+
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("ta::queryWindowFile: cannot open " + path);
+
+    trace::ClockReplay clk;
+    clk.have_sync = (e.flags & trace::kEntryHaveSync) != 0;
+    clk.sync_raw = e.sync_raw;
+    clk.sync_tb = e.sync_tb;
+    clk.epoch = e.epoch;
+    std::uint64_t prev = e.tick;
+    std::uint64_t last_time = e.tick;
+
+    WindowMatcher matcher(core, from, to, e.open_begins & pendableOpsMask(),
+                          (e.open_begins >>
+                           static_cast<unsigned>(ApiOp::SpuStart)) &
+                              1);
+    bool stopped = false;
+
+    while (rec_i < rec_end && !stopped) {
+        const std::uint64_t blk = rec_i / BlockCache::kBlockRecords;
+        const std::uint64_t blk_first = blk * BlockCache::kBlockRecords;
+        BlockCache::Block records = cache.get(
+            file_id, blk, [&is, &path, region, total, blk_first] {
+                const std::uint64_t n = std::min(
+                    BlockCache::kBlockRecords, total - blk_first);
+                std::vector<trace::Record> v(n);
+                is.clear();
+                is.seekg(static_cast<std::streamoff>(
+                    region + blk_first * sizeof(trace::Record)));
+                is.read(reinterpret_cast<char*>(v.data()),
+                        static_cast<std::streamsize>(
+                            n * sizeof(trace::Record)));
+                if (!is)
+                    throw std::runtime_error(
+                        "ta::queryWindowFile: short read in " + path);
+                return v;
+            });
+
+        for (std::uint64_t j = rec_i - blk_first;
+             j < records->size() && rec_i < rec_end; ++j, ++rec_i) {
+            const trace::Record& rec = (*records)[j];
+            out.scanned += 1;
+            if (rec.core != core)
+                continue;
+            std::uint64_t t = 0;
+            if (!clk.feed(rec, t))
+                continue; // unreachable on a strictClean() index
+            if (t < prev)
+                t = prev;
+            prev = t;
+
+            Event ev;
+            ev.time_tb = t;
+            ev.kind = rec.kind;
+            ev.phase = rec.phase;
+            ev.core = rec.core;
+            ev.epoch = clk.epoch;
+            ev.a = rec.a;
+            ev.b = rec.b;
+            ev.c = rec.c;
+            ev.d = rec.d;
+            if (t >= from && t < to)
+                out.events.push_back(ev);
+            matcher.feed(ev);
+            last_time = t;
+
+            // Past the window with nothing window-started still open:
+            // every later event and interval start is >= to.
+            if (t >= to && !matcher.hasWindowPending()) {
+                stopped = true;
+                break;
+            }
+        }
+    }
+
+    // If we replayed to the core's end, last_time is the core's true
+    // last event time (strict-clean: every record places) — the same
+    // closure time the reference uses. If we stopped early, no real
+    // pending started in the window, so the closure would emit nothing
+    // the window keeps.
+    if (!stopped)
+        matcher.finish(last_time);
+    out.intervals = matcher.take();
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// File query
+
+WindowResult
+queryWindowFile(const std::string& path, std::uint64_t from,
+                std::uint64_t to, const QueryOptions& opt)
+{
+    if (opt.salvage) {
+        trace::ReadReport rep;
+        const Analysis a = analyzeFileSalvageParallel(
+            path, rep, ParallelOptions{opt.threads, 0});
+        return queryWindow(a, from, to, opt.core);
+    }
+
+    bool use_index = !opt.force_full_scan;
+    trace::ShardPlan plan;
+    trace::IndexReadResult ir;
+    if (use_index) {
+        try {
+            plan = trace::planShardsFile(path);
+            ir = trace::readIndexFile(path);
+        } catch (const std::exception&) {
+            // Let the full-scan path produce its own diagnostic.
+            use_index = false;
+        }
+        if (use_index && (!ir.valid || !ir.index.strictClean()))
+            use_index = false;
+    }
+    if (!use_index) {
+        const Analysis a =
+            analyzeFileParallel(path, ParallelOptions{opt.threads, 0});
+        return queryWindow(a, from, to, opt.core);
+    }
+
+    const trace::TraceIndex& idx = ir.index;
+    WindowResult r;
+    r.from = from;
+    r.to = to;
+    r.header = plan.header;
+    r.used_index = true;
+    {
+        trace::TraceData shell;
+        shell.header = plan.header;
+        shell.spe_programs = plan.spe_programs;
+        r.cores = TraceModel::emptyTimelines(shell);
+    }
+    r.intervals.resize(r.cores.size());
+
+    BlockCache& cache = opt.cache ? *opt.cache : sharedBlockCache();
+    const std::string file_id = BlockCache::fileId(path);
+    const std::uint32_t n_cores = plan.header.num_spes + 1;
+    std::vector<CoreReplay> per(n_cores);
+
+    const auto run_core = [&](std::uint64_t c) {
+        if (opt.core >= 0 && c != static_cast<std::uint64_t>(opt.core))
+            return;
+        per[c] = replayCoreWindow(path, idx, cache, file_id,
+                                  static_cast<std::uint16_t>(c), from, to);
+    };
+    if (opt.threads == 1) {
+        for (std::uint64_t c = 0; c < n_cores; ++c)
+            run_core(c);
+    } else {
+        WorkerPool pool(opt.threads);
+        pool.parallelFor(n_cores, run_core);
+    }
+
+    for (std::uint32_t c = 0; c < n_cores; ++c) {
+        r.cores[c].events = std::move(per[c].events);
+        r.intervals[c] = std::move(per[c].intervals);
+        r.records_scanned += per[c].scanned;
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Report / re-analysis
+
+std::string
+windowReport(const WindowResult& r)
+{
+    std::ostringstream os;
+    os << "== window [" << r.from << ", " << r.to << ") tb ==\n";
+    for (std::size_t c = 0; c < r.cores.size(); ++c) {
+        os << "  core " << c << " " << r.cores[c].label << ": "
+           << r.cores[c].events.size() << " events, "
+           << (c < r.intervals.size() ? r.intervals[c].size() : 0)
+           << " intervals\n";
+    }
+    os << "  leniency skipped: " << r.leniency_skipped << "\n";
+
+    os << "events: core,time_tb,epoch,kind,phase,a,b,c,d\n";
+    for (const CoreTimeline& tl : r.cores) {
+        for (const Event& ev : tl.events) {
+            os << ev.core << ',' << ev.time_tb << ',' << ev.epoch << ','
+               << static_cast<unsigned>(ev.kind) << ','
+               << static_cast<unsigned>(ev.phase) << ',' << ev.a << ','
+               << ev.b << ',' << ev.c << ',' << ev.d << '\n';
+        }
+    }
+
+    os << "intervals: core,class,op,start_tb,end_tb,a,b,c,d,end_b,"
+          "truncated,gap\n";
+    for (const auto& per_core : r.intervals) {
+        for (const Interval& iv : per_core) {
+            os << iv.core << ',' << intervalClassName(iv.cls) << ','
+               << rt::apiOpName(iv.op) << ',' << iv.start_tb << ','
+               << iv.end_tb << ',' << iv.a << ',' << iv.b << ',' << iv.c
+               << ',' << iv.d << ',' << iv.end_b << ','
+               << (iv.truncated ? 1 : 0) << ',' << (iv.gap ? 1 : 0)
+               << '\n';
+        }
+    }
+    return os.str();
+}
+
+Analysis
+windowAnalysis(const WindowResult& r)
+{
+    std::vector<CoreTimeline> cores = r.cores;
+    Analysis a{TraceModel::assemble(r.header, std::move(cores),
+                                    r.leniency_skipped),
+               {}, {}};
+    a.intervals.per_core = r.intervals;
+    a.stats.resizeFor(a.model);
+    std::uint64_t total = 0;
+    for (const CoreTimeline& tl : a.model.cores()) {
+        a.stats.buildCore(a.model, a.intervals, tl.core);
+        total += tl.events.size();
+    }
+    a.stats.total_records = total;
+    return a;
+}
+
+} // namespace cell::ta

@@ -19,6 +19,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "trace/index.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
 
@@ -334,8 +335,22 @@ readSalvageImpl(Reader& in, ReadReport& rep)
 
 } // namespace
 
+namespace {
+
+/** Absolute offset of the first record for @p trace as written. */
+std::uint64_t
+recordRegionOffsetFor(const TraceData& trace)
+{
+    std::uint64_t off = sizeof(Header);
+    for (const std::string& name : trace.spe_programs)
+        off += sizeof(std::uint32_t) + name.size();
+    return off;
+}
+
+} // namespace
+
 void
-write(std::ostream& os, const TraceData& trace)
+write(std::ostream& os, const TraceData& trace, const WriteOptions& opt)
 {
     const Header hdr = headerFor(trace);
     os.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
@@ -349,21 +364,29 @@ write(std::ostream& os, const TraceData& trace)
                  static_cast<std::streamsize>(
                      trace.records.size() * sizeof(Record)));
     }
+    if (opt.index_stride > 0) {
+        const TraceIndex idx = buildIndex(
+            trace, hdr, recordRegionOffsetFor(trace), opt.index_stride);
+        const std::vector<std::uint8_t> bytes = serializeIndex(idx);
+        os.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
     if (!os)
         throw std::runtime_error("trace::write: stream failure");
 }
 
 void
-writeFile(const std::string& path, const TraceData& trace)
+writeFile(const std::string& path, const TraceData& trace,
+          const WriteOptions& opt)
 {
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os)
         throw std::runtime_error("trace::writeFile: cannot open " + path);
-    write(os, trace);
+    write(os, trace, opt);
 }
 
 std::vector<std::uint8_t>
-writeBuffer(const TraceData& trace)
+writeBuffer(const TraceData& trace, const WriteOptions& opt)
 {
     const Header hdr = headerFor(trace);
     std::size_t total = sizeof(hdr);
@@ -386,6 +409,12 @@ writeBuffer(const TraceData& trace)
     }
     if (!trace.records.empty())
         append(trace.records.data(), trace.records.size() * sizeof(Record));
+    if (opt.index_stride > 0) {
+        const TraceIndex idx = buildIndex(
+            trace, hdr, recordRegionOffsetFor(trace), opt.index_stride);
+        const std::vector<std::uint8_t> bytes = serializeIndex(idx);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+    }
     return out;
 }
 

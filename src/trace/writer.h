@@ -13,14 +13,31 @@
 
 namespace cell::trace {
 
+/** Serialization knobs. */
+struct WriteOptions
+{
+    /**
+     * Records-per-core between v2 footer index entries; 0 (the
+     * default) writes a plain v1 trace, byte-identical to what every
+     * earlier writer produced. Nonzero appends the self-checksummed
+     * index footer AFTER the record region — the file header stays at
+     * version 1 and v1 readers (strict and salvage) ignore the footer,
+     * so the index is strictly additive. See trace/index.h.
+     */
+    std::uint32_t index_stride = 0;
+};
+
 /** Serialize @p trace to a binary stream. @throws std::runtime_error. */
-void write(std::ostream& os, const TraceData& trace);
+void write(std::ostream& os, const TraceData& trace,
+           const WriteOptions& opt = {});
 
 /** Serialize @p trace to @p path. @throws std::runtime_error. */
-void writeFile(const std::string& path, const TraceData& trace);
+void writeFile(const std::string& path, const TraceData& trace,
+               const WriteOptions& opt = {});
 
 /** Serialize to an in-memory byte buffer. */
-std::vector<std::uint8_t> writeBuffer(const TraceData& trace);
+std::vector<std::uint8_t> writeBuffer(const TraceData& trace,
+                                      const WriteOptions& opt = {});
 
 } // namespace cell::trace
 

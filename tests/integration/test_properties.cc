@@ -14,15 +14,21 @@
  *      serial builder (parallel-pipeline split invariance).
  *  P8  The scan/combine fold behind the parallel builder is
  *      associative and agrees with whole-range scans.
+ *  P9  Windowed queries through the v2 index equal the brute-force
+ *      filter of the full analysis, for random traces and random
+ *      windows (empty, single-tick and whole-file included).
+ *  P9b Adjacent windows concatenate exactly to their parent window.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <random>
 
 #include "pdt/tracer.h"
 #include "ta/analyzer.h"
 #include "ta/parallel.h"
+#include "ta/query.h"
 #include "trace/writer.h"
 #include "wl/gather.h"
 #include "wl/reduction.h"
@@ -376,6 +382,134 @@ TEST(Properties, P8_ScanCombineIsAssociativeAndSplitInvariant)
         // Split invariance: the fold equals the whole-range scan.
         EXPECT_TRUE(left == whole) << "split invariance broke at cuts "
                                    << i << "," << j;
+    }
+}
+
+TEST(Properties, P9_RandomWindowedQueriesEqualBruteForceFilter)
+{
+    for (const std::uint32_t seed : {101u, 202u, 303u}) {
+        const trace::TraceData data =
+            randomTrace(seed, 3, 4'000, /*messy=*/false);
+        const std::string path = ::testing::TempDir() + "/p9_" +
+                                 std::to_string(seed) + ".v2.pdt";
+        trace::writeFile(path, data,
+                         trace::WriteOptions{.index_stride = 32});
+        const ta::Analysis full = ta::analyze(data);
+        const std::uint64_t s = full.model.startTb();
+        const std::uint64_t e = full.model.endTb();
+
+        std::mt19937 rng(seed * 7 + 1);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> windows = {
+            {s + (e - s) / 2, s + (e - s) / 2}, // empty
+            {s + (e - s) / 3, s + (e - s) / 3 + 1}, // single tick
+            {s > 10 ? s - 10 : 0, e + 10},      // whole file
+        };
+        for (int i = 0; i < 8; ++i) {
+            std::uint64_t a = s + rng() % (e - s + 1);
+            std::uint64_t b = s + rng() % (e - s + 1);
+            if (a > b)
+                std::swap(a, b);
+            windows.emplace_back(a, b);
+        }
+
+        ta::BlockCache cache;
+        for (const auto& [from, to] : windows) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " [" +
+                         std::to_string(from) + ", " + std::to_string(to) +
+                         ")");
+            const std::string expect =
+                ta::windowReport(ta::queryWindow(full, from, to));
+            for (const unsigned threads : {1u, 4u}) {
+                ta::QueryOptions opt;
+                opt.threads = threads;
+                opt.cache = &cache;
+                const ta::WindowResult w =
+                    ta::queryWindowFile(path, from, to, opt);
+                EXPECT_TRUE(w.used_index);
+                EXPECT_EQ(ta::windowReport(w), expect);
+            }
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Properties, P9_MessyTraceWindowedQueryThrowsLikeFullScan)
+{
+    // A messy trace (pre-sync events / bad core ids) fails strict
+    // analysis; its index says so (strict-unclean), and the query
+    // layer must reproduce the full-scan diagnostic, not answer.
+    const trace::TraceData data = randomTrace(42, 3, 1'000, /*messy=*/true);
+    const std::string path = ::testing::TempDir() + "/p9_messy.v2.pdt";
+    trace::writeFile(path, data, trace::WriteOptions{.index_stride = 32});
+
+    std::string scan_msg;
+    try {
+        (void)ta::analyzeFileParallel(path, ta::ParallelOptions{2, 0});
+    } catch (const std::runtime_error& ex) {
+        scan_msg = ex.what();
+    }
+    ASSERT_FALSE(scan_msg.empty());
+
+    std::string query_msg;
+    try {
+        ta::QueryOptions opt;
+        opt.threads = 2;
+        (void)ta::queryWindowFile(path, 0, ~std::uint64_t{0}, opt);
+    } catch (const std::runtime_error& ex) {
+        query_msg = ex.what();
+    }
+    EXPECT_EQ(query_msg, scan_msg);
+    std::remove(path.c_str());
+}
+
+TEST(Properties, P9b_AdjacentWindowsConcatenateToParentWindow)
+{
+    for (const std::uint32_t seed : {404u, 505u}) {
+        const trace::TraceData data =
+            randomTrace(seed, 3, 4'000, /*messy=*/false);
+        const std::string path = ::testing::TempDir() + "/p9b_" +
+                                 std::to_string(seed) + ".v2.pdt";
+        trace::writeFile(path, data,
+                         trace::WriteOptions{.index_stride = 32});
+        const ta::Analysis full = ta::analyze(data);
+        const std::uint64_t s = full.model.startTb();
+        const std::uint64_t e = full.model.endTb();
+
+        std::mt19937 rng(seed);
+        ta::BlockCache cache;
+        ta::QueryOptions opt;
+        opt.threads = 2;
+        opt.cache = &cache;
+        for (int i = 0; i < 6; ++i) {
+            std::uint64_t cuts[3] = {s + rng() % (e - s + 1),
+                                     s + rng() % (e - s + 1),
+                                     s + rng() % (e - s + 1)};
+            std::sort(std::begin(cuts), std::end(cuts));
+            const auto [a, m, b] = std::tuple(cuts[0], cuts[1], cuts[2]);
+            SCOPED_TRACE("seed " + std::to_string(seed) + " cuts " +
+                         std::to_string(a) + "/" + std::to_string(m) +
+                         "/" + std::to_string(b));
+            const ta::WindowResult left =
+                ta::queryWindowFile(path, a, m, opt);
+            const ta::WindowResult right =
+                ta::queryWindowFile(path, m, b, opt);
+            const ta::WindowResult parent =
+                ta::queryWindowFile(path, a, b, opt);
+            ASSERT_EQ(parent.cores.size(), left.cores.size());
+            for (std::size_t c = 0; c < parent.cores.size(); ++c) {
+                std::vector<ta::Event> events = left.cores[c].events;
+                events.insert(events.end(), right.cores[c].events.begin(),
+                              right.cores[c].events.end());
+                EXPECT_TRUE(events == parent.cores[c].events)
+                    << "event concat mismatch on core " << c;
+                std::vector<ta::Interval> ivs = left.intervals[c];
+                ivs.insert(ivs.end(), right.intervals[c].begin(),
+                           right.intervals[c].end());
+                EXPECT_TRUE(ivs == parent.intervals[c])
+                    << "interval concat mismatch on core " << c;
+            }
+        }
+        std::remove(path.c_str());
     }
 }
 

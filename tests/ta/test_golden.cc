@@ -23,6 +23,8 @@
 
 #include "ta/analyzer.h"
 #include "ta/parallel.h"
+#include "ta/query.h"
+#include "trace/index.h"
 #include "trace/reader.h"
 
 namespace cell {
@@ -92,6 +94,47 @@ TEST(Golden, FileShardedIngestReproducesCommittedDigests)
         EXPECT_EQ(digestOf(ta::analyzeFileParallel(goldenPath(name, ".pdt"),
                                                    opt)),
                   expect);
+    }
+}
+
+TEST(Golden, V2VariantsReadViaTheV1PathReproduceCommittedDigests)
+{
+    // Each fixture also exists as `<name>.v2.pdt` — the same trace
+    // written with a footer index. The v1 reader must see the
+    // identical trace (footer ignored), hence the identical digest.
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string expect = committedDigest(name);
+        ASSERT_FALSE(expect.empty()) << "missing digest for " << name;
+        const trace::TraceData data =
+            trace::readFile(goldenPath(name, ".v2.pdt"));
+        EXPECT_EQ(digestOf(ta::analyze(data)), expect);
+    }
+}
+
+TEST(Golden, V2IndexesValidateAndAnswerWindowedQueriesExactly)
+{
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string path = goldenPath(name, ".v2.pdt");
+        const trace::IndexReadResult ir = trace::readIndexFile(path);
+        ASSERT_TRUE(ir.present) << ir.reason;
+        ASSERT_TRUE(ir.valid) << ir.reason;
+        EXPECT_TRUE(ir.index.strictClean());
+
+        const ta::Analysis full = ta::analyze(trace::readFile(path));
+        const std::uint64_t s = full.model.startTb();
+        const std::uint64_t span = full.model.spanTb();
+        ta::BlockCache cache;
+        ta::QueryOptions opt;
+        opt.threads = 2;
+        opt.cache = &cache;
+        const std::uint64_t from = s + span / 4;
+        const std::uint64_t to = s + (3 * span) / 4;
+        const ta::WindowResult w = ta::queryWindowFile(path, from, to, opt);
+        EXPECT_TRUE(w.used_index);
+        EXPECT_EQ(ta::windowReport(w),
+                  ta::windowReport(ta::queryWindow(full, from, to)));
     }
 }
 

@@ -6,7 +6,10 @@
  * either returns or throws std::runtime_error (never crashes, never
  * allocates unboundedly), and the salvage reader additionally never
  * throws once a valid header is present; whatever either returns must
- * survive lenient trace-model construction.
+ * survive lenient trace-model construction. The v2 index reader never
+ * throws at all: a corrupted, truncated or lying footer index must
+ * come back absent/invalid (full-scan fallback), never crash and
+ * never validate.
  *
  * Two build modes:
  *  - With -DCELL_FUZZ=ON (requires clang's libFuzzer), this compiles
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "ta/model.h"
+#include "trace/index.h"
 #include "trace/reader.h"
 
 namespace {
@@ -36,6 +40,12 @@ oneInput(const std::uint8_t* data, std::size_t size)
     } catch (const std::runtime_error&) {
         // Structural damage: the documented failure mode.
     }
+
+    // The index reader's contract is stricter: no exceptions at all,
+    // just present/valid flags.
+    const cell::trace::IndexReadResult ir =
+        cell::trace::readIndexBuffer(buf);
+    (void)ir;
 
     try {
         cell::trace::ReadReport rep;

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the v2 footer index: build/serialize/read roundtrip,
+ * v1 compatibility (stride 0 is byte-identical; v1 readers ignore the
+ * footer), and rejection of corrupted or lying indexes — including
+ * ones whose checksum is VALID but whose structure contradicts the
+ * file, which must be caught by the structural validation alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/format.h"
+#include "trace/index.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace cell::trace {
+namespace {
+
+/** A small deterministic multi-core trace: per-core syncs, paired
+ *  begin/end records, periodic drop markers. */
+TraceData
+sampleTrace(std::uint32_t n_spes = 2, std::uint32_t n_records = 500)
+{
+    TraceData t;
+    t.header.num_spes = n_spes;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs.assign(n_spes, "prog");
+
+    const std::uint32_t n_cores = n_spes + 1;
+    for (std::uint32_t c = 0; c < n_cores; ++c) {
+        Record sync{};
+        sync.kind = kSyncRecord;
+        sync.core = static_cast<std::uint16_t>(c);
+        sync.timestamp = c == 0 ? 1'000 : 900'000;
+        sync.a = sync.timestamp;
+        sync.b = 50'000 + c * 10;
+        t.records.push_back(sync);
+    }
+    std::uint32_t raw_ppe = 1'000;
+    std::uint32_t raw_spe = 900'000;
+    for (std::uint32_t i = 0; i < n_records; ++i) {
+        Record r{};
+        r.core = static_cast<std::uint16_t>(i % n_cores);
+        if (r.core == 0) {
+            raw_ppe += 7;
+            r.timestamp = raw_ppe;
+        } else {
+            raw_spe -= 5; // SPU decrementer counts down
+            r.timestamp = raw_spe;
+        }
+        if (i % 97 == 96) {
+            r.kind = kDropRecord;
+            r.a = 3;
+            r.b = i;
+        } else {
+            r.kind = i % 8; // MFC command ops
+            r.phase = (i / n_cores) % 2 == 0 ? kPhaseBegin : kPhaseEnd;
+            r.a = i;
+            r.b = i * 2;
+        }
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+/** Locate the index region inside a v2 buffer via the trailer. */
+struct IndexRegion
+{
+    std::size_t start = 0;
+    std::size_t size = 0;
+};
+
+IndexRegion
+locateIndex(const std::vector<std::uint8_t>& buf)
+{
+    IndexTrailer tr{};
+    std::memcpy(&tr, buf.data() + buf.size() - sizeof(tr), sizeof(tr));
+    EXPECT_EQ(tr.magic, kIndexMagic);
+    IndexRegion r;
+    r.size = static_cast<std::size_t>(tr.index_size);
+    r.start = buf.size() - sizeof(tr) - r.size;
+    return r;
+}
+
+/** Re-seal a mutated index region with a correct checksum, so only
+ *  the structural validation can reject it. */
+void
+resealChecksum(std::vector<std::uint8_t>& buf)
+{
+    const IndexRegion r = locateIndex(buf);
+    const std::uint64_t sum = fnv1a64Bytes(buf.data() + r.start, r.size);
+    std::memcpy(buf.data() + buf.size() - sizeof(IndexTrailer), &sum,
+                sizeof(sum));
+}
+
+TEST(TraceIndex, StrideZeroWritesByteIdenticalV1)
+{
+    const TraceData t = sampleTrace();
+    const auto v1 = writeBuffer(t);
+    const auto v1_explicit = writeBuffer(t, WriteOptions{});
+    EXPECT_EQ(v1, v1_explicit);
+}
+
+TEST(TraceIndex, V1BufferReportsNoIndex)
+{
+    const auto v1 = writeBuffer(sampleTrace());
+    const IndexReadResult r = readIndexBuffer(v1);
+    EXPECT_FALSE(r.present);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(TraceIndex, RoundtripValidatesAndMatchesBuild)
+{
+    const TraceData t = sampleTrace();
+    const auto v2 = writeBuffer(t, WriteOptions{.index_stride = 64});
+    const IndexReadResult r = readIndexBuffer(v2);
+    ASSERT_TRUE(r.present) << r.reason;
+    ASSERT_TRUE(r.valid) << r.reason;
+    EXPECT_TRUE(r.index.strictClean());
+
+    const IndexHeader& h = r.index.header;
+    EXPECT_EQ(h.version, kIndexVersion);
+    EXPECT_EQ(h.stride, 64u);
+    EXPECT_EQ(h.record_count, t.records.size());
+    EXPECT_EQ(h.num_cores, t.header.num_spes + 1);
+    ASSERT_EQ(r.index.cores.size(), h.num_cores);
+
+    // Summaries partition the entries; per-core totals sum to the
+    // record count; every non-final entry covers exactly one stride.
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < h.num_cores; ++c) {
+        const IndexCoreSummary& s = r.index.cores[c];
+        total += s.total_records;
+        for (std::uint32_t k = 0; k < s.num_entries; ++k) {
+            const IndexEntry& e = r.index.entries[s.first_entry + k];
+            EXPECT_EQ(e.core, c);
+            if (k + 1 < s.num_entries) {
+                EXPECT_EQ(e.record_count, h.stride);
+            }
+        }
+    }
+    EXPECT_EQ(total, t.records.size());
+}
+
+TEST(TraceIndex, V1ReadersIgnoreTheFooter)
+{
+    const TraceData t = sampleTrace();
+    const auto v1 = writeBuffer(t);
+    const auto v2 = writeBuffer(t, WriteOptions{.index_stride = 64});
+    ASSERT_GT(v2.size(), v1.size());
+
+    const TraceData strict = readBuffer(v2);
+    EXPECT_EQ(strict.records.size(), t.records.size());
+    EXPECT_TRUE(std::memcmp(strict.records.data(), t.records.data(),
+                            t.records.size() * sizeof(Record)) == 0);
+
+    ReadReport report;
+    const TraceData salvaged = readBufferSalvage(v2, report);
+    EXPECT_EQ(salvaged.records.size(), t.records.size());
+}
+
+TEST(TraceIndex, PresyncRecordsMarkIndexStrictUnclean)
+{
+    TraceData t = sampleTrace();
+    // A core-1 record BEFORE any sync: strict analysis throws, so the
+    // index must advertise it (and strictClean() go false).
+    Record early{};
+    early.kind = 2;
+    early.core = 1;
+    early.timestamp = 123;
+    t.records.insert(t.records.begin(), early);
+
+    const auto v2 = writeBuffer(t, WriteOptions{.index_stride = 64});
+    const IndexReadResult r = readIndexBuffer(v2);
+    ASSERT_TRUE(r.valid) << r.reason;
+    EXPECT_EQ(r.index.header.presync_records, 1u);
+    EXPECT_FALSE(r.index.strictClean());
+}
+
+TEST(TraceIndex, FlippedChecksumInvalidatesIndex)
+{
+    auto v2 = writeBuffer(sampleTrace(), WriteOptions{.index_stride = 64});
+    const IndexRegion reg = locateIndex(v2);
+    v2[reg.start + reg.size / 2] ^= 0x01;
+    const IndexReadResult r = readIndexBuffer(v2);
+    EXPECT_TRUE(r.present);
+    EXPECT_FALSE(r.valid);
+    EXPECT_NE(r.reason.find("checksum"), std::string::npos) << r.reason;
+}
+
+TEST(TraceIndex, TruncatedFooterIsAbsentNotCrash)
+{
+    auto v2 = writeBuffer(sampleTrace(), WriteOptions{.index_stride = 64});
+    v2.resize(v2.size() - 10);
+    const IndexReadResult r = readIndexBuffer(v2);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(TraceIndex, LyingRecordCountRejectedStructurally)
+{
+    auto v2 = writeBuffer(sampleTrace(), WriteOptions{.index_stride = 64});
+    const IndexRegion reg = locateIndex(v2);
+    IndexHeader h{};
+    std::memcpy(&h, v2.data() + reg.start, sizeof(h));
+    h.record_count += 1; // contradicts the file header
+    std::memcpy(v2.data() + reg.start, &h, sizeof(h));
+    resealChecksum(v2);
+    const IndexReadResult r = readIndexBuffer(v2);
+    EXPECT_TRUE(r.present);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(TraceIndex, LyingEntryOffsetRejectedStructurally)
+{
+    auto v2 = writeBuffer(sampleTrace(), WriteOptions{.index_stride = 64});
+    const IndexRegion reg = locateIndex(v2);
+    IndexHeader h{};
+    std::memcpy(&h, v2.data() + reg.start, sizeof(h));
+    ASSERT_GT(h.entry_count, 0u);
+    const std::size_t entry0 =
+        reg.start + sizeof(IndexHeader) + h.num_cores * sizeof(IndexCoreSummary);
+    IndexEntry e{};
+    std::memcpy(&e, v2.data() + entry0, sizeof(e));
+    e.byte_offset += 7; // off the record stride
+    std::memcpy(v2.data() + entry0, &e, sizeof(e));
+    resealChecksum(v2);
+    const IndexReadResult r = readIndexBuffer(v2);
+    EXPECT_TRUE(r.present);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(TraceIndex, NonMonotonicEntryTicksRejectedStructurally)
+{
+    auto v2 = writeBuffer(sampleTrace(1, 2000),
+                          WriteOptions{.index_stride = 64});
+    const IndexRegion reg = locateIndex(v2);
+    IndexHeader h{};
+    std::memcpy(&h, v2.data() + reg.start, sizeof(h));
+    // Need a core with >= 2 entries to break tick monotonicity.
+    IndexCoreSummary victim{};
+    std::size_t victim_first = 0;
+    bool found = false;
+    for (std::uint32_t c = 0; c < h.num_cores && !found; ++c) {
+        std::memcpy(&victim,
+                    v2.data() + reg.start + sizeof(IndexHeader) +
+                        c * sizeof(IndexCoreSummary),
+                    sizeof(victim));
+        if (victim.num_entries >= 2) {
+            victim_first = victim.first_entry;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found);
+    const std::size_t entries_base = reg.start + sizeof(IndexHeader) +
+                                     h.num_cores * sizeof(IndexCoreSummary);
+    const std::size_t second =
+        entries_base + (victim_first + 1) * sizeof(IndexEntry);
+    IndexEntry e{};
+    std::memcpy(&e, v2.data() + second, sizeof(e));
+    // Make the FIRST entry's tick exceed the second's.
+    IndexEntry e0{};
+    const std::size_t first = entries_base + victim_first * sizeof(IndexEntry);
+    std::memcpy(&e0, v2.data() + first, sizeof(e0));
+    e0.tick = e.tick + 1'000'000;
+    std::memcpy(v2.data() + first, &e0, sizeof(e0));
+    resealChecksum(v2);
+    const IndexReadResult r = readIndexBuffer(v2);
+    EXPECT_TRUE(r.present);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(TraceIndex, EmptyTraceIndexesCleanly)
+{
+    TraceData t;
+    t.header.num_spes = 1;
+    t.header.core_hz = 3'200'000'000ULL;
+    t.header.timebase_divider = 120;
+    t.spe_programs = {""};
+    const auto v2 = writeBuffer(t, WriteOptions{.index_stride = 64});
+    const IndexReadResult r = readIndexBuffer(v2);
+    ASSERT_TRUE(r.valid) << r.reason;
+    EXPECT_EQ(r.index.header.entry_count, 0u);
+    EXPECT_EQ(r.index.header.record_count, 0u);
+}
+
+} // namespace
+} // namespace cell::trace

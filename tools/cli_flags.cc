@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared tool flag parser implementation.
+ */
+
+#include "cli_flags.h"
+
+#include <stdexcept>
+
+namespace cell::cli {
+
+namespace {
+
+bool
+parseU64(const std::string& s, std::uint64_t& out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(s, &pos);
+        return pos == s.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool is_flag = arg.rfind("-", 0) == 0 && arg.size() > 1;
+        if (!is_flag) {
+            out.positionals.push_back(arg);
+            continue;
+        }
+        if (spec.salvage && arg == "--salvage") {
+            out.salvage = true;
+        } else if (spec.resolved && arg == "--resolved") {
+            out.resolved = true;
+        } else if (spec.full_scan && arg == "--full-scan") {
+            out.full_scan = true;
+        } else if (spec.threads && arg == "--threads") {
+            std::uint64_t v = 0;
+            if (i + 1 >= argc || !parseU64(argv[++i], v)) {
+                out.error = "--threads requires a number";
+                return false;
+            }
+            out.threads = static_cast<unsigned>(v);
+        } else if (spec.window && arg == "--from") {
+            if (i + 1 >= argc || !parseU64(argv[++i], out.from)) {
+                out.error = "--from requires a timebase tick";
+                return false;
+            }
+            out.have_from = true;
+        } else if (spec.window && arg == "--to") {
+            if (i + 1 >= argc || !parseU64(argv[++i], out.to)) {
+                out.error = "--to requires a timebase tick";
+                return false;
+            }
+            out.have_to = true;
+        } else {
+            out.error = "unknown flag: " + arg;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cell::cli

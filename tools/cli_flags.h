@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared command-line flag parsing for the trace tools (`ta`,
+ * `pdt_dump`). Each tool declares which flags it understands via
+ * FlagSpec; flags may appear anywhere and are compacted out, leaving
+ * the positionals in order. An unknown flag (or a flag missing its
+ * argument) fails the parse with a message — the tools print it plus
+ * their usage and exit non-zero, so a typo never silently becomes a
+ * file name.
+ */
+
+#ifndef CELL_TOOLS_CLI_FLAGS_H
+#define CELL_TOOLS_CLI_FLAGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cell::cli {
+
+/** Which flags a tool accepts. */
+struct FlagSpec
+{
+    bool salvage = false;   ///< --salvage
+    bool threads = false;   ///< --threads N
+    bool resolved = false;  ///< --resolved (pdt_dump)
+    bool window = false;    ///< --from T / --to T (timebase ticks)
+    bool full_scan = false; ///< --full-scan (ignore any v2 index)
+};
+
+/** Parsed flags + remaining positionals. Defaults that differ per
+ *  tool (e.g. thread count) are set by the caller BEFORE parsing;
+ *  parseFlags only overwrites what was given on the command line. */
+struct Flags
+{
+    bool salvage = false;
+    bool resolved = false;
+    bool full_scan = false;
+    unsigned threads = 0;
+    bool have_from = false;
+    bool have_to = false;
+    std::uint64_t from = 0;
+    std::uint64_t to = ~std::uint64_t{0};
+    std::vector<std::string> positionals;
+    std::string error; ///< set when parseFlags returns false
+};
+
+/** Parse argv[1..argc) against @p spec into @p out. Returns false
+ *  (with out.error set) on an unknown flag or a malformed argument. */
+bool parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out);
+
+} // namespace cell::cli
+
+#endif // CELL_TOOLS_CLI_FLAGS_H

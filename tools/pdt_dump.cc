@@ -8,6 +8,12 @@
  * to the analyzer: when TA's view looks wrong, this shows what PDT
  * actually wrote.
  *
+ * `--from T` / `--to T` (absolute timebase ticks, same convention as
+ * `ta window`) restrict the dump to records whose reconstructed time
+ * lies in [from, to). Filtering needs every record placed on the
+ * global clock; if some records are unplaceable (salvage lost their
+ * sync), the tool refuses with a diagnostic rather than misalign.
+ *
  * A damaged file fails with a diagnostic naming the byte offset and
  * record index where parsing stopped (exit 1). `--salvage` instead
  * prints everything recoverable — the parsable prefix plus whatever
@@ -22,13 +28,15 @@
 #include "ta/parallel.h"
 #include "trace/reader.h"
 
+#include "cli_flags.h"
+
 namespace {
 
 int
 usage()
 {
     std::cerr << "usage: pdt_dump [--resolved] [--salvage] [--threads N] "
-                 "<trace.pdt> [max]\n";
+                 "[--from T] [--to T] <trace.pdt> [max]\n";
     return 2;
 }
 
@@ -40,44 +48,36 @@ main(int argc, char** argv)
     using namespace cell;
     if (argc < 2)
         return usage();
-    bool resolved = false;
-    bool salvage = false;
-    unsigned threads = 1; // model build threads; 1 = serial builder
+    cli::FlagSpec spec;
+    spec.salvage = true;
+    spec.threads = true;
+    spec.resolved = true;
+    spec.window = true;
+    cli::Flags f;
+    f.threads = 1; // model build threads; 1 = serial builder
+    if (!cli::parseFlags(argc, argv, spec, f)) {
+        std::cerr << "pdt_dump: " << f.error << "\n";
+        return usage();
+    }
+    const bool salvage = f.salvage;
+    const bool windowed = f.have_from || f.have_to;
+    bool resolved = f.resolved || windowed;
     std::string path;
     std::size_t max = ~std::size_t{0};
-    int positionals = 0;
-    for (int argi = 1; argi < argc; ++argi) {
-        const std::string arg = argv[argi];
-        if (arg == "--resolved") {
-            resolved = true;
-        } else if (arg == "--salvage") {
-            salvage = true;
-        } else if (arg == "--threads" && argi + 1 < argc) {
-            try {
-                threads = static_cast<unsigned>(std::stoul(argv[++argi]));
-            } catch (const std::exception&) {
-                return usage();
-            }
-        } else if (arg.rfind("-", 0) == 0 && arg.size() > 1) {
-            return usage();
-        } else if (positionals == 0) {
-            path = arg;
-            ++positionals;
-        } else if (positionals == 1) {
-            try {
-                max = std::stoull(arg);
-            } catch (const std::exception&) {
-                return usage();
-            }
-            ++positionals;
-        } else {
-            return usage();
-        }
-    }
-    if (positionals == 0) {
+    if (f.positionals.empty()) {
         std::cerr << "pdt_dump: missing trace file\n";
         return 2;
     }
+    path = f.positionals[0];
+    if (f.positionals.size() >= 2) {
+        try {
+            max = std::stoull(f.positionals[1]);
+        } catch (const std::exception&) {
+            return usage();
+        }
+    }
+    if (f.positionals.size() > 2)
+        return usage();
 
     try {
         trace::ReadReport report;
@@ -99,10 +99,12 @@ main(int argc, char** argv)
                           << "\n";
         }
 
-        // Optional resolved-time column.
+        // Resolved-time column / window filter: per-record global
+        // times, aligned 1:1 with the record stream.
         std::vector<double> times_us;
+        std::vector<std::uint64_t> times_tb;
         if (resolved) {
-            ta::WorkerPool pool(threads);
+            ta::WorkerPool pool(f.threads);
             const ta::TraceModel model =
                 pool.threads() > 1
                     ? ta::buildModelParallel(data, pool, salvage)
@@ -110,6 +112,12 @@ main(int argc, char** argv)
             if (model.leniencySkipped() > 0) {
                 // Some records could not be placed on the clock, so
                 // the 1:1 stream-order alignment below would mispair.
+                if (windowed) {
+                    std::cerr << "pdt_dump: " << model.leniencySkipped()
+                              << " records unplaceable (sync lost); "
+                                 "--from/--to cannot align times\n";
+                    return 1;
+                }
                 std::cerr << "pdt_dump: " << model.leniencySkipped()
                           << " records unplaceable (sync lost); raw "
                              "timestamps only\n";
@@ -118,25 +126,32 @@ main(int argc, char** argv)
                 // Walk per-core cursors in stream order to align 1:1.
                 std::vector<std::size_t> cursor(model.cores().size(), 0);
                 times_us.reserve(data.records.size());
+                times_tb.reserve(data.records.size());
                 for (const trace::Record& rec : data.records) {
                     const auto& tl = model.cores()[rec.core];
-                    times_us.push_back(
-                        model.tbToUs(tl.events[cursor[rec.core]++].time_tb -
-                                     model.startTb()));
+                    const std::uint64_t tb =
+                        tl.events[cursor[rec.core]++].time_tb;
+                    times_tb.push_back(tb);
+                    times_us.push_back(model.tbToUs(tb - model.startTb()));
                 }
             }
         }
+        const bool show_resolved = resolved && f.resolved;
 
-        std::size_t n = 0;
-        for (const trace::Record& rec : data.records) {
-            if (n >= max)
+        std::size_t printed = 0;
+        for (std::size_t i = 0; i < data.records.size(); ++i) {
+            const trace::Record& rec = data.records[i];
+            if (printed >= max)
                 break;
-            std::cout << std::setw(7) << n << "  core=" << std::setw(2)
+            if (windowed &&
+                (times_tb[i] < f.from || times_tb[i] >= f.to))
+                continue;
+            std::cout << std::setw(7) << i << "  core=" << std::setw(2)
                       << rec.core << "  raw=" << std::setw(10)
                       << rec.timestamp << "  ";
-            if (resolved)
+            if (show_resolved)
                 std::cout << std::fixed << std::setprecision(3)
-                          << std::setw(12) << times_us[n] << "us  ";
+                          << std::setw(12) << times_us[i] << "us  ";
             if (rec.kind == trace::kSyncRecord) {
                 std::cout << "SYNC raw=" << rec.a << " tb=" << rec.b;
             } else if (rec.kind == trace::kFlushRecord) {
@@ -152,7 +167,7 @@ main(int argc, char** argv)
                           << " d=" << rec.d;
             }
             std::cout << "\n";
-            ++n;
+            ++printed;
         }
     } catch (const std::exception& e) {
         std::cerr << "pdt_dump: " << e.what() << "\n";

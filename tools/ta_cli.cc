@@ -17,6 +17,14 @@
  *   ta intervals  <trace.pdt> <out.csv>    raw interval CSV
  *   ta compare    <a.pdt> <b.pdt>          A/B comparison
  *   ta all        <trace.pdt>              every textual view
+ *   ta window     <trace.pdt> <from> <to>  windowed query report (ticks)
+ *   ta profile    <trace.pdt> [buckets]    activity profile; --from/--to
+ *                                          restrict it to a time window
+ *
+ * `window` and windowed `profile` seek via the v2 footer index when the
+ * trace carries one (see docs/TRACE_FORMAT.md), falling back to a full
+ * scan otherwise; `--full-scan` forces the fallback. Results are
+ * identical either way.
  *
  * A damaged trace fails with a diagnostic naming where parsing stopped
  * (exit 1). `ta --salvage <command> <trace.pdt>` analyzes whatever a
@@ -37,8 +45,11 @@
 #include "ta/parallel.h"
 #include "ta/compare.h"
 #include "ta/profile.h"
+#include "ta/query.h"
 #include "ta/report.h"
 #include "ta/timeline.h"
+
+#include "cli_flags.h"
 
 namespace {
 
@@ -46,12 +57,18 @@ int
 usage()
 {
     std::cerr
-        << "usage: ta [--salvage] [--threads N] <command> <trace.pdt> [args]\n"
+        << "usage: ta [--salvage] [--threads N] [--full-scan] <command> "
+           "<trace.pdt> [args]\n"
            "commands: summary breakdown dma events tracing loss timeline\n"
-           "          activity"
+           "          activity window profile\n"
            "          svg html csv intervals transfers compare all\n"
+           "  window  <trace.pdt> <from> <to>   windowed query report\n"
+           "          (timebase ticks; seeks via the v2 index if present)\n"
+           "  profile <trace.pdt> [buckets]     activity profile;\n"
+           "          --from T --to T restricts it to a time window\n"
            "--threads N: analysis threads (default: hardware concurrency;\n"
-           "             1 forces the serial path; output is identical)\n";
+           "             1 forces the serial path; output is identical)\n"
+           "--full-scan: ignore any v2 footer index\n";
     return 2;
 }
 
@@ -78,40 +95,73 @@ int
 main(int argc, char** argv)
 {
     using namespace cell;
-    bool salvage = false;
-    unsigned threads = 0; // 0 = hardware concurrency
-    // Accept flags anywhere; compact the positionals to argv[1..] so
-    // argv[3] is the first extra argument below.
-    int nkeep = 1;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--salvage") {
-            salvage = true;
-        } else if (arg == "--threads" && i + 1 < argc) {
-            try {
-                threads = static_cast<unsigned>(std::stoul(argv[++i]));
-            } catch (const std::exception&) {
-                return usage();
-            }
-        } else if (arg.rfind("-", 0) == 0 && arg.size() > 1) {
-            return usage();
-        } else {
-            argv[nkeep++] = argv[i];
-        }
-    }
-    argc = nkeep;
-    if (argc < 3)
+    cli::FlagSpec spec;
+    spec.salvage = true;
+    spec.threads = true;
+    spec.window = true;
+    spec.full_scan = true;
+    cli::Flags f;
+    f.threads = 0; // 0 = hardware concurrency
+    if (!cli::parseFlags(argc, argv, spec, f)) {
+        std::cerr << "ta: " << f.error << "\n";
         return usage();
-    const std::string cmd = argv[1];
-    const std::string path = argv[2];
+    }
+    const bool salvage = f.salvage;
+    const unsigned threads = f.threads;
+    const auto& pos = f.positionals;
+    if (pos.size() < 2)
+        return usage();
+    const std::string cmd = pos[0];
+    const std::string path = pos[1];
+    const auto extra = [&pos](std::size_t i) -> const std::string& {
+        return pos[i + 2];
+    };
+    const std::size_t n_extra = pos.size() - 2;
 
     try {
         if (cmd == "compare") {
-            if (argc < 4)
+            if (n_extra < 1)
                 return usage();
             const ta::Analysis a = load(path, salvage, threads);
-            const ta::Analysis b = load(argv[3], salvage, threads);
+            const ta::Analysis b = load(extra(0), salvage, threads);
             ta::printComparison(std::cout, a, b);
+            return 0;
+        }
+        if (cmd == "window") {
+            if (n_extra < 2)
+                return usage();
+            ta::QueryOptions qopt;
+            qopt.threads = threads;
+            qopt.salvage = salvage;
+            qopt.force_full_scan = f.full_scan;
+            const ta::WindowResult w = ta::queryWindowFile(
+                path, std::stoull(extra(0)), std::stoull(extra(1)), qopt);
+            std::cerr << "ta: " << (w.used_index ? "indexed" : "full-scan")
+                      << " query, " << w.records_scanned
+                      << " records scanned\n";
+            std::cout << ta::windowReport(w);
+            return 0;
+        }
+        if (cmd == "profile") {
+            unsigned buckets = 60;
+            if (n_extra >= 1)
+                buckets = static_cast<unsigned>(std::stoul(extra(0)));
+            if (f.have_from || f.have_to) {
+                ta::QueryOptions qopt;
+                qopt.threads = threads;
+                qopt.salvage = salvage;
+                qopt.force_full_scan = f.full_scan;
+                const ta::WindowResult w =
+                    ta::queryWindowFile(path, f.from, f.to, qopt);
+                std::cerr << "ta: "
+                          << (w.used_index ? "indexed" : "full-scan")
+                          << " query, " << w.records_scanned
+                          << " records scanned\n";
+                ta::printActivity(std::cout, ta::windowAnalysis(w), buckets);
+            } else {
+                ta::printActivity(std::cout, load(path, salvage, threads),
+                                  buckets);
+            }
             return 0;
         }
 
@@ -132,43 +182,43 @@ main(int argc, char** argv)
             ta::printLossReport(std::cout, a);
         } else if (cmd == "timeline") {
             ta::TimelineOptions opt;
-            if (argc > 3)
-                opt.width = static_cast<unsigned>(std::stoul(argv[3]));
+            if (n_extra >= 1)
+                opt.width = static_cast<unsigned>(std::stoul(extra(0)));
             std::cout << ta::renderAscii(a.model, a.intervals, opt);
         } else if (cmd == "activity") {
             unsigned buckets = 60;
-            if (argc > 3)
-                buckets = static_cast<unsigned>(std::stoul(argv[3]));
+            if (n_extra >= 1)
+                buckets = static_cast<unsigned>(std::stoul(extra(0)));
             ta::printActivity(std::cout, a, buckets);
         } else if (cmd == "html") {
-            if (argc < 4)
+            if (n_extra < 1)
                 return usage();
-            ta::writeHtmlReport(argv[3], a, path);
-            std::cout << "wrote " << argv[3] << "\n";
+            ta::writeHtmlReport(extra(0), a, path);
+            std::cout << "wrote " << extra(0) << "\n";
         } else if (cmd == "svg") {
-            if (argc < 4)
+            if (n_extra < 1)
                 return usage();
-            ta::writeSvg(argv[3], a.model, a.intervals,
+            ta::writeSvg(extra(0), a.model, a.intervals,
                          ta::TimelineOptions{.width = 900});
-            std::cout << "wrote " << argv[3] << "\n";
+            std::cout << "wrote " << extra(0) << "\n";
         } else if (cmd == "csv") {
-            if (argc < 4)
+            if (n_extra < 1)
                 return usage();
-            std::ofstream os(argv[3]);
+            std::ofstream os(extra(0));
             ta::exportBreakdownCsv(os, a);
-            std::cout << "wrote " << argv[3] << "\n";
+            std::cout << "wrote " << extra(0) << "\n";
         } else if (cmd == "intervals") {
-            if (argc < 4)
+            if (n_extra < 1)
                 return usage();
-            std::ofstream os(argv[3]);
+            std::ofstream os(extra(0));
             ta::exportIntervalsCsv(os, a);
-            std::cout << "wrote " << argv[3] << "\n";
+            std::cout << "wrote " << extra(0) << "\n";
         } else if (cmd == "transfers") {
-            if (argc < 4)
+            if (n_extra < 1)
                 return usage();
-            std::ofstream os(argv[3]);
+            std::ofstream os(extra(0));
             ta::exportDmaTransfersCsv(os, a);
-            std::cout << "wrote " << argv[3] << "\n";
+            std::cout << "wrote " << extra(0) << "\n";
         } else if (cmd == "all") {
             ta::printSummary(std::cout, a);
             std::cout << "\n";

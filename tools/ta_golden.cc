@@ -9,7 +9,15 @@
  * digest — i.e. if an analyzer change silently alters any number any
  * report prints.
  *
- *   ta_golden gen   <dir>    regenerate every fixture (trace + digest)
+ * Each fixture exists in two on-disk variants sharing ONE digest:
+ * `<name>.pdt` (plain v1) and `<name>.v2.pdt` (same trace written with
+ * a footer index, stride 64). The v1 reader ignores the footer, so
+ * both variants must analyze to the identical report — `check`
+ * verifies that, that the v2 index itself validates, and that a
+ * windowed query through the index byte-matches the brute-force
+ * filter.
+ *
+ *   ta_golden gen   <dir>    regenerate every fixture (traces + digest)
  *   ta_golden check <dir>    re-analyze each fixture, verify digests
  *
  * Regenerate (and commit the diff) only when an analyzer change is
@@ -29,6 +37,8 @@
 #include "rt/system.h"
 #include "ta/analyzer.h"
 #include "ta/parallel.h"
+#include "ta/query.h"
+#include "trace/index.h"
 #include "trace/writer.h"
 #include "wl/matmul.h"
 #include "wl/triad.h"
@@ -157,6 +167,11 @@ gen(const std::filesystem::path& dir)
         const trace::TraceData data = f.produce();
         const auto trace_path = dir / (std::string(f.name) + ".pdt");
         trace::writeFile(trace_path.string(), data);
+        const auto v2_path = dir / (std::string(f.name) + ".v2.pdt");
+        trace::WriteOptions wopt;
+        wopt.index_stride = 64; // small stride: several entries even
+                                // on these tiny fixture traces
+        trace::writeFile(v2_path.string(), data, wopt);
         const std::string digest = digestHex(data);
         std::ofstream os(dir / (std::string(f.name) + ".digest"));
         os << digest << "\n";
@@ -195,9 +210,51 @@ check(const std::filesystem::path& dir)
                       << ", serial " << serial << ", parallel " << ps.str()
                       << ")\n";
             ++failures;
-        } else {
-            std::cout << f.name << ": ok (" << expect << ")\n";
+            continue;
         }
+
+        // The v2 variant must be invisible to the v1 reader: same
+        // trace, same digest, footer ignored.
+        const auto v2_path = dir / (std::string(f.name) + ".v2.pdt");
+        const std::string v2_digest =
+            digestHex(trace::readFile(v2_path.string()));
+        if (v2_digest != expect) {
+            std::cerr << f.name << ": v2 variant digest mismatch (expect "
+                      << expect << ", got " << v2_digest << ")\n";
+            ++failures;
+            continue;
+        }
+        const trace::IndexReadResult ir =
+            trace::readIndexFile(v2_path.string());
+        if (!ir.present || !ir.valid) {
+            std::cerr << f.name << ": v2 index invalid ("
+                      << (ir.reason.empty() ? "absent" : ir.reason)
+                      << ")\n";
+            ++failures;
+            continue;
+        }
+        // Windowed query through the index == brute-force filter of
+        // the full analysis, byte for byte (middle half of the span).
+        const ta::Analysis full =
+            ta::analyze(trace::readFile(v2_path.string()));
+        const std::uint64_t span = full.model.spanTb();
+        const std::uint64_t from = full.model.startTb() + span / 4;
+        const std::uint64_t to = full.model.startTb() + (3 * span) / 4;
+        ta::BlockCache cache;
+        ta::QueryOptions qopt;
+        qopt.threads = 1;
+        qopt.cache = &cache;
+        const ta::WindowResult indexed =
+            ta::queryWindowFile(v2_path.string(), from, to, qopt);
+        const ta::WindowResult brute = ta::queryWindow(full, from, to);
+        if (!indexed.used_index ||
+            ta::windowReport(indexed) != ta::windowReport(brute)) {
+            std::cerr << f.name << ": windowed query mismatch (index "
+                      << (indexed.used_index ? "used" : "unused") << ")\n";
+            ++failures;
+            continue;
+        }
+        std::cout << f.name << ": ok (" << expect << ")\n";
     }
     return failures ? 1 : 0;
 }
