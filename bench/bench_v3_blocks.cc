@@ -1,0 +1,288 @@
+/**
+ * @file
+ * v3 compressed-block benchmark: codec throughput and the R4
+ * compression-ratio experiment.
+ *
+ * Throughput side: encode/decode a ~1M-record synthetic trace (same
+ * shape as bench_ta_parallel's) through the v3 block codec, next to
+ * the v1 fixed-record read it replaces, plus the bounded-memory
+ * BlockReader streaming one block at a time. bytes_per_second counts
+ * UNCOMPRESSED record bytes, so the rates compare directly.
+ *
+ * Ratio side: one iteration per real workload (triad, matmul, fft,
+ * conv2d, pipeline, workqueue) records the trace under PDT and writes
+ * it both ways. Counters report the record-region bytes/event of each
+ * container and the ratio — the numbers EXPERIMENTS.md R4 quotes. The
+ * shared header/name-table bytes are excluded so the ratio measures
+ * the encoding itself.
+ *
+ *     cmake --build build --target bench   # writes BENCH_v3_blocks.json
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "pdt/tracer.h"
+#include "rt/system.h"
+#include "trace/block.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "wl/conv2d.h"
+#include "wl/fft.h"
+#include "wl/matmul.h"
+#include "wl/pipeline.h"
+#include "wl/triad.h"
+#include "wl/workqueue.h"
+
+namespace {
+
+using namespace cell;
+
+/** Same synthetic shape as bench_ta_parallel: nine cores, ~1M records,
+ *  periodic drop markers, SPE decrementers counting down. */
+trace::TraceData
+bigTrace()
+{
+    constexpr std::uint32_t kCores = 9; // PPE + 8 SPEs
+    constexpr std::uint64_t kRecords = 1u << 20;
+    trace::TraceData d;
+    d.header.num_spes = kCores - 1;
+    d.header.core_hz = 3'200'000'000ULL;
+    d.header.timebase_divider = 8;
+    d.spe_programs.assign(kCores - 1, "synthetic");
+    d.records.reserve(kRecords + kCores);
+    std::uint32_t raw[kCores];
+    for (std::uint16_t c = 0; c < kCores; ++c) {
+        raw[c] = c == 0 ? 1000u : 0xFFFFF000u;
+        trace::Record r{};
+        r.kind = trace::kSyncRecord;
+        r.core = c;
+        r.a = raw[c];
+        r.b = 1000;
+        d.records.push_back(r);
+    }
+    bool begin[kCores] = {};
+    std::uint64_t dropped[kCores] = {};
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+        const auto c = static_cast<std::uint16_t>(i % kCores);
+        trace::Record r{};
+        r.core = c;
+        if (i % 65536 == 65535 && c != 0) {
+            r.kind = trace::kDropRecord;
+            r.a = 3;
+            r.b = dropped[c] += 3;
+        } else {
+            r.kind = static_cast<std::uint8_t>(1 + (i / kCores) % 8);
+            r.phase = begin[c] ? trace::kPhaseEnd : trace::kPhaseBegin;
+            begin[c] = !begin[c];
+        }
+        raw[c] += c == 0 ? 50u : -50u;
+        r.timestamp = raw[c];
+        d.records.push_back(r);
+    }
+    d.header.record_count = d.records.size();
+    return d;
+}
+
+const trace::TraceData&
+cachedBigTrace()
+{
+    static const trace::TraceData t = bigTrace();
+    return t;
+}
+
+std::uint64_t
+rawBytes(const trace::TraceData& t)
+{
+    return t.records.size() * sizeof(trace::Record);
+}
+
+void
+BM_EncodeV3(benchmark::State& state)
+{
+    const trace::TraceData& t = cachedBigTrace();
+    for (auto _ : state) {
+        const auto buf =
+            trace::writeBuffer(t, trace::WriteOptions{.compress = true});
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * rawBytes(t)));
+}
+BENCHMARK(BM_EncodeV3)->Unit(benchmark::kMillisecond);
+
+void
+BM_DecodeV1(benchmark::State& state)
+{
+    const trace::TraceData& t = cachedBigTrace();
+    const auto buf = trace::writeBuffer(t);
+    for (auto _ : state) {
+        const trace::TraceData back = trace::readBuffer(buf);
+        benchmark::DoNotOptimize(back.records.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * rawBytes(t)));
+}
+BENCHMARK(BM_DecodeV1)->Unit(benchmark::kMillisecond);
+
+void
+BM_DecodeV3(benchmark::State& state)
+{
+    const trace::TraceData& t = cachedBigTrace();
+    const auto buf =
+        trace::writeBuffer(t, trace::WriteOptions{.compress = true});
+    for (auto _ : state) {
+        const trace::TraceData back = trace::readBuffer(buf);
+        benchmark::DoNotOptimize(back.records.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * rawBytes(t)));
+    state.counters["compressed_bytes"] =
+        benchmark::Counter(static_cast<double>(buf.size()));
+}
+BENCHMARK(BM_DecodeV3)->Unit(benchmark::kMillisecond);
+
+void
+BM_BlockReaderStream(benchmark::State& state)
+{
+    const trace::TraceData& t = cachedBigTrace();
+    const auto buf =
+        trace::writeBuffer(t, trace::WriteOptions{.compress = true});
+    const std::string s(buf.begin(), buf.end());
+    for (auto _ : state) {
+        std::istringstream is(s);
+        trace::BlockReader br(is);
+        trace::DecodedBlock blk;
+        std::uint64_t n = 0;
+        while (br.next(blk))
+            n += blk.records.size();
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * rawBytes(t)));
+}
+BENCHMARK(BM_BlockReaderStream)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------
+// R4: compression ratio per workload (record region bytes/event).
+
+using Factory =
+    std::unique_ptr<wl::WorkloadBase> (*)(rt::CellSystem&);
+
+trace::TraceData
+recordWorkload(Factory make)
+{
+    rt::CellSystem sys;
+    pdt::Pdt tracer(sys, {});
+    auto workload = make(sys);
+    workload->start();
+    sys.run();
+    if (!workload->verify())
+        throw std::runtime_error("workload verification failed");
+    return tracer.finalize();
+}
+
+void
+ratioBench(benchmark::State& state, Factory make)
+{
+    const trace::TraceData t = recordWorkload(make);
+    const auto v1 = trace::writeBuffer(t);
+    const auto v3 =
+        trace::writeBuffer(t, trace::WriteOptions{.compress = true});
+    const double n = static_cast<double>(t.records.size());
+    const double shared =
+        static_cast<double>(v1.size()) - n * sizeof(trace::Record);
+    const double v3_region = static_cast<double>(v3.size()) - shared;
+    for (auto _ : state) {
+        const auto again =
+            trace::writeBuffer(t, trace::WriteOptions{.compress = true});
+        benchmark::DoNotOptimize(again.data());
+    }
+    state.counters["events"] = benchmark::Counter(n);
+    state.counters["v1_bytes_per_event"] =
+        benchmark::Counter(sizeof(trace::Record));
+    state.counters["v3_bytes_per_event"] = benchmark::Counter(v3_region / n);
+    state.counters["ratio"] =
+        benchmark::Counter(n * sizeof(trace::Record) / v3_region);
+}
+
+std::unique_ptr<wl::WorkloadBase>
+makeTriad(rt::CellSystem& sys)
+{
+    wl::TriadParams p;
+    p.n_elements = 65536;
+    p.n_spes = 4;
+    return std::make_unique<wl::Triad>(sys, p);
+}
+std::unique_ptr<wl::WorkloadBase>
+makeMatmul(rt::CellSystem& sys)
+{
+    wl::MatmulParams p;
+    p.n = 128;
+    p.n_spes = 4;
+    return std::make_unique<wl::Matmul>(sys, p);
+}
+std::unique_ptr<wl::WorkloadBase>
+makeFft(rt::CellSystem& sys)
+{
+    wl::FftParams p;
+    p.fft_size = 256;
+    p.n_ffts = 512;
+    p.batch = 2;
+    p.n_spes = 4;
+    return std::make_unique<wl::Fft>(sys, p);
+}
+std::unique_ptr<wl::WorkloadBase>
+makeConv2d(rt::CellSystem& sys)
+{
+    wl::Conv2dParams p;
+    p.width = 512;
+    p.height = 128;
+    p.n_spes = 4;
+    return std::make_unique<wl::Conv2d>(sys, p);
+}
+std::unique_ptr<wl::WorkloadBase>
+makePipeline(rt::CellSystem& sys)
+{
+    wl::PipelineParams p;
+    p.n_elements = 32768;
+    p.n_stages = 4;
+    return std::make_unique<wl::Pipeline>(sys, p);
+}
+std::unique_ptr<wl::WorkloadBase>
+makeWorkQueue(rt::CellSystem& sys)
+{
+    wl::WorkQueueParams p;
+    p.n_items = 128;
+    p.tile_elems = 256;
+    p.n_spes = 4;
+    return std::make_unique<wl::WorkQueue>(sys, p);
+}
+
+void
+BM_Ratio_triad(benchmark::State& s) { ratioBench(s, makeTriad); }
+void
+BM_Ratio_matmul(benchmark::State& s) { ratioBench(s, makeMatmul); }
+void
+BM_Ratio_fft(benchmark::State& s) { ratioBench(s, makeFft); }
+void
+BM_Ratio_conv2d(benchmark::State& s) { ratioBench(s, makeConv2d); }
+void
+BM_Ratio_pipeline(benchmark::State& s) { ratioBench(s, makePipeline); }
+void
+BM_Ratio_workqueue(benchmark::State& s) { ratioBench(s, makeWorkQueue); }
+
+BENCHMARK(BM_Ratio_triad)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ratio_matmul)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ratio_fft)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ratio_conv2d)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ratio_pipeline)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ratio_workqueue)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

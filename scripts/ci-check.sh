@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: build + test the three
+# CMake presets, replay the fuzz corpus, and check the golden digests.
+# Run from anywhere; everything lands in the preset build dirs
+# (build/, build-asan/, build-tsan/ — all gitignored).
+#
+#   scripts/ci-check.sh            # all presets
+#   scripts/ci-check.sh default    # just one
+#
+# The tsan preset's test run is label-filtered to the parallel/query
+# suites by CMakePresets.json, same as CI.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+presets=("$@")
+[ ${#presets[@]} -gt 0 ] || presets=(default asan tsan)
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+    launcher=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+              -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+build_dir() { [ "$1" = default ] && echo build || echo "build-$1"; }
+
+for p in "${presets[@]}"; do
+    # Prefer Ninja, but never fight a build dir that was already
+    # configured with another generator.
+    gen=()
+    if [ ! -f "$(build_dir "$p")/CMakeCache.txt" ] &&
+       command -v ninja >/dev/null 2>&1; then
+        gen=(-G Ninja)
+    fi
+    echo "==> preset $p: configure"
+    cmake --preset "$p" "${gen[@]}" "${launcher[@]}"
+    echo "==> preset $p: build"
+    cmake --build --preset "$p" -j "$jobs"
+    echo "==> preset $p: test"
+    ctest --preset "$p" -j "$jobs"
+done
+
+# The corpus replay and golden check need the default-preset binaries.
+case " ${presets[*]} " in *" default "*)
+    echo "==> fuzz corpus replay"
+    build/tests/fuzz_reader tests/trace/corpus
+    echo "==> golden digest check"
+    build/tools/ta_golden check tests/ta/golden
+    ;;
+esac
+
+echo "==> ci-check OK (${presets[*]})"

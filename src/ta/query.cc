@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -402,11 +403,16 @@ struct CoreReplay
     std::uint64_t scanned = 0;
 };
 
-/** Replay one core's window from its best index entry. */
+/** Replay one core's window from its best index entry. @p plan carries
+ *  the container: for a v3 file the index entry's byte_offset is
+ *  VIRTUAL (region + ordinal * 32), and cache blocks are the
+ *  compressed blocks themselves (one decode per miss), so the indexed
+ *  seek reads only the blocks the window actually touches. */
 CoreReplay
-replayCoreWindow(const std::string& path, const trace::TraceIndex& idx,
-                 BlockCache& cache, const std::string& file_id,
-                 std::uint16_t core, std::uint64_t from, std::uint64_t to)
+replayCoreWindow(const std::string& path, const trace::ShardPlan& plan,
+                 const trace::TraceIndex& idx, BlockCache& cache,
+                 const std::string& file_id, std::uint16_t core,
+                 std::uint64_t from, std::uint64_t to)
 {
     CoreReplay out;
     const trace::IndexCoreSummary& s = idx.cores[core];
@@ -448,13 +454,37 @@ replayCoreWindow(const std::string& path, const trace::TraceIndex& idx,
                               1);
     bool stopped = false;
 
+    // Cache granularity: fixed 4096-record spans for v1 files, the
+    // compressed block for v3 (its capacity IS the decode unit).
+    const std::uint64_t cap =
+        plan.v3 ? plan.block_capacity : BlockCache::kBlockRecords;
     while (rec_i < rec_end && !stopped) {
-        const std::uint64_t blk = rec_i / BlockCache::kBlockRecords;
-        const std::uint64_t blk_first = blk * BlockCache::kBlockRecords;
+        const std::uint64_t blk = rec_i / cap;
+        const std::uint64_t blk_first = blk * cap;
         BlockCache::Block records = cache.get(
-            file_id, blk, [&is, &path, region, total, blk_first] {
-                const std::uint64_t n = std::min(
-                    BlockCache::kBlockRecords, total - blk_first);
+            file_id, blk,
+            [&is, &path, &plan, region, total, blk, blk_first, cap] {
+                if (plan.v3) {
+                    const trace::BlockDirEntry& de = plan.blocks.at(
+                        static_cast<std::size_t>(blk));
+                    std::vector<std::uint8_t> buf(de.block_bytes);
+                    is.clear();
+                    is.seekg(static_cast<std::streamoff>(de.offset));
+                    is.read(reinterpret_cast<char*>(buf.data()),
+                            static_cast<std::streamsize>(buf.size()));
+                    if (!is || static_cast<std::uint64_t>(is.gcount()) !=
+                                   buf.size())
+                        throw std::runtime_error(
+                            "ta::queryWindowFile: short read in " + path);
+                    trace::BlockHeader bh;
+                    std::memcpy(&bh, buf.data(), sizeof(bh));
+                    trace::DecodedBlock db;
+                    trace::decodeBlockBody(bh, buf.data() + sizeof(bh),
+                                           buf.size() - sizeof(bh),
+                                           plan.block_capacity, db);
+                    return std::move(db.records);
+                }
+                const std::uint64_t n = std::min(cap, total - blk_first);
                 std::vector<trace::Record> v(n);
                 is.clear();
                 is.seekg(static_cast<std::streamoff>(
@@ -574,7 +604,7 @@ queryWindowFile(const std::string& path, std::uint64_t from,
     const auto run_core = [&](std::uint64_t c) {
         if (opt.core >= 0 && c != static_cast<std::uint64_t>(opt.core))
             return;
-        per[c] = replayCoreWindow(path, idx, cache, file_id,
+        per[c] = replayCoreWindow(path, plan, idx, cache, file_id,
                                   static_cast<std::uint16_t>(c), from, to);
     };
     if (opt.threads == 1) {

@@ -1,0 +1,907 @@
+/**
+ * @file
+ * v3 block codec: varint payload encode/decode, region writer, the
+ * salvage walk, the streaming BlockReader, and directory loading.
+ *
+ * Exactness argument for the delta scheme: every delta is computed
+ * with modular (two's-complement) subtraction and re-applied with
+ * modular addition, so encode/decode round-trips ARBITRARY field
+ * values — including the garbage fields of deliberately-messy test
+ * traces — not just well-formed ones. Zigzag only affects how many
+ * varint bytes a delta costs, never whether it survives.
+ */
+
+#include "trace/block.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "trace/index.h"
+#include "trace/replay.h"
+
+namespace cell::trace {
+
+namespace {
+
+// -------------------------------------------------------------------------
+// Varint / zigzag primitives
+
+void
+appendVarint(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t z)
+{
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+/** Bounded varint reader over a block payload. */
+struct PayloadCursor
+{
+    const std::uint8_t* p;
+    const std::uint8_t* end;
+
+    std::uint64_t varint()
+    {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (p == end)
+                throw std::runtime_error(
+                    "trace::block: payload truncated inside a varint");
+            const std::uint8_t byte = *p++;
+            if (shift >= 63 && byte > 1)
+                throw std::runtime_error(
+                    "trace::block: varint overflows 64 bits");
+            v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+            if ((byte & 0x80) == 0)
+                return v;
+            shift += 7;
+        }
+    }
+};
+
+// -------------------------------------------------------------------------
+// Payload codec
+
+/** Dictionary entry: one (kind, phase, core) triple plus the previous
+ *  payload words of its last record (delta bases). */
+struct DictEntry
+{
+    std::uint8_t kind = 0;
+    std::uint8_t phase = 0;
+    std::uint16_t core = 0;
+    std::uint64_t pa = 0, pb = 0;
+    std::uint32_t pc = 0, pd = 0;
+};
+
+/** Per-core timestamp delta chain (slot order = first appearance). */
+struct CoreSlot
+{
+    std::uint16_t core = 0;
+    std::uint32_t prev_ts = 0;
+    bool have_ts = false;
+};
+
+std::uint32_t
+dictKey(const Record& r)
+{
+    return (static_cast<std::uint32_t>(r.core) << 16) |
+           (static_cast<std::uint32_t>(r.phase) << 8) | r.kind;
+}
+
+void
+encodePayload(const Record* recs, std::size_t n,
+              std::vector<std::uint8_t>& out)
+{
+    std::vector<DictEntry> dict;
+    std::unordered_map<std::uint32_t, std::uint32_t> dict_of;
+    dict_of.reserve(64);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t key = dictKey(recs[i]);
+        if (dict_of.emplace(key, dict.size()).second) {
+            DictEntry e;
+            e.kind = recs[i].kind;
+            e.phase = recs[i].phase;
+            e.core = recs[i].core;
+            dict.push_back(e);
+        }
+    }
+
+    appendVarint(out, dict.size());
+    for (const DictEntry& e : dict) {
+        appendVarint(out, (static_cast<std::uint64_t>(e.core) << 16) |
+                              (static_cast<std::uint64_t>(e.phase) << 8) |
+                              e.kind);
+    }
+
+    std::vector<CoreSlot> slots;
+    auto slotOf = [&slots](std::uint16_t core) -> CoreSlot& {
+        for (CoreSlot& s : slots) {
+            if (s.core == core)
+                return s;
+        }
+        slots.push_back(CoreSlot{core, 0, false});
+        return slots.back();
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Record& r = recs[i];
+        const std::uint32_t idx = dict_of.find(dictKey(r))->second;
+        DictEntry& e = dict[idx];
+        appendVarint(out, idx);
+
+        CoreSlot& s = slotOf(r.core);
+        if (!s.have_ts) {
+            appendVarint(out, r.timestamp);
+            s.have_ts = true;
+        } else {
+            const auto d = static_cast<std::int32_t>(r.timestamp - s.prev_ts);
+            appendVarint(out, zigzag(d));
+        }
+        s.prev_ts = r.timestamp;
+
+        appendVarint(out, zigzag(static_cast<std::int64_t>(r.a - e.pa)));
+        appendVarint(out, zigzag(static_cast<std::int64_t>(r.b - e.pb)));
+        appendVarint(
+            out, zigzag(static_cast<std::int32_t>(r.c - e.pc)));
+        appendVarint(
+            out, zigzag(static_cast<std::int32_t>(r.d - e.pd)));
+        e.pa = r.a;
+        e.pb = r.b;
+        e.pc = r.c;
+        e.pd = r.d;
+    }
+}
+
+void
+decodePayload(const std::uint8_t* p, std::size_t len,
+              std::uint32_t record_count, std::vector<Record>& out)
+{
+    PayloadCursor in{p, p + len};
+
+    const std::uint64_t dict_count = in.varint();
+    if (dict_count > record_count || (record_count > 0 && dict_count == 0))
+        throw std::runtime_error(
+            "trace::block: dictionary size implausible (" +
+            std::to_string(dict_count) + " entries, " +
+            std::to_string(record_count) + " records)");
+    std::vector<DictEntry> dict(static_cast<std::size_t>(dict_count));
+    for (DictEntry& e : dict) {
+        const std::uint64_t packed = in.varint();
+        if (packed > 0xFFFFFFFFULL)
+            throw std::runtime_error(
+                "trace::block: dictionary entry out of range");
+        e.core = static_cast<std::uint16_t>(packed >> 16);
+        e.phase = static_cast<std::uint8_t>(packed >> 8);
+        e.kind = static_cast<std::uint8_t>(packed);
+    }
+
+    std::vector<CoreSlot> slots;
+    auto slotOf = [&slots](std::uint16_t core) -> CoreSlot& {
+        for (CoreSlot& s : slots) {
+            if (s.core == core)
+                return s;
+        }
+        slots.push_back(CoreSlot{core, 0, false});
+        return slots.back();
+    };
+
+    out.clear();
+    out.reserve(record_count);
+    for (std::uint32_t i = 0; i < record_count; ++i) {
+        const std::uint64_t idx = in.varint();
+        if (idx >= dict_count)
+            throw std::runtime_error(
+                "trace::block: dictionary index out of range at record " +
+                std::to_string(i));
+        DictEntry& e = dict[static_cast<std::size_t>(idx)];
+
+        Record r{};
+        r.kind = e.kind;
+        r.phase = e.phase;
+        r.core = e.core;
+
+        CoreSlot& s = slotOf(e.core);
+        const std::uint64_t tv = in.varint();
+        if (!s.have_ts) {
+            if (tv > 0xFFFFFFFFULL)
+                throw std::runtime_error(
+                    "trace::block: absolute timestamp out of range");
+            r.timestamp = static_cast<std::uint32_t>(tv);
+            s.have_ts = true;
+        } else {
+            r.timestamp =
+                s.prev_ts + static_cast<std::uint32_t>(unzigzag(tv));
+        }
+        s.prev_ts = r.timestamp;
+
+        r.a = e.pa + static_cast<std::uint64_t>(unzigzag(in.varint()));
+        r.b = e.pb + static_cast<std::uint64_t>(unzigzag(in.varint()));
+        r.c = e.pc + static_cast<std::uint32_t>(unzigzag(in.varint()));
+        r.d = e.pd + static_cast<std::uint32_t>(unzigzag(in.varint()));
+        e.pa = r.a;
+        e.pb = r.b;
+        e.pc = r.c;
+        e.pd = r.d;
+        out.push_back(r);
+    }
+    if (in.p != in.end)
+        throw std::runtime_error("trace::block: trailing payload bytes");
+}
+
+// -------------------------------------------------------------------------
+// Shared validation
+
+/** Structural plausibility of a block header against the region's
+ *  capacity — everything checkable without touching the body. */
+bool
+plausibleBlockHeader(const BlockHeader& bh, std::uint32_t capacity)
+{
+    return bh.magic == kBlockMagic && bh.record_count > 0 &&
+           bh.record_count <= capacity && bh.seed_count <= 4096 &&
+           bh.uncompressed_size ==
+               bh.record_count * static_cast<std::uint32_t>(sizeof(Record)) &&
+           static_cast<std::uint64_t>(bh.seed_count) * sizeof(BlockSeed) +
+                   bh.payload_size <=
+               maxBlockBodyBytes(bh.record_count, bh.seed_count) &&
+           bh.first_record < (std::uint64_t{1} << 48);
+}
+
+/** Structural plausibility of a region header (lengths unchecked). */
+bool
+plausibleRegionHeader(const BlockRegionHeader& rh)
+{
+    return rh.magic == kBlockRegionMagic && rh.version == kFormatVersionV3 &&
+           rh.block_capacity >= 1 && rh.block_capacity <= kMaxBlockRecords &&
+           rh.record_count < (std::uint64_t{1} << 48) &&
+           rh.block_count ==
+               (rh.record_count + rh.block_capacity - 1) / rh.block_capacity;
+}
+
+/** Salvage-note helper, same 16-note cap as the v1 salvage reader. */
+void
+note(ReadReport& rep, std::string text)
+{
+    constexpr std::size_t kMaxNotes = 16;
+    rep.salvaged = true;
+    if (rep.notes.size() < kMaxNotes)
+        rep.notes.push_back(std::move(text));
+    else if (rep.notes.size() == kMaxNotes)
+        rep.notes.push_back("... further problems elided");
+}
+
+/** Read exactly @p n bytes from @p is or throw with context. */
+void
+readExact(std::istream& is, void* dst, std::size_t n, const char* what)
+{
+    is.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!is || static_cast<std::size_t>(is.gcount()) != n)
+        throw std::runtime_error(std::string("trace::block: truncated ") +
+                                 what);
+}
+
+} // namespace
+
+// -------------------------------------------------------------------------
+// Public codec
+
+std::uint64_t
+maxBlockBodyBytes(std::uint32_t record_count, std::uint32_t seed_count)
+{
+    // Varint worst cases: <= 3 bytes dict index (dict <= 2^20 entries),
+    // 5 timestamp, 10 + 10 a/b, 5 + 5 c/d = 38 per record; <= 5 bytes
+    // per dictionary entry (packed < 2^32) with at most one entry per
+    // record; 10 for the dictionary count. 48/record + 64 covers all.
+    return static_cast<std::uint64_t>(seed_count) * sizeof(BlockSeed) + 64 +
+           static_cast<std::uint64_t>(record_count) * 48;
+}
+
+std::vector<std::uint8_t>
+encodeBlockRegion(const TraceData& trace, const Header& header,
+                  std::uint64_t region_offset, std::uint32_t block_records)
+{
+    std::uint32_t capacity =
+        block_records == 0 ? kDefaultBlockRecords : block_records;
+    if (capacity > kMaxBlockRecords)
+        capacity = kMaxBlockRecords;
+
+    const std::uint32_t n_cores = header.num_spes + 1;
+    const std::uint64_t count = trace.records.size();
+
+    BlockRegionHeader rh;
+    rh.block_capacity = capacity;
+    rh.block_count = (count + capacity - 1) / capacity;
+    rh.record_count = count;
+
+    std::vector<std::uint8_t> out(sizeof(BlockRegionHeader)); // patched last
+    std::vector<BlockDirEntry> dir;
+    dir.reserve(static_cast<std::size_t>(rh.block_count));
+
+    // Per-core replay state, mirroring buildIndex: the seeds written
+    // for block k are the state a serial decode carries into record
+    // k * capacity.
+    struct CoreState
+    {
+        ClockReplay clk;
+        std::uint64_t clamp = 0;
+        std::uint64_t open = 0;
+        std::uint64_t seen = 0;
+    };
+    std::vector<CoreState> cores(n_cores);
+
+    std::vector<std::uint8_t> body;
+    for (std::uint64_t first = 0; first < count; first += capacity) {
+        const auto n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(capacity, count - first));
+
+        body.clear();
+        for (std::uint32_t c = 0; c < n_cores; ++c) {
+            BlockSeed s;
+            s.tick = cores[c].clamp;
+            s.sync_tb = cores[c].clk.sync_tb;
+            s.open_begins = cores[c].open;
+            s.records_before = cores[c].seen;
+            s.sync_raw = cores[c].clk.sync_raw;
+            s.epoch = cores[c].clk.epoch;
+            s.core = static_cast<std::uint16_t>(c);
+            s.flags = cores[c].clk.have_sync ? kSeedHaveSync : 0;
+            const auto* p = reinterpret_cast<const std::uint8_t*>(&s);
+            body.insert(body.end(), p, p + sizeof(s));
+        }
+        const std::size_t seeds_bytes = body.size();
+        encodePayload(trace.records.data() + first, n, body);
+
+        BlockHeader bh;
+        bh.record_count = static_cast<std::uint32_t>(n);
+        bh.payload_size = static_cast<std::uint32_t>(body.size() - seeds_bytes);
+        bh.seed_count = n_cores;
+        bh.first_record = first;
+        bh.checksum = fnv1a64Bytes(body.data(), body.size());
+        bh.uncompressed_size =
+            static_cast<std::uint32_t>(n * sizeof(Record));
+
+        BlockDirEntry de;
+        de.offset = region_offset + out.size();
+        de.block_bytes =
+            static_cast<std::uint32_t>(sizeof(BlockHeader) + body.size());
+        de.record_count = bh.record_count;
+        dir.push_back(de);
+
+        const auto* hp = reinterpret_cast<const std::uint8_t*>(&bh);
+        out.insert(out.end(), hp, hp + sizeof(bh));
+        out.insert(out.end(), body.begin(), body.end());
+
+        // Advance the replay state through this block's records.
+        for (std::size_t i = 0; i < n; ++i) {
+            const Record& rec = trace.records[first + i];
+            if (rec.core >= n_cores)
+                continue;
+            CoreState& c = cores[rec.core];
+            c.seen += 1;
+            std::uint64_t t = 0;
+            if (!c.clk.feed(rec, t))
+                continue;
+            if (t < c.clamp)
+                t = c.clamp;
+            c.clamp = t;
+            updateOpenBegins(c.open, rec);
+        }
+    }
+
+    rh.directory_offset = region_offset + out.size();
+    if (!dir.empty()) {
+        const auto* dp = reinterpret_cast<const std::uint8_t*>(dir.data());
+        out.insert(out.end(), dp, dp + dir.size() * sizeof(BlockDirEntry));
+    }
+    BlockDirTrailer tr;
+    tr.dir_bytes = dir.size() * sizeof(BlockDirEntry);
+    tr.checksum = fnv1a64Bytes(dir.data(), static_cast<std::size_t>(
+                                               tr.dir_bytes));
+    const auto* tp = reinterpret_cast<const std::uint8_t*>(&tr);
+    out.insert(out.end(), tp, tp + sizeof(tr));
+
+    std::memcpy(out.data(), &rh, sizeof(rh));
+    return out;
+}
+
+void
+decodeBlockBody(const BlockHeader& hdr, const std::uint8_t* body,
+                std::size_t body_len, std::uint32_t capacity,
+                DecodedBlock& out)
+{
+    if (!plausibleBlockHeader(hdr, capacity))
+        throw std::runtime_error(
+            "trace::block: implausible block header (record " +
+            std::to_string(hdr.first_record) + ")");
+    const std::uint64_t seeds_bytes =
+        static_cast<std::uint64_t>(hdr.seed_count) * sizeof(BlockSeed);
+    if (body_len != seeds_bytes + hdr.payload_size)
+        throw std::runtime_error(
+            "trace::block: body size disagrees with its header");
+    if (fnv1a64Bytes(body, body_len) != hdr.checksum)
+        throw std::runtime_error(
+            "trace::block: checksum mismatch in block at record " +
+            std::to_string(hdr.first_record));
+
+    out.header = hdr;
+    out.seeds.resize(hdr.seed_count);
+    if (hdr.seed_count > 0)
+        std::memcpy(out.seeds.data(), body,
+                    static_cast<std::size_t>(seeds_bytes));
+    decodePayload(body + seeds_bytes, hdr.payload_size, hdr.record_count,
+                  out.records);
+}
+
+// -------------------------------------------------------------------------
+// Salvage walk
+
+void
+salvageBlockRegion(const std::uint8_t* data, std::size_t len,
+                   std::uint64_t region_offset, std::uint32_t num_spes,
+                   std::vector<Record>& raw, ReadReport& rep)
+{
+    if (len < sizeof(BlockRegionHeader)) {
+        note(rep, "block region truncated before its header");
+        rep.bytes_dropped += len;
+        return;
+    }
+    BlockRegionHeader rh;
+    std::memcpy(&rh, data, sizeof(rh));
+    const bool rh_ok = plausibleRegionHeader(rh) &&
+                       rh.directory_offset >=
+                           region_offset + sizeof(BlockRegionHeader) &&
+                       rh.directory_offset - region_offset <= len;
+    std::uint64_t walk_end = len;
+    std::uint32_t capacity = kMaxBlockRecords;
+    if (rh_ok) {
+        walk_end = rh.directory_offset - region_offset;
+        capacity = rh.block_capacity;
+    } else {
+        note(rep, "block region header corrupt; scanning for blocks");
+    }
+
+    const std::uint32_t n_cores = num_spes + 1;
+    struct CoreSt
+    {
+        bool have_sync = false;
+        std::uint32_t sync_raw = 0;
+        std::uint64_t sync_tb = 0;
+        std::uint64_t decoded = 0;      ///< this core's records recovered
+        std::uint64_t cum_dropped = 0;  ///< running drop-marker cumulative
+    };
+    std::vector<CoreSt> cores(n_cores);
+
+    std::uint64_t next_ordinal = 0; ///< records accounted (decoded + lost)
+    std::uint64_t good_bytes = 0;
+    std::uint64_t pos = sizeof(BlockRegionHeader);
+    DecodedBlock blk;
+
+    while (pos + sizeof(BlockHeader) <= walk_end) {
+        BlockHeader bh;
+        std::memcpy(&bh, data + pos, sizeof(bh));
+        const std::uint64_t body_len =
+            static_cast<std::uint64_t>(bh.seed_count) * sizeof(BlockSeed) +
+            bh.payload_size;
+        // seed_count is deliberately NOT checked against n_cores: when
+        // the FILE header's SPE count is the corrupt field, the blocks
+        // (whose checksums still pass) are the ground truth.
+        bool ok = plausibleBlockHeader(bh, capacity) &&
+                  bh.first_record >= next_ordinal &&
+                  pos + sizeof(BlockHeader) + body_len <= walk_end;
+        if (ok) {
+            try {
+                decodeBlockBody(bh, data + pos + sizeof(BlockHeader),
+                                static_cast<std::size_t>(body_len), capacity,
+                                blk);
+            } catch (const std::runtime_error& e) {
+                note(rep, std::string(e.what()) + "; block dropped");
+                ok = false;
+            }
+        }
+        if (!ok) {
+            // Resynchronize: scan byte-by-byte for the next block magic.
+            std::uint64_t next = pos + 1;
+            for (; next + sizeof(BlockHeader) <= walk_end; ++next) {
+                std::uint32_t m;
+                std::memcpy(&m, data + next, sizeof(m));
+                if (m == kBlockMagic)
+                    break;
+            }
+            pos = next;
+            continue;
+        }
+
+        if (bh.first_record > next_ordinal) {
+            const std::uint64_t lost = bh.first_record - next_ordinal;
+            rep.records_skipped += lost;
+            note(rep, "block gap: records " + std::to_string(next_ordinal) +
+                          ".." + std::to_string(bh.first_record - 1) + " (" +
+                          std::to_string(lost) + ") lost; resynced from "
+                          "block seeds");
+            // Resynchronize each core from the good block's seeds:
+            // restore the clock mapping a full decode would have had
+            // (synthetic sync) and mark the loss (synthetic drop with
+            // the exact per-core count) so post-gap events place
+            // identically and the analyzer flags the gap.
+            for (const BlockSeed& s : blk.seeds) {
+                if (s.core >= n_cores)
+                    continue;
+                CoreSt& c = cores[s.core];
+                const std::uint64_t lost_c =
+                    s.records_before > c.decoded ? s.records_before - c.decoded
+                                                 : 0;
+                if ((s.flags & kSeedHaveSync) != 0 &&
+                    (!c.have_sync || c.sync_raw != s.sync_raw ||
+                     c.sync_tb != s.sync_tb)) {
+                    Record sync{};
+                    sync.kind = kSyncRecord;
+                    sync.core = s.core;
+                    sync.timestamp = s.sync_raw;
+                    sync.a = s.sync_raw;
+                    sync.b = s.sync_tb;
+                    raw.push_back(sync);
+                    c.have_sync = true;
+                    c.sync_raw = s.sync_raw;
+                    c.sync_tb = s.sync_tb;
+                }
+                if (lost_c > 0 && c.have_sync) {
+                    // Place the marker at the seed tick when it is
+                    // representable from the mapping; the analyzer's
+                    // monotonic clamp absorbs any shortfall.
+                    const std::uint64_t delta =
+                        s.tick >= s.sync_tb &&
+                                s.tick - s.sync_tb <= 0xFFFFFFFFULL
+                            ? s.tick - s.sync_tb
+                            : 0;
+                    Record drop{};
+                    drop.kind = kDropRecord;
+                    drop.core = s.core;
+                    drop.timestamp =
+                        s.core != 0
+                            ? c.sync_raw - static_cast<std::uint32_t>(delta)
+                            : c.sync_raw + static_cast<std::uint32_t>(delta);
+                    drop.a = lost_c;
+                    drop.b = c.cum_dropped += lost_c;
+                    raw.push_back(drop);
+                }
+                if (lost_c > 0)
+                    c.decoded = s.records_before;
+            }
+        }
+
+        for (const Record& r : blk.records) {
+            raw.push_back(r);
+            if (r.core >= n_cores)
+                continue;
+            CoreSt& c = cores[r.core];
+            c.decoded += 1;
+            if (r.kind == kSyncRecord) {
+                c.have_sync = true;
+                c.sync_raw = static_cast<std::uint32_t>(r.a);
+                c.sync_tb = r.b;
+            } else if (r.kind == kDropRecord) {
+                c.cum_dropped = r.b;
+            }
+        }
+        next_ordinal = bh.first_record + bh.record_count;
+        good_bytes += sizeof(BlockHeader) + body_len;
+        pos += sizeof(BlockHeader) + body_len;
+    }
+
+    if (rh_ok && rh.record_count > next_ordinal) {
+        const std::uint64_t lost = rh.record_count - next_ordinal;
+        rep.records_skipped += lost;
+        note(rep, "trailing blocks lost: records " +
+                      std::to_string(next_ordinal) + ".." +
+                      std::to_string(rh.record_count - 1) + " (" +
+                      std::to_string(lost) + ")");
+    }
+    const std::uint64_t walked = walk_end - sizeof(BlockRegionHeader);
+    if (walked > good_bytes)
+        rep.bytes_dropped += walked - good_bytes;
+}
+
+// -------------------------------------------------------------------------
+// Streaming reader
+
+BlockReader::BlockReader(std::istream& is) : is_(is)
+{
+    std::uint64_t at = 0;
+    const auto base = is_.tellg();
+    if (base != std::streampos(-1))
+        at = static_cast<std::uint64_t>(base);
+    is_.clear();
+
+    readExact(is_, &header_, sizeof(header_), "file header");
+    at += sizeof(header_);
+    if (header_.magic != kMagic)
+        throw std::runtime_error(
+            "trace::BlockReader: bad magic (not a PDT trace)");
+    if (header_.version != kFormatVersionV3)
+        throw std::runtime_error(
+            "trace::BlockReader: not a v3 compressed trace (version " +
+            std::to_string(header_.version) + ")");
+
+    names_.resize(header_.num_spes);
+    for (std::string& name : names_) {
+        std::uint32_t nlen = 0;
+        readExact(is_, &nlen, sizeof(nlen), "name table");
+        if (nlen > (1u << 20))
+            throw std::runtime_error(
+                "trace::BlockReader: implausible name length " +
+                std::to_string(nlen));
+        name.resize(nlen);
+        readExact(is_, name.data(), nlen, "name table");
+        at += sizeof(nlen) + nlen;
+    }
+
+    region_offset_ = at;
+    readExact(is_, &region_, sizeof(region_), "block region header");
+    if (!plausibleRegionHeader(region_) ||
+        region_.record_count != header_.record_count)
+        throw std::runtime_error(
+            "trace::BlockReader: corrupt block region header");
+    next_offset_ = at + sizeof(region_);
+    header_.version = kFormatVersion; // decode is transparent
+}
+
+bool
+BlockReader::next(DecodedBlock& out)
+{
+    if (next_block_ >= region_.block_count)
+        return false;
+
+    // Re-seek when possible so next() composes with readBlock(); a
+    // non-seekable stream is simply assumed still in sequence.
+    is_.clear();
+    const auto pos = is_.tellg();
+    if (pos != std::streampos(-1) &&
+        static_cast<std::uint64_t>(pos) != next_offset_)
+        is_.seekg(static_cast<std::streamoff>(next_offset_));
+
+    BlockHeader bh;
+    readExact(is_, &bh, sizeof(bh), "block header");
+    if (!plausibleBlockHeader(bh, region_.block_capacity) ||
+        bh.first_record != next_first_)
+        throw std::runtime_error(
+            "trace::BlockReader: corrupt block header at block " +
+            std::to_string(next_block_));
+    const std::uint64_t expect = std::min<std::uint64_t>(
+        region_.block_capacity, region_.record_count - next_first_);
+    if (bh.record_count != expect)
+        throw std::runtime_error(
+            "trace::BlockReader: block " + std::to_string(next_block_) +
+            " claims " + std::to_string(bh.record_count) + " records, " +
+            std::to_string(expect) + " expected");
+
+    const std::size_t body_len =
+        static_cast<std::size_t>(bh.seed_count) * sizeof(BlockSeed) +
+        bh.payload_size;
+    std::vector<std::uint8_t> body(body_len);
+    readExact(is_, body.data(), body_len, "block body");
+    decodeBlockBody(bh, body.data(), body_len, region_.block_capacity, out);
+
+    next_offset_ += sizeof(bh) + body_len;
+    next_first_ += bh.record_count;
+    next_block_ += 1;
+    return true;
+}
+
+const std::vector<BlockDirEntry>&
+BlockReader::directory()
+{
+    if (!have_directory_) {
+        directory_ = loadBlockDirectory(is_, region_offset_, region_);
+        have_directory_ = true;
+    }
+    return directory_;
+}
+
+void
+BlockReader::readBlock(std::uint64_t index, DecodedBlock& out)
+{
+    const std::vector<BlockDirEntry>& dir = directory();
+    if (index >= dir.size())
+        throw std::runtime_error("trace::BlockReader: block index " +
+                                 std::to_string(index) + " out of range");
+    const BlockDirEntry& de = dir[index];
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(de.offset));
+    BlockHeader bh;
+    readExact(is_, &bh, sizeof(bh), "block header");
+    if (bh.record_count != de.record_count ||
+        sizeof(bh) + static_cast<std::uint64_t>(bh.seed_count) *
+                         sizeof(BlockSeed) +
+            bh.payload_size !=
+            de.block_bytes)
+        throw std::runtime_error(
+            "trace::BlockReader: block disagrees with the directory at "
+            "block " +
+            std::to_string(index));
+    const std::size_t body_len = de.block_bytes - sizeof(bh);
+    std::vector<std::uint8_t> body(body_len);
+    readExact(is_, body.data(), body_len, "block body");
+    decodeBlockBody(bh, body.data(), body_len, region_.block_capacity, out);
+}
+
+// -------------------------------------------------------------------------
+// Directory loading
+
+std::vector<BlockDirEntry>
+loadBlockDirectory(std::istream& is, std::uint64_t region_offset,
+                   const BlockRegionHeader& region)
+{
+    const auto saved = is.tellg();
+    if (saved == std::streampos(-1)) {
+        is.clear();
+        throw std::runtime_error(
+            "trace::block: directory access needs a seekable stream");
+    }
+    const std::uint64_t first_block =
+        region_offset + sizeof(BlockRegionHeader);
+
+    // Primary path: the committed directory, fully validated.
+    auto tryDirectory = [&]() -> std::vector<BlockDirEntry> {
+        std::vector<BlockDirEntry> dir(
+            static_cast<std::size_t>(region.block_count));
+        is.clear();
+        is.seekg(static_cast<std::streamoff>(region.directory_offset));
+        if (!dir.empty()) {
+            is.read(reinterpret_cast<char*>(dir.data()),
+                    static_cast<std::streamsize>(dir.size() *
+                                                 sizeof(BlockDirEntry)));
+        }
+        BlockDirTrailer tr;
+        is.read(reinterpret_cast<char*>(&tr),
+                static_cast<std::streamsize>(sizeof(tr)));
+        if (!is)
+            throw std::runtime_error("trace::block: directory unreadable");
+        if (tr.magic != kBlockRegionMagic ||
+            tr.dir_bytes != dir.size() * sizeof(BlockDirEntry) ||
+            fnv1a64Bytes(dir.data(),
+                         static_cast<std::size_t>(tr.dir_bytes)) !=
+                tr.checksum)
+            throw std::runtime_error("trace::block: directory corrupt");
+
+        std::uint64_t expect_off = first_block;
+        std::uint64_t records = 0;
+        for (std::size_t i = 0; i < dir.size(); ++i) {
+            const BlockDirEntry& de = dir[i];
+            const std::uint64_t expect_count = std::min<std::uint64_t>(
+                region.block_capacity, region.record_count - records);
+            if (de.offset != expect_off ||
+                de.block_bytes < sizeof(BlockHeader) ||
+                de.record_count != expect_count)
+                throw std::runtime_error(
+                    "trace::block: directory entries inconsistent");
+            expect_off += de.block_bytes;
+            records += de.record_count;
+        }
+        if (records != region.record_count ||
+            expect_off != region.directory_offset)
+            throw std::runtime_error(
+                "trace::block: directory does not cover the region");
+        return dir;
+    };
+
+    // Fallback: rebuild the directory by walking the block headers —
+    // the blocks are self-describing, so a damaged directory does not
+    // take the parallel readers down with it.
+    auto walkBlocks = [&]() -> std::vector<BlockDirEntry> {
+        std::vector<BlockDirEntry> dir;
+        dir.reserve(static_cast<std::size_t>(region.block_count));
+        std::uint64_t off = first_block;
+        std::uint64_t records = 0;
+        for (std::uint64_t i = 0; i < region.block_count; ++i) {
+            is.clear();
+            is.seekg(static_cast<std::streamoff>(off));
+            BlockHeader bh;
+            readExact(is, &bh, sizeof(bh), "block header");
+            if (!plausibleBlockHeader(bh, region.block_capacity) ||
+                bh.first_record != records)
+                throw std::runtime_error(
+                    "trace::block: corrupt block header at block " +
+                    std::to_string(i) + " while rebuilding the directory");
+            BlockDirEntry de;
+            de.offset = off;
+            de.block_bytes = static_cast<std::uint32_t>(
+                sizeof(BlockHeader) +
+                static_cast<std::uint64_t>(bh.seed_count) *
+                    sizeof(BlockSeed) +
+                bh.payload_size);
+            de.record_count = bh.record_count;
+            dir.push_back(de);
+            off += de.block_bytes;
+            records += bh.record_count;
+        }
+        if (records != region.record_count)
+            throw std::runtime_error(
+                "trace::block: walked blocks do not cover the region");
+        return dir;
+    };
+
+    std::vector<BlockDirEntry> dir;
+    try {
+        dir = tryDirectory();
+    } catch (const std::runtime_error&) {
+        dir = walkBlocks(); // throws if the blocks are damaged too
+    }
+    is.clear();
+    is.seekg(saved);
+    return dir;
+}
+
+// -------------------------------------------------------------------------
+// Probe
+
+BlockRegionProbe
+probeBlockRegion(std::istream& is)
+{
+    BlockRegionProbe probe;
+    const auto saved = is.tellg();
+    try {
+        Header fh;
+        readExact(is, &fh, sizeof(fh), "file header");
+        if (fh.magic != kMagic || fh.version != kFormatVersionV3)
+            throw std::runtime_error("not v3");
+        for (std::uint32_t i = 0; i < fh.num_spes; ++i) {
+            std::uint32_t nlen = 0;
+            readExact(is, &nlen, sizeof(nlen), "name table");
+            if (nlen > (1u << 20))
+                throw std::runtime_error("bad name");
+            is.seekg(static_cast<std::streamoff>(nlen), std::ios::cur);
+            if (!is)
+                throw std::runtime_error("bad name table");
+        }
+        const auto region_pos = is.tellg();
+        BlockRegionHeader rh;
+        readExact(is, &rh, sizeof(rh), "block region header");
+        if (!plausibleRegionHeader(rh) || rh.record_count != fh.record_count)
+            throw std::runtime_error("bad region header");
+        probe.present = true;
+        probe.region = rh;
+        if (region_pos != std::streampos(-1)) {
+            probe.region_bytes =
+                rh.directory_offset +
+                rh.block_count * sizeof(BlockDirEntry) +
+                sizeof(BlockDirTrailer) -
+                static_cast<std::uint64_t>(region_pos);
+        }
+    } catch (const std::exception&) {
+        probe = BlockRegionProbe{};
+    }
+    is.clear();
+    if (saved != std::streampos(-1))
+        is.seekg(saved);
+    return probe;
+}
+
+BlockRegionProbe
+probeBlockRegionFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return {};
+    return probeBlockRegion(is);
+}
+
+} // namespace cell::trace

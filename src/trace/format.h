@@ -30,6 +30,17 @@ constexpr std::uint64_t kMagic = 0x3130544450454243ULL;
 
 constexpr std::uint32_t kFormatVersion = 1;
 
+/**
+ * Version stamped in the file header when the record region is written
+ * as compressed v3 blocks (WriteOptions::compress). Everything before
+ * the record region — header layout, name table — is unchanged; the
+ * region itself becomes self-checksummed delta-encoded blocks (see
+ * trace/block.h). Readers decode v3 transparently and normalize the
+ * in-memory header back to version 1, so every consumer of TraceData
+ * sees identical bytes whichever container the trace came in.
+ */
+constexpr std::uint32_t kFormatVersionV3 = 3;
+
 /** Tool record kinds (outside the ApiOp range). */
 enum ToolRecordKind : std::uint8_t
 {

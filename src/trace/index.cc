@@ -18,11 +18,10 @@
 #include <istream>
 
 #include "rt/hooks.h"
+#include "trace/block.h"
 #include "trace/replay.h"
 
 namespace cell::trace {
-
-namespace {
 
 /** Mechanical open-begin tracking for one core's stream: bit k set
  *  when the most recent kind-k record was a Begin. SpuStop (a
@@ -48,8 +47,6 @@ updateOpenBegins(std::uint64_t& mask, const Record& rec)
     else
         mask &= ~bit;
 }
-
-} // namespace
 
 std::uint64_t
 fnv1a64Bytes(const void* data, std::size_t len)
@@ -181,10 +178,14 @@ namespace {
  * Parse + validate an index region whose checksum already matched.
  * @p index_start is the absolute offset of the IndexHeader within the
  * trace stream; @p fh / @p region_off come from the file itself.
- * Fills @p r (valid + index on success, reason on rejection).
+ * @p v3 marks a compressed record region: entry offsets are then
+ * VIRTUAL (region_off + ordinal * 32, as if the region were plain v1
+ * records), so bounds are checked against the virtual region end
+ * instead of the physical index position. Fills @p r (valid + index on
+ * success, reason on rejection).
  */
 void
-parseAndValidate(const Header& fh, std::uint64_t region_off,
+parseAndValidate(const Header& fh, bool v3, std::uint64_t region_off,
                  std::uint64_t index_start,
                  const std::vector<std::uint8_t>& bytes, IndexReadResult& r)
 {
@@ -228,9 +229,20 @@ parseAndValidate(const Header& fh, std::uint64_t region_off,
         r.reason = "index record-region offset disagrees with file";
         return;
     }
-    if (index_start < region_off ||
-        (index_start - region_off) % sizeof(Record) != 0 ||
-        (index_start - region_off) / sizeof(Record) != h.record_count) {
+    if (h.record_count > (std::uint64_t{1} << 48)) {
+        r.reason = "index record count implausible";
+        return;
+    }
+    // Where entry offsets may point: one past the last record, in the
+    // (virtual, for v3) uncompressed record address space.
+    const std::uint64_t record_end =
+        region_off + h.record_count * sizeof(Record);
+    if (v3) {
+        if (index_start < region_off + sizeof(BlockRegionHeader)) {
+            r.reason = "index overlaps the block region header";
+            return;
+        }
+    } else if (index_start < region_off || index_start != record_end) {
         r.reason = "index does not sit at the end of the record region";
         return;
     }
@@ -288,7 +300,7 @@ parseAndValidate(const Header& fh, std::uint64_t region_off,
                 return;
             }
             if (e.byte_offset < region_off ||
-                e.byte_offset + sizeof(Record) > index_start ||
+                e.byte_offset + sizeof(Record) > record_end ||
                 (e.byte_offset - region_off) % sizeof(Record) != 0) {
                 r.reason = "entry offset outside the record region";
                 return;
@@ -324,7 +336,7 @@ parseAndValidate(const Header& fh, std::uint64_t region_off,
             r.reason = "entry record counts do not sum to the core total";
             return;
         }
-        if (s.end_offset <= prev_off || s.end_offset > index_start ||
+        if (s.end_offset <= prev_off || s.end_offset > record_end ||
             (s.end_offset - region_off) % sizeof(Record) != 0) {
             r.reason = "core end offset implausible";
             return;
@@ -357,7 +369,8 @@ readIndexImpl(std::uint64_t size, const ReadAt& read_at)
     Header fh;
     if (size < sizeof(Header) || !read_at(0, &fh, sizeof(fh)))
         return r;
-    if (fh.magic != kMagic || fh.version != kFormatVersion)
+    if (fh.magic != kMagic || (fh.version != kFormatVersion &&
+                               fh.version != kFormatVersionV3))
         return r;
 
     // Skip the name table to find the record region.
@@ -400,7 +413,8 @@ readIndexImpl(std::uint64_t size, const ReadAt& read_at)
         r.reason = "index checksum mismatch";
         return r;
     }
-    parseAndValidate(fh, region_off, index_start, bytes, r);
+    parseAndValidate(fh, fh.version == kFormatVersionV3, region_off,
+                     index_start, bytes, r);
     return r;
 }
 

@@ -174,6 +174,11 @@ struct IndexReadResult
 /** FNV-1a 64 over raw bytes (the index checksum). */
 std::uint64_t fnv1a64Bytes(const void* data, std::size_t len);
 
+/** Mechanical open-begin mask update (see IndexEntry::open_begins):
+ *  shared by the index builder and the v3 block seeds, which snapshot
+ *  the same pending state per block (trace/block.h). */
+void updateOpenBegins(std::uint64_t& mask, const Record& rec);
+
 /**
  * Build the index for @p trace as it will appear on disk. @p header
  * must be the effective on-disk header (writer-normalized num_spes /

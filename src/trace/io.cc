@@ -19,6 +19,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "trace/block.h"
 #include "trace/index.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
@@ -29,11 +30,11 @@ namespace {
 
 /** The header as it should appear on disk for @p trace. */
 Header
-headerFor(const TraceData& trace)
+headerFor(const TraceData& trace, const WriteOptions& opt)
 {
     Header hdr = trace.header;
     hdr.magic = kMagic;
-    hdr.version = kFormatVersion;
+    hdr.version = opt.compress ? kFormatVersionV3 : kFormatVersion;
     hdr.num_spes = static_cast<std::uint32_t>(trace.spe_programs.size());
     hdr.record_count = trace.records.size();
     return hdr;
@@ -58,6 +59,17 @@ class BufReader
         std::memcpy(dst, p_, n);
         p_ += n;
         consumed_ += n;
+    }
+
+    /** Best-effort read for salvage slurps: up to @p n bytes. */
+    std::size_t readSome(void* dst, std::size_t n)
+    {
+        const std::size_t m =
+            std::min<std::size_t>(n, static_cast<std::size_t>(remaining()));
+        std::memcpy(dst, p_, m);
+        p_ += m;
+        consumed_ += m;
+        return m;
     }
 
     /** Exact; an in-memory buffer always knows its size. */
@@ -111,6 +123,19 @@ class StreamReader
             remaining_ -= n;
     }
 
+    /** Best-effort read for salvage slurps: up to @p n bytes. */
+    std::size_t readSome(void* dst, std::size_t n)
+    {
+        is_.read(reinterpret_cast<char*>(dst),
+                 static_cast<std::streamsize>(n));
+        const auto got = static_cast<std::size_t>(is_.gcount());
+        is_.clear();
+        consumed_ += got;
+        if (knows_remaining_)
+            remaining_ -= std::min<std::uint64_t>(remaining_, got);
+        return got;
+    }
+
     bool knowsRemaining() const { return knows_remaining_; }
     std::uint64_t remaining() const { return remaining_; }
     std::uint64_t consumed() const { return consumed_; }
@@ -122,6 +147,72 @@ class StreamReader
     std::uint64_t consumed_ = 0;
 };
 
+/**
+ * Strict decode of a v3 block region: one block body in memory at a
+ * time (the scratch buffer is bounded by maxBlockBodyBytes), each
+ * block's checksum and structural claims verified, blocks required to
+ * tile [0, record_count) exactly. Trailing bytes — the directory and
+ * any v2 index footer — are ignored, mirroring how the v1 strict
+ * reader ignores everything past the claimed records.
+ */
+template <typename Reader>
+void
+readBlocksStrict(Reader& in, TraceData& trace)
+{
+    BlockRegionHeader rh;
+    in.read(&rh, sizeof(rh));
+    if (rh.magic != kBlockRegionMagic || rh.version != kFormatVersionV3 ||
+        rh.block_capacity == 0 || rh.block_capacity > kMaxBlockRecords ||
+        rh.record_count != trace.header.record_count ||
+        rh.block_count != (rh.record_count + rh.block_capacity - 1) /
+                              rh.block_capacity) {
+        throw std::runtime_error(
+            "trace::read: corrupt v3 block region header at byte " +
+            std::to_string(in.consumed() - sizeof(rh)) +
+            "; --salvage recovers the decodable blocks");
+    }
+
+    trace.records.reserve(static_cast<std::size_t>(rh.record_count));
+    std::vector<std::uint8_t> body;
+    DecodedBlock blk;
+    std::uint64_t next_first = 0;
+    for (std::uint64_t b = 0; b < rh.block_count; ++b) {
+        BlockHeader bh;
+        in.read(&bh, sizeof(bh));
+        const std::uint64_t body_len =
+            std::uint64_t{bh.seed_count} * sizeof(BlockSeed) +
+            bh.payload_size;
+        if (bh.magic != kBlockMagic || bh.first_record != next_first ||
+            bh.record_count == 0 || bh.record_count > rh.block_capacity ||
+            body_len > maxBlockBodyBytes(bh.record_count, bh.seed_count)) {
+            throw std::runtime_error(
+                "trace::read: corrupt block header (block " +
+                std::to_string(b) + " of " + std::to_string(rh.block_count) +
+                ", at byte " +
+                std::to_string(in.consumed() - sizeof(bh)) +
+                "); --salvage recovers the decodable blocks");
+        }
+        body.resize(static_cast<std::size_t>(body_len));
+        in.read(body.data(), body.size());
+        try {
+            decodeBlockBody(bh, body.data(), body.size(), rh.block_capacity,
+                            blk);
+        } catch (const std::runtime_error& e) {
+            throw std::runtime_error(
+                std::string(e.what()) + " (block " + std::to_string(b) +
+                " of " + std::to_string(rh.block_count) +
+                "); --salvage recovers the decodable blocks");
+        }
+        trace.records.insert(trace.records.end(), blk.records.begin(),
+                             blk.records.end());
+        next_first += bh.record_count;
+    }
+    if (next_first != rh.record_count)
+        throw std::runtime_error(
+            "trace::read: blocks decode to " + std::to_string(next_first) +
+            " records, header claims " + std::to_string(rh.record_count));
+}
+
 /** Shared parse over any sequential reader. */
 template <typename Reader>
 TraceData
@@ -131,7 +222,8 @@ readImpl(Reader& in)
     in.read(&trace.header, sizeof(Header));
     if (trace.header.magic != kMagic)
         throw std::runtime_error("trace::read: bad magic (not a PDT trace)");
-    if (trace.header.version != kFormatVersion)
+    if (trace.header.version != kFormatVersion &&
+        trace.header.version != kFormatVersionV3)
         throw std::runtime_error("trace::read: unsupported format version");
 
     std::uint32_t name_index = 0;
@@ -165,6 +257,11 @@ readImpl(Reader& in)
     const std::uint64_t count = trace.header.record_count;
     if (count > std::numeric_limits<std::size_t>::max() / sizeof(Record))
         throw std::runtime_error("trace::read: record count overflows");
+    if (trace.header.version == kFormatVersionV3) {
+        readBlocksStrict(in, trace);
+        trace.header.version = kFormatVersion; // decode is transparent
+        return trace;
+    }
     if (in.knowsRemaining()) {
         if (count * sizeof(Record) > in.remaining()) {
             throw std::runtime_error(
@@ -253,7 +350,8 @@ readSalvageImpl(Reader& in, ReadReport& rep)
     in.read(&trace.header, sizeof(Header)); // unrecoverable if absent
     if (trace.header.magic != kMagic)
         throw std::runtime_error("trace::read: bad magic (not a PDT trace)");
-    if (trace.header.version != kFormatVersion)
+    if (trace.header.version != kFormatVersion &&
+        trace.header.version != kFormatVersionV3)
         throw std::runtime_error("trace::read: unsupported format version");
 
     rep.records_expected = trace.header.record_count;
@@ -287,6 +385,35 @@ readSalvageImpl(Reader& in, ReadReport& rep)
                       ": " + e.what());
             return trace; // file ended inside the name table
         }
+    }
+
+    // v3: slurp the rest of the input and walk the block region. Every
+    // decodable block survives; corrupt blocks become gaps whose exact
+    // per-core losses the next good block's seeds reconstruct.
+    if (trace.header.version == kFormatVersionV3) {
+        const std::uint64_t region_off = in.consumed();
+        std::vector<std::uint8_t> rest;
+        if (in.knowsRemaining()) {
+            rest.resize(static_cast<std::size_t>(in.remaining()));
+            if (!rest.empty())
+                in.read(rest.data(), rest.size());
+        } else {
+            constexpr std::size_t kChunk = 1u << 16;
+            std::size_t got = kChunk;
+            while (got == kChunk) {
+                const std::size_t old = rest.size();
+                rest.resize(old + kChunk);
+                got = in.readSome(rest.data() + old, kChunk);
+                rest.resize(old + got);
+            }
+        }
+        std::vector<Record> decoded;
+        salvageBlockRegion(rest.data(), rest.size(), region_off,
+                           trace.header.num_spes, decoded, rep);
+        filterRecords(decoded, trace, rep);
+        trace.header.record_count = trace.records.size();
+        trace.header.version = kFormatVersion; // decode is transparent
+        return trace;
     }
 
     // Records: read every complete 32-byte record present, regardless
@@ -352,14 +479,19 @@ recordRegionOffsetFor(const TraceData& trace)
 void
 write(std::ostream& os, const TraceData& trace, const WriteOptions& opt)
 {
-    const Header hdr = headerFor(trace);
+    const Header hdr = headerFor(trace, opt);
     os.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
     for (const std::string& name : trace.spe_programs) {
         const auto len = static_cast<std::uint32_t>(name.size());
         os.write(reinterpret_cast<const char*>(&len), sizeof(len));
         os.write(name.data(), static_cast<std::streamsize>(name.size()));
     }
-    if (!trace.records.empty()) {
+    if (opt.compress) {
+        const std::vector<std::uint8_t> region = encodeBlockRegion(
+            trace, hdr, recordRegionOffsetFor(trace), opt.block_records);
+        os.write(reinterpret_cast<const char*>(region.data()),
+                 static_cast<std::streamsize>(region.size()));
+    } else if (!trace.records.empty()) {
         os.write(reinterpret_cast<const char*>(trace.records.data()),
                  static_cast<std::streamsize>(
                      trace.records.size() * sizeof(Record)));
@@ -388,11 +520,12 @@ writeFile(const std::string& path, const TraceData& trace,
 std::vector<std::uint8_t>
 writeBuffer(const TraceData& trace, const WriteOptions& opt)
 {
-    const Header hdr = headerFor(trace);
+    const Header hdr = headerFor(trace, opt);
     std::size_t total = sizeof(hdr);
     for (const std::string& name : trace.spe_programs)
         total += sizeof(std::uint32_t) + name.size();
-    total += trace.records.size() * sizeof(Record);
+    if (!opt.compress)
+        total += trace.records.size() * sizeof(Record);
 
     std::vector<std::uint8_t> out(total);
     std::uint8_t* p = out.data();
@@ -407,8 +540,13 @@ writeBuffer(const TraceData& trace, const WriteOptions& opt)
         if (!name.empty())
             append(name.data(), name.size());
     }
-    if (!trace.records.empty())
+    if (opt.compress) {
+        const std::vector<std::uint8_t> region = encodeBlockRegion(
+            trace, hdr, recordRegionOffsetFor(trace), opt.block_records);
+        out.insert(out.end(), region.begin(), region.end());
+    } else if (!trace.records.empty()) {
         append(trace.records.data(), trace.records.size() * sizeof(Record));
+    }
     if (opt.index_stride > 0) {
         const TraceIndex idx = buildIndex(
             trace, hdr, recordRegionOffsetFor(trace), opt.index_stride);

@@ -6,6 +6,7 @@
 #include "trace/shard.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -60,7 +61,8 @@ planShards(std::istream& is, const ShardOptions& opt)
     if (plan.header.magic != kMagic)
         throw std::runtime_error(
             "trace::planShards: bad magic (not a PDT trace)");
-    if (plan.header.version != kFormatVersion)
+    if (plan.header.version != kFormatVersion &&
+        plan.header.version != kFormatVersionV3)
         throw std::runtime_error(
             "trace::planShards: unsupported format version");
 
@@ -84,6 +86,63 @@ planShards(std::istream& is, const ShardOptions& opt)
     const std::uint64_t count = plan.header.record_count;
     if (count > std::numeric_limits<std::uint64_t>::max() / sizeof(Record))
         throw std::runtime_error("trace::planShards: record count overflows");
+
+    // v3 compressed region: shard on whole blocks — the smallest
+    // independently decodable unit — via the (validated or rebuilt)
+    // directory. No boundary probing: every block is checksummed, so a
+    // boundary cannot sit on damaged ground undetected.
+    if (plan.header.version == kFormatVersionV3) {
+        BlockRegionHeader rh;
+        readExact(is, &rh, sizeof(rh), at);
+        if (rh.magic != kBlockRegionMagic ||
+            rh.version != kFormatVersionV3 || rh.block_capacity == 0 ||
+            rh.block_capacity > kMaxBlockRecords ||
+            rh.record_count != count ||
+            rh.block_count != (count + rh.block_capacity - 1) /
+                                  rh.block_capacity ||
+            rh.directory_offset > static_cast<std::uint64_t>(end)) {
+            throw std::runtime_error(
+                "trace::planShards: corrupt v3 block region header; "
+                "--salvage recovers the decodable blocks");
+        }
+        plan.v3 = true;
+        plan.block_capacity = rh.block_capacity;
+        plan.record_count = count;
+        plan.header.version = kFormatVersion; // decode is transparent
+        try {
+            plan.blocks = loadBlockDirectory(is, at, rh);
+        } catch (const std::runtime_error& e) {
+            throw std::runtime_error(std::string("trace::planShards: ") +
+                                     e.what());
+        }
+
+        unsigned targetv3 = opt.target_shards;
+        if (targetv3 == 0)
+            targetv3 = std::max(1u, std::thread::hardware_concurrency()) * 4;
+        std::uint64_t per_shardv3 = std::max<std::uint64_t>(
+            opt.min_records_per_shard, (count + targetv3 - 1) / targetv3);
+        per_shardv3 = std::max<std::uint64_t>(per_shardv3, 1);
+
+        Shard cur;
+        cur.byte_offset = plan.record_region_offset;
+        for (std::size_t k = 0; k < plan.blocks.size(); ++k) {
+            if (cur.num_records >= per_shardv3) {
+                plan.shards.push_back(cur);
+                cur = Shard{};
+                cur.first_record =
+                    static_cast<std::uint64_t>(k) * rh.block_capacity;
+                cur.first_block = k;
+                cur.byte_offset = plan.record_region_offset +
+                                  cur.first_record * sizeof(Record);
+            }
+            cur.num_records += plan.blocks[k].record_count;
+            cur.num_blocks += 1;
+        }
+        plan.shards.push_back(cur); // the tail (or one empty shard)
+        is.seekg(start);
+        return plan;
+    }
+
     if (count * sizeof(Record) > remaining) {
         throw std::runtime_error(
             "trace::planShards: truncated input: header claims " +
@@ -166,6 +225,47 @@ readShardInto(std::istream& is, const ShardPlan& plan, std::size_t index,
     const Shard& s = plan.shards.at(index);
     if (s.num_records == 0)
         return;
+    if (plan.v3) {
+        // Decode the shard's whole blocks in order; the directory was
+        // validated (or rebuilt from block headers) by planShards.
+        std::vector<std::uint8_t> buf;
+        DecodedBlock blk;
+        std::uint64_t done = 0;
+        for (std::uint64_t k = s.first_block;
+             k < s.first_block + s.num_blocks; ++k) {
+            const BlockDirEntry& de = plan.blocks.at(
+                static_cast<std::size_t>(k));
+            buf.resize(de.block_bytes);
+            is.clear();
+            is.seekg(static_cast<std::streamoff>(de.offset));
+            is.read(reinterpret_cast<char*>(buf.data()),
+                    static_cast<std::streamsize>(buf.size()));
+            if (!is || static_cast<std::uint64_t>(is.gcount()) != buf.size())
+                throw std::runtime_error(
+                    "trace::readShard: short read in block " +
+                    std::to_string(k) + " at byte " +
+                    std::to_string(de.offset));
+            BlockHeader bh;
+            std::memcpy(&bh, buf.data(), sizeof(bh));
+            decodeBlockBody(bh, buf.data() + sizeof(bh),
+                            buf.size() - sizeof(bh), plan.block_capacity,
+                            blk);
+            if (blk.records.size() != de.record_count ||
+                done + blk.records.size() > s.num_records)
+                throw std::runtime_error(
+                    "trace::readShard: block " + std::to_string(k) +
+                    " record count disagrees with the directory");
+            std::memcpy(dst + done, blk.records.data(),
+                        blk.records.size() * sizeof(Record));
+            done += blk.records.size();
+        }
+        if (done != s.num_records)
+            throw std::runtime_error(
+                "trace::readShard: shard " + std::to_string(index) +
+                " decoded " + std::to_string(done) + " of " +
+                std::to_string(s.num_records) + " records");
+        return;
+    }
     is.clear();
     is.seekg(static_cast<std::streamoff>(s.byte_offset));
     is.read(reinterpret_cast<char*>(dst),

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/block.h"
 #include "trace/format.h"
 
 namespace cell::trace {
@@ -44,7 +45,12 @@ struct Shard
 {
     std::uint64_t first_record = 0; ///< index into the record region
     std::uint64_t num_records = 0;
-    std::uint64_t byte_offset = 0;  ///< absolute file offset of first record
+    /** Absolute file offset of the first record — VIRTUAL (as if the
+     *  region were plain v1 records) when the plan is v3. */
+    std::uint64_t byte_offset = 0;
+    /** v3 only: the whole blocks this shard decodes. */
+    std::uint64_t first_block = 0;
+    std::uint64_t num_blocks = 0;
 };
 
 /** How to split a record region. */
@@ -73,6 +79,19 @@ struct ShardPlan
     std::uint64_t boundaries_adjusted = 0;
     /** The shards, in record order; they partition [0, record_count). */
     std::vector<Shard> shards;
+
+    /** The file's record region is v3 compressed blocks: shards fall
+     *  on block boundaries (blocks are the smallest independently
+     *  decodable unit), so the partition — and the merged result —
+     *  is byte-identical to a serial decode. header.version is
+     *  normalized to 1 either way; this flag carries the container. */
+    bool v3 = false;
+    /** v3 only: records per block (last block may be short). */
+    std::uint32_t block_capacity = 0;
+    /** v3 only: the validated block directory readShardInto() seeks
+     *  through (rebuilt from block headers if the on-disk directory
+     *  is damaged — see loadBlockDirectory). */
+    std::vector<BlockDirEntry> blocks;
 };
 
 /**

@@ -25,6 +25,22 @@ struct WriteOptions
      * so the index is strictly additive. See trace/index.h.
      */
     std::uint32_t index_stride = 0;
+
+    /**
+     * Write the record region as v3 compressed blocks (file header
+     * version 3): independently decodable, self-checksummed,
+     * delta-encoded varint blocks — typically 3-5x smaller than the
+     * fixed 32-byte records. Readers decode transparently and every
+     * analysis output stays byte-identical to the v1 file of the same
+     * trace. Composes with index_stride: the footer index addresses
+     * records through VIRTUAL v1 offsets, so indexed window queries
+     * keep working on compressed files. See trace/block.h.
+     */
+    bool compress = false;
+
+    /** Records per compressed block; 0 picks kDefaultBlockRecords
+     *  (2048 records = 64 KiB uncompressed). Ignored unless compress. */
+    std::uint32_t block_records = 0;
 };
 
 /** Serialize @p trace to a binary stream. @throws std::runtime_error. */

@@ -18,17 +18,27 @@
  *      filter of the full analysis, for random traces and random
  *      windows (empty, single-tick and whole-file included).
  *  P9b Adjacent windows concatenate exactly to their parent window.
+ *  P10 The v3 compressed container is invisible: any random trace
+ *      written with compression decodes byte-identically through the
+ *      strict, salvage, windowed-query and 1/2/4/8-thread parallel
+ *      paths (and throws the identical strict diagnostics).
+ *  P10b A corrupt v3 block degrades to an exactly-accounted gap, and
+ *      serial and parallel salvage agree on the result.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <random>
 
 #include "pdt/tracer.h"
 #include "ta/analyzer.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
+#include "trace/block.h"
+#include "trace/reader.h"
 #include "trace/writer.h"
 #include "wl/gather.h"
 #include "wl/reduction.h"
@@ -511,6 +521,151 @@ TEST(Properties, P9b_AdjacentWindowsConcatenateToParentWindow)
         }
         std::remove(path.c_str());
     }
+}
+
+TEST(Properties, P10_CompressedContainerIsInvisibleOnEveryReadPath)
+{
+    for (const std::uint32_t seed : {111u, 222u, 333u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const bool messy = seed != 111u;
+        const trace::TraceData data = randomTrace(seed, 3, 4'000, messy);
+        const auto v1 = trace::writeBuffer(data);
+        const auto v3 = trace::writeBuffer(
+            data, trace::WriteOptions{.index_stride = 32, .compress = true});
+        ASSERT_LT(v3.size(), v1.size());
+
+        // Strict decode reproduces the records byte-identically, with
+        // the in-memory header normalized back to version 1.
+        const trace::TraceData strict = trace::readBuffer(v3);
+        EXPECT_EQ(strict.header.version, trace::kFormatVersion);
+        ASSERT_EQ(strict.records.size(), data.records.size());
+        EXPECT_EQ(0, std::memcmp(strict.records.data(), data.records.data(),
+                                 data.records.size() *
+                                     sizeof(trace::Record)));
+
+        // Salvage of the intact v3 file equals salvage of its v1 twin
+        // (both filter the same implausible records on messy input).
+        trace::ReadReport r1, r3;
+        const trace::TraceData s1 = trace::readBufferSalvage(v1, r1);
+        const trace::TraceData s3 = trace::readBufferSalvage(v3, r3);
+        EXPECT_EQ(r3.records_read, r1.records_read);
+        EXPECT_EQ(r3.records_skipped, r1.records_skipped);
+        ASSERT_EQ(s3.records.size(), s1.records.size());
+        EXPECT_EQ(0, std::memcmp(s3.records.data(), s1.records.data(),
+                                 s1.records.size() * sizeof(trace::Record)));
+
+        const std::string p1 = ::testing::TempDir() + "/p10_" +
+                               std::to_string(seed) + ".pdt";
+        const std::string p3 = ::testing::TempDir() + "/p10_" +
+                               std::to_string(seed) + ".v3.pdt";
+        trace::writeFile(p1, data);
+        trace::writeFile(
+            p3, data,
+            trace::WriteOptions{.index_stride = 32, .compress = true});
+
+        if (messy) {
+            // Strict analysis rejects messy traces; both containers
+            // must fail with the IDENTICAL diagnostic.
+            std::string m1, m3;
+            for (const unsigned threads : {1u, 4u}) {
+                try {
+                    (void)ta::analyzeFileParallel(
+                        p1, ta::ParallelOptions{threads, 0});
+                } catch (const std::runtime_error& ex) {
+                    m1 = ex.what();
+                }
+                try {
+                    (void)ta::analyzeFileParallel(
+                        p3, ta::ParallelOptions{threads, 0});
+                } catch (const std::runtime_error& ex) {
+                    m3 = ex.what();
+                }
+                ASSERT_FALSE(m1.empty());
+                EXPECT_EQ(m3, m1) << threads << " threads";
+            }
+        } else {
+            // Full report from the compressed file matches the
+            // uncompressed one at every thread count...
+            const ta::Analysis full = ta::analyze(data);
+            const std::string expect = ta::fullReport(full);
+            for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+                const ta::Analysis a3 = ta::analyzeFileParallel(
+                    p3, ta::ParallelOptions{threads, 0});
+                EXPECT_EQ(ta::fullReport(a3), expect)
+                    << threads << " threads";
+            }
+            // ...and indexed windowed queries answer exactly.
+            const std::uint64_t s = full.model.startTb();
+            const std::uint64_t e = full.model.endTb();
+            ta::BlockCache cache;
+            for (const auto& [from, to] :
+                 {std::pair<std::uint64_t, std::uint64_t>{s, e + 1},
+                  {s + (e - s) / 4, s + (3 * (e - s)) / 4}}) {
+                const std::string brute =
+                    ta::windowReport(ta::queryWindow(full, from, to));
+                for (const unsigned threads : {1u, 4u}) {
+                    ta::QueryOptions opt;
+                    opt.threads = threads;
+                    opt.cache = &cache;
+                    const ta::WindowResult w =
+                        ta::queryWindowFile(p3, from, to, opt);
+                    EXPECT_TRUE(w.used_index);
+                    EXPECT_EQ(ta::windowReport(w), brute);
+                }
+            }
+        }
+        std::remove(p1.c_str());
+        std::remove(p3.c_str());
+    }
+}
+
+TEST(Properties, P10b_CorruptBlockSalvagesToExactGapSeriallyAndInParallel)
+{
+    const trace::TraceData data =
+        randomTrace(606, 3, 4'000, /*messy=*/false);
+    auto bytes = trace::writeBuffer(
+        data, trace::WriteOptions{.compress = true, .block_records = 256});
+
+    // Find block 4 via the region directory and flip a payload bit.
+    std::uint64_t region_off = sizeof(trace::Header);
+    for (const auto& n : data.spe_programs)
+        region_off += sizeof(std::uint32_t) + n.size();
+    trace::BlockRegionHeader rh;
+    std::memcpy(&rh, bytes.data() + region_off, sizeof(rh));
+    ASSERT_EQ(rh.magic, trace::kBlockRegionMagic);
+    ASSERT_GE(rh.block_count, 6u);
+    trace::BlockDirEntry de;
+    std::memcpy(&de, bytes.data() + rh.directory_offset + 4 * sizeof(de),
+                sizeof(de));
+    bytes[de.offset + sizeof(trace::BlockHeader) + 11] ^= 0x20;
+
+    const std::string path = ::testing::TempDir() + "/p10b.v3.pdt";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+
+    trace::ReadReport serial_rep;
+    const trace::TraceData serial =
+        trace::readBufferSalvage(bytes, serial_rep);
+    EXPECT_TRUE(serial_rep.salvaged);
+    EXPECT_EQ(serial_rep.records_skipped, de.record_count);
+    // Every record outside the lost block survives; the only additions
+    // are the synthetic sync/drop markers bridging the gap.
+    EXPECT_GE(serial.records.size(), data.records.size() - de.record_count);
+
+    const ta::Analysis ref = ta::analyze(serial, /*lenient=*/true);
+    for (const unsigned threads : {2u, 4u}) {
+        trace::ReadReport rep;
+        const ta::Analysis par = ta::analyzeFileSalvageParallel(
+            path, rep, ta::ParallelOptions{threads, 0});
+        EXPECT_EQ(rep.records_read, serial_rep.records_read);
+        EXPECT_EQ(rep.records_skipped, serial_rep.records_skipped);
+        EXPECT_EQ(ta::fullReport(par), ta::fullReport(ref))
+            << threads << " threads";
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 #include "ta/analyzer.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
+#include "trace/block.h"
 #include "trace/index.h"
 #include "trace/reader.h"
 
@@ -109,6 +110,76 @@ TEST(Golden, V2VariantsReadViaTheV1PathReproduceCommittedDigests)
         const trace::TraceData data =
             trace::readFile(goldenPath(name, ".v2.pdt"));
         EXPECT_EQ(digestOf(ta::analyze(data)), expect);
+    }
+}
+
+TEST(Golden, V3VariantsDecodeToTheCommittedDigests)
+{
+    // Each fixture also exists as `<name>.v3.pdt` — the same trace in
+    // the compressed block container, plus a footer index. Decode is
+    // transparent, so serial, in-memory parallel, and file-sharded
+    // parallel analysis must all reproduce the v1 digest.
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string expect = committedDigest(name);
+        ASSERT_FALSE(expect.empty()) << "missing digest for " << name;
+        const trace::TraceData data =
+            trace::readFile(goldenPath(name, ".v3.pdt"));
+        EXPECT_EQ(data.header.version, trace::kFormatVersion);
+        EXPECT_EQ(digestOf(ta::analyze(data)), expect);
+
+        ta::ParallelOptions opt;
+        opt.threads = 4;
+        opt.shard_records = 64;
+        EXPECT_EQ(digestOf(ta::analyzeParallel(data, opt)), expect);
+        EXPECT_EQ(digestOf(ta::analyzeFileParallel(
+                      goldenPath(name, ".v3.pdt"), ta::ParallelOptions{4, 0})),
+                  expect);
+    }
+}
+
+TEST(Golden, V3IndexesValidateAndAnswerWindowedQueriesExactly)
+{
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const std::string path = goldenPath(name, ".v3.pdt");
+        const trace::IndexReadResult ir = trace::readIndexFile(path);
+        ASSERT_TRUE(ir.present) << ir.reason;
+        ASSERT_TRUE(ir.valid) << ir.reason;
+        EXPECT_TRUE(ir.index.strictClean());
+
+        const ta::Analysis full = ta::analyze(trace::readFile(path));
+        const std::uint64_t s = full.model.startTb();
+        const std::uint64_t span = full.model.spanTb();
+        ta::BlockCache cache;
+        ta::QueryOptions opt;
+        opt.threads = 2;
+        opt.cache = &cache;
+        const std::uint64_t from = s + span / 4;
+        const std::uint64_t to = s + (3 * span) / 4;
+        const ta::WindowResult w = ta::queryWindowFile(path, from, to, opt);
+        EXPECT_TRUE(w.used_index);
+        EXPECT_EQ(ta::windowReport(w),
+                  ta::windowReport(ta::queryWindow(full, from, to)));
+    }
+}
+
+TEST(Golden, V3VariantsCompressTheRecordRegion)
+{
+    // Even these deliberately tiny fixtures (tens of records — far too
+    // small to amortize the per-block seed/directory overhead that the
+    // 2.5x bytes/event bar on real-size traces absorbs; see
+    // EXPERIMENTS.md R4 and Block.CompressesRegularTracesWell) must
+    // come out with a record region smaller than the fixed 32-byte
+    // encoding, and the probe must agree with the committed geometry.
+    for (const char* name : kFixtures) {
+        SCOPED_TRACE(name);
+        const trace::BlockRegionProbe p =
+            trace::probeBlockRegionFile(goldenPath(name, ".v3.pdt"));
+        ASSERT_TRUE(p.present);
+        const std::uint64_t n = p.region.record_count;
+        ASSERT_GT(n, 0u);
+        EXPECT_LT(p.region_bytes, n * sizeof(trace::Record));
     }
 }
 

@@ -20,6 +20,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,7 +28,9 @@
 #include "pdt/tracer.h"
 #include "rt/system.h"
 #include "ta/analyzer.h"
+#include "ta/parallel.h"
 #include "ta/query.h"
+#include "ta/report.h"
 #include "trace/index.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
@@ -195,6 +198,68 @@ TEST(QueryDiff, AllWorkloadsIndexedMatchBruteForceAtEveryThreadCount)
         expectWindowsMatch(path, full, /*expect_index=*/true, t.name);
         std::remove(path.c_str());
     }
+}
+
+TEST(QueryDiff, AllWorkloadsCompressedMatchBruteForceAtEveryThreadCount)
+{
+    // The same conformance bar, through the v3 compressed container:
+    // indexed windowed queries on a compressed+indexed file must
+    // byte-match the brute-force filter at every thread count.
+    for (const NamedTrace& t : workloadTraces()) {
+        const std::string path = tempPath(t.name + ".v3.pdt");
+        trace::WriteOptions wopt;
+        wopt.index_stride = 64;
+        wopt.compress = true;
+        trace::writeFile(path, t.data, wopt);
+        const ta::Analysis full = ta::analyze(t.data);
+        expectWindowsMatch(path, full, /*expect_index=*/true,
+                           t.name + "-v3");
+        std::remove(path.c_str());
+    }
+}
+
+TEST(QueryDiff, CompressedReportsMatchUncompressedByteForByte)
+{
+    // Full and loss reports from a v3 file must equal the v1 file's,
+    // byte for byte, serial and parallel — the container must be
+    // invisible to every analysis output.
+    std::vector<NamedTrace> traces = workloadTraces();
+    traces.push_back({"drops", dropTrace()});
+    for (const NamedTrace& t : traces) {
+        SCOPED_TRACE(t.name);
+        const std::string p1 = tempPath(t.name + "_cmp.pdt");
+        const std::string p3 = tempPath(t.name + "_cmp.v3.pdt");
+        trace::writeFile(p1, t.data);
+        trace::writeFile(p3, t.data, trace::WriteOptions{.compress = true});
+
+        const ta::Analysis ref = ta::analyze(trace::readFile(p1));
+        const std::string expect_full = ta::fullReport(ref);
+        std::ostringstream expect_loss;
+        ta::printLossReport(expect_loss, ref);
+
+        for (const unsigned threads : kThreadCounts) {
+            const ta::Analysis a = ta::analyzeFileParallel(
+                p3, ta::ParallelOptions{threads, 0});
+            EXPECT_EQ(ta::fullReport(a), expect_full)
+                << threads << " threads";
+            std::ostringstream loss;
+            ta::printLossReport(loss, a);
+            EXPECT_EQ(loss.str(), expect_loss.str())
+                << threads << " threads";
+        }
+        std::remove(p1.c_str());
+        std::remove(p3.c_str());
+    }
+}
+
+TEST(QueryDiff, CompressedFileWithoutIndexFallsBackToFullScan)
+{
+    const NamedTrace t = workloadTraces().front();
+    const std::string path = tempPath("v3_noindex.pdt");
+    trace::writeFile(path, t.data, trace::WriteOptions{.compress = true});
+    const ta::Analysis full = ta::analyze(t.data);
+    expectWindowsMatch(path, full, /*expect_index=*/false, "v3-noindex");
+    std::remove(path.c_str());
 }
 
 TEST(QueryDiff, V1FileFallsBackToFullScanWithIdenticalAnswers)

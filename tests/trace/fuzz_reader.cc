@@ -20,10 +20,13 @@
  */
 
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ta/model.h"
+#include "trace/block.h"
 #include "trace/index.h"
 #include "trace/reader.h"
 
@@ -46,6 +49,29 @@ oneInput(const std::uint8_t* data, std::size_t size)
     const cell::trace::IndexReadResult ir =
         cell::trace::readIndexBuffer(buf);
     (void)ir;
+
+    // The v3 block decoder: the streaming reader (sequential and
+    // random-access) and the probe. Same contract as the strict
+    // reader — return or throw std::runtime_error, nothing else.
+    {
+        std::istringstream is(
+            std::string(reinterpret_cast<const char*>(buf.data()),
+                        buf.size()));
+        const cell::trace::BlockRegionProbe probe =
+            cell::trace::probeBlockRegion(is);
+        (void)probe; // never throws; restores the stream position
+        try {
+            cell::trace::BlockReader br(is);
+            cell::trace::DecodedBlock blk;
+            while (br.next(blk)) {
+            }
+            (void)br.directory();
+            if (br.blockCount() > 0)
+                br.readBlock(br.blockCount() - 1, blk);
+        } catch (const std::runtime_error&) {
+            // Not a v3 trace, or a damaged one.
+        }
+    }
 
     try {
         cell::trace::ReadReport rep;

@@ -41,6 +41,8 @@ parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out)
             out.resolved = true;
         } else if (spec.full_scan && arg == "--full-scan") {
             out.full_scan = true;
+        } else if (spec.compress && arg == "--compress") {
+            out.compress = true;
         } else if (spec.threads && arg == "--threads") {
             std::uint64_t v = 0;
             if (i + 1 >= argc || !parseU64(argv[++i], v)) {

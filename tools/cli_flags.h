@@ -26,6 +26,7 @@ struct FlagSpec
     bool resolved = false;  ///< --resolved (pdt_dump)
     bool window = false;    ///< --from T / --to T (timebase ticks)
     bool full_scan = false; ///< --full-scan (ignore any v2 index)
+    bool compress = false;  ///< --compress (write v3 blocks)
 };
 
 /** Parsed flags + remaining positionals. Defaults that differ per
@@ -36,6 +37,7 @@ struct Flags
     bool salvage = false;
     bool resolved = false;
     bool full_scan = false;
+    bool compress = false;
     unsigned threads = 0;
     bool have_from = false;
     bool have_to = false;

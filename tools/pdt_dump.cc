@@ -26,6 +26,7 @@
 
 #include "ta/model.h"
 #include "ta/parallel.h"
+#include "trace/block.h"
 #include "trace/reader.h"
 
 #include "cli_flags.h"
@@ -93,6 +94,19 @@ main(int argc, char** argv)
                   << " records, " << data.header.num_spes << " SPEs, core "
                   << data.header.core_hz / 1'000'000 << " MHz, timebase /"
                   << data.header.timebase_divider << "\n";
+        const trace::BlockRegionProbe probe =
+            trace::probeBlockRegionFile(path);
+        if (probe.present && probe.region.record_count > 0) {
+            const double raw_bytes = static_cast<double>(
+                probe.region.record_count * sizeof(trace::Record));
+            std::cout << "# v3 compressed: " << probe.region.block_count
+                      << " blocks x " << probe.region.block_capacity
+                      << " records, region " << probe.region_bytes
+                      << " bytes (" << std::fixed << std::setprecision(2)
+                      << raw_bytes / static_cast<double>(probe.region_bytes)
+                      << "x vs 32 B/record)"
+                      << std::defaultfloat << "\n";
+        }
         for (std::uint32_t i = 0; i < data.header.num_spes; ++i) {
             if (!data.spe_programs[i].empty())
                 std::cout << "# SPE" << i << ": " << data.spe_programs[i]

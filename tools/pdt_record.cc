@@ -6,6 +6,10 @@
  * runtime plus launcher scripts; this plays the launcher):
  *
  *   pdt_record <workload> <out.pdt> [--config file] [--spes N]
+ *              [--compress]
+ *
+ * `--compress` writes the v3 block container (smaller on disk, decoded
+ * transparently by every reader — see docs/TRACE_FORMAT.md).
  *
  * Workloads: triad triad1 triad3 matmul matmul-skewed conv2d fft
  *            reduction reduction-chatty pipeline gather
@@ -88,27 +92,30 @@ main(int argc, char** argv)
 {
     if (argc < 3) {
         std::cerr << "usage: pdt_record <workload> <out.pdt> "
-                     "[--config file] [--spes N]\n";
+                     "[--config file] [--spes N] [--compress]\n";
         return 2;
     }
     const std::string workload = argv[1];
     const std::string out_path = argv[2];
     pdt::PdtConfig cfg;
     std::uint32_t spes = 8;
-    for (int i = 3; i + 1 < argc; i += 2) {
+    bool compress = false;
+    for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
-        if (flag == "--config") {
-            std::ifstream is(argv[i + 1]);
+        if (flag == "--compress") {
+            compress = true;
+        } else if (flag == "--config" && i + 1 < argc) {
+            std::ifstream is(argv[++i]);
             if (!is) {
-                std::cerr << "pdt_record: cannot open config "
-                          << argv[i + 1] << "\n";
+                std::cerr << "pdt_record: cannot open config " << argv[i]
+                          << "\n";
                 return 1;
             }
             std::ostringstream ss;
             ss << is.rdbuf();
             cfg = pdt::PdtConfig::parse(ss.str(), cfg);
-        } else if (flag == "--spes") {
-            spes = static_cast<std::uint32_t>(std::stoul(argv[i + 1]));
+        } else if (flag == "--spes" && i + 1 < argc) {
+            spes = static_cast<std::uint32_t>(std::stoul(argv[++i]));
         } else {
             std::cerr << "pdt_record: unknown flag " << flag << "\n";
             return 2;
@@ -126,11 +133,14 @@ main(int argc, char** argv)
             return 1;
         }
         const trace::TraceData data = tracer.finalize();
-        trace::writeFile(out_path, data);
+        trace::WriteOptions wopt;
+        wopt.compress = compress;
+        trace::writeFile(out_path, data, wopt);
         std::cout << "recorded " << data.records.size() << " records ("
                   << data.records.size() * sizeof(trace::Record)
-                  << " bytes) in " << w->elapsed() << " cycles -> "
-                  << out_path << "\n";
+                  << " bytes" << (compress ? ", v3 compressed" : "")
+                  << ") in " << w->elapsed() << " cycles -> " << out_path
+                  << "\n";
     } catch (const std::exception& e) {
         std::cerr << "pdt_record: " << e.what() << "\n";
         return 1;

@@ -20,6 +20,11 @@
  *   ta window     <trace.pdt> <from> <to>  windowed query report (ticks)
  *   ta profile    <trace.pdt> [buckets]    activity profile; --from/--to
  *                                          restrict it to a time window
+ *   ta convert    <in.pdt> <out.pdt>       rewrite a trace; --compress
+ *                                          selects the v3 block
+ *                                          container (a valid footer
+ *                                          index is carried over at
+ *                                          its original stride)
  *
  * `window` and windowed `profile` seek via the v2 footer index when the
  * trace carries one (see docs/TRACE_FORMAT.md), falling back to a full
@@ -48,6 +53,10 @@
 #include "ta/query.h"
 #include "ta/report.h"
 #include "ta/timeline.h"
+#include "trace/block.h"
+#include "trace/index.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
 
 #include "cli_flags.h"
 
@@ -60,12 +69,16 @@ usage()
         << "usage: ta [--salvage] [--threads N] [--full-scan] <command> "
            "<trace.pdt> [args]\n"
            "commands: summary breakdown dma events tracing loss timeline\n"
-           "          activity window profile\n"
+           "          activity window profile convert\n"
            "          svg html csv intervals transfers compare all\n"
            "  window  <trace.pdt> <from> <to>   windowed query report\n"
            "          (timebase ticks; seeks via the v2 index if present)\n"
            "  profile <trace.pdt> [buckets]     activity profile;\n"
            "          --from T --to T restricts it to a time window\n"
+           "  convert <in.pdt> <out.pdt>        rewrite; --compress "
+           "selects\n"
+           "          the v3 block container (any valid footer index is\n"
+           "          carried over at its original stride)\n"
            "--threads N: analysis threads (default: hardware concurrency;\n"
            "             1 forces the serial path; output is identical)\n"
            "--full-scan: ignore any v2 footer index\n";
@@ -100,6 +113,7 @@ main(int argc, char** argv)
     spec.threads = true;
     spec.window = true;
     spec.full_scan = true;
+    spec.compress = true;
     cli::Flags f;
     f.threads = 0; // 0 = hardware concurrency
     if (!cli::parseFlags(argc, argv, spec, f)) {
@@ -119,6 +133,31 @@ main(int argc, char** argv)
     const std::size_t n_extra = pos.size() - 2;
 
     try {
+        if (cmd == "convert") {
+            if (n_extra < 1)
+                return usage();
+            const std::string out_path = extra(0);
+            const trace::TraceData data = trace::readFile(path);
+            trace::WriteOptions wopt;
+            wopt.compress = f.compress;
+            // Carry a valid footer index over at its original stride;
+            // a damaged or absent one is simply not rewritten.
+            const trace::IndexReadResult ir = trace::readIndexFile(path);
+            if (ir.valid)
+                wopt.index_stride = ir.index.header.stride;
+            trace::writeFile(out_path, data, wopt);
+            const trace::BlockRegionProbe probe =
+                trace::probeBlockRegionFile(out_path);
+            std::cout << "converted " << data.records.size() << " records -> "
+                      << out_path << " ("
+                      << (probe.present ? "v3 compressed" : "v1")
+                      << (wopt.index_stride
+                              ? ", index stride " +
+                                    std::to_string(wopt.index_stride)
+                              : std::string())
+                      << ")\n";
+            return 0;
+        }
         if (cmd == "compare") {
             if (n_extra < 1)
                 return usage();

@@ -9,19 +9,23 @@
  * digest — i.e. if an analyzer change silently alters any number any
  * report prints.
  *
- * Each fixture exists in two on-disk variants sharing ONE digest:
- * `<name>.pdt` (plain v1) and `<name>.v2.pdt` (same trace written with
- * a footer index, stride 64). The v1 reader ignores the footer, so
- * both variants must analyze to the identical report — `check`
- * verifies that, that the v2 index itself validates, and that a
- * windowed query through the index byte-matches the brute-force
- * filter.
+ * Each fixture exists in three on-disk variants sharing ONE digest:
+ * `<name>.pdt` (plain v1), `<name>.v2.pdt` (same trace written with a
+ * footer index, stride 64), and `<name>.v3.pdt` (compressed blocks +
+ * footer index). The v1 reader ignores the footer and the v3 decode is
+ * transparent, so all variants must analyze to the identical report —
+ * `check` verifies that, that the indexes validate, and that windowed
+ * queries through them byte-match the brute-force filter.
  *
- *   ta_golden gen   <dir>    regenerate every fixture (traces + digest)
- *   ta_golden check <dir>    re-analyze each fixture, verify digests
+ *   ta_golden gen   <dir> [--force]   regenerate every fixture
+ *   ta_golden check <dir>             re-analyze, verify digests
  *
- * Regenerate (and commit the diff) only when an analyzer change is
- * *supposed* to change reported numbers; `check` is what CI runs.
+ * `gen` refuses to overwrite a fixture whose committed digest differs
+ * from the regenerated one unless --force is given — it prints the
+ * digest diff instead, so a digest change is always a deliberate,
+ * visible act. Regenerate (and commit the diff) only when an analyzer
+ * change is *supposed* to change reported numbers; `check` is what CI
+ * runs.
  */
 
 #include <filesystem>
@@ -160,11 +164,26 @@ readDigestFile(const std::filesystem::path& p)
 }
 
 int
-gen(const std::filesystem::path& dir)
+gen(const std::filesystem::path& dir, bool force)
 {
     std::filesystem::create_directories(dir);
+    int refused = 0;
     for (const Fixture& f : kFixtures) {
         const trace::TraceData data = f.produce();
+        const std::string digest = digestHex(data);
+        const auto digest_path = dir / (std::string(f.name) + ".digest");
+        const std::string committed = readDigestFile(digest_path);
+        if (!committed.empty() && committed != digest && !force) {
+            // A digest change rewrites committed history — make it a
+            // deliberate act, never a silent side effect of a rerun.
+            std::cerr << f.name << ": digest would change\n"
+                      << "  committed   " << committed << "\n"
+                      << "  regenerated " << digest << "\n"
+                      << "  (analyzer output changed; rerun with --force "
+                         "to overwrite, then commit the diff)\n";
+            ++refused;
+            continue;
+        }
         const auto trace_path = dir / (std::string(f.name) + ".pdt");
         trace::writeFile(trace_path.string(), data);
         const auto v2_path = dir / (std::string(f.name) + ".v2.pdt");
@@ -172,13 +191,16 @@ gen(const std::filesystem::path& dir)
         wopt.index_stride = 64; // small stride: several entries even
                                 // on these tiny fixture traces
         trace::writeFile(v2_path.string(), data, wopt);
-        const std::string digest = digestHex(data);
-        std::ofstream os(dir / (std::string(f.name) + ".digest"));
+        const auto v3_path = dir / (std::string(f.name) + ".v3.pdt");
+        trace::WriteOptions w3 = wopt;
+        w3.compress = true;
+        trace::writeFile(v3_path.string(), data, w3);
+        std::ofstream os(digest_path);
         os << digest << "\n";
         std::cout << f.name << ": " << data.records.size() << " records, "
                   << "digest " << digest << "\n";
     }
-    return 0;
+    return refused ? 1 : 0;
 }
 
 int
@@ -254,6 +276,42 @@ check(const std::filesystem::path& dir)
             ++failures;
             continue;
         }
+
+        // The v3 variant: transparent decode (same digest, serial and
+        // sharded-parallel), a valid index, and exact indexed windowed
+        // answers — compression must be invisible everywhere.
+        const auto v3_path = dir / (std::string(f.name) + ".v3.pdt");
+        const std::string v3_digest =
+            digestHex(trace::readFile(v3_path.string()));
+        std::ostringstream v3p;
+        v3p << std::hex << std::setw(16) << std::setfill('0')
+            << ta::fnv1a64(ta::fullReport(ta::analyzeFileParallel(
+                   v3_path.string(), ta::ParallelOptions{4, 0})));
+        if (v3_digest != expect || v3p.str() != expect) {
+            std::cerr << f.name << ": v3 variant digest mismatch (expect "
+                      << expect << ", serial " << v3_digest << ", parallel "
+                      << v3p.str() << ")\n";
+            ++failures;
+            continue;
+        }
+        const trace::IndexReadResult ir3 =
+            trace::readIndexFile(v3_path.string());
+        if (!ir3.present || !ir3.valid) {
+            std::cerr << f.name << ": v3 index invalid ("
+                      << (ir3.reason.empty() ? "absent" : ir3.reason)
+                      << ")\n";
+            ++failures;
+            continue;
+        }
+        const ta::WindowResult indexed3 =
+            ta::queryWindowFile(v3_path.string(), from, to, qopt);
+        if (!indexed3.used_index ||
+            ta::windowReport(indexed3) != ta::windowReport(brute)) {
+            std::cerr << f.name << ": v3 windowed query mismatch (index "
+                      << (indexed3.used_index ? "used" : "unused") << ")\n";
+            ++failures;
+            continue;
+        }
         std::cout << f.name << ": ok (" << expect << ")\n";
     }
     return failures ? 1 : 0;
@@ -264,20 +322,36 @@ check(const std::filesystem::path& dir)
 int
 main(int argc, char** argv)
 {
-    if (argc != 3) {
-        std::cerr << "usage: ta_golden {gen|check} <dir>\n";
+    const auto usage = [] {
+        std::cerr << "usage: ta_golden {gen [--force]|check} <dir>\n";
         return 2;
+    };
+    std::string mode, dir;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--force")
+            force = true;
+        else if (mode.empty())
+            mode = arg;
+        else if (dir.empty())
+            dir = arg;
+        else
+            return usage();
     }
-    const std::string mode = argv[1];
+    if (mode.empty() || dir.empty())
+        return usage();
     try {
         if (mode == "gen")
-            return gen(argv[2]);
-        if (mode == "check")
-            return check(argv[2]);
+            return gen(dir, force);
+        if (mode == "check") {
+            if (force)
+                return usage(); // --force only applies to gen
+            return check(dir);
+        }
     } catch (const std::exception& e) {
         std::cerr << "ta_golden: " << e.what() << "\n";
         return 1;
     }
-    std::cerr << "usage: ta_golden {gen|check} <dir>\n";
-    return 2;
+    return usage();
 }
