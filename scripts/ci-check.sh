@@ -43,12 +43,16 @@ for p in "${presets[@]}"; do
     ctest --preset "$p" -j "$jobs"
 done
 
-# The corpus replay and golden check need the default-preset binaries.
+# The corpus replay, golden check and daemon soak need the
+# default-preset binaries.
 case " ${presets[*]} " in *" default "*)
     echo "==> fuzz corpus replay"
     build/tests/fuzz_reader tests/trace/corpus
+    build/tests/fuzz_serve_req tests/ta/corpus_serve
     echo "==> golden digest check"
     build/tools/ta_golden check tests/ta/golden
+    echo "==> serve soak (short local run; CI does 60s x 16)"
+    scripts/serve-soak.sh "${SOAK_SECONDS:-10}" "${SOAK_CLIENTS:-4}"
     ;;
 esac
 

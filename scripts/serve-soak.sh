@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Soak test for `ta serve`: one daemon, many looping clients, faults on.
+#
+#   scripts/serve-soak.sh [duration_s] [clients] [ta_binary]
+#
+# Defaults: 60 seconds, 16 clients, build/tools/ta. The daemon serves
+# the committed golden traces with serve-path fault injection enabled
+# (torn reads/writes, cache clears) while every client loops the full
+# query set and byte-compares each OK body against the serial CLI's
+# output for the same question. Pass criteria:
+#
+#   - the daemon never crashes (it must still answer at the end and
+#     exit 0 on shutdown);
+#   - every query either matches the serial CLI byte-for-byte or fails
+#     typed (exit 3 = shed/timeout) — never a wrong answer;
+#   - the admission queue drains: final server-stats reports
+#     queue_depth=0 and no stuck in-flight work.
+#
+# CI runs this with the TSan build too; any data-race report fails the
+# job via the daemon's non-zero exit.
+
+set -euo pipefail
+
+duration="${1:-60}"
+clients="${2:-16}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+ta="${3:-$repo/build/tools/ta}"
+
+[ -x "$ta" ] || { echo "serve-soak: $ta not built" >&2; exit 1; }
+
+work="$(mktemp -d)"
+sock="$work/soak.sock"
+daemon_log="$work/daemon.log"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+# Serving-path faults, deterministic seed. Rates are deliberately high:
+# roughly one in five reads is torn and one in ten queries loses the
+# block cache; correctness must be unaffected.
+cat > "$work/faults.plan" <<'EOF'
+seed=42
+serve_read_chop_permille=200
+serve_read_delay_us=100
+serve_write_chop_permille=200
+serve_write_delay_us=100
+serve_cache_clear_permille=100
+EOF
+
+declare -A traces=(
+    [matmul]="$repo/tests/ta/golden/matmul.pdt"
+    [triad]="$repo/tests/ta/golden/triad.v2.pdt"
+    [drops]="$repo/tests/ta/golden/triad_drops.pdt"
+)
+
+# Expected bodies from the serial CLI (the differential oracle).
+expect="$work/expect"
+mkdir -p "$expect"
+for name in "${!traces[@]}"; do
+    "$ta" summary "${traces[$name]}" > "$expect/$name.stats"
+    "$ta" loss "${traces[$name]}" > "$expect/$name.loss"
+    "$ta" profile "${traces[$name]}" 40 > "$expect/$name.profile"
+done
+
+regs=()
+for name in "${!traces[@]}"; do regs+=("$name=${traces[$name]}"); done
+"$ta" serve "$sock" "${regs[@]}" \
+    --workers 4 --queue-depth 8 --per-query 2 \
+    --faults "$work/faults.plan" > "$daemon_log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the socket to answer.
+for _ in $(seq 1 100); do
+    if "$ta" query --connect "$sock" ping >/dev/null 2>&1; then break; fi
+    kill -0 "$daemon_pid" 2>/dev/null || {
+        echo "serve-soak: daemon died on startup" >&2
+        cat "$daemon_log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+echo "serve-soak: ${clients} clients x ${duration}s against $sock"
+
+client_loop() {
+    local id="$1" deadline=$(( $(date +%s) + duration ))
+    local names=(matmul triad drops) ops=(stats loss profile)
+    local i=0 ok=0 typed=0 rc
+    local out="$work/client$id.out"
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        local name="${names[$(( (id + i) % 3 ))]}"
+        local op="${ops[$(( i % 3 ))]}"
+        local args=("$op" "$name")
+        [ "$op" = profile ] && args+=(40)
+        set +e
+        "$ta" query --connect "$sock" "${args[@]}" \
+            --attempts 4 > "$out" 2>/dev/null
+        rc=$?
+        set -e
+        case "$rc" in
+        0)
+            if ! cmp -s "$out" "$expect/$name.$op"; then
+                echo "serve-soak: client $id: WRONG ANSWER for $op $name" >&2
+                return 1
+            fi
+            ok=$((ok + 1))
+            ;;
+        3)  typed=$((typed + 1)) ;; # shed/timeout: allowed, typed
+        *)
+            echo "serve-soak: client $id: $op $name exited $rc" >&2
+            return 1
+            ;;
+        esac
+        i=$((i + 1))
+    done
+    echo "serve-soak: client $id: $ok ok, $typed shed/timeout"
+    [ "$ok" -gt 0 ] # a client that never got an answer is a hang
+}
+
+pids=()
+for c in $(seq 1 "$clients"); do
+    client_loop "$c" &
+    pids+=($!)
+done
+fail=0
+for p in "${pids[@]}"; do wait "$p" || fail=1; done
+[ "$fail" -eq 0 ] || { echo "serve-soak: FAILED (client error)" >&2; exit 1; }
+
+kill -0 "$daemon_pid" 2>/dev/null || {
+    echo "serve-soak: FAILED (daemon crashed)" >&2
+    cat "$daemon_log" >&2
+    exit 1
+}
+
+# The queue must have drained: no stuck work after the clients left.
+stats="$("$ta" query --connect "$sock" server-stats)"
+echo "$stats" | sed 's/^/serve-soak:   /'
+echo "$stats" | grep -q '^queue_depth=0$' || {
+    echo "serve-soak: FAILED (queue did not drain)" >&2
+    exit 1
+}
+echo "$stats" | grep -Eq '^in_flight=[01]$' || {
+    echo "serve-soak: FAILED (in-flight work stuck)" >&2
+    exit 1
+}
+
+"$ta" query --connect "$sock" shutdown >/dev/null
+wait "$daemon_pid" || {
+    echo "serve-soak: FAILED (daemon exited non-zero)" >&2
+    cat "$daemon_log" >&2
+    exit 1
+}
+
+echo "serve-soak: OK"

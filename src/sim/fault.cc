@@ -62,6 +62,10 @@ faultSiteName(FaultSite site)
       case FaultSite::Mailbox: return "MAILBOX";
       case FaultSite::Signal: return "SIGNAL";
       case FaultSite::TraceArena: return "TRACE_ARENA";
+      case FaultSite::ServeAccept: return "SERVE_ACCEPT";
+      case FaultSite::ServeRead: return "SERVE_READ";
+      case FaultSite::ServeWrite: return "SERVE_WRITE";
+      case FaultSite::ServeCachePressure: return "SERVE_CACHE_PRESSURE";
       case FaultSite::kCount: break;
     }
     return "?";
@@ -81,6 +85,10 @@ FaultPlan::validate() const
     checkRate("eib_spike_permille", eib_spike_permille);
     checkRate("mbox_stall_permille", mbox_stall_permille);
     checkRate("signal_stall_permille", signal_stall_permille);
+    checkRate("serve_accept_delay_permille", serve_accept_delay_permille);
+    checkRate("serve_read_chop_permille", serve_read_chop_permille);
+    checkRate("serve_write_chop_permille", serve_write_chop_permille);
+    checkRate("serve_cache_clear_permille", serve_cache_clear_permille);
     if (arena_exhaust_end < arena_exhaust_begin) {
         throw std::invalid_argument(
             "FaultPlan: arena_exhaust_end precedes arena_exhaust_begin");
@@ -130,6 +138,19 @@ FaultPlan::parse(const std::string& text, const FaultPlan& base)
         else if (key == "signal_stall_permille")
             plan.signal_stall_permille = u32();
         else if (key == "signal_stall_cycles") plan.signal_stall_cycles = u32();
+        else if (key == "serve_accept_delay_permille")
+            plan.serve_accept_delay_permille = u32();
+        else if (key == "serve_accept_delay_us")
+            plan.serve_accept_delay_us = u32();
+        else if (key == "serve_read_chop_permille")
+            plan.serve_read_chop_permille = u32();
+        else if (key == "serve_read_delay_us") plan.serve_read_delay_us = u32();
+        else if (key == "serve_write_chop_permille")
+            plan.serve_write_chop_permille = u32();
+        else if (key == "serve_write_delay_us")
+            plan.serve_write_delay_us = u32();
+        else if (key == "serve_cache_clear_permille")
+            plan.serve_cache_clear_permille = u32();
         else if (key == "arena_exhaust_begin") plan.arena_exhaust_begin = v;
         else if (key == "arena_exhaust_end") plan.arena_exhaust_end = v;
         else
@@ -193,8 +214,12 @@ FaultInjector::delayAt(FaultSite site, std::uint32_t actor)
         cycles = plan_.signal_stall_cycles;
         break;
       case FaultSite::TraceArena:
+      case FaultSite::ServeAccept:
+      case FaultSite::ServeRead:
+      case FaultSite::ServeWrite:
+      case FaultSite::ServeCachePressure:
       case FaultSite::kCount:
-        return 0;
+        return 0; // windowed (arena) or magnitude-free (serve) sites
     }
     if (permille == 0)
         return 0;
@@ -205,6 +230,44 @@ FaultInjector::delayAt(FaultSite site, std::uint32_t actor)
     stats_.injected[s] += 1;
     stats_.injected_cycles += cycles;
     return cycles;
+}
+
+bool
+FaultInjector::fire(FaultSite site, std::uint32_t actor)
+{
+    if (!enabled_)
+        return false;
+    std::uint32_t permille = 0;
+    switch (site) {
+      case FaultSite::MfcDma: permille = plan_.dma_delay_permille; break;
+      case FaultSite::MfcRetry: permille = plan_.dma_fail_permille; break;
+      case FaultSite::EibTransfer: permille = plan_.eib_spike_permille; break;
+      case FaultSite::Mailbox: permille = plan_.mbox_stall_permille; break;
+      case FaultSite::Signal: permille = plan_.signal_stall_permille; break;
+      case FaultSite::ServeAccept:
+        permille = plan_.serve_accept_delay_permille;
+        break;
+      case FaultSite::ServeRead:
+        permille = plan_.serve_read_chop_permille;
+        break;
+      case FaultSite::ServeWrite:
+        permille = plan_.serve_write_chop_permille;
+        break;
+      case FaultSite::ServeCachePressure:
+        permille = plan_.serve_cache_clear_permille;
+        break;
+      case FaultSite::TraceArena: // windowed, see arenaExhausted()
+      case FaultSite::kCount:
+        return false;
+    }
+    if (permille == 0)
+        return false;
+    const std::size_t s = static_cast<std::size_t>(site);
+    stats_.draws[s] += 1;
+    if (draw(site, actor) % 1000 >= permille)
+        return false;
+    stats_.injected[s] += 1;
+    return true;
 }
 
 bool

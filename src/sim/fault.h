@@ -44,6 +44,17 @@ enum class FaultSite : std::uint8_t
     Signal,      ///< stalled signal-notification operation
     TraceArena,  ///< trace-arena exhaustion window (consulted by PDT)
 
+    /** @name Serving-path sites (consulted by ta::serve::Server).
+     *  These model an unreliable deployment rather than unreliable
+     *  hardware: slow accepts, torn request reads, slow clients
+     *  draining responses, and block-cache thrash. */
+    ///@{
+    ServeAccept,        ///< delayed connection accept/servicing
+    ServeRead,          ///< request read torn into tiny delayed chunks
+    ServeWrite,         ///< response write torn into tiny delayed chunks
+    ServeCachePressure, ///< block cache flushed before a query (thrash)
+    ///@}
+
     kCount,
 };
 
@@ -86,6 +97,22 @@ struct FaultPlan
     std::uint32_t signal_stall_cycles = 1'500;
     ///@}
 
+    /** @name Serving-path faults (ta::serve::Server sites)
+     *  Delays are microseconds of real time injected by the server;
+     *  "chop" sites tear one socket read/write into 1-byte chunks with
+     *  a per-chunk delay, exercising partial-I/O reassembly and slow
+     *  clients. Cache-pressure clears the server's block cache before
+     *  the drawn query runs. */
+    ///@{
+    std::uint32_t serve_accept_delay_permille = 0;
+    std::uint32_t serve_accept_delay_us = 2'000;
+    std::uint32_t serve_read_chop_permille = 0;
+    std::uint32_t serve_read_delay_us = 200;
+    std::uint32_t serve_write_chop_permille = 0;
+    std::uint32_t serve_write_delay_us = 200;
+    std::uint32_t serve_cache_clear_permille = 0;
+    ///@}
+
     /**
      * Mid-run trace-arena exhaustion: flush attempts in
      * [arena_exhaust_begin, arena_exhaust_end) on every SPE see the
@@ -100,7 +127,9 @@ struct FaultPlan
     {
         return dma_delay_permille || dma_fail_permille ||
                eib_spike_permille || mbox_stall_permille ||
-               signal_stall_permille ||
+               signal_stall_permille || serve_accept_delay_permille ||
+               serve_read_chop_permille || serve_write_chop_permille ||
+               serve_cache_clear_permille ||
                arena_exhaust_end > arena_exhaust_begin;
     }
 
@@ -178,6 +207,17 @@ class FaultInjector
      * the injected arena-exhaustion window.
      */
     bool arenaExhausted(std::uint32_t spe, std::uint64_t attempt);
+
+    /**
+     * Generic rate draw: true when the (site, actor) stream fires at
+     * the plan's rate for @p site. The serving path uses this for its
+     * sites (magnitudes — chunk sizes, delays — are applied by the
+     * server from the plan); it also works for the latency-class sim
+     * sites, where it fires exactly when delayAt() would be non-zero.
+     * Like every injector entry point, NOT thread-safe — the server
+     * serializes calls behind its own mutex.
+     */
+    bool fire(FaultSite site, std::uint32_t actor);
 
   private:
     /** Counter-based PRNG draw for one (site, actor) stream. */

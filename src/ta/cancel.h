@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running analyses.
+ *
+ * A CancelToken couples an optional wall-clock deadline with an
+ * optional external stop flag (e.g. a server's shutdown flag). Workers
+ * poll it at natural work boundaries — per block in the indexed query
+ * replay, per shard in the parallel pipeline — by calling checkpoint(),
+ * which throws DeadlineExceeded once the token trips. The throw rides
+ * the existing first-exception capture in WorkerPool, so a timed-out
+ * parallel analysis drains its remaining shards through fast-failing
+ * checkpoints and frees its workers instead of running to completion.
+ *
+ * Checks are cheap (one relaxed atomic load; a steady_clock read only
+ * when a deadline is armed) and the token is safe to poll from many
+ * threads concurrently. cancel() may race checkpoint() freely: the
+ * only guarantee, and the only one needed, is that a tripped token
+ * stays tripped.
+ */
+
+#ifndef CELL_TA_CANCEL_H
+#define CELL_TA_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace cell::ta {
+
+/** Thrown by CancelToken::checkpoint() when the token has tripped.
+ *  Derives from std::runtime_error so existing catch sites treat it
+ *  as a failed analysis; callers that care (the serve layer) catch it
+ *  first and map it to a typed timeout response. */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    explicit DeadlineExceeded(const std::string& where)
+        : std::runtime_error("deadline exceeded in " + where)
+    {
+    }
+};
+
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** A default token never trips. */
+    CancelToken() = default;
+
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /** Arm a wall-clock deadline. */
+    void setDeadline(Clock::time_point tp)
+    {
+        deadline_ = tp;
+        has_deadline_ = true;
+    }
+
+    void setDeadlineAfter(std::chrono::milliseconds ms)
+    {
+        setDeadline(Clock::now() + ms);
+    }
+
+    /** Couple to an external stop flag (not owned; must outlive the
+     *  token). A set flag trips the token on the next check. */
+    void bindStopFlag(const std::atomic<bool>* flag) { stop_ = flag; }
+
+    /** Trip the token explicitly. */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** True once cancelled, the stop flag is set, or the deadline has
+     *  passed. */
+    bool expired() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        if (stop_ && stop_->load(std::memory_order_relaxed))
+            return true;
+        return has_deadline_ && Clock::now() >= deadline_;
+    }
+
+    /** @throws DeadlineExceeded when expired(); @p where names the
+     *  work site for the diagnostic. */
+    void checkpoint(const char* where) const
+    {
+        if (expired())
+            throw DeadlineExceeded(where);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    const std::atomic<bool>* stop_ = nullptr;
+    bool has_deadline_ = false;
+    Clock::time_point deadline_{};
+};
+
+} // namespace cell::ta
+
+#endif // CELL_TA_CANCEL_H

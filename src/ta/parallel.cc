@@ -384,7 +384,8 @@ resolveThreads(unsigned threads)
 
 TraceModel
 buildModelParallel(const trace::TraceData& trace, WorkerPool& pool,
-                   bool lenient, std::uint64_t shard_records)
+                   bool lenient, std::uint64_t shard_records,
+                   const CancelToken* cancel)
 {
     constexpr std::uint64_t kNone = ~std::uint64_t{0};
     const std::uint32_t n_cores = trace.header.num_spes + 1;
@@ -400,6 +401,8 @@ buildModelParallel(const trace::TraceData& trace, WorkerPool& pool,
     // Phase 1: scan every shard into its per-core summary.
     std::vector<scan::RangeScan> scans(n_shards);
     pool.parallelFor(n_shards, [&](std::uint64_t s) {
+        if (cancel)
+            cancel->checkpoint("buildModelParallel/scan");
         const std::uint64_t first = s * shard_records;
         scans[s] = scan::scanRange(trace, first,
                                    std::min(shard_records, n - first),
@@ -446,6 +449,8 @@ buildModelParallel(const trace::TraceData& trace, WorkerPool& pool,
     // Phase 3: emit per-shard, per-core event runs.
     std::vector<std::vector<std::vector<Event>>> emitted(n_shards);
     pool.parallelFor(n_shards, [&](std::uint64_t s) {
+        if (cancel)
+            cancel->checkpoint("buildModelParallel/emit");
         const std::uint64_t first = s * shard_records;
         emitted[s] = emitRange(trace, first, std::min(shard_records, n - first),
                                entry[s]);
@@ -475,11 +480,14 @@ buildModelParallel(const trace::TraceData& trace, WorkerPool& pool,
 }
 
 IntervalSet
-buildIntervalsParallel(const TraceModel& model, WorkerPool& pool)
+buildIntervalsParallel(const TraceModel& model, WorkerPool& pool,
+                       const CancelToken* cancel)
 {
     IntervalSet out;
     out.per_core.resize(model.cores().size());
     pool.parallelFor(model.cores().size(), [&](std::uint64_t c) {
+        if (cancel)
+            cancel->checkpoint("buildIntervalsParallel");
         out.per_core[c] = buildCoreIntervals(model.cores()[c]);
     });
     return out;
@@ -487,11 +495,13 @@ buildIntervalsParallel(const TraceModel& model, WorkerPool& pool)
 
 TraceStats
 buildStatsParallel(const TraceModel& model, const IntervalSet& ivs,
-                   WorkerPool& pool)
+                   WorkerPool& pool, const CancelToken* cancel)
 {
     TraceStats st;
     st.resizeFor(model);
     pool.parallelFor(model.cores().size(), [&](std::uint64_t c) {
+        if (cancel)
+            cancel->checkpoint("buildStatsParallel");
         st.buildCore(model, ivs, static_cast<std::uint16_t>(c));
     });
     for (const CoreTimeline& tl : model.cores())
@@ -501,13 +511,15 @@ buildStatsParallel(const TraceModel& model, const IntervalSet& ivs,
 
 Analysis
 analyzeParallel(const trace::TraceData& trace, WorkerPool& pool,
-                bool lenient, std::uint64_t shard_records)
+                bool lenient, std::uint64_t shard_records,
+                const CancelToken* cancel)
 {
-    Analysis a{buildModelParallel(trace, pool, lenient, shard_records),
-               {},
-               {}};
-    a.intervals = buildIntervalsParallel(a.model, pool);
-    a.stats = buildStatsParallel(a.model, a.intervals, pool);
+    Analysis a{
+        buildModelParallel(trace, pool, lenient, shard_records, cancel),
+        {},
+        {}};
+    a.intervals = buildIntervalsParallel(a.model, pool, cancel);
+    a.stats = buildStatsParallel(a.model, a.intervals, pool, cancel);
     return a;
 }
 
@@ -516,18 +528,22 @@ analyzeParallel(const trace::TraceData& trace, const ParallelOptions& opt,
                 bool lenient)
 {
     const unsigned threads = resolveThreads(opt.threads);
-    if (threads <= 1)
+    if (threads <= 1 && !opt.cancel)
         return analyze(trace, lenient); // legacy serial path
+    // With a cancel token, even one thread runs the (output-identical)
+    // pipeline so the per-shard checkpoints can abort it.
     WorkerPool pool(threads);
-    return analyzeParallel(trace, pool, lenient, opt.shard_records);
+    return analyzeParallel(trace, pool, lenient, opt.shard_records,
+                           opt.cancel);
 }
 
 Analysis
 analyzeFileParallel(const std::string& path, const ParallelOptions& opt)
 {
     const unsigned threads = resolveThreads(opt.threads);
-    if (threads <= 1)
+    if (threads <= 1 && !opt.cancel)
         return analyzeFile(path); // legacy serial path
+    const CancelToken* cancel = opt.cancel;
 
     trace::ShardOptions sopt;
     sopt.target_shards = threads * 4;
@@ -540,6 +556,8 @@ analyzeFileParallel(const std::string& path, const ParallelOptions& opt)
 
     WorkerPool pool(threads);
     pool.parallelFor(plan.shards.size(), [&](std::uint64_t s) {
+        if (cancel)
+            cancel->checkpoint("analyzeFileParallel/ingest");
         std::ifstream is(path, std::ios::binary);
         if (!is)
             throw std::runtime_error("analyzeFileParallel: cannot open " +
@@ -548,7 +566,8 @@ analyzeFileParallel(const std::string& path, const ParallelOptions& opt)
                              data.records.data() +
                                  plan.shards[s].first_record);
     });
-    return analyzeParallel(data, pool, /*lenient=*/false, opt.shard_records);
+    return analyzeParallel(data, pool, /*lenient=*/false, opt.shard_records,
+                           cancel);
 }
 
 Analysis
@@ -556,11 +575,14 @@ analyzeFileSalvageParallel(const std::string& path, trace::ReadReport& report,
                            const ParallelOptions& opt)
 {
     const unsigned threads = resolveThreads(opt.threads);
-    if (threads <= 1)
+    if (threads <= 1 && !opt.cancel)
         return analyzeFileSalvage(path, report);
     // Salvage resync is inherently sequential (it must walk the damage
     // to find the stride again), so the read stays serial; the
-    // recovered subset is analyzed in parallel, leniently.
+    // recovered subset is analyzed in parallel, leniently. The token is
+    // polled before and after the read, then per shard in the analysis.
+    if (opt.cancel)
+        opt.cancel->checkpoint("analyzeFileSalvageParallel/read");
     const trace::TraceData data = trace::readFileSalvage(path, report);
     ParallelOptions o = opt;
     o.threads = threads;

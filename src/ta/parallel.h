@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "ta/analyzer.h"
+#include "ta/cancel.h"
 
 namespace cell::ta {
 
@@ -123,20 +124,30 @@ struct ParallelOptions
     /** Records per shard; 0 derives one from the thread count. Small
      *  values are legal (tests use them to force many shards). */
     std::uint64_t shard_records = 0;
+    /** Optional cooperative cancellation, polled at shard/core
+     *  boundaries; a tripped token aborts the analysis with
+     *  DeadlineExceeded instead of running it to completion. When set,
+     *  threads == 1 runs the (output-identical) parallel pipeline on
+     *  an inline pool rather than the legacy serial path, so the
+     *  checkpoints stay in play. */
+    const CancelToken* cancel = nullptr;
 };
 
 /** Parallel equivalent of TraceModel::build — identical output. */
 TraceModel buildModelParallel(const trace::TraceData& trace,
                               WorkerPool& pool, bool lenient = false,
-                              std::uint64_t shard_records = 0);
+                              std::uint64_t shard_records = 0,
+                              const CancelToken* cancel = nullptr);
 
 /** Parallel equivalent of IntervalSet::build — identical output. */
 IntervalSet buildIntervalsParallel(const TraceModel& model,
-                                   WorkerPool& pool);
+                                   WorkerPool& pool,
+                                   const CancelToken* cancel = nullptr);
 
 /** Parallel equivalent of TraceStats::build — identical output. */
 TraceStats buildStatsParallel(const TraceModel& model,
-                              const IntervalSet& ivs, WorkerPool& pool);
+                              const IntervalSet& ivs, WorkerPool& pool,
+                              const CancelToken* cancel = nullptr);
 
 /** Full parallel analysis on an already-loaded trace. */
 Analysis analyzeParallel(const trace::TraceData& trace,
@@ -146,7 +157,8 @@ Analysis analyzeParallel(const trace::TraceData& trace,
 /** Same, reusing an existing pool (benchmarks, repeated analyses). */
 Analysis analyzeParallel(const trace::TraceData& trace, WorkerPool& pool,
                          bool lenient = false,
-                         std::uint64_t shard_records = 0);
+                         std::uint64_t shard_records = 0,
+                         const CancelToken* cancel = nullptr);
 
 /** Shard the file itself (trace::planShardsFile), ingest the shards
  *  concurrently, then run the parallel analysis. Equivalent to

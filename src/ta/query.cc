@@ -115,7 +115,35 @@ BlockCache::fileId(const std::string& path)
         ec ? 0
            : static_cast<std::uint64_t>(
                  mtime.time_since_epoch().count());
-    return path + '|' + std::to_string(sz) + '|' + std::to_string(mt);
+
+    // Content fingerprint: FNV-1a over the first and last 4 KiB. An
+    // in-place same-size rewrite that lands within the filesystem's
+    // mtime granularity is invisible to (path,size,mtime); the
+    // fingerprint catches it as long as the rewrite touches the head
+    // or tail block — which every header/footer-bearing trace rewrite
+    // does. Two small reads per query, amortized over many block hits.
+    std::uint64_t fp = 14695981039346656037ULL; // FNV-1a offset basis
+    const auto fold = [&fp](const char* data, std::streamsize n) {
+        for (std::streamsize i = 0; i < n; ++i) {
+            fp ^= static_cast<unsigned char>(data[i]);
+            fp *= 1099511628211ULL;
+        }
+    };
+    std::ifstream is(path, std::ios::binary);
+    if (is) {
+        char buf[4096];
+        is.read(buf, sizeof(buf));
+        fold(buf, is.gcount());
+        if (sz > sizeof(buf)) {
+            is.clear();
+            is.seekg(static_cast<std::streamoff>(
+                sz - std::min<std::uint64_t>(sz, sizeof(buf))));
+            is.read(buf, sizeof(buf));
+            fold(buf, is.gcount());
+        }
+    }
+    return path + '|' + std::to_string(sz) + '|' + std::to_string(mt) +
+           '|' + std::to_string(fp);
 }
 
 BlockCache::Stats
@@ -412,7 +440,8 @@ CoreReplay
 replayCoreWindow(const std::string& path, const trace::ShardPlan& plan,
                  const trace::TraceIndex& idx, BlockCache& cache,
                  const std::string& file_id, std::uint16_t core,
-                 std::uint64_t from, std::uint64_t to)
+                 std::uint64_t from, std::uint64_t to,
+                 const CancelToken* cancel)
 {
     CoreReplay out;
     const trace::IndexCoreSummary& s = idx.cores[core];
@@ -459,6 +488,8 @@ replayCoreWindow(const std::string& path, const trace::ShardPlan& plan,
     const std::uint64_t cap =
         plan.v3 ? plan.block_capacity : BlockCache::kBlockRecords;
     while (rec_i < rec_end && !stopped) {
+        if (cancel)
+            cancel->checkpoint("queryWindowFile/block");
         const std::uint64_t blk = rec_i / cap;
         const std::uint64_t blk_first = blk * cap;
         BlockCache::Block records = cache.get(
@@ -556,9 +587,11 @@ queryWindowFile(const std::string& path, std::uint64_t from,
                 std::uint64_t to, const QueryOptions& opt)
 {
     if (opt.salvage) {
-        trace::ReadReport rep;
+        trace::ReadReport local;
+        trace::ReadReport& rep =
+            opt.salvage_report ? *opt.salvage_report : local;
         const Analysis a = analyzeFileSalvageParallel(
-            path, rep, ParallelOptions{opt.threads, 0});
+            path, rep, ParallelOptions{opt.threads, 0, opt.cancel});
         return queryWindow(a, from, to, opt.core);
     }
 
@@ -577,8 +610,8 @@ queryWindowFile(const std::string& path, std::uint64_t from,
             use_index = false;
     }
     if (!use_index) {
-        const Analysis a =
-            analyzeFileParallel(path, ParallelOptions{opt.threads, 0});
+        const Analysis a = analyzeFileParallel(
+            path, ParallelOptions{opt.threads, 0, opt.cancel});
         return queryWindow(a, from, to, opt.core);
     }
 
@@ -605,7 +638,8 @@ queryWindowFile(const std::string& path, std::uint64_t from,
         if (opt.core >= 0 && c != static_cast<std::uint64_t>(opt.core))
             return;
         per[c] = replayCoreWindow(path, plan, idx, cache, file_id,
-                                  static_cast<std::uint16_t>(c), from, to);
+                                  static_cast<std::uint16_t>(c), from, to,
+                                  opt.cancel);
     };
     if (opt.threads == 1) {
         for (std::uint64_t c = 0; c < n_cores; ++c)

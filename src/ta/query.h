@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "ta/analyzer.h"
+#include "ta/cancel.h"
 #include "trace/index.h"
 
 namespace cell::ta {
@@ -78,8 +79,11 @@ class BlockCache
     Block get(const std::string& file_id, std::uint64_t block,
               const std::function<std::vector<trace::Record>()>& load);
 
-    /** Identity key for @p path: path + size + mtime, so an
-     *  overwritten file never serves stale blocks. */
+    /** Identity key for @p path: path + size + mtime + a content
+     *  fingerprint (FNV-1a over the first and last 4 KiB), so an
+     *  overwritten file never serves stale blocks — even an in-place
+     *  rewrite of the same size landing within the mtime granularity,
+     *  which (path,size,mtime) alone cannot see. */
     static std::string fileId(const std::string& path);
 
     Stats stats() const;
@@ -118,6 +122,13 @@ struct QueryOptions
     int core = -1;
     /** Block cache to use; nullptr = sharedBlockCache(). */
     BlockCache* cache = nullptr;
+    /** Optional cooperative cancellation, polled at block boundaries
+     *  on the indexed path and at shard boundaries on the full-scan
+     *  fallbacks; a tripped token aborts with DeadlineExceeded. */
+    const CancelToken* cancel = nullptr;
+    /** When salvage-reading, receives what the salvage reader had to
+     *  skip (the serve layer surfaces it as a loss warning). */
+    trace::ReadReport* salvage_report = nullptr;
 };
 
 /** One windowed query's result. */

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * `ta serve` — a hardened trace-query daemon.
+ *
+ * One long-lived analyzer process registers a corpus of trace files
+ * and answers concurrent window / profile / loss / stats queries over
+ * a length-prefixed Unix-domain-socket protocol (docs/SERVE.md has the
+ * frame layout and the failure-mode table). The interesting part is
+ * not the socket plumbing but the robustness layer:
+ *
+ *  - ADMISSION CONTROL: a bounded request queue sheds load with an
+ *    explicit RETRY_AFTER response instead of queueing unboundedly;
+ *    the client does jittered exponential backoff. Analysis threads
+ *    come out of a fixed ThreadBudget (per-query cap), so a burst of
+ *    queries degrades to fewer threads each, never to oversubscription.
+ *  - DEADLINES: every query carries a deadline; a CancelToken polled
+ *    at block/shard boundaries aborts a timed-out analysis with a
+ *    typed TIMEOUT response and frees its workers mid-flight.
+ *  - GRACEFUL DEGRADATION: a trace that fails strict reading is
+ *    retried in salvage mode and answered with a loss warning rather
+ *    than an error; a registered file that changes on disk is
+ *    re-fingerprinted (never served stale — BlockCache keys carry a
+ *    content fingerprint); a malformed or truncated request frame gets
+ *    a BAD_REQUEST reply and costs one connection, never the daemon.
+ *  - FAULT INJECTION: the deterministic counter-based injector from
+ *    sim/fault.h drives ServeAccept / ServeRead / ServeWrite /
+ *    ServeCachePressure sites, so torn reads, slow clients and cache
+ *    thrash are reproducible under a fixed seed.
+ *
+ * The acceptance contract is differential: N concurrent clients
+ * running the standard workloads receive byte-identical report bodies
+ * to the serial CLI (`ta window` / `ta profile` / `ta loss` /
+ * `ta summary`), with and without injected faults — a query either
+ * succeeds identically or fails with a typed shed/timeout status,
+ * never a wrong answer (tests/integration/test_serve.cc).
+ */
+
+#ifndef CELL_TA_SERVE_H
+#define CELL_TA_SERVE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/fault.h"
+#include "ta/query.h"
+
+namespace cell::ta::serve {
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+/** Request frame magic, "CRQ1" on the wire (little-endian). */
+constexpr std::uint32_t kRequestMagic = 0x31515243u;
+/** Response frame magic, "CRS1" on the wire. */
+constexpr std::uint32_t kResponseMagic = 0x31535243u;
+
+/** Fixed request-body prefix (op..name_len), before the name bytes. */
+constexpr std::size_t kRequestFixedBytes = 26;
+/** Request bodies are tiny; anything larger is hostile or corrupt. */
+constexpr std::size_t kMaxRequestBody = 4096;
+/** Responses carry reports; cap keeps a lying server from ballooning
+ *  the client (and the fuzzer from ballooning the decoder). */
+constexpr std::size_t kMaxResponsePayload = 64u << 20;
+
+enum class Op : std::uint8_t
+{
+    Ping = 1,    ///< liveness probe; body "pong\n"
+    Window,      ///< windowReport() of [from, to) on trace `name`
+    Profile,     ///< printActivity(); windowed when the flag is set
+    Loss,        ///< printLossReport()
+    Stats,       ///< printSummary() (the CLI's `ta summary`)
+    ServerStats, ///< daemon counters (queue depth, shed, timeouts, ...)
+    Shutdown,    ///< ask the daemon to stop accepting and exit
+};
+
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    RetryAfter,   ///< shed by admission control — back off and retry
+    Timeout,      ///< deadline exceeded; partial work was cancelled
+    BadRequest,   ///< malformed frame or semantically invalid request
+    NotFound,     ///< no trace registered under that name
+    Error,        ///< query failed (strict AND salvage)
+    ShuttingDown, ///< daemon is stopping; do not retry here
+};
+
+const char* opName(Op op);
+const char* statusName(Status s);
+
+struct Request
+{
+    Op op = Op::Ping;
+    /** Client asks for salvage analysis up front (maps to --salvage). */
+    bool salvage = false;
+    /** Profile restricted to [from, to) (ta profile --from --to). */
+    bool windowed = false;
+    std::uint16_t buckets = 60;     ///< profile buckets
+    std::uint32_t deadline_ms = 0;  ///< 0 = server default
+    std::uint64_t from = 0;
+    std::uint64_t to = ~std::uint64_t{0};
+    std::string name;               ///< registered trace name
+
+    bool operator==(const Request&) const = default;
+};
+
+struct Response
+{
+    Status status = Status::Ok;
+    /** Human-readable degradation notes (salvage loss summary, file
+     *  revalidation, ...) — the daemon's stderr equivalent. */
+    std::string warning;
+    /** The report body; byte-identical to the serial CLI's stdout. */
+    std::string body;
+};
+
+std::vector<std::uint8_t> encodeRequest(const Request& req);
+std::vector<std::uint8_t> encodeResponse(const Response& rsp);
+
+enum class Decode
+{
+    Ok,       ///< one frame decoded; `consumed` bytes eaten
+    NeedMore, ///< prefix is valid but incomplete
+    Bad,      ///< not a frame / limits violated; connection is poisoned
+};
+
+/** Decode one request frame from data[0..len). Never throws, never
+ *  reads past len, allocates at most kMaxRequestBody — the contract
+ *  fuzzed by tests/ta/fuzz_serve_req.cc. */
+Decode decodeRequest(const std::uint8_t* data, std::size_t len,
+                     Request& out, std::size_t& consumed,
+                     std::string& error);
+
+/** Decode one response frame (client side). Same contract. */
+Decode decodeResponse(const std::uint8_t* data, std::size_t len,
+                      Response& out, std::size_t& consumed,
+                      std::string& error);
+
+// ---------------------------------------------------------------------------
+// Admission control primitives (unit-testable without sockets)
+// ---------------------------------------------------------------------------
+
+/** Bounded MPMC job queue: tryPush sheds instead of blocking. */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(std::size_t capacity);
+
+    /** False when the queue is full (the caller sheds the request)
+     *  or closed. */
+    bool tryPush(std::function<void()> job);
+
+    /** Blocks for the next job; false once closed and drained. */
+    bool pop(std::function<void()>& out);
+
+    /** Wake every popper; pending jobs are discarded. */
+    void close();
+
+    std::size_t depth() const;
+    std::size_t peakDepth() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> q_;
+    std::size_t capacity_;
+    std::size_t peak_ = 0;
+    bool closed_ = false;
+};
+
+/** Fixed pool of analysis-thread tokens shared by all in-flight
+ *  queries. Every query gets at least one; extra tokens (up to its
+ *  per-query cap) are granted only when free, so load degrades to
+ *  narrower queries instead of oversubscribed ones. */
+class ThreadBudget
+{
+  public:
+    explicit ThreadBudget(unsigned tokens);
+
+    /** Acquire between 1 and @p want tokens; blocks (honouring
+     *  @p cancel) until at least one is free.
+     *  @throws DeadlineExceeded if the token trips while waiting. */
+    unsigned acquire(unsigned want, const CancelToken* cancel);
+
+    void release(unsigned n);
+
+    unsigned available() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    unsigned free_;
+};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+struct ServerConfig
+{
+    /** Unix-domain socket path (unlinked + rebound on start). */
+    std::string socket_path;
+    /** Request-executing worker threads. */
+    unsigned workers = 2;
+    /** Admission queue depth; a full queue sheds with RETRY_AFTER. */
+    std::size_t queue_depth = 16;
+    /** Total analysis-thread tokens; 0 = hardware concurrency. */
+    unsigned thread_budget = 0;
+    /** Max tokens one query may take. */
+    unsigned per_query_threads = 2;
+    /** Deadline applied when a request carries none. */
+    std::uint32_t default_deadline_ms = 10'000;
+    /** Hard ceiling on client-supplied deadlines. */
+    std::uint32_t max_deadline_ms = 60'000;
+    /** Shared block-cache capacity. */
+    std::size_t cache_bytes = 64u << 20;
+    /** Concurrent connections beyond this are shed at accept. */
+    unsigned max_connections = 64;
+    /** Serving-path fault plan (Serve* sites; fixed seed reproduces
+     *  the same draw pattern). All-zero rates = no injection. */
+    sim::FaultPlan faults;
+};
+
+struct ServerStatsSnapshot
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t not_found = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t salvaged = 0;
+    std::uint64_t revalidated = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t faults_injected = 0;
+    std::size_t queue_depth = 0;
+    std::size_t queue_peak = 0;
+    std::uint64_t in_flight = 0;
+
+    /** One key=value line per counter (the ServerStats body). */
+    std::string toText() const;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /** Register (or re-register) @p name -> @p path. The file is
+     *  fingerprinted lazily per query, so it may be rewritten while
+     *  the daemon runs; queries see the new content, never a stale
+     *  mix. Callable before or after start(). */
+    void registerTrace(const std::string& name, const std::string& path);
+
+    /** Bind the socket and launch the accept/worker threads.
+     *  @throws std::runtime_error when the socket cannot be bound. */
+    void start();
+
+    /** Cooperative stop: cancels in-flight queries via their tokens,
+     *  sheds queued work, joins every thread. Idempotent. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** Ask the serve loop to exit (signal handlers, Shutdown op). */
+    void requestShutdown();
+    bool shutdownRequested() const;
+    /** Block until requestShutdown() (the CLI's main loop). */
+    void waitShutdownRequested();
+
+    ServerStatsSnapshot stats() const;
+    const std::string& socketPath() const { return cfg_.socket_path; }
+
+    /** Run one request through the full execution path without a
+     *  socket (deterministic unit tests). */
+    Response executeForTest(const Request& req) { return execute(req); }
+
+  private:
+    struct Conn;
+    struct Registered
+    {
+        std::string path;
+        std::string file_id;
+    };
+
+    void acceptLoop();
+    void connLoop(std::shared_ptr<Conn> c);
+    void workerLoop();
+    void handleRequest(const std::shared_ptr<Conn>& c, Request req);
+    Response execute(const Request& req);
+    std::string runQuery(const Request& req, const std::string& path,
+                         unsigned threads, const CancelToken* cancel,
+                         bool salvage, std::string& warn);
+    bool fireFault(sim::FaultSite site);
+    void writeResponse(const std::shared_ptr<Conn>& c, const Response& r);
+    void reapConnections(bool join_all);
+
+    ServerConfig cfg_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdown_requested_{false};
+    bool running_ = false;
+
+    int listen_fd_ = -1;
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    AdmissionQueue queue_;
+    ThreadBudget budget_;
+    BlockCache cache_;
+
+    mutable std::mutex fault_mu_;
+    sim::FaultInjector injector_;
+
+    mutable std::mutex conns_mu_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+
+    mutable std::mutex corpus_mu_;
+    std::map<std::string, Registered> corpus_;
+
+    mutable std::mutex shutdown_mu_;
+    std::condition_variable shutdown_cv_;
+
+    // Counters (atomics: bumped from conn, worker and accept threads).
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> bad_requests_{0};
+    std::atomic<std::uint64_t> not_found_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> salvaged_{0};
+    std::atomic<std::uint64_t> revalidated_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> in_flight_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/** Minimal client: one connection, one outstanding request, jittered
+ *  exponential backoff on shed/timeout. Used by `ta query --connect`
+ *  and the differential tests. Not thread-safe; one per client
+ *  thread. */
+struct ClientOptions
+{
+    /** Attempts across callWithRetry (first try included). */
+    unsigned max_attempts = 8;
+    std::uint32_t base_backoff_ms = 2;
+    std::uint32_t max_backoff_ms = 200;
+    /** Seed for the deterministic backoff jitter. */
+    std::uint64_t backoff_seed = 1;
+};
+
+class Client
+{
+  public:
+    explicit Client(std::string socket_path, ClientOptions opt = {});
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** One attempt. @throws std::runtime_error on transport failure
+     *  (cannot connect, torn frame, peer closed mid-response). */
+    Response call(const Request& req);
+
+    /** call() with reconnect-on-transport-error and jittered
+     *  exponential backoff on RETRY_AFTER / TIMEOUT. Returns the
+     *  first conclusive response, or the last typed shed/timeout
+     *  response once attempts are exhausted. */
+    Response callWithRetry(const Request& req);
+
+  private:
+    void ensureConnected();
+    void closeFd();
+
+    std::string path_;
+    ClientOptions opt_;
+    int fd_ = -1;
+};
+
+} // namespace cell::ta::serve
+
+#endif // CELL_TA_SERVE_H

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * CLI exit-code contract tests, run against the real binaries.
+ *
+ * The convention unified across `ta` and `pdt_dump`:
+ *   0  success
+ *   1  runtime error (unreadable file, damaged trace, dead socket)
+ *   2  usage error — bad flags, bad positional VALUES (non-numeric
+ *      counts, inverted ranges), unknown commands — always with the
+ *      usage text on stderr so the caller sees how to fix it
+ *   3  (`ta query` only) typed shed/timeout from the daemon
+ *
+ * Bad VALUES were historically a mix of 1s and 2s depending on which
+ * parse caught them; scripts could not tell "you typed it wrong" from
+ * "the trace is damaged". These tests pin every class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "trace/format.h"
+#include "trace/writer.h"
+
+namespace cell {
+namespace {
+
+struct RunResult
+{
+    int exit_code = -1;
+    std::string output; ///< stdout + stderr, interleaved
+};
+
+RunResult
+run(const std::string& cmd)
+{
+    RunResult r;
+    FILE* p = ::popen((cmd + " 2>&1").c_str(), "r");
+    if (p == nullptr)
+        return r;
+    char buf[4096];
+    std::size_t k;
+    while ((k = std::fread(buf, 1, sizeof(buf), p)) > 0)
+        r.output.append(buf, k);
+    const int rc = ::pclose(p);
+    if (WIFEXITED(rc))
+        r.exit_code = WEXITSTATUS(rc);
+    return r;
+}
+
+std::string
+quoted(const std::string& s)
+{
+    return "'" + s + "'";
+}
+
+const std::string kTa = CELL_TA_BIN;
+const std::string kDump = CELL_PDT_DUMP_BIN;
+
+/** A small valid trace written once for the whole suite. */
+const std::string&
+tracePath()
+{
+    static const std::string path = [] {
+        // ctest runs every case as its own process; a shared fixture
+        // path would let two processes write it concurrently and a
+        // third read the torn file. Key it by pid.
+        const std::string p = ::testing::TempDir() + "/cli_exits_" +
+                              std::to_string(::getpid()) + ".pdt";
+        trace::TraceData d;
+        d.header.num_spes = 1;
+        d.header.core_hz = 3'200'000'000ULL;
+        d.header.timebase_divider = 8;
+        d.spe_programs = {"synthetic"};
+        for (std::uint16_t c = 0; c < 2; ++c) {
+            trace::Record r{};
+            r.kind = trace::kSyncRecord;
+            r.core = c;
+            r.a = 1000;
+            r.b = 1000;
+            d.records.push_back(r);
+        }
+        for (std::uint64_t i = 0; i < 200; ++i) {
+            trace::Record r{};
+            r.core = static_cast<std::uint16_t>(i % 2);
+            r.kind = static_cast<std::uint8_t>(1 + i % 8);
+            r.phase =
+                (i / 2) % 2 ? trace::kPhaseEnd : trace::kPhaseBegin;
+            r.timestamp = 1000 + 40 * (i / 2 + 1);
+            d.records.push_back(r);
+        }
+        d.header.record_count = d.records.size();
+        trace::writeFile(p, d);
+        return p;
+    }();
+    return path;
+}
+
+// ---------------------------------------------------------------------------
+// ta
+// ---------------------------------------------------------------------------
+
+TEST(TaExitCodes, NoArgumentsIsUsage)
+{
+    const RunResult r = run(kTa);
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TaExitCodes, UnknownCommandIsUsage)
+{
+    const RunResult r = run(kTa + " frobnicate " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TaExitCodes, UnknownFlagIsUsage)
+{
+    const RunResult r = run(kTa + " --bogus summary " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TaExitCodes, NonNumericThreadsIsUsage)
+{
+    const RunResult r =
+        run(kTa + " --threads many summary " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TaExitCodes, NonNumericWindowBoundsAreUsage)
+{
+    const RunResult r =
+        run(kTa + " window " + quoted(tracePath()) + " abc def");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("timebase ticks"), std::string::npos);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TaExitCodes, InvertedWindowIsUsage)
+{
+    const RunResult r =
+        run(kTa + " window " + quoted(tracePath()) + " 900 100");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("exceeds"), std::string::npos);
+}
+
+TEST(TaExitCodes, ZeroProfileBucketsIsUsage)
+{
+    const RunResult r = run(kTa + " profile " + quoted(tracePath()) + " 0");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("buckets"), std::string::npos);
+}
+
+TEST(TaExitCodes, NonNumericTimelineWidthIsUsage)
+{
+    const RunResult r =
+        run(kTa + " timeline " + quoted(tracePath()) + " wide");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("width"), std::string::npos);
+}
+
+TEST(TaExitCodes, NonNumericActivityBucketsAreUsage)
+{
+    const RunResult r =
+        run(kTa + " activity " + quoted(tracePath()) + " some");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("buckets"), std::string::npos);
+}
+
+TEST(TaExitCodes, MissingTraceIsRuntimeError)
+{
+    const RunResult r = run(kTa + " summary /no/such/trace.pdt");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos)
+        << "runtime errors must not dump usage";
+}
+
+TEST(TaExitCodes, GoodSummaryExitsZero)
+{
+    const RunResult r = run(kTa + " summary " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ta query / serve
+// ---------------------------------------------------------------------------
+
+TEST(QueryExitCodes, QueryWithoutConnectIsUsage)
+{
+    const RunResult r = run(kTa + " query ping");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("--connect"), std::string::npos);
+}
+
+TEST(QueryExitCodes, UnknownOpIsUsage)
+{
+    const RunResult r =
+        run(kTa + " query --connect /tmp/none.sock bogus");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("unknown query op"), std::string::npos);
+}
+
+TEST(QueryExitCodes, NonNumericWindowBoundsAreUsage)
+{
+    const RunResult r =
+        run(kTa + " query --connect /tmp/none.sock window m lo hi");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("timebase ticks"), std::string::npos);
+}
+
+TEST(QueryExitCodes, OutOfRangeBucketsAreUsage)
+{
+    const RunResult r =
+        run(kTa + " query --connect /tmp/none.sock profile m 70000");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("[1, 65535]"), std::string::npos);
+}
+
+TEST(QueryExitCodes, DeadSocketIsRuntimeError)
+{
+    const RunResult r = run(
+        kTa + " query --connect /no/such/dir/none.sock --attempts 1 ping");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(ServeExitCodes, MalformedRegistrationIsUsage)
+{
+    const RunResult r =
+        run(kTa + " serve /tmp/none.sock just-a-name-no-path");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("name=trace.pdt"), std::string::npos);
+}
+
+TEST(ServeExitCodes, MissingRegistrationIsUsage)
+{
+    const RunResult r = run(kTa + " serve /tmp/none.sock");
+    EXPECT_EQ(r.exit_code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// pdt_dump
+// ---------------------------------------------------------------------------
+
+TEST(PdtDumpExitCodes, NoArgumentsIsUsage)
+{
+    const RunResult r = run(kDump);
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(PdtDumpExitCodes, UnknownFlagIsUsage)
+{
+    const RunResult r = run(kDump + " --bogus " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(PdtDumpExitCodes, NonNumericMaxIsUsage)
+{
+    const RunResult r =
+        run(kDump + " " + quoted(tracePath()) + " everything");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("record count"), std::string::npos);
+}
+
+TEST(PdtDumpExitCodes, InvertedWindowIsUsage)
+{
+    const RunResult r =
+        run(kDump + " --from 900 --to 100 " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("exceeds"), std::string::npos);
+}
+
+TEST(PdtDumpExitCodes, MissingTraceIsRuntimeError)
+{
+    const RunResult r = run(kDump + " /no/such/trace.pdt");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(PdtDumpExitCodes, GoodDumpExitsZero)
+{
+    const RunResult r = run(kDump + " " + quoted(tracePath()) + " 5");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("records"), std::string::npos);
+}
+
+} // namespace
+} // namespace cell

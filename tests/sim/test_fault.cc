@@ -212,5 +212,97 @@ TEST(FaultInjector, ArenaExhaustionWindowIsHalfOpen)
     EXPECT_TRUE(inj.arenaExhausted(5, 2));
 }
 
+// --- serving-path sites (ta serve, docs/SERVE.md) --------------------------
+
+TEST(FaultPlan, ParsesServeSiteKeys)
+{
+    const FaultPlan plan =
+        FaultPlan::parse("seed=9\n"
+                         "serve_accept_delay_permille=100\n"
+                         "serve_accept_delay_us=750\n"
+                         "serve_read_chop_permille=200\n"
+                         "serve_read_delay_us=20\n"
+                         "serve_write_chop_permille=300\n"
+                         "serve_write_delay_us=30\n"
+                         "serve_cache_clear_permille=400\n");
+    EXPECT_EQ(plan.serve_accept_delay_permille, 100u);
+    EXPECT_EQ(plan.serve_accept_delay_us, 750u);
+    EXPECT_EQ(plan.serve_read_chop_permille, 200u);
+    EXPECT_EQ(plan.serve_read_delay_us, 20u);
+    EXPECT_EQ(plan.serve_write_chop_permille, 300u);
+    EXPECT_EQ(plan.serve_write_delay_us, 30u);
+    EXPECT_EQ(plan.serve_cache_clear_permille, 400u);
+    EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, ServeRatesAloneEnableAndValidate)
+{
+    for (auto set : {+[](FaultPlan& p) { p.serve_accept_delay_permille = 1; },
+                     +[](FaultPlan& p) { p.serve_read_chop_permille = 1; },
+                     +[](FaultPlan& p) { p.serve_write_chop_permille = 1; },
+                     +[](FaultPlan& p) { p.serve_cache_clear_permille = 1; }}) {
+        FaultPlan plan;
+        set(plan);
+        EXPECT_TRUE(plan.enabled());
+        EXPECT_NO_THROW(plan.validate());
+        set(plan); // same field again...
+        plan.serve_cache_clear_permille = 1001; // ...then break one
+        EXPECT_THROW(plan.validate(), std::invalid_argument);
+    }
+}
+
+TEST(FaultInjector, ServeFireSequenceIsSeedDeterministic)
+{
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.serve_read_chop_permille = 300;
+    plan.serve_write_chop_permille = 300;
+    const auto sequence = [](const FaultPlan& p) {
+        FaultInjector inj(p);
+        std::vector<bool> fires;
+        for (int i = 0; i < 200; ++i) {
+            fires.push_back(inj.fire(FaultSite::ServeRead, 0));
+            fires.push_back(inj.fire(FaultSite::ServeWrite, 0));
+        }
+        return fires;
+    };
+    const std::vector<bool> a = sequence(plan);
+    const std::vector<bool> b = sequence(plan);
+    EXPECT_EQ(a, b);
+    FaultPlan other = plan;
+    other.seed = 22;
+    EXPECT_NE(sequence(other), a);
+}
+
+TEST(FaultInjector, ServeFireHonoursRateEndpointsAndCounts)
+{
+    FaultPlan plan;
+    plan.serve_cache_clear_permille = 1000; // always
+    plan.serve_read_chop_permille = 0;      // never (but plan enabled)
+    FaultInjector inj(plan);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(inj.fire(FaultSite::ServeCachePressure, 0));
+        EXPECT_FALSE(inj.fire(FaultSite::ServeRead, 0));
+    }
+    const FaultStats& stats = inj.stats();
+    const auto idx = [](FaultSite s) { return static_cast<std::size_t>(s); };
+    EXPECT_EQ(stats.injected[idx(FaultSite::ServeCachePressure)], 50u);
+    EXPECT_EQ(stats.draws[idx(FaultSite::ServeCachePressure)], 50u);
+    EXPECT_EQ(stats.injected[idx(FaultSite::ServeRead)], 0u);
+    // Zero-rate sites short-circuit before the RNG: they count no
+    // draws, so configuring a site off never perturbs the draw
+    // sequence of the sites that are on.
+    EXPECT_EQ(stats.draws[idx(FaultSite::ServeRead)], 0u);
+}
+
+TEST(FaultInjector, ServeSiteNamesAreDistinct)
+{
+    EXPECT_STREQ(faultSiteName(FaultSite::ServeAccept), "SERVE_ACCEPT");
+    EXPECT_STREQ(faultSiteName(FaultSite::ServeRead), "SERVE_READ");
+    EXPECT_STREQ(faultSiteName(FaultSite::ServeWrite), "SERVE_WRITE");
+    EXPECT_STREQ(faultSiteName(FaultSite::ServeCachePressure),
+                 "SERVE_CACHE_PRESSURE");
+}
+
 } // namespace
 } // namespace cell::sim

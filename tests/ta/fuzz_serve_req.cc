@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fuzz target for the `ta serve` request decoder.
+ *
+ * Property under test: for arbitrary input bytes, decodeRequest()
+ * either decodes (Ok with consumed <= size), asks for more bytes
+ * (NeedMore), or rejects (Bad with a diagnostic) — it never throws,
+ * never crashes, and never reads past the supplied buffer. Any frame
+ * it accepts must re-encode and decode back to the same Request
+ * (round-trip stability), so a daemon replaying its own log can never
+ * disagree with itself. decodeResponse() gets the same treatment.
+ *
+ * Two build modes (same scheme as fuzz_reader):
+ *  - With -DCELL_FUZZ=ON (requires clang's libFuzzer), this compiles
+ *    to a real fuzzer via LLVMFuzzerTestOneInput.
+ *  - By default (FUZZ_CORPUS_MAIN) it gets a plain main() that replays
+ *    every file/directory passed on the command line — so the
+ *    committed corpus under tests/ta/corpus_serve/ runs as a
+ *    regression test under any compiler.
+ */
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ta/serve.h"
+
+namespace {
+
+void
+oneInput(const std::uint8_t* data, std::size_t size)
+{
+    using namespace cell::ta::serve;
+
+    Request req;
+    std::size_t consumed = 0;
+    std::string error;
+    const Decode d = decodeRequest(data, size, req, consumed, error);
+    switch (d) {
+    case Decode::Ok: {
+        // Whatever was accepted must round-trip bit-exactly.
+        if (consumed > size)
+            std::abort();
+        const std::vector<std::uint8_t> wire = encodeRequest(req);
+        Request again;
+        std::size_t consumed2 = 0;
+        std::string error2;
+        if (decodeRequest(wire.data(), wire.size(), again, consumed2,
+                          error2) != Decode::Ok)
+            std::abort();
+        if (!(again == req) || consumed2 != wire.size())
+            std::abort();
+        break;
+    }
+    case Decode::NeedMore:
+        // Growing the buffer must be the only way forward: a prefix
+        // that needs more bytes must never have consumed any.
+        if (consumed != 0)
+            std::abort();
+        break;
+    case Decode::Bad:
+        if (error.empty())
+            std::abort();
+        break;
+    }
+
+    // The response decoder shares the framing code; same contract.
+    Response resp;
+    std::size_t rconsumed = 0;
+    std::string rerror;
+    const Decode rd =
+        decodeResponse(data, size, resp, rconsumed, rerror);
+    if (rd == Decode::Ok && rconsumed > size)
+        std::abort();
+    if (rd == Decode::Bad && rerror.empty())
+        std::abort();
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    oneInput(data, size);
+    return 0;
+}
+
+#ifdef FUZZ_CORPUS_MAIN
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+int
+replayFile(const std::filesystem::path& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "fuzz_serve_req: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    oneInput(bytes.data(), bytes.size());
+    std::printf("fuzz_serve_req: %s (%zu bytes) ok\n", path.c_str(),
+                bytes.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: fuzz_serve_req <corpus file or dir>...\n");
+        return 2;
+    }
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path p(argv[i]);
+        if (std::filesystem::is_directory(p)) {
+            for (const auto& e :
+                 std::filesystem::recursive_directory_iterator(p)) {
+                if (e.is_regular_file())
+                    rc |= replayFile(e.path());
+            }
+        } else {
+            rc |= replayFile(p);
+        }
+    }
+    return rc;
+}
+
+#endif // FUZZ_CORPUS_MAIN

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * BlockCache contract tests: file-identity freshness and concurrent
+ * eviction integrity.
+ *
+ * The staleness regression pins the nastiest aging bug: an in-place
+ * rewrite of a registered trace with the SAME size landing within the
+ * mtime granularity. A (path, size, mtime) key cannot distinguish the
+ * two files, so a long-lived process (ta serve) would keep answering
+ * from the old file's cached blocks. The key therefore carries a
+ * content fingerprint (FNV-1a over the first and last 4 KiB); these
+ * tests rewrite files while pinning mtime back and must always see
+ * fresh content.
+ *
+ * The eviction torture drives a cache sized to ~2 blocks from many
+ * threads, checking every fetched block still belongs to the key it
+ * was requested under (TSan runs this via the `parallel` label).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ta/analyzer.h"
+#include "ta/query.h"
+#include "trace/format.h"
+#include "trace/writer.h"
+
+namespace cell {
+namespace {
+
+std::string
+tempPath(const std::string& name)
+{
+    return ::testing::TempDir() + "/block_cache_" + name;
+}
+
+/** A small synthetic trace; @p salt shifts timestamps so two salts
+ *  give same-size files with different contents and reports. */
+trace::TraceData
+makeTrace(std::uint32_t salt)
+{
+    constexpr std::uint32_t kCores = 3;
+    trace::TraceData d;
+    d.header.num_spes = kCores - 1;
+    d.header.core_hz = 3'200'000'000ULL;
+    d.header.timebase_divider = 8;
+    d.spe_programs.assign(kCores - 1, "synthetic");
+    std::uint32_t raw[kCores];
+    for (std::uint16_t c = 0; c < kCores; ++c) {
+        raw[c] = 1000u + c;
+        trace::Record r{};
+        r.kind = trace::kSyncRecord;
+        r.core = c;
+        r.a = raw[c];
+        r.b = 1000;
+        d.records.push_back(r);
+    }
+    bool begin[kCores] = {};
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+        const auto c = static_cast<std::uint16_t>(i % kCores);
+        trace::Record r{};
+        r.core = c;
+        r.kind = static_cast<std::uint8_t>(1 + (i / kCores) % 8);
+        r.phase = begin[c] ? trace::kPhaseEnd : trace::kPhaseBegin;
+        begin[c] = !begin[c];
+        raw[c] += 40u + salt; // salt changes every event's time
+        r.timestamp = raw[c];
+        d.records.push_back(r);
+    }
+    d.header.record_count = d.records.size();
+    return d;
+}
+
+void
+patchByteKeepingMtime(const std::string& path, std::uint64_t offset)
+{
+    const auto mtime = std::filesystem::last_write_time(path);
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(static_cast<std::streamoff>(offset));
+        char b = 0;
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x5A);
+        f.seekp(static_cast<std::streamoff>(offset));
+        f.write(&b, 1);
+    }
+    std::filesystem::last_write_time(path, mtime);
+}
+
+TEST(BlockCacheFileId, InPlaceRewriteSameSizeSameMtimeChangesId)
+{
+    const std::string path = tempPath("fileid.pdt");
+    trace::writeFile(path, makeTrace(1));
+    const std::string id_before = ta::BlockCache::fileId(path);
+    const auto size_before = std::filesystem::file_size(path);
+
+    // Flip one byte near the front (record region lives in the first
+    // 4 KiB) while pinning mtime back: size and mtime are identical,
+    // only the content differs — exactly the case (path, size, mtime)
+    // keys cannot see.
+    patchByteKeepingMtime(path, 128);
+    EXPECT_EQ(std::filesystem::file_size(path), size_before);
+    const std::string id_front = ta::BlockCache::fileId(path);
+    EXPECT_NE(id_front, id_before);
+
+    // Same for the tail (the fingerprint covers both ends, so a
+    // footer/index rewrite is seen too).
+    patchByteKeepingMtime(path,
+                          std::filesystem::file_size(path) - 64);
+    const std::string id_tail = ta::BlockCache::fileId(path);
+    EXPECT_NE(id_tail, id_front);
+
+    // A byte-identical rewrite keeps the id stable (no false
+    // invalidation churn).
+    patchByteKeepingMtime(path, 128);
+    patchByteKeepingMtime(path,
+                          std::filesystem::file_size(path) - 64);
+    EXPECT_EQ(ta::BlockCache::fileId(path), id_before);
+    std::remove(path.c_str());
+}
+
+TEST(BlockCacheFileId, StaleBlocksAreNeverServedAfterInPlaceRewrite)
+{
+    // The end-to-end regression: index-seeking queries pull record
+    // blocks through a shared cache. Rewrite the file in place with a
+    // same-size different trace, pin mtime back, and re-query through
+    // the SAME cache — the answer must be the new file's, not a mix
+    // of the new index with the old file's cached blocks.
+    const trace::TraceData before = makeTrace(1);
+    const trace::TraceData after = makeTrace(2);
+
+    const std::string path = tempPath("stale.v2.pdt");
+    trace::WriteOptions wopt;
+    wopt.index_stride = 64;
+    trace::writeFile(path, before, wopt);
+    const auto size_before = std::filesystem::file_size(path);
+    const auto mtime_before = std::filesystem::last_write_time(path);
+
+    const auto report = [&](const trace::TraceData& d) {
+        return ta::windowReport(
+            ta::queryWindow(ta::analyze(d), 0, ~std::uint64_t{0}));
+    };
+    const std::string expect_before = report(before);
+    const std::string expect_after = report(after);
+    ASSERT_NE(expect_before, expect_after) << "salt must change rows";
+
+    ta::BlockCache cache;
+    ta::QueryOptions opt;
+    opt.threads = 1;
+    opt.cache = &cache;
+    const ta::WindowResult w1 =
+        ta::queryWindowFile(path, 0, ~std::uint64_t{0}, opt);
+    EXPECT_TRUE(w1.used_index);
+    EXPECT_EQ(ta::windowReport(w1), expect_before);
+    EXPECT_GT(cache.stats().misses, 0u); // blocks went through it
+
+    // In-place rewrite: same size, mtime pinned back.
+    trace::writeFile(path, after, wopt);
+    ASSERT_EQ(std::filesystem::file_size(path), size_before);
+    std::filesystem::last_write_time(path, mtime_before);
+
+    const ta::WindowResult w2 =
+        ta::queryWindowFile(path, 0, ~std::uint64_t{0}, opt);
+    EXPECT_TRUE(w2.used_index);
+    EXPECT_EQ(ta::windowReport(w2), expect_after)
+        << "stale cached blocks served for a rewritten file";
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent eviction torture
+// ---------------------------------------------------------------------------
+
+/** A deterministic block whose every record encodes its identity. */
+std::vector<trace::Record>
+makeBlock(std::uint32_t file, std::uint64_t block, std::size_t records)
+{
+    std::vector<trace::Record> v(records);
+    for (std::size_t i = 0; i < records; ++i) {
+        v[i].a = (static_cast<std::uint64_t>(file) << 32) | block;
+        v[i].b = i;
+    }
+    return v;
+}
+
+TEST(BlockCacheTorture, ConcurrentEvictionNeverCrossWiresBlocks)
+{
+    constexpr std::size_t kBlockRecords = 512;
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIters = 400;
+    constexpr std::uint32_t kFiles = 5;
+    constexpr std::uint64_t kBlocks = 6;
+
+    // Room for ~2 blocks: with 30 distinct keys in play, (almost)
+    // every get evicts something another thread may be using.
+    ta::BlockCache cache(2 * kBlockRecords * sizeof(trace::Record));
+
+    std::atomic<std::uint64_t> loads{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned i = 0; i < kIters; ++i) {
+                const std::uint32_t file = (t * 13 + i) % kFiles;
+                const std::uint64_t block = (t * 7 + i * 3) % kBlocks;
+                const std::string id = "torture:" + std::to_string(file);
+                const ta::BlockCache::Block b = cache.get(id, block, [&] {
+                    loads.fetch_add(1, std::memory_order_relaxed);
+                    return makeBlock(file, block, kBlockRecords);
+                });
+                // The fetched block must be the one asked for — an
+                // eviction race must never hand back another key's
+                // data or a half-built vector.
+                ASSERT_NE(b, nullptr);
+                ASSERT_EQ(b->size(), kBlockRecords);
+                const std::uint64_t want =
+                    (static_cast<std::uint64_t>(file) << 32) | block;
+                EXPECT_EQ((*b)[0].a, want);
+                EXPECT_EQ((*b)[kBlockRecords - 1].a, want);
+                EXPECT_EQ((*b)[kBlockRecords - 1].b, kBlockRecords - 1);
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    const ta::BlockCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+    EXPECT_EQ(stats.misses, loads);
+    EXPECT_GT(stats.evictions, 0u) << "cache never churned; no torture";
+    // The cache stayed bounded through it all.
+    EXPECT_LE(cache.sizeBytes(),
+              2 * kBlockRecords * sizeof(trace::Record));
+}
+
+TEST(BlockCacheTorture, SharedBlocksOutliveEviction)
+{
+    // A shared_ptr handed out stays valid after its entry is evicted.
+    constexpr std::size_t kBlockRecords = 512;
+    ta::BlockCache cache(kBlockRecords * sizeof(trace::Record));
+    const ta::BlockCache::Block held = cache.get(
+        "held", 0, [&] { return makeBlock(1, 0, kBlockRecords); });
+    for (std::uint64_t b = 1; b < 8; ++b)
+        cache.get("held", b, [&] { return makeBlock(1, b, kBlockRecords); });
+    EXPECT_GT(cache.stats().evictions, 0u);
+    EXPECT_EQ((*held)[0].a, (1ull << 32));
+    EXPECT_EQ(held->size(), kBlockRecords);
+}
+
+} // namespace
+} // namespace cell

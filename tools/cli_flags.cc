@@ -9,8 +9,6 @@
 
 namespace cell::cli {
 
-namespace {
-
 bool
 parseU64(const std::string& s, std::uint64_t& out)
 {
@@ -21,6 +19,20 @@ parseU64(const std::string& s, std::uint64_t& out)
     } catch (const std::exception&) {
         return false;
     }
+}
+
+namespace {
+
+/** Flags taking a numeric argument share this shape. */
+bool
+numericArg(int argc, char** argv, int& i, const char* what,
+           std::uint64_t& v, std::string& error)
+{
+    if (i + 1 >= argc || !parseU64(argv[++i], v)) {
+        error = std::string(what) + " requires a number";
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -62,6 +74,46 @@ parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out)
                 return false;
             }
             out.have_to = true;
+        } else if (spec.serve && arg == "--workers") {
+            std::uint64_t v = 0;
+            if (!numericArg(argc, argv, i, "--workers", v, out.error))
+                return false;
+            out.workers = static_cast<unsigned>(v);
+        } else if (spec.serve && arg == "--queue-depth") {
+            if (!numericArg(argc, argv, i, "--queue-depth",
+                            out.queue_depth, out.error))
+                return false;
+        } else if (spec.serve && arg == "--per-query") {
+            std::uint64_t v = 0;
+            if (!numericArg(argc, argv, i, "--per-query", v, out.error))
+                return false;
+            out.per_query = static_cast<unsigned>(v);
+        } else if (spec.serve && arg == "--max-conns") {
+            std::uint64_t v = 0;
+            if (!numericArg(argc, argv, i, "--max-conns", v, out.error))
+                return false;
+            out.max_conns = static_cast<unsigned>(v);
+        } else if (spec.serve && arg == "--faults") {
+            if (i + 1 >= argc) {
+                out.error = "--faults requires a plan file";
+                return false;
+            }
+            out.faults_path = argv[++i];
+        } else if (spec.connect && arg == "--connect") {
+            if (i + 1 >= argc) {
+                out.error = "--connect requires a socket path";
+                return false;
+            }
+            out.connect = argv[++i];
+        } else if (spec.connect && arg == "--attempts") {
+            std::uint64_t v = 0;
+            if (!numericArg(argc, argv, i, "--attempts", v, out.error))
+                return false;
+            out.attempts = static_cast<unsigned>(v);
+        } else if (spec.deadline && arg == "--deadline-ms") {
+            if (!numericArg(argc, argv, i, "--deadline-ms",
+                            out.deadline_ms, out.error))
+                return false;
         } else {
             out.error = "unknown flag: " + arg;
             return false;

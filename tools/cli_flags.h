@@ -27,6 +27,10 @@ struct FlagSpec
     bool window = false;    ///< --from T / --to T (timebase ticks)
     bool full_scan = false; ///< --full-scan (ignore any v2 index)
     bool compress = false;  ///< --compress (write v3 blocks)
+    bool serve = false;     ///< --workers/--queue-depth/--per-query/
+                            ///  --max-conns/--faults (ta serve)
+    bool connect = false;   ///< --connect PATH/--attempts (ta query)
+    bool deadline = false;  ///< --deadline-ms N (serve + query)
 };
 
 /** Parsed flags + remaining positionals. Defaults that differ per
@@ -43,6 +47,14 @@ struct Flags
     bool have_to = false;
     std::uint64_t from = 0;
     std::uint64_t to = ~std::uint64_t{0};
+    unsigned workers = 0;          ///< 0 = tool default
+    std::uint64_t queue_depth = 0; ///< 0 = tool default
+    unsigned per_query = 0;        ///< 0 = tool default
+    unsigned max_conns = 0;        ///< 0 = tool default
+    unsigned attempts = 0;         ///< 0 = tool default
+    std::uint64_t deadline_ms = 0; ///< 0 = server default
+    std::string faults_path;       ///< --faults FILE (fault plan)
+    std::string connect;           ///< --connect SOCKET
     std::vector<std::string> positionals;
     std::string error; ///< set when parseFlags returns false
 };
@@ -50,6 +62,11 @@ struct Flags
 /** Parse argv[1..argc) against @p spec into @p out. Returns false
  *  (with out.error set) on an unknown flag or a malformed argument. */
 bool parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out);
+
+/** Strict unsigned parse: the whole string must be a number. The
+ *  tools use it on numeric positionals too, so a typo'd value exits
+ *  with usage (2) instead of an analysis error (1). */
+bool parseU64(const std::string& s, std::uint64_t& out);
 
 } // namespace cell::cli
 

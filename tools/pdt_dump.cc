@@ -71,14 +71,19 @@ main(int argc, char** argv)
     }
     path = f.positionals[0];
     if (f.positionals.size() >= 2) {
-        try {
-            max = std::stoull(f.positionals[1]);
-        } catch (const std::exception&) {
+        std::uint64_t v = 0;
+        if (!cli::parseU64(f.positionals[1], v)) {
+            std::cerr << "pdt_dump: max must be a record count\n";
             return usage();
         }
+        max = static_cast<std::size_t>(v);
     }
     if (f.positionals.size() > 2)
         return usage();
+    if (f.have_from && f.have_to && f.from > f.to) {
+        std::cerr << "pdt_dump: --from exceeds --to\n";
+        return usage();
+    }
 
     try {
         trace::ReadReport report;

@@ -42,9 +42,13 @@
  * the legacy serial path.
  */
 
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "ta/analyzer.h"
 #include "ta/parallel.h"
@@ -52,6 +56,7 @@
 #include "ta/profile.h"
 #include "ta/query.h"
 #include "ta/report.h"
+#include "ta/serve.h"
 #include "ta/timeline.h"
 #include "trace/block.h"
 #include "trace/index.h"
@@ -69,7 +74,7 @@ usage()
         << "usage: ta [--salvage] [--threads N] [--full-scan] <command> "
            "<trace.pdt> [args]\n"
            "commands: summary breakdown dma events tracing loss timeline\n"
-           "          activity window profile convert\n"
+           "          activity window profile convert serve query\n"
            "          svg html csv intervals transfers compare all\n"
            "  window  <trace.pdt> <from> <to>   windowed query report\n"
            "          (timebase ticks; seeks via the v2 index if present)\n"
@@ -79,6 +84,18 @@ usage()
            "selects\n"
            "          the v3 block container (any valid footer index is\n"
            "          carried over at its original stride)\n"
+           "  serve   <socket> <name=trace.pdt> [more...]   query daemon\n"
+           "          (docs/SERVE.md); --workers N --queue-depth N\n"
+           "          --per-query N --max-conns N --deadline-ms N\n"
+           "          --threads N (total analysis-thread budget)\n"
+           "          --faults PLAN (Serve* fault-injection plan file)\n"
+           "  query   --connect <socket> <op> [name] [args]  served query\n"
+           "          ops: ping | server-stats | shutdown |\n"
+           "               window <name> <from> <to> |\n"
+           "               profile <name> [buckets] (--from/--to) |\n"
+           "               loss <name> | stats <name>\n"
+           "          --deadline-ms N --attempts N --salvage\n"
+           "          exits 0 ok, 3 typed shed/timeout, 1 error\n"
            "--threads N: analysis threads (default: hardware concurrency;\n"
            "             1 forces the serial path; output is identical)\n"
            "--full-scan: ignore any v2 footer index\n";
@@ -102,6 +119,169 @@ load(const std::string& path, bool salvage, unsigned threads)
     return a;
 }
 
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+}
+
+/** `ta serve <socket> <name=trace.pdt>...` — run the query daemon
+ *  until SIGINT/SIGTERM or a client's shutdown request. */
+int
+runServe(const cell::cli::Flags& f)
+{
+    using namespace cell;
+    const auto& pos = f.positionals;
+    if (pos.size() < 3) {
+        std::cerr << "ta: serve needs a socket path and at least one "
+                     "name=trace.pdt registration\n";
+        return usage();
+    }
+    ta::serve::ServerConfig cfg;
+    cfg.socket_path = pos[1];
+    if (f.workers != 0)
+        cfg.workers = f.workers;
+    if (f.queue_depth != 0)
+        cfg.queue_depth = static_cast<std::size_t>(f.queue_depth);
+    if (f.threads != 0)
+        cfg.thread_budget = f.threads;
+    if (f.per_query != 0)
+        cfg.per_query_threads = f.per_query;
+    if (f.max_conns != 0)
+        cfg.max_connections = f.max_conns;
+    if (f.deadline_ms != 0)
+        cfg.default_deadline_ms = static_cast<std::uint32_t>(f.deadline_ms);
+    if (!f.faults_path.empty()) {
+        std::ifstream in(f.faults_path);
+        if (!in) {
+            std::cerr << "ta: cannot read fault plan: " << f.faults_path
+                      << "\n";
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        cfg.faults = sim::FaultPlan::parse(ss.str());
+    }
+
+    ta::serve::Server server(cfg);
+    for (std::size_t i = 2; i < pos.size(); ++i) {
+        const std::size_t eq = pos[i].find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == pos[i].size()) {
+            std::cerr << "ta: registrations are name=trace.pdt, got: "
+                      << pos[i] << "\n";
+            return usage();
+        }
+        server.registerTrace(pos[i].substr(0, eq), pos[i].substr(eq + 1));
+    }
+    server.start();
+    std::cerr << "ta: serving " << (pos.size() - 2) << " trace(s) on "
+              << cfg.socket_path << "\n";
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!server.shutdownRequested() && !g_signalled)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::cerr << "ta: shutting down\n";
+    server.stop();
+    return 0;
+}
+
+/** `ta query --connect <socket> <op> [name] [args]` — the daemon's
+ *  client. Report bodies go to stdout (byte-identical to the serial
+ *  CLI); degradation warnings to stderr. Exit: 0 ok, 3 typed
+ *  shed/timeout, 1 error, 2 usage. */
+int
+runQuery(const cell::cli::Flags& f)
+{
+    using namespace cell;
+    using namespace cell::ta::serve;
+    const auto& pos = f.positionals;
+    if (f.connect.empty()) {
+        std::cerr << "ta: query requires --connect <socket>\n";
+        return usage();
+    }
+    const std::string& op = pos[1];
+    Request req;
+    req.salvage = f.salvage;
+    req.deadline_ms = static_cast<std::uint32_t>(f.deadline_ms);
+    if (op == "ping" || op == "server-stats" || op == "shutdown") {
+        req.op = op == "ping" ? Op::Ping
+                 : op == "server-stats" ? Op::ServerStats
+                                        : Op::Shutdown;
+        if (pos.size() != 2)
+            return usage();
+    } else if (op == "window") {
+        req.op = Op::Window;
+        if (pos.size() != 5) {
+            std::cerr << "ta: query window needs <name> <from> <to>\n";
+            return usage();
+        }
+        req.name = pos[2];
+        if (!cli::parseU64(pos[3], req.from) ||
+            !cli::parseU64(pos[4], req.to)) {
+            std::cerr << "ta: window bounds must be timebase ticks\n";
+            return usage();
+        }
+        if (req.from > req.to) {
+            std::cerr << "ta: window 'from' exceeds 'to'\n";
+            return usage();
+        }
+    } else if (op == "profile") {
+        req.op = Op::Profile;
+        if (pos.size() < 3 || pos.size() > 4) {
+            std::cerr << "ta: query profile needs <name> [buckets]\n";
+            return usage();
+        }
+        req.name = pos[2];
+        if (pos.size() == 4) {
+            std::uint64_t b = 0;
+            if (!cli::parseU64(pos[3], b) || b == 0 || b > 0xFFFF) {
+                std::cerr << "ta: buckets must be a count in [1, 65535]\n";
+                return usage();
+            }
+            req.buckets = static_cast<std::uint16_t>(b);
+        }
+        if (f.have_from || f.have_to) {
+            if (f.from > f.to) {
+                std::cerr << "ta: --from exceeds --to\n";
+                return usage();
+            }
+            req.windowed = true;
+            req.from = f.from;
+            req.to = f.to;
+        }
+    } else if (op == "loss" || op == "stats") {
+        req.op = op == "loss" ? Op::Loss : Op::Stats;
+        if (pos.size() != 3) {
+            std::cerr << "ta: query " << op << " needs <name>\n";
+            return usage();
+        }
+        req.name = pos[2];
+    } else {
+        std::cerr << "ta: unknown query op: " << op << "\n";
+        return usage();
+    }
+
+    ClientOptions copt;
+    if (f.attempts != 0)
+        copt.max_attempts = f.attempts;
+    Client client(f.connect, copt);
+    const Response rsp = client.callWithRetry(req);
+    if (!rsp.warning.empty())
+        std::cerr << rsp.warning; // newline-terminated by the server
+    if (rsp.status == Status::Ok) {
+        std::cout << rsp.body;
+        return 0;
+    }
+    std::cerr << "ta: " << statusName(rsp.status) << ": " << rsp.body
+              << "\n";
+    const bool typed = rsp.status == Status::RetryAfter ||
+                       rsp.status == Status::Timeout ||
+                       rsp.status == Status::ShuttingDown;
+    return typed ? 3 : 1;
+}
+
 } // namespace
 
 int
@@ -114,6 +294,9 @@ main(int argc, char** argv)
     spec.window = true;
     spec.full_scan = true;
     spec.compress = true;
+    spec.serve = true;
+    spec.connect = true;
+    spec.deadline = true;
     cli::Flags f;
     f.threads = 0; // 0 = hardware concurrency
     if (!cli::parseFlags(argc, argv, spec, f)) {
@@ -133,6 +316,10 @@ main(int argc, char** argv)
     const std::size_t n_extra = pos.size() - 2;
 
     try {
+        if (cmd == "serve")
+            return runServe(f);
+        if (cmd == "query")
+            return runQuery(f);
         if (cmd == "convert") {
             if (n_extra < 1)
                 return usage();
@@ -169,12 +356,23 @@ main(int argc, char** argv)
         if (cmd == "window") {
             if (n_extra < 2)
                 return usage();
+            std::uint64_t from = 0;
+            std::uint64_t to = 0;
+            if (!cli::parseU64(extra(0), from) ||
+                !cli::parseU64(extra(1), to)) {
+                std::cerr << "ta: window bounds must be timebase ticks\n";
+                return usage();
+            }
+            if (from > to) {
+                std::cerr << "ta: window 'from' exceeds 'to'\n";
+                return usage();
+            }
             ta::QueryOptions qopt;
             qopt.threads = threads;
             qopt.salvage = salvage;
             qopt.force_full_scan = f.full_scan;
-            const ta::WindowResult w = ta::queryWindowFile(
-                path, std::stoull(extra(0)), std::stoull(extra(1)), qopt);
+            const ta::WindowResult w =
+                ta::queryWindowFile(path, from, to, qopt);
             std::cerr << "ta: " << (w.used_index ? "indexed" : "full-scan")
                       << " query, " << w.records_scanned
                       << " records scanned\n";
@@ -183,8 +381,18 @@ main(int argc, char** argv)
         }
         if (cmd == "profile") {
             unsigned buckets = 60;
-            if (n_extra >= 1)
-                buckets = static_cast<unsigned>(std::stoul(extra(0)));
+            if (n_extra >= 1) {
+                std::uint64_t b = 0;
+                if (!cli::parseU64(extra(0), b) || b == 0) {
+                    std::cerr << "ta: buckets must be a positive count\n";
+                    return usage();
+                }
+                buckets = static_cast<unsigned>(b);
+            }
+            if (f.have_from && f.have_to && f.from > f.to) {
+                std::cerr << "ta: --from exceeds --to\n";
+                return usage();
+            }
             if (f.have_from || f.have_to) {
                 ta::QueryOptions qopt;
                 qopt.threads = threads;
@@ -221,13 +429,25 @@ main(int argc, char** argv)
             ta::printLossReport(std::cout, a);
         } else if (cmd == "timeline") {
             ta::TimelineOptions opt;
-            if (n_extra >= 1)
-                opt.width = static_cast<unsigned>(std::stoul(extra(0)));
+            if (n_extra >= 1) {
+                std::uint64_t w = 0;
+                if (!cli::parseU64(extra(0), w) || w == 0) {
+                    std::cerr << "ta: width must be a positive count\n";
+                    return usage();
+                }
+                opt.width = static_cast<unsigned>(w);
+            }
             std::cout << ta::renderAscii(a.model, a.intervals, opt);
         } else if (cmd == "activity") {
             unsigned buckets = 60;
-            if (n_extra >= 1)
-                buckets = static_cast<unsigned>(std::stoul(extra(0)));
+            if (n_extra >= 1) {
+                std::uint64_t b = 0;
+                if (!cli::parseU64(extra(0), b) || b == 0) {
+                    std::cerr << "ta: buckets must be a positive count\n";
+                    return usage();
+                }
+                buckets = static_cast<unsigned>(b);
+            }
             ta::printActivity(std::cout, a, buckets);
         } else if (cmd == "html") {
             if (n_extra < 1)
