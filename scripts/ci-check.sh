@@ -49,6 +49,15 @@ case " ${presets[*]} " in *" default "*)
     echo "==> fuzz corpus replay"
     build/tests/fuzz_reader tests/trace/corpus
     build/tests/fuzz_serve_req tests/ta/corpus_serve
+    echo "==> generator sweep (fresh valid + adversarial specimens)"
+    # Bounded (~seconds): 48 seeded traces nobody has seen before, all
+    # replayed through the strict and salvage readers. A crash here is
+    # a new fuzz finding — commit the seed's specimen to the corpus.
+    build/tools/trace_gen --sweep 32 --seed "${SWEEP_SEED:-1000}" \
+        --out-dir build/gen-sweep/valid
+    build/tools/trace_gen --sweep 16 --seed "${SWEEP_SEED:-1000}" \
+        --adversarial --out-dir build/gen-sweep/adv
+    build/tests/fuzz_reader build/gen-sweep/valid build/gen-sweep/adv
     echo "==> golden digest check"
     build/tools/ta_golden check tests/ta/golden
     echo "==> serve soak (short local run; CI does 60s x 16)"

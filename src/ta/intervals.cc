@@ -192,6 +192,34 @@ buildCoreIntervals(const CoreTimeline& tl)
     return dst;
 }
 
+std::uint64_t
+pendableOpsMask()
+{
+    static const std::uint64_t mask = [] {
+        std::uint64_t m = 0;
+        for (std::size_t k = 0; k < rt::kNumApiOps && k < 64; ++k) {
+            const auto op = static_cast<ApiOp>(k);
+            if (op == ApiOp::SpuStart || op == ApiOp::SpuStop)
+                continue;
+            if (classifyOp(op) != IntervalClass::Other)
+                m |= std::uint64_t{1} << k;
+        }
+        return m;
+    }();
+    return mask;
+}
+
+trace::OpSemantics
+surgeryOpSemantics()
+{
+    trace::OpSemantics sem;
+    sem.pendable_mask = pendableOpsMask();
+    sem.spu_start = static_cast<std::uint8_t>(ApiOp::SpuStart);
+    sem.spu_stop = static_cast<std::uint8_t>(ApiOp::SpuStop);
+    sem.num_known_ops = static_cast<std::uint8_t>(rt::kNumApiOps);
+    return sem;
+}
+
 IntervalSet
 IntervalSet::build(const TraceModel& model)
 {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ta/model.h"
+#include "trace/surgery.h"
 
 namespace cell::ta {
 
@@ -86,6 +87,16 @@ IntervalClass classifyOp(rt::ApiOp op);
  *  independent — IntervalSet::build calls this per core, and the
  *  parallel analyzer runs the same function on all cores at once. */
 std::vector<Interval> buildCoreIntervals(const CoreTimeline& tl);
+
+/** Ops the matcher keeps a pending Begin for: everything classified
+ *  away from Other (Other Begins emit immediately and SpuStart /
+ *  SpuStop use the dedicated run slot). Bit k = op k. */
+std::uint64_t pendableOpsMask();
+
+/** The matcher's slot semantics packaged for trace surgery: the slice
+ *  preamble (trace::slice) must re-open Begins that were pending at
+ *  window entry, and this is the analyzer's word on which ones pend. */
+trace::OpSemantics surgeryOpSemantics();
 
 } // namespace cell::ta
 

@@ -181,26 +181,6 @@ sharedBlockCache()
 
 namespace {
 
-/** Ops the reference matcher keeps a pending Begin for: everything
- *  classify()ed away from Other (Other Begins emit immediately and
- *  SpuStart/SpuStop use the dedicated run slot). */
-std::uint64_t
-pendableOpsMask()
-{
-    static const std::uint64_t mask = [] {
-        std::uint64_t m = 0;
-        for (std::size_t k = 0; k < rt::kNumApiOps && k < 64; ++k) {
-            const auto op = static_cast<ApiOp>(k);
-            if (op == ApiOp::SpuStart || op == ApiOp::SpuStop)
-                continue;
-            if (classifyOp(op) != IntervalClass::Other)
-                m |= std::uint64_t{1} << k;
-        }
-        return m;
-    }();
-    return mask;
-}
-
 /**
  * buildCoreIntervals (intervals.cc), restricted to intervals that
  * START inside [from, to) — plus the phantom-pending machinery that

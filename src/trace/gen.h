@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Seeded scenario generator: structurally diverse PDT traces from a
+ * single seed, deterministically.
+ *
+ * Two layers:
+ *  - generate(): a strict-valid TraceData shaped by a scenario (deep
+ *    nesting, drop storms, clock skew, raw-counter wrap, sparse or
+ *    many cores, unknown ops, ...). Every core's stream starts with a
+ *    sync record and every timestamp round-trips through the replay
+ *    math, so the strict analyzer accepts every output.
+ *  - generateBytes(): the same trace serialized to a v1/v2/v3
+ *    container, optionally mauled by deterministic adversarial
+ *    mutations (truncation, bit flips, header lies, index/footer and
+ *    block corruption) to feed the fuzz corpus and salvage paths.
+ *
+ * Identical options always produce identical bytes — CI sweeps and
+ * property tests print only the seed on failure.
+ */
+
+#ifndef CELL_TRACE_GEN_H
+#define CELL_TRACE_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/reader.h"
+
+namespace cell::trace::gen {
+
+enum class Scenario : std::uint8_t
+{
+    Basic,      ///< mixed Begin/End pairs, periodic resyncs
+    DeepNesting,///< many distinct ops open before any closes
+    DropStorm,  ///< frequent drop markers, epochs everywhere
+    ClockSkew,  ///< per-core jitter + backward sync steps (clamp work)
+    WrapAround, ///< sync_raw near zero so SPE decrementers wrap
+    MultiCore,  ///< 6-8 SPEs, even spread
+    UnknownOps, ///< future/unknown kinds (40..63) sprinkled in
+    FlushHeavy, ///< flush markers between most events
+    SparseCores,///< several SPEs but nearly all traffic on one
+    Tiny,       ///< 1-8 records, boundary shapes
+
+    kCount,
+};
+
+constexpr std::size_t kNumScenarios =
+    static_cast<std::size_t>(Scenario::kCount);
+
+const char* scenarioName(Scenario s);
+
+/** Parse "drop_storm" etc.; false if the name is unknown. */
+bool scenarioFromName(const std::string& name, Scenario& out);
+
+struct GenOptions
+{
+    std::uint64_t seed = 1;
+    /** Scenario index, or -1 to derive one from the seed. */
+    int scenario = -1;
+    /** SPE count, or 0 to let the scenario pick. */
+    std::uint32_t num_spes = 0;
+    /** Record count, or 0 to let the scenario pick. */
+    std::uint64_t records = 0;
+};
+
+/** The scenario generate() will use for these options. */
+Scenario scenarioFor(const GenOptions& opt);
+
+/** A strict-valid trace for the scenario. Deterministic in opt. */
+TraceData generate(const GenOptions& opt);
+
+struct BytesOptions
+{
+    GenOptions gen;
+    /** Container version 1/2/3, or -1 to derive from the seed. */
+    int container = -1;
+    /** Apply 1-2 deterministic structural mutations after writing. */
+    bool adversarial = false;
+};
+
+/**
+ * Serialized (and optionally mauled) trace bytes. If @p desc is
+ * non-null it receives a human-readable tag, e.g.
+ * "drop_storm v3 adv[truncate]".
+ */
+std::vector<std::uint8_t> generateBytes(const BytesOptions& opt,
+                                        std::string* desc = nullptr);
+
+} // namespace cell::trace::gen
+
+#endif // CELL_TRACE_GEN_H

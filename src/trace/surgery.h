@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Trace surgery: slice / splice / filter rewrites over PDT traces.
+ *
+ * The paper's methodology needs traces of the right shape — a window
+ * around a phenomenon, a multi-blade merge, a per-core view — and the
+ * SDK never shipped tools to make them. These ops rewrite record
+ * streams while preserving the replay semantics the analyzer depends
+ * on (src/trace/replay.h), each backed by a differential invariant:
+ *
+ *  - slice(T, from, to): a standalone trace whose windowed report over
+ *    [from, to) is byte-identical to the same windowed query on T.
+ *    Seed state at the window entry (clock mapping, monotonic-clamp
+ *    carry, drop epoch, open Begins) is reconstructed as a synthetic
+ *    preamble of sync / drop / Begin records placed before the window.
+ *  - splice(inputs, cuts): band-stitch per-trace time ranges back into
+ *    one trace; splice(slice(T,s,m), slice(T,m,e), cut=m) round-trips.
+ *    With blades mode, inputs keep disjoint core ranges instead (the
+ *    multi-blade scenario), with per-input clock offsets.
+ *  - filter(T, cores/kinds): drop cores or event-kind groups while
+ *    re-encoding timestamps so every surviving record keeps its
+ *    original clamped placement; analysis of the filtered trace equals
+ *    the restriction of the original analysis.
+ *
+ * Lenient inputs are supported: records the lenient analyzer skips
+ * (pre-sync, bad core id) are replaced by front-of-stream filler
+ * records that are themselves skipped, so the output's leniency
+ * accounting matches the original's. See docs/SURGERY.md.
+ */
+
+#ifndef CELL_TRACE_SURGERY_H
+#define CELL_TRACE_SURGERY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/reader.h"
+
+namespace cell::trace {
+
+/**
+ * The slice preamble must re-open Begins that were pending at window
+ * entry, which requires knowing which ops the analyzer's matcher keeps
+ * a pending slot for. That knowledge lives above this library (the
+ * analyzer owns op classification), so callers inject it;
+ * ta::surgeryOpSemantics() is the canonical provider.
+ */
+struct OpSemantics
+{
+    /** Bit k set: a Begin of kind k occupies pending slot k. */
+    std::uint64_t pendable_mask = 0;
+    /** Record kinds of the dedicated run slot (0xFF = none). */
+    std::uint8_t spu_start = 0xFF;
+    std::uint8_t spu_stop = 0xFF;
+    /** Kinds >= this (and < kSyncRecord) are unknown ops: placed as
+     *  events but never matched into intervals. */
+    std::uint8_t num_known_ops = 0;
+};
+
+struct SliceOptions
+{
+    /** Tolerate pre-sync / bad-core records (replaced by fillers that
+     *  keep the lenient skip count identical). Strict mode throws on
+     *  them, exactly like TraceModel::build. */
+    bool lenient = false;
+};
+
+/**
+ * Cut [from, to) out of @p data as a standalone trace. Windowed
+ * queries over [from, to) on the result match the original's
+ * byte-for-byte (events, intervals, epochs, leniency accounting).
+ */
+TraceData slice(const TraceData& data, std::uint64_t from, std::uint64_t to,
+                const OpSemantics& sem, const SliceOptions& opt = {});
+
+struct SpliceOptions
+{
+    /**
+     * Band cut points, one fewer than inputs (or empty for plain
+     * concatenation): input i contributes only records whose placed
+     * clamped time t satisfies cuts[i-1] <= t < cuts[i] (first band
+     * starts at 0, last is unbounded). This is what makes
+     * splice(slice(T,s,m), slice(T,m,e)) round-trip: the cut drops
+     * slice A's resolution tail and slice B's synthetic preamble.
+     */
+    std::vector<std::uint64_t> cuts;
+    /** Per-input timebase shift added to every sync record's tb (and
+     *  so to every placed time). Empty = no shift. */
+    std::vector<std::uint64_t> offsets;
+    /** Shift every input so all start at the latest input's start
+     *  (computes offsets; mutually exclusive with explicit offsets). */
+    bool align = false;
+    /** Multi-blade merge: input i's cores are remapped to a disjoint
+     *  range (input 0 keeps its ids; later inputs' PPE cores become
+     *  SPE-numbered cores with down-counter timestamp encoding). */
+    bool blades = false;
+    bool lenient = false;
+};
+
+/** Merge @p inputs into one trace; see SpliceOptions for the modes. */
+TraceData splice(const std::vector<TraceData>& inputs,
+                 const SpliceOptions& opt = {});
+
+struct FilterOptions
+{
+    /** Cores to keep (0 = PPE, 1+i = SPE i). Empty = all. */
+    std::vector<std::uint16_t> cores;
+    /** Bit k set: records of kind k (< 64) are kept. Tool records
+     *  (sync / flush / drop) are structurally unmaskable and always
+     *  survive — dropping them would corrupt the clock replay. */
+    std::uint64_t kind_mask = ~0ull;
+    bool lenient = false;
+};
+
+/**
+ * Rewrite @p data keeping only the selected cores / kinds. Surviving
+ * records' timestamps are re-encoded to their original clamped
+ * placement, so removing a record never moves the ones that remain.
+ */
+TraceData filter(const TraceData& data, const FilterOptions& opt = {});
+
+} // namespace cell::trace
+
+#endif // CELL_TRACE_SURGERY_H

@@ -244,6 +244,178 @@ TEST(ServeExitCodes, MissingRegistrationIsUsage)
 }
 
 // ---------------------------------------------------------------------------
+// ta surgery
+// ---------------------------------------------------------------------------
+
+TEST(SurgeryExitCodes, MissingOperationIsUsage)
+{
+    const RunResult r = run(kTa + " surgery");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, UnknownOperationIsUsage)
+{
+    const RunResult r = run(kTa + " surgery transplant " +
+                            quoted(tracePath()) + " /tmp/out.pdt");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("unknown surgery op"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, NonNumericSliceBoundsAreUsage)
+{
+    const RunResult r = run(kTa + " surgery slice " + quoted(tracePath()) +
+                            " /tmp/out.pdt lo hi");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("timebase ticks"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, InvertedSliceWindowIsUsage)
+{
+    const RunResult r = run(kTa + " surgery slice " + quoted(tracePath()) +
+                            " /tmp/out.pdt 900 100");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("exceeds"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, CutCountMismatchIsUsage)
+{
+    const RunResult r =
+        run(kTa + " surgery splice /tmp/out.pdt " + quoted(tracePath()) +
+            " " + quoted(tracePath()) + " --cut 10 --cut 20");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("one --cut per junction"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, AlignWithBladesIsUsage)
+{
+    const RunResult r =
+        run(kTa + " surgery splice /tmp/out.pdt " + quoted(tracePath()) +
+            " " + quoted(tracePath()) + " --align --blades");
+    EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(SurgeryExitCodes, BadKindGroupIsUsage)
+{
+    const RunResult r = run(kTa + " surgery filter " + quoted(tracePath()) +
+                            " /tmp/out.pdt --kinds dma,bogus");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("unknown event group"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, NonNumericCoreListIsUsage)
+{
+    const RunResult r = run(kTa + " surgery filter " + quoted(tracePath()) +
+                            " /tmp/out.pdt --cores 0,ppe");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("--cores"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, OutOfRangeCoreIdIsUsage)
+{
+    // The fixture has 1 SPE -> valid cores are 0 and 1.
+    const RunResult r = run(kTa + " surgery filter " + quoted(tracePath()) +
+                            " /tmp/out.pdt --cores 9");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, MissingInputIsRuntimeError)
+{
+    const RunResult r =
+        run(kTa + " surgery slice /no/such/trace.pdt /tmp/out.pdt 0 100");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, GoodSliceSpliceFilterExitZero)
+{
+    const std::string base = ::testing::TempDir() + "/cli_surgery_" +
+                             std::to_string(::getpid());
+    const std::string a = base + "_a.pdt";
+    const std::string b = base + "_b.pdt";
+    const std::string sp = base + "_sp.pdt";
+    const std::string fl = base + "_fl.pdt";
+
+    RunResult r = run(kTa + " surgery slice " + quoted(tracePath()) + " " +
+                      quoted(a) + " 0 3000");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " surgery slice " + quoted(tracePath()) + " " +
+            quoted(b) + " 3000 99999999");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " surgery splice " + quoted(sp) + " " + quoted(a) + " " +
+            quoted(b) + " --cut 3000");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " surgery filter " + quoted(tracePath()) + " " +
+            quoted(fl) + " --cores 0,1 --kinds dma,mailbox");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " summary " + quoted(sp));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    for (const std::string& p : {a, b, sp, fl})
+        std::remove(p.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// trace_gen
+// ---------------------------------------------------------------------------
+
+const std::string kGen = CELL_TRACE_GEN_BIN;
+
+TEST(TraceGenExitCodes, NoOutputPathIsUsage)
+{
+    const RunResult r = run(kGen);
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, UnknownFlagIsUsage)
+{
+    const RunResult r = run(kGen + " --bogus /tmp/out.pdt");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, UnknownScenarioIsUsage)
+{
+    const RunResult r = run(kGen + " --scenario nope /tmp/out.pdt");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("unknown scenario"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, NonNumericSeedIsUsage)
+{
+    const RunResult r = run(kGen + " --seed lucky /tmp/out.pdt");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, SweepWithoutOutDirIsUsage)
+{
+    const RunResult r = run(kGen + " --sweep 3");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("--out-dir"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, ListScenariosExitsZero)
+{
+    const RunResult r = run(kGen + " --list-scenarios");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("drop_storm"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, GoodGenerateExitsZeroAndAnalyzes)
+{
+    const std::string p = ::testing::TempDir() + "/cli_gen_" +
+                          std::to_string(::getpid()) + ".pdt";
+    RunResult r = run(kGen + " --seed 11 --scenario multi_core " +
+                      quoted(p));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " summary " + quoted(p));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    std::remove(p.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // pdt_dump
 // ---------------------------------------------------------------------------
 

@@ -24,6 +24,12 @@
  *      paths (and throws the identical strict diagnostics).
  *  P10b A corrupt v3 block degrades to an exactly-accounted gap, and
  *      serial and parallel salvage agree on the result.
+ *  P11 A slice of any generated trace answers windowed queries
+ *      byte-identically to the original (lenient traces included).
+ *  P11a Splicing slices back at their cuts reproduces the original's
+ *      full report, two- and three-way.
+ *  P11b Filtering by cores/kind groups then analyzing equals
+ *      analyzing then restricting the event streams.
  */
 
 #include <gtest/gtest.h>
@@ -35,10 +41,13 @@
 
 #include "pdt/tracer.h"
 #include "ta/analyzer.h"
+#include "ta/intervals.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
 #include "trace/block.h"
+#include "trace/gen.h"
 #include "trace/reader.h"
+#include "trace/surgery.h"
 #include "trace/writer.h"
 #include "wl/gather.h"
 #include "wl/reduction.h"
@@ -666,6 +675,194 @@ TEST(Properties, P10b_CorruptBlockSalvagesToExactGapSeriallyAndInParallel)
             << threads << " threads";
     }
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// P11 family: trace surgery vs. the seeded scenario generator. Every
+// failure message leads with the seed — re-running that seed alone
+// reproduces the trace bit-for-bit.
+
+namespace gen = trace::gen;
+
+std::string
+winRep(const trace::TraceData& d, std::uint64_t from, std::uint64_t to,
+       bool lenient = false)
+{
+    return ta::windowReport(
+        ta::queryWindow(ta::analyze(d, lenient), from, to));
+}
+
+/** Generated trace plus, for a subset of seeds, a lenient variant with
+ *  a pre-sync record the analyzer provably skips. */
+trace::TraceData
+genTrace(std::uint64_t seed, bool messy)
+{
+    gen::GenOptions opt;
+    opt.seed = seed;
+    trace::TraceData d = gen::generate(opt);
+    if (messy) {
+        trace::Record r{};
+        r.kind = 1;
+        r.core = 1;
+        r.timestamp = 123;
+        d.records.insert(d.records.begin(), r);
+        d.header.record_count = d.records.size();
+    }
+    return d;
+}
+
+TEST(Properties, P11_SliceOfAnyGeneratedTraceAnswersWindowsIdentically)
+{
+    const trace::OpSemantics sem = ta::surgeryOpSemantics();
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        const bool messy = seed % 5 == 0; // 40 lenient seeds
+        SCOPED_TRACE("P11 seed " + std::to_string(seed) +
+                     (messy ? " (lenient)" : ""));
+        const trace::TraceData data = genTrace(seed, messy);
+        const ta::Analysis full = ta::analyze(data, messy);
+        const std::uint64_t s = full.model.startTb();
+        const std::uint64_t e = full.model.endTb();
+        const std::uint64_t span = e - s;
+
+        std::mt19937_64 rng(seed * 9'176'321 + 7);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> windows = {
+            {s + span / 4, s + (3 * span) / 4},
+            {s > 10 ? s - 10 : 0, e + 10},
+        };
+        for (int i = 0; i < 2; ++i) {
+            std::uint64_t a = s + rng() % (span + 1);
+            std::uint64_t b = s + rng() % (span + 1);
+            if (a > b)
+                std::swap(a, b);
+            windows.emplace_back(a, b);
+        }
+        trace::SliceOptions sopt;
+        sopt.lenient = messy;
+        for (const auto& [from, to] : windows) {
+            SCOPED_TRACE("[" + std::to_string(from) + ", " +
+                         std::to_string(to) + ")");
+            const trace::TraceData sliced =
+                trace::slice(data, from, to, sem, sopt);
+            EXPECT_EQ(winRep(sliced, from, to, messy),
+                      ta::windowReport(ta::queryWindow(full, from, to)));
+        }
+    }
+}
+
+TEST(Properties, P11a_SplicingSlicesAtTheirCutsReassemblesTheOriginal)
+{
+    const trace::OpSemantics sem = ta::surgeryOpSemantics();
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        const bool messy = seed % 7 == 0;
+        SCOPED_TRACE("P11a seed " + std::to_string(seed) +
+                     (messy ? " (lenient)" : ""));
+        const trace::TraceData data = genTrace(seed, messy);
+        const ta::Analysis full = ta::analyze(data, messy);
+        const std::string expect = ta::fullReport(full);
+        const std::uint64_t s = full.model.startTb();
+        const std::uint64_t span = full.model.endTb() - s;
+
+        trace::SliceOptions sopt;
+        sopt.lenient = messy;
+        trace::SpliceOptions jopt;
+        jopt.lenient = messy;
+
+        // Two-way at a seeded cut point.
+        std::mt19937_64 rng(seed * 1'442'695 + 3);
+        const std::uint64_t m = s + rng() % (span + 1);
+        jopt.cuts = {m};
+        EXPECT_EQ(ta::fullReport(ta::analyze(
+                      trace::splice(
+                          {trace::slice(data, 0, m, sem, sopt),
+                           trace::slice(data, m, ~std::uint64_t{0}, sem,
+                                        sopt)},
+                          jopt),
+                      messy)),
+                  expect)
+            << "cut " << m;
+
+        // Three-way at the thirds.
+        const std::uint64_t m1 = s + span / 3;
+        const std::uint64_t m2 = s + (2 * span) / 3;
+        jopt.cuts = {m1, m2};
+        EXPECT_EQ(ta::fullReport(ta::analyze(
+                      trace::splice(
+                          {trace::slice(data, 0, m1, sem, sopt),
+                           trace::slice(data, m1, m2, sem, sopt),
+                           trace::slice(data, m2, ~std::uint64_t{0}, sem,
+                                        sopt)},
+                          jopt),
+                      messy)),
+                  expect)
+            << "cuts " << m1 << ", " << m2;
+    }
+}
+
+TEST(Properties, P11b_FilterThenAnalyzeEqualsAnalyzeThenRestrict)
+{
+    const auto restricted = [](const ta::Analysis& a,
+                               const std::vector<std::uint16_t>& cores,
+                               std::uint64_t kind_mask) {
+        std::vector<char> keep(a.model.cores().size(),
+                               cores.empty() ? 1 : 0);
+        for (const std::uint16_t c : cores)
+            keep[c] = 1;
+        std::vector<ta::CoreTimeline> tls = a.model.cores();
+        for (auto& tl : tls) {
+            if (!keep[tl.core]) {
+                tl.events.clear();
+                continue;
+            }
+            std::vector<ta::Event> kept;
+            for (const ta::Event& ev : tl.events) {
+                if (ev.kind >= 64 || ((kind_mask >> ev.kind) & 1))
+                    kept.push_back(ev);
+            }
+            tl.events = std::move(kept);
+        }
+        std::vector<std::vector<ta::Interval>> ivs(tls.size());
+        for (const auto& tl : tls)
+            ivs[tl.core] = ta::buildCoreIntervals(tl);
+        ta::WindowResult r;
+        r.from = 0;
+        r.to = ~std::uint64_t{0};
+        r.header = a.model.header();
+        r.cores = std::move(tls);
+        r.intervals = std::move(ivs);
+        r.leniency_skipped = a.model.leniencySkipped();
+        return ta::windowReport(r);
+    };
+
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        const bool messy = seed % 9 == 0;
+        SCOPED_TRACE("P11b seed " + std::to_string(seed) +
+                     (messy ? " (lenient)" : ""));
+        const trace::TraceData data = genTrace(seed, messy);
+        const ta::Analysis full = ta::analyze(data, messy);
+        std::mt19937_64 rng(seed * 6'364'136 + 11);
+
+        // A random non-empty core subset.
+        const std::uint32_t n_cores = data.header.num_spes + 1;
+        std::vector<std::uint16_t> cores;
+        for (std::uint32_t c = 0; c < n_cores; ++c) {
+            if (rng() % 2)
+                cores.push_back(static_cast<std::uint16_t>(c));
+        }
+        if (cores.empty())
+            cores.push_back(static_cast<std::uint16_t>(rng() % n_cores));
+
+        // A random kind mask; kinds beyond the known ops always pass.
+        const std::uint64_t kind_mask =
+            rng() | (~std::uint64_t{0} << rt::kNumApiOps);
+
+        trace::FilterOptions fopt;
+        fopt.cores = cores;
+        fopt.kind_mask = kind_mask;
+        fopt.lenient = messy;
+        EXPECT_EQ(winRep(trace::filter(data, fopt), 0, ~std::uint64_t{0},
+                         messy),
+                  restricted(full, cores, kind_mask));
+    }
 }
 
 } // namespace

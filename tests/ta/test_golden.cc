@@ -31,8 +31,10 @@
 namespace cell {
 namespace {
 
-const char* const kFixtures[] = {"triad", "matmul", "workqueue",
-                                 "triad_drops"};
+const char* const kFixtures[] = {"triad",           "matmul",
+                                 "workqueue",       "triad_drops",
+                                 "workqueue_slice", "triad_splice",
+                                 "gen_skew"};
 
 std::string
 goldenPath(const std::string& name, const char* ext)

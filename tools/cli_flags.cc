@@ -114,6 +114,65 @@ parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out)
             if (!numericArg(argc, argv, i, "--deadline-ms",
                             out.deadline_ms, out.error))
                 return false;
+        } else if (spec.surgery && arg == "--cut") {
+            std::uint64_t v = 0;
+            if (!numericArg(argc, argv, i, "--cut", v, out.error))
+                return false;
+            out.cuts.push_back(v);
+        } else if (spec.surgery && arg == "--cores") {
+            if (i + 1 >= argc) {
+                out.error = "--cores requires a core list (e.g. 0,2)";
+                return false;
+            }
+            out.cores_list = argv[++i];
+        } else if (spec.surgery && arg == "--kinds") {
+            if (i + 1 >= argc) {
+                out.error = "--kinds requires a group list "
+                            "(e.g. dma,mailbox)";
+                return false;
+            }
+            out.kinds_list = argv[++i];
+        } else if (spec.surgery && arg == "--blades") {
+            out.blades = true;
+        } else if (spec.surgery && arg == "--align") {
+            out.align = true;
+        } else if (spec.index && arg == "--index") {
+            if (!numericArg(argc, argv, i, "--index",
+                            out.index_stride, out.error))
+                return false;
+        } else if (spec.gen && arg == "--seed") {
+            if (!numericArg(argc, argv, i, "--seed", out.seed,
+                            out.error))
+                return false;
+        } else if (spec.gen && arg == "--scenario") {
+            if (i + 1 >= argc) {
+                out.error = "--scenario requires a name "
+                            "(see --list-scenarios)";
+                return false;
+            }
+            out.scenario = argv[++i];
+        } else if (spec.gen && arg == "--spes") {
+            if (!numericArg(argc, argv, i, "--spes", out.spes,
+                            out.error))
+                return false;
+        } else if (spec.gen && arg == "--records") {
+            if (!numericArg(argc, argv, i, "--records", out.records,
+                            out.error))
+                return false;
+        } else if (spec.gen && arg == "--sweep") {
+            if (!numericArg(argc, argv, i, "--sweep", out.sweep,
+                            out.error))
+                return false;
+        } else if (spec.gen && arg == "--out-dir") {
+            if (i + 1 >= argc) {
+                out.error = "--out-dir requires a directory";
+                return false;
+            }
+            out.out_dir = argv[++i];
+        } else if (spec.gen && arg == "--adversarial") {
+            out.adversarial = true;
+        } else if (spec.gen && arg == "--list-scenarios") {
+            out.list_scenarios = true;
         } else {
             out.error = "unknown flag: " + arg;
             return false;

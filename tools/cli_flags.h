@@ -31,6 +31,13 @@ struct FlagSpec
                             ///  --max-conns/--faults (ta serve)
     bool connect = false;   ///< --connect PATH/--attempts (ta query)
     bool deadline = false;  ///< --deadline-ms N (serve + query)
+    bool surgery = false;   ///< --cut T (repeatable)/--cores LIST/
+                            ///  --kinds LIST/--blades/--align
+                            ///  (ta surgery)
+    bool gen = false;       ///< --seed/--scenario/--spes/--records/
+                            ///  --sweep/--out-dir/--adversarial/
+                            ///  --list-scenarios (trace_gen)
+    bool index = false;     ///< --index N (output index stride)
 };
 
 /** Parsed flags + remaining positionals. Defaults that differ per
@@ -55,6 +62,20 @@ struct Flags
     std::uint64_t deadline_ms = 0; ///< 0 = server default
     std::string faults_path;       ///< --faults FILE (fault plan)
     std::string connect;           ///< --connect SOCKET
+    std::vector<std::uint64_t> cuts; ///< --cut T, one per junction
+    std::string cores_list;        ///< --cores 0,2 (comma separated)
+    std::string kinds_list;        ///< --kinds dma,mailbox (groups)
+    bool blades = false;           ///< --blades (stack core spaces)
+    bool align = false;            ///< --align (shift to common start)
+    std::uint64_t index_stride = 0; ///< --index N (0 = no index)
+    std::uint64_t seed = 1;        ///< --seed N (generator)
+    std::string scenario;          ///< --scenario NAME ("" = derived)
+    std::uint64_t spes = 0;        ///< --spes N (0 = scenario default)
+    std::uint64_t records = 0;     ///< --records N (0 = default)
+    std::uint64_t sweep = 0;       ///< --sweep N (corpus mode)
+    std::string out_dir;           ///< --out-dir DIR (corpus mode)
+    bool adversarial = false;      ///< --adversarial (mutate output)
+    bool list_scenarios = false;   ///< --list-scenarios
     std::vector<std::string> positionals;
     std::string error; ///< set when parseFlags returns false
 };

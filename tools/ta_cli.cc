@@ -42,6 +42,7 @@
  * the legacy serial path.
  */
 
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <fstream>
@@ -50,7 +51,9 @@
 #include <string>
 #include <thread>
 
+#include "rt/hooks.h"
 #include "ta/analyzer.h"
+#include "ta/intervals.h"
 #include "ta/parallel.h"
 #include "ta/compare.h"
 #include "ta/profile.h"
@@ -61,6 +64,7 @@
 #include "trace/block.h"
 #include "trace/index.h"
 #include "trace/reader.h"
+#include "trace/surgery.h"
 #include "trace/writer.h"
 
 #include "cli_flags.h"
@@ -74,7 +78,7 @@ usage()
         << "usage: ta [--salvage] [--threads N] [--full-scan] <command> "
            "<trace.pdt> [args]\n"
            "commands: summary breakdown dma events tracing loss timeline\n"
-           "          activity window profile convert serve query\n"
+           "          activity window profile convert serve query surgery\n"
            "          svg html csv intervals transfers compare all\n"
            "  window  <trace.pdt> <from> <to>   windowed query report\n"
            "          (timebase ticks; seeks via the v2 index if present)\n"
@@ -96,6 +100,20 @@ usage()
            "               loss <name> | stats <name>\n"
            "          --deadline-ms N --attempts N --salvage\n"
            "          exits 0 ok, 3 typed shed/timeout, 1 error\n"
+           "  surgery slice  <in.pdt> <out.pdt> <from> <to>\n"
+           "          cut [from, to) ticks into a standalone trace whose\n"
+           "          windowed report matches the original's\n"
+           "  surgery splice <out.pdt> <a.pdt> <b.pdt> [more...]\n"
+           "          merge traces; one --cut T per junction band-stitches\n"
+           "          slices of a common recording back together;\n"
+           "          --blades stacks core spaces; --align shifts inputs\n"
+           "          to a common start\n"
+           "  surgery filter <in.pdt> <out.pdt>\n"
+           "          rewrite keeping --cores 0,2 and/or --kinds groups\n"
+           "          (lifecycle dma dma_wait mailbox signal decrementer\n"
+           "          user); tool records always survive\n"
+           "          surgery output: --index N / --compress pick the\n"
+           "          container; --salvage reads damaged inputs\n"
            "--threads N: analysis threads (default: hardware concurrency;\n"
            "             1 forces the serial path; output is identical)\n"
            "--full-scan: ignore any v2 footer index\n";
@@ -282,6 +300,184 @@ runQuery(const cell::cli::Flags& f)
     return typed ? 3 : 1;
 }
 
+/** Build a record-kind keep mask from a comma-separated list of API
+ *  group names (case-insensitive). Kinds above the known-op range are
+ *  always kept — the filter cannot claim to know what they are. */
+bool
+kindsMaskFromGroups(const std::string& list, std::uint64_t& mask,
+                    std::string& error)
+{
+    using cell::rt::ApiGroup;
+    using cell::rt::ApiOp;
+    const auto lower = [](std::string s) {
+        for (char& c : s)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return s;
+    };
+    mask = ~std::uint64_t{0} << cell::rt::kNumApiOps;
+    std::stringstream ss(list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        bool matched = false;
+        for (std::size_t g = 0; g < cell::rt::kNumApiGroups; ++g) {
+            const auto group = static_cast<ApiGroup>(g);
+            if (lower(tok) != lower(cell::rt::apiGroupName(group)))
+                continue;
+            for (std::size_t k = 0; k < cell::rt::kNumApiOps; ++k) {
+                if (cell::rt::apiOpGroup(static_cast<ApiOp>(k)) == group)
+                    mask |= std::uint64_t{1} << k;
+            }
+            matched = true;
+            break;
+        }
+        if (!matched) {
+            error = "unknown event group: '" + tok +
+                    "' (groups: lifecycle dma dma_wait mailbox signal "
+                    "decrementer user)";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** `ta surgery slice|splice|filter` — structural trace rewrites (see
+ *  docs/SURGERY.md). Bad values exit 2 with usage; analysis-grade
+ *  failures (unreadable input, splice shape errors detected inside
+ *  the library) exit 1 via main's catch. */
+int
+runSurgery(const cell::cli::Flags& f)
+{
+    using namespace cell;
+    const auto& pos = f.positionals;
+    if (pos.size() < 2) {
+        std::cerr << "ta: surgery needs an operation: slice, splice "
+                     "or filter\n";
+        return usage();
+    }
+    const std::string sub = pos[1];
+    const trace::OpSemantics sem = ta::surgeryOpSemantics();
+    trace::WriteOptions wopt;
+    wopt.index_stride = static_cast<std::size_t>(f.index_stride);
+    wopt.compress = f.compress;
+    const auto loadTrace = [&f](const std::string& p) {
+        if (!f.salvage)
+            return trace::readFile(p);
+        trace::ReadReport report;
+        trace::TraceData d = trace::readFileSalvage(p, report);
+        if (report.salvaged)
+            std::cerr << "ta: " << report.summary() << "\n";
+        return d;
+    };
+
+    if (sub == "slice") {
+        if (pos.size() != 6) {
+            std::cerr << "ta: surgery slice needs "
+                         "<in.pdt> <out.pdt> <from> <to>\n";
+            return usage();
+        }
+        std::uint64_t from = 0;
+        std::uint64_t to = 0;
+        if (!cli::parseU64(pos[4], from) || !cli::parseU64(pos[5], to)) {
+            std::cerr << "ta: window bounds must be timebase ticks\n";
+            return usage();
+        }
+        if (from > to) {
+            std::cerr << "ta: window 'from' exceeds 'to'\n";
+            return usage();
+        }
+        const trace::TraceData in = loadTrace(pos[2]);
+        trace::SliceOptions sopt;
+        sopt.lenient = f.salvage;
+        const trace::TraceData out = trace::slice(in, from, to, sem, sopt);
+        trace::writeFile(pos[3], out, wopt);
+        std::cout << "sliced " << in.records.size() << " -> "
+                  << out.records.size() << " records [" << from << ", "
+                  << to << ") -> " << pos[3] << "\n";
+        return 0;
+    }
+    if (sub == "splice") {
+        if (pos.size() < 5) {
+            std::cerr << "ta: surgery splice needs "
+                         "<out.pdt> <a.pdt> <b.pdt> [more...]\n";
+            return usage();
+        }
+        const std::size_t n_inputs = pos.size() - 3;
+        if (!f.cuts.empty() && f.cuts.size() != n_inputs - 1) {
+            std::cerr << "ta: splice takes one --cut per junction ("
+                      << (n_inputs - 1) << " for " << n_inputs
+                      << " inputs, got " << f.cuts.size() << ")\n";
+            return usage();
+        }
+        if (f.align && f.blades) {
+            std::cerr << "ta: --align shifts onto a shared clock; it "
+                         "cannot combine with --blades\n";
+            return usage();
+        }
+        std::vector<trace::TraceData> inputs;
+        inputs.reserve(n_inputs);
+        for (std::size_t i = 3; i < pos.size(); ++i)
+            inputs.push_back(loadTrace(pos[i]));
+        trace::SpliceOptions sopt;
+        sopt.cuts = f.cuts;
+        sopt.align = f.align;
+        sopt.blades = f.blades;
+        sopt.lenient = f.salvage;
+        const trace::TraceData out = trace::splice(inputs, sopt);
+        trace::writeFile(pos[2], out, wopt);
+        std::cout << "spliced " << n_inputs << " inputs -> "
+                  << out.records.size() << " records ("
+                  << static_cast<unsigned>(out.header.num_spes)
+                  << " SPEs) -> " << pos[2] << "\n";
+        return 0;
+    }
+    if (sub == "filter") {
+        if (pos.size() != 4) {
+            std::cerr << "ta: surgery filter needs <in.pdt> <out.pdt>\n";
+            return usage();
+        }
+        trace::FilterOptions fopt;
+        fopt.lenient = f.salvage;
+        if (!f.cores_list.empty()) {
+            std::stringstream ss(f.cores_list);
+            std::string tok;
+            while (std::getline(ss, tok, ',')) {
+                std::uint64_t c = 0;
+                if (!cli::parseU64(tok, c) || c > 0xFFFF) {
+                    std::cerr << "ta: --cores takes comma-separated "
+                                 "core ids, got: '" << tok << "'\n";
+                    return usage();
+                }
+                fopt.cores.push_back(static_cast<std::uint16_t>(c));
+            }
+        }
+        if (!f.kinds_list.empty()) {
+            std::string err;
+            if (!kindsMaskFromGroups(f.kinds_list, fopt.kind_mask, err)) {
+                std::cerr << "ta: " << err << "\n";
+                return usage();
+            }
+        }
+        const trace::TraceData in = loadTrace(pos[2]);
+        trace::TraceData out;
+        try {
+            out = trace::filter(in, fopt);
+        } catch (const std::invalid_argument& e) {
+            // A core id beyond the trace's range is an operator typo,
+            // not an analysis failure.
+            std::cerr << "ta: " << e.what() << "\n";
+            return usage();
+        }
+        trace::writeFile(pos[3], out, wopt);
+        std::cout << "filtered " << in.records.size() << " -> "
+                  << out.records.size() << " records -> " << pos[3]
+                  << "\n";
+        return 0;
+    }
+    std::cerr << "ta: unknown surgery op: " << sub << "\n";
+    return usage();
+}
+
 } // namespace
 
 int
@@ -297,6 +493,8 @@ main(int argc, char** argv)
     spec.serve = true;
     spec.connect = true;
     spec.deadline = true;
+    spec.surgery = true;
+    spec.index = true;
     cli::Flags f;
     f.threads = 0; // 0 = hardware concurrency
     if (!cli::parseFlags(argc, argv, spec, f)) {
@@ -320,6 +518,8 @@ main(int argc, char** argv)
             return runServe(f);
         if (cmd == "query")
             return runQuery(f);
+        if (cmd == "surgery")
+            return runSurgery(f);
         if (cmd == "convert") {
             if (n_extra < 1)
                 return usage();

@@ -40,9 +40,12 @@
 #include "pdt/tracer.h"
 #include "rt/system.h"
 #include "ta/analyzer.h"
+#include "ta/intervals.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
+#include "trace/gen.h"
 #include "trace/index.h"
+#include "trace/surgery.h"
 #include "trace/writer.h"
 #include "wl/matmul.h"
 #include "wl/triad.h"
@@ -137,11 +140,59 @@ runTriadDrops()
     return tracer.finalize();
 }
 
+/** The middle half of the workqueue trace, cut by `ta surgery slice`:
+ *  the synthetic preamble (seed sync, drop accounting, re-opened
+ *  Begins) is part of the digest, so a surgery change that altered it
+ *  — or an analyzer change that read it differently — trips the
+ *  golden test. */
+trace::TraceData
+runWorkQueueSlice()
+{
+    const trace::TraceData data = runWorkQueue();
+    const ta::Analysis a = ta::analyze(data);
+    const std::uint64_t s = a.model.startTb();
+    const std::uint64_t span = a.model.spanTb();
+    return trace::slice(data, s + span / 4, s + (3 * span) / 4,
+                        ta::surgeryOpSemantics());
+}
+
+/** Triad cut in half and spliced back at the cut — the round-trip
+ *  composition. Analyzes identically to the original triad, but its
+ *  record stream (entry preambles, junction) is surgery's own. */
+trace::TraceData
+runTriadSplice()
+{
+    const trace::TraceData data = runTriad();
+    const ta::Analysis a = ta::analyze(data);
+    const std::uint64_t m = a.model.startTb() + a.model.spanTb() / 2;
+    const trace::OpSemantics sem = ta::surgeryOpSemantics();
+    trace::SpliceOptions jopt;
+    jopt.cuts = {m};
+    return trace::splice(
+        {trace::slice(data, 0, m, sem),
+         trace::slice(data, m, ~std::uint64_t{0}, sem)},
+        jopt);
+}
+
+/** A generated clock-skew scenario: backward sync steps exercise the
+ *  monotonic clamp on every analyzer path that replays the fixture. */
+trace::TraceData
+runGenSkew()
+{
+    trace::gen::GenOptions opt;
+    opt.seed = 20'08; // ISPASS'08
+    opt.scenario = static_cast<int>(trace::gen::Scenario::ClockSkew);
+    return trace::gen::generate(opt);
+}
+
 const std::vector<Fixture> kFixtures = {
     {"triad", runTriad},
     {"matmul", runMatmul},
     {"workqueue", runWorkQueue},
     {"triad_drops", runTriadDrops},
+    {"workqueue_slice", runWorkQueueSlice},
+    {"triad_splice", runTriadSplice},
+    {"gen_skew", runGenSkew},
 };
 
 std::string
