@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Throughput benchmark for the cross-trace differential engine.
+ *
+ * A fixed corpus of A/B perturbation pairs is generated once (the same
+ * construction as `trace_gen --perturb`: scenario trace A, B = A
+ * delayed at its median placed tick) and written to temp files.
+ * BM_DiffCorpus/N then drives the whole corpus through a WorkerPool of
+ * N threads with one single-threaded diffFiles per pair — exactly the
+ * `ta diff-corpus` execution shape — so the JSON output reads as
+ * corpus throughput vs thread count. BM_DiffAnalyses measures the pure
+ * in-memory aligner+localizer, without file I/O.
+ *
+ *     cmake --build build --target bench   # writes BENCH_ta_diff.json
+ *
+ * Determinism of the outputs themselves is asserted elsewhere
+ * (tests/ta/test_diff_localize.cc); this file measures wall clock.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/common.h"
+#include "ta/compare.h"
+#include "ta/parallel.h"
+#include "trace/gen.h"
+#include "trace/replay.h"
+#include "trace/surgery.h"
+#include "trace/writer.h"
+
+namespace {
+
+using namespace cell;
+
+struct DiffPair
+{
+    std::string path_a;
+    std::string path_b;
+    std::uint64_t records = 0; ///< both sides summed
+};
+
+/** B = A delayed at its median placed tick (all cores). */
+trace::TraceData
+perturb(const trace::TraceData& a)
+{
+    std::vector<trace::ClockReplay> clk(a.header.num_spes + 1);
+    std::vector<std::uint64_t> prev(a.header.num_spes + 1, 0);
+    std::vector<std::uint64_t> times;
+    times.reserve(a.records.size());
+    for (const trace::Record& rec : a.records) {
+        if (rec.core >= clk.size())
+            continue;
+        std::uint64_t t = 0;
+        if (!clk[rec.core].feed(rec, t))
+            continue;
+        t = std::max(t, prev[rec.core]);
+        prev[rec.core] = t;
+        times.push_back(t);
+    }
+    trace::DelayOptions dopt;
+    dopt.at = times[times.size() / 2];
+    dopt.delta = (times.back() - times.front()) / 4 + 64;
+    return trace::delay(a, dopt);
+}
+
+/** The corpus, generated and written once for the whole binary. */
+const std::vector<DiffPair>&
+corpus()
+{
+    static const std::vector<DiffPair> pairs = [] {
+        const std::string base =
+            (std::filesystem::temp_directory_path() /
+             ("bench_ta_diff_" + std::to_string(::getpid())))
+                .string();
+        std::vector<DiffPair> out;
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            trace::gen::GenOptions gopt;
+            gopt.seed = seed;
+            gopt.scenario =
+                static_cast<int>(trace::gen::Scenario::MultiCore);
+            gopt.records = 50'000;
+            const trace::TraceData a = trace::gen::generate(gopt);
+            const trace::TraceData b = perturb(a);
+            DiffPair p;
+            p.path_a = base + "_s" + std::to_string(seed) + "_a.pdt";
+            p.path_b = base + "_s" + std::to_string(seed) + "_b.pdt";
+            p.records = a.records.size() + b.records.size();
+            trace::writeFile(p.path_a, a);
+            trace::writeFile(p.path_b, b);
+            out.push_back(std::move(p));
+        }
+        return out;
+    }();
+    return pairs;
+}
+
+void
+BM_DiffCorpus(benchmark::State& state)
+{
+    const std::vector<DiffPair>& pairs = corpus();
+    ta::WorkerPool pool(static_cast<unsigned>(state.range(0)));
+    std::uint64_t total_records = 0;
+    for (const DiffPair& p : pairs)
+        total_records += p.records;
+    for (auto _ : state) {
+        std::vector<int> diverged(pairs.size(), 0);
+        pool.parallelFor(pairs.size(), [&](std::size_t i) {
+            ta::DiffFileOptions opt;
+            opt.threads = 1; // corpus parallelism, not per-pair
+            const ta::DiffFileOutcome out =
+                ta::diffFiles(pairs[i].path_a, pairs[i].path_b, opt);
+            diverged[i] = out.result.diverged;
+        });
+        benchmark::DoNotOptimize(diverged.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(total_records));
+    state.counters["pairs"] =
+        benchmark::Counter(static_cast<double>(pairs.size()));
+    state.counters["threads"] =
+        benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_DiffCorpus)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime() // wall clock: speedup needs physical cores
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DiffAnalyses(benchmark::State& state)
+{
+    trace::gen::GenOptions gopt;
+    gopt.seed = 3;
+    gopt.scenario = static_cast<int>(trace::gen::Scenario::MultiCore);
+    gopt.records = 200'000;
+    const trace::TraceData data_a = trace::gen::generate(gopt);
+    const trace::TraceData data_b = perturb(data_a);
+    const ta::Analysis a = ta::analyze(data_a);
+    const ta::Analysis b = ta::analyze(data_b);
+    for (auto _ : state) {
+        const ta::DiffResult r = ta::diffAnalyses(a, b);
+        benchmark::DoNotOptimize(r.windows_diverged);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data_a.records.size() +
+                                  data_b.records.size()));
+}
+BENCHMARK(BM_DiffAnalyses)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

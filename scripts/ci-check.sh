@@ -58,6 +58,20 @@ case " ${presets[*]} " in *" default "*)
     build/tools/trace_gen --sweep 16 --seed "${SWEEP_SEED:-1000}" \
         --adversarial --out-dir build/gen-sweep/adv
     build/tests/fuzz_reader build/gen-sweep/valid build/gen-sweep/adv
+    echo "==> perturb-and-localize diff-corpus smoke"
+    # Fresh A/B perturbation pairs through `ta diff-corpus`: output
+    # must be byte-identical at 1 vs 4 threads and every injected
+    # delay must be localized to a divergent window.
+    build/tools/trace_gen --sweep 8 --seed "${SWEEP_SEED:-1000}" \
+        --perturb --out-dir build/gen-sweep/pairs
+    build/tools/ta diff-corpus build/gen-sweep/pairs/pairs.txt \
+        --threads 1 > build/gen-sweep/diff_t1.txt
+    build/tools/ta diff-corpus build/gen-sweep/pairs/pairs.txt \
+        --threads 4 > build/gen-sweep/diff_t4.txt
+    cmp build/gen-sweep/diff_t1.txt build/gen-sweep/diff_t4.txt
+    n="$(grep -cv '^#' build/gen-sweep/pairs/pairs.txt)"
+    [ "$n" -ge 1 ]
+    [ "$(grep -c 'first divergence' build/gen-sweep/diff_t1.txt)" -eq "$n" ]
     echo "==> golden digest check"
     build/tools/ta_golden check tests/ta/golden
     echo "==> serve soak (short local run; CI does 60s x 16)"

@@ -33,6 +33,9 @@ enum class IntervalClass : std::uint8_t
     Other,
 };
 
+constexpr std::size_t kNumIntervalClasses =
+    static_cast<std::size_t>(IntervalClass::Other) + 1;
+
 const char* intervalClassName(IntervalClass c);
 
 /** A matched Begin/End pair. */

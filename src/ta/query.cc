@@ -696,4 +696,49 @@ windowAnalysis(const WindowResult& r)
     return a;
 }
 
+std::vector<std::vector<WindowSignature>>
+windowSignatures(const Analysis& a, std::uint64_t origin,
+                 std::uint64_t width, std::uint64_t count)
+{
+    if (width == 0)
+        throw std::invalid_argument("windowSignatures: zero window width");
+    const std::size_t n_cores = a.model.cores().size();
+    std::vector<std::vector<WindowSignature>> sigs(
+        count, std::vector<WindowSignature>(n_cores));
+    if (count == 0)
+        return sigs;
+    const std::uint64_t end = origin + width * count;
+    const auto windowOf = [&](std::uint64_t t) {
+        return (t - origin) / width;
+    };
+
+    for (const CoreTimeline& tl : a.model.cores()) {
+        for (const Event& ev : tl.events) {
+            if (ev.time_tb < origin || ev.time_tb >= end)
+                continue;
+            WindowSignature& s = sigs[windowOf(ev.time_tb)][tl.core];
+            s.events += 1;
+            s.time_sum += ev.time_tb - (origin + windowOf(ev.time_tb) * width);
+        }
+    }
+    for (const auto& per_core : a.intervals.per_core) {
+        for (const Interval& iv : per_core) {
+            if (iv.end_tb <= origin || iv.start_tb >= end)
+                continue;
+            const std::uint64_t lo = std::max(iv.start_tb, origin);
+            const std::uint64_t hi = std::min(iv.end_tb, end);
+            const std::size_t cls = static_cast<std::size_t>(iv.cls);
+            for (std::uint64_t w = windowOf(lo); w < count; ++w) {
+                const std::uint64_t wlo = origin + w * width;
+                if (wlo >= hi)
+                    break;
+                const std::uint64_t whi = wlo + width;
+                sigs[w][iv.core].occupancy[cls] +=
+                    std::min(hi, whi) - std::max(lo, wlo);
+            }
+        }
+    }
+    return sigs;
+}
+
 } // namespace cell::ta

@@ -39,6 +39,7 @@
 #ifndef CELL_TA_QUERY_H
 #define CELL_TA_QUERY_H
 
+#include <array>
 #include <functional>
 #include <list>
 #include <memory>
@@ -171,6 +172,37 @@ std::string windowReport(const WindowResult& r);
  *  lets every existing view (activity profile, breakdowns) run on a
  *  window slice, e.g. `ta profile --from --to`. */
 Analysis windowAnalysis(const WindowResult& r);
+
+/**
+ * Per-window, per-core signature for the rolling divergence scan
+ * (`ta diff`). A window's signature is sensitive to every way a run
+ * can differ inside it: the event count, the sum of event offsets from
+ * the window start (so a pure time shift registers even when counts
+ * and occupancy match), and the per-class interval occupancy clipped
+ * to the window. Two runs are identical inside a window iff their
+ * signatures match core-for-core.
+ */
+struct WindowSignature
+{
+    std::uint64_t events = 0;
+    /** Σ (event time - window start) over in-window events. */
+    std::uint64_t time_sum = 0;
+    /** Interval time overlapping this window, per IntervalClass. */
+    std::array<std::uint64_t, kNumIntervalClasses> occupancy{};
+
+    bool operator==(const WindowSignature&) const = default;
+};
+
+/**
+ * Signatures for @p count consecutive windows of @p width ticks
+ * starting at @p origin, indexed [window][core]. Windows use the same
+ * convention as queryWindow: an event belongs to the window containing
+ * its time; interval occupancy is clipped to each window it overlaps.
+ * @p width must be nonzero.
+ */
+std::vector<std::vector<WindowSignature>>
+windowSignatures(const Analysis& a, std::uint64_t origin,
+                 std::uint64_t width, std::uint64_t count);
 
 } // namespace cell::ta
 

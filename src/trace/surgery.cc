@@ -506,4 +506,72 @@ filter(const TraceData& data, const FilterOptions& opt)
     return out;
 }
 
+TraceData
+delay(const TraceData& data, const DelayOptions& opt)
+{
+    const std::uint32_t n_cores = data.header.num_spes + 1;
+    if (opt.core >= static_cast<int>(n_cores))
+        throw std::invalid_argument(
+            "delay: core id " + std::to_string(opt.core) +
+            " out of range (trace has cores 0.." +
+            std::to_string(n_cores - 1) + ")");
+    const auto applies = [&opt](std::uint16_t core, std::uint64_t t) {
+        return (opt.core < 0 || core == opt.core) && t >= opt.at;
+    };
+
+    std::vector<ClockReplay> clk(n_cores);
+    std::vector<std::uint64_t> prev(n_cores, 0);
+
+    TraceData out;
+    out.header = data.header;
+    out.spe_programs = data.spe_programs;
+    out.spe_programs.resize(std::max<std::size_t>(
+        out.spe_programs.size(), data.header.num_spes));
+    out.records.reserve(data.records.size());
+
+    for (const Record& rec : data.records) {
+        if (rec.core >= n_cores) {
+            if (!opt.lenient)
+                throw std::runtime_error("delay: record with bad core id");
+            out.records.push_back(rec); // lenient analyzers skip it here too
+            continue;
+        }
+        std::uint64_t t = 0;
+        if (!clk[rec.core].feed(rec, t)) {
+            if (!opt.lenient)
+                throw std::runtime_error(
+                    "delay: event before first sync record on core " +
+                    std::to_string(rec.core));
+            out.records.push_back(rec);
+            continue;
+        }
+        t = std::max(t, prev[rec.core]);
+        prev[rec.core] = t;
+
+        // Shift is monotone per core (once t >= at, it stays there), so
+        // shifted placements never violate the monotonic clamp and the
+        // output analysis sees exactly t' = t + delta past the mark.
+        const std::uint64_t tt = t + (applies(rec.core, t) ? opt.delta : 0);
+        Record r = rec;
+        if (rec.kind == kSyncRecord && applies(rec.core, clk[rec.core].sync_tb))
+            r.b = rec.b + opt.delta;
+        // Re-encode against the *output* mapping: the input's current
+        // sync shifted by the same rule. tt >= out_tb always holds
+        // because t >= sync_tb and the shift is monotone in t.
+        const std::uint64_t out_tb =
+            clk[rec.core].sync_tb +
+            (applies(rec.core, clk[rec.core].sync_tb) ? opt.delta : 0);
+        const std::uint64_t d = tt - out_tb;
+        if (d > kU32Max)
+            throw std::runtime_error(
+                "delay: shifted delta out of 32-bit range on core " +
+                std::to_string(rec.core) + "; reduce --delta");
+        r.timestamp = encodeTs(rec.core != 0, clk[rec.core].sync_raw,
+                               static_cast<std::uint32_t>(d));
+        out.records.push_back(r);
+    }
+    out.header.record_count = out.records.size();
+    return out;
+}
+
 } // namespace cell::trace

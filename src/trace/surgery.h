@@ -119,6 +119,32 @@ struct FilterOptions
  */
 TraceData filter(const TraceData& data, const FilterOptions& opt = {});
 
+struct DelayOptions
+{
+    /** Core to perturb (0 = PPE, 1+i = SPE i); -1 = every core. */
+    int core = -1;
+    /** Placed clamped times >= this tick are shifted. */
+    std::uint64_t at = 0;
+    /** Ticks added to every shifted placement. */
+    std::uint64_t delta = 0;
+    /** Tolerate pre-sync / bad-core records: they are kept verbatim
+     *  (still skipped by the lenient analyzer, in the same spots), so
+     *  the leniency accounting is unchanged. Strict mode throws. */
+    bool lenient = false;
+};
+
+/**
+ * The differential engine's perturbation primitive: re-encode @p data
+ * so every record on the selected core(s) whose placed clamped time t
+ * satisfies t >= at lands at t + delta instead, while records before
+ * `at` keep their exact placement. An interval spanning `at` grows by
+ * exactly delta; everything earlier is byte-identical under analysis —
+ * which is what lets the perturb-and-localize suites assert *where* a
+ * diff must localize. Record order, counts, epochs and loss accounting
+ * are untouched.
+ */
+TraceData delay(const TraceData& data, const DelayOptions& opt = {});
+
 } // namespace cell::trace
 
 #endif // CELL_TRACE_SURGERY_H

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -356,6 +357,147 @@ TEST(SurgeryExitCodes, GoodSliceSpliceFilterExitZero)
 }
 
 // ---------------------------------------------------------------------------
+// ta diff / diff-corpus
+// ---------------------------------------------------------------------------
+
+TEST(DiffExitCodes, MissingFileArgumentIsUsage)
+{
+    const RunResult r = run(kTa + " diff " + quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(DiffExitCodes, ZeroWindowIsUsage)
+{
+    const RunResult r = run(kTa + " diff --window 0 " +
+                            quoted(tracePath()) + " " +
+                            quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("--window"), std::string::npos);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(DiffExitCodes, NonNumericWindowIsUsage)
+{
+    const RunResult r = run(kTa + " diff --window wide " +
+                            quoted(tracePath()) + " " +
+                            quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(DiffExitCodes, NonNumericThresholdIsUsage)
+{
+    const RunResult r = run(kTa + " diff --threshold lots " +
+                            quoted(tracePath()) + " " +
+                            quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(DiffExitCodes, MissingTraceIsRuntimeError)
+{
+    const RunResult r =
+        run(kTa + " diff " + quoted(tracePath()) + " /no/such/trace.pdt");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(DiffExitCodes, SelfDiffExitsZeroAndReportsNoDivergence)
+{
+    const RunResult r = run(kTa + " diff " + quoted(tracePath()) + " " +
+                            quoted(tracePath()));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("no divergence"), std::string::npos)
+        << r.output;
+}
+
+TEST(DiffCorpusExitCodes, MissingPairsFileIsRuntimeError)
+{
+    const RunResult r = run(kTa + " diff-corpus /no/such/pairs.txt");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(DiffCorpusExitCodes, MalformedPairsLineIsUsage)
+{
+    const std::string pairs = ::testing::TempDir() + "/cli_pairs_" +
+                              std::to_string(::getpid()) + ".txt";
+    {
+        std::ofstream os(pairs);
+        os << "# comment\n"
+           << "only_two_tokens " << tracePath() << "\n";
+    }
+    const RunResult r = run(kTa + " diff-corpus " + quoted(pairs));
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("malformed pairs line 2"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+    std::remove(pairs.c_str());
+}
+
+TEST(DiffCorpusExitCodes, GoodCorpusExitsZero)
+{
+    const std::string pairs = ::testing::TempDir() + "/cli_pairs_ok_" +
+                              std::to_string(::getpid()) + ".txt";
+    {
+        std::ofstream os(pairs);
+        os << "self " << tracePath() << " " << tracePath() << "\n";
+    }
+    const RunResult r = run(kTa + " diff-corpus " + quoted(pairs));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 pair(s)"), std::string::npos) << r.output;
+    std::remove(pairs.c_str());
+}
+
+TEST(SurgeryExitCodes, NonNumericDelayValuesAreUsage)
+{
+    RunResult r = run(kTa + " surgery delay " + quoted(tracePath()) +
+                      " /tmp/out.pdt soon 5");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+    r = run(kTa + " surgery delay " + quoted(tracePath()) +
+            " /tmp/out.pdt 100 lots");
+    EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(SurgeryExitCodes, DelayCoreListIsUsage)
+{
+    // delay takes a single --cores value, not a list.
+    const RunResult r = run(kTa + " surgery delay " + quoted(tracePath()) +
+                            " /tmp/out.pdt 100 5 --cores 0,1");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(SurgeryExitCodes, GoodDelayThenDiffLocalizes)
+{
+    // A generated trace, not the synthetic fixture: its sync records
+    // carry real raw timestamps, so the delayed stream re-encodes.
+    const std::string base = ::testing::TempDir() + "/cli_delay_" +
+                             std::to_string(::getpid());
+    const std::string in = base + "_in.pdt";
+    const std::string out = base + "_out.pdt";
+    RunResult r =
+        run(std::string(CELL_TRACE_GEN_BIN) +
+            " --seed 11 --scenario multi_core " + quoted(in));
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " surgery delay " + quoted(in) + " " + quoted(out) +
+            " 0 5000");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = run(kTa + " diff " + quoted(in) + " " + quoted(out));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("first divergence"), std::string::npos)
+        << r.output;
+    r = run(kTa + " diff --json " + quoted(in) + " " + quoted(out));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("\"diverged\":true"), std::string::npos)
+        << r.output;
+    std::remove(in.c_str());
+    std::remove(out.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // trace_gen
 // ---------------------------------------------------------------------------
 
@@ -394,6 +536,15 @@ TEST(TraceGenExitCodes, SweepWithoutOutDirIsUsage)
     const RunResult r = run(kGen + " --sweep 3");
     EXPECT_EQ(r.exit_code, 2);
     EXPECT_NE(r.output.find("--out-dir"), std::string::npos);
+}
+
+TEST(TraceGenExitCodes, PerturbWithAdversarialIsUsage)
+{
+    const RunResult r =
+        run(kGen + " --sweep 2 --out-dir /tmp/gen_x --perturb "
+                   "--adversarial");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("--adversarial"), std::string::npos);
 }
 
 TEST(TraceGenExitCodes, ListScenariosExitsZero)

@@ -30,6 +30,13 @@
  *      full report, two- and three-way.
  *  P11b Filtering by cores/kind groups then analyzing equals
  *      analyzing then restricting the event streams.
+ *  P12 The differential of a trace against itself is empty: no
+ *      divergent window, every delta zero, no mover.
+ *  P12a A delay injected at a random placed tick is localized: the
+ *      first divergent window contains the perturbation tick.
+ *  P12b The differential is antisymmetric: swapping A and B negates
+ *      every attributed delta and swaps the unmatched tails, while
+ *      the divergence geometry (windows, scores) is unchanged.
  */
 
 #include <gtest/gtest.h>
@@ -41,12 +48,14 @@
 
 #include "pdt/tracer.h"
 #include "ta/analyzer.h"
+#include "ta/compare.h"
 #include "ta/intervals.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
 #include "trace/block.h"
 #include "trace/gen.h"
 #include "trace/reader.h"
+#include "trace/replay.h"
 #include "trace/surgery.h"
 #include "trace/writer.h"
 #include "wl/gather.h"
@@ -862,6 +871,135 @@ TEST(Properties, P11b_FilterThenAnalyzeEqualsAnalyzeThenRestrict)
         EXPECT_EQ(winRep(trace::filter(data, fopt), 0, ~std::uint64_t{0},
                          messy),
                   restricted(full, cores, kind_mask));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P12 family: the cross-trace differential engine against the seeded
+// generator. Same seed-first failure messages as P11.
+
+/** Placed (clamped) event times in stream order — the same placements
+ *  the analyzer derives, for picking perturbation ticks. */
+std::vector<std::uint64_t>
+placedTimes(const trace::TraceData& d)
+{
+    std::vector<trace::ClockReplay> clk(d.header.num_spes + 1);
+    std::vector<std::uint64_t> prev(d.header.num_spes + 1, 0);
+    std::vector<std::uint64_t> times;
+    for (const trace::Record& rec : d.records) {
+        if (rec.core >= clk.size())
+            continue;
+        std::uint64_t t = 0;
+        if (!clk[rec.core].feed(rec, t))
+            continue;
+        t = std::max(t, prev[rec.core]);
+        prev[rec.core] = t;
+        times.push_back(t);
+    }
+    return times;
+}
+
+TEST(Properties, P12_DiffOfATraceAgainstItselfIsEmpty)
+{
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        const bool messy = seed % 5 == 0;
+        SCOPED_TRACE("P12 seed " + std::to_string(seed) +
+                     (messy ? " (lenient)" : ""));
+        const trace::TraceData data = genTrace(seed, messy);
+        const ta::Analysis a = ta::analyze(data, messy);
+        const ta::DiffResult r = ta::diffAnalyses(a, a);
+        EXPECT_FALSE(r.diverged);
+        EXPECT_EQ(r.windows_diverged, 0u);
+        EXPECT_FALSE(r.have_mover);
+        for (const ta::CoreDelta& d : r.cores) {
+            EXPECT_EQ(d.run_tb, 0);
+            EXPECT_EQ(d.unmatched_a, 0u);
+            EXPECT_EQ(d.unmatched_b, 0u);
+            for (const std::int64_t b : d.bucket_tb)
+                EXPECT_EQ(b, 0);
+        }
+    }
+}
+
+TEST(Properties, P12a_InjectedDelayIsLocalizedToItsWindow)
+{
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        SCOPED_TRACE("P12a seed " + std::to_string(seed));
+        const trace::TraceData data = genTrace(seed, false);
+        const std::vector<std::uint64_t> times = placedTimes(data);
+        if (times.size() < 2)
+            continue; // degenerate scenario: nothing to perturb
+
+        // Perturb at a random PLACED tick: the event there moves, so
+        // its window provably diverges and no earlier one can.
+        std::mt19937_64 rng(seed * 2'862'933 + 29);
+        const std::uint64_t t = times[rng() % times.size()];
+        const ta::Analysis a = ta::analyze(data);
+        trace::DelayOptions dopt;
+        dopt.at = t;
+        dopt.delta = a.model.spanTb() / 8 + 1 + rng() % 1000;
+        const ta::Analysis b = ta::analyze(trace::delay(data, dopt));
+
+        const ta::DiffResult r = ta::diffAnalyses(a, b);
+        ASSERT_TRUE(r.diverged) << "tick " << t;
+        EXPECT_LE(r.first.from_tb, t);
+        EXPECT_LT(t, r.first.to_tb);
+    }
+}
+
+TEST(Properties, P12b_DiffIsAntisymmetric)
+{
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        const bool messy = seed % 7 == 0;
+        SCOPED_TRACE("P12b seed " + std::to_string(seed) +
+                     (messy ? " (lenient)" : ""));
+        const trace::TraceData data = genTrace(seed, messy);
+        const ta::Analysis a = ta::analyze(data, messy);
+
+        // B: a different seed of the same scenario when core counts
+        // align, else a perturbed variant of A — either way a real,
+        // nonzero differential.
+        trace::TraceData data_b = genTrace(seed + 1000, false);
+        bool messy_b = false;
+        if (data_b.header.num_spes != data.header.num_spes) {
+            trace::DelayOptions dopt;
+            dopt.at = (a.model.startTb() + a.model.endTb()) / 2;
+            dopt.delta = a.model.spanTb() / 6 + 31;
+            dopt.lenient = messy;
+            data_b = trace::delay(data, dopt);
+            messy_b = messy;
+        }
+        const ta::Analysis b = ta::analyze(data_b, messy_b);
+
+        const ta::DiffResult ab = ta::diffAnalyses(a, b);
+        const ta::DiffResult ba = ta::diffAnalyses(b, a);
+
+        ASSERT_EQ(ab.cores.size(), ba.cores.size());
+        for (std::size_t i = 0; i < ab.cores.size(); ++i) {
+            const ta::CoreDelta& f = ab.cores[i];
+            const ta::CoreDelta& g = ba.cores[i];
+            EXPECT_EQ(f.matched, g.matched);
+            EXPECT_EQ(f.run_tb, -g.run_tb);
+            for (std::size_t k = 0; k < ta::kNumDiffBuckets; ++k)
+                EXPECT_EQ(f.bucket_tb[k], -g.bucket_tb[k]);
+            EXPECT_EQ(f.unmatched_a, g.unmatched_b);
+            EXPECT_EQ(f.unmatched_b, g.unmatched_a);
+            EXPECT_EQ(f.unmatched_tb_a, g.unmatched_tb_b);
+            EXPECT_EQ(f.unmatched_tb_b, g.unmatched_tb_a);
+        }
+        // Divergence geometry is direction-free: |x - y| == |y - x|.
+        EXPECT_EQ(ab.window_tb, ba.window_tb);
+        EXPECT_EQ(ab.windows_total, ba.windows_total);
+        EXPECT_EQ(ab.windows_diverged, ba.windows_diverged);
+        EXPECT_EQ(ab.diverged, ba.diverged);
+        if (ab.diverged) {
+            EXPECT_EQ(ab.first.index, ba.first.index);
+            EXPECT_EQ(ab.first.score, ba.first.score);
+        }
+        EXPECT_EQ(ab.have_mover, ba.have_mover);
+        if (ab.have_mover) {
+            EXPECT_EQ(ab.mover_tb, -ba.mover_tb);
+        }
     }
 }
 

@@ -72,6 +72,40 @@ TEST(Compare, PrintedReportNamesTheMover)
     EXPECT_NE(out.find("SPE0"), std::string::npos);
 }
 
+TEST(Compare, CoreMapMismatchIsEmptyForEqualCoreCounts)
+{
+    const Analysis a = tracedTriad(1);
+    const Analysis b = tracedTriad(2);
+    EXPECT_TRUE(coreMapMismatch(a, b).empty());
+    EXPECT_TRUE(coreMapMismatch(a, a).empty());
+}
+
+TEST(Compare, CoreMapMismatchNamesBothMaps)
+{
+    // A traced run (the machine records all 8 SPEs) against a 1-SPE
+    // analysis: the diagnostic must show the disagreement AND both
+    // complete core maps, so the caller can see exactly which cores
+    // each trace recorded.
+    const Analysis a = tracedTriad(2);
+    trace::TraceData empty;
+    empty.header.num_spes = 1;
+    empty.header.core_hz = a.model.header().core_hz;
+    empty.header.timebase_divider = a.model.header().timebase_divider;
+    empty.spe_programs.resize(1);
+    const Analysis b = analyze(empty);
+
+    const std::string msg = coreMapMismatch(a, b);
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("8 SPE(s)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1 SPE(s)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("A cores:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("B cores:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("PPE"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("SPE1"), std::string::npos) << msg;
+    // Both directions flag it.
+    EXPECT_FALSE(coreMapMismatch(b, a).empty());
+}
+
 TEST(Compare, HandlesDifferentSpeCounts)
 {
     // Compare a 2-SPE run against an analysis with no SPE activity:

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "ta/analyzer.h"
+#include "ta/compare.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
 #include "trace/block.h"
@@ -34,7 +35,7 @@ namespace {
 const char* const kFixtures[] = {"triad",           "matmul",
                                  "workqueue",       "triad_drops",
                                  "workqueue_slice", "triad_splice",
-                                 "gen_skew"};
+                                 "gen_skew",        "triad_perturbed"};
 
 std::string
 goldenPath(const std::string& name, const char* ext)
@@ -182,6 +183,33 @@ TEST(Golden, V3VariantsCompressTheRecordRegion)
         const std::uint64_t n = p.region.record_count;
         ASSERT_GT(n, 0u);
         EXPECT_LT(p.region_bytes, n * sizeof(trace::Record));
+    }
+}
+
+TEST(Golden, DiffJsonReproducesTheCommittedDigest)
+{
+    // triad vs triad_perturbed is the committed differential pair; the
+    // FNV of `ta diff --json` over it is pinned in triad_diff.digest.
+    // Any change to alignment, bucket attribution, window localization
+    // or the JSON rendering fails here and must be deliberately
+    // re-blessed via `ta_golden gen`.
+    std::ifstream is(std::string(CELL_GOLDEN_DIR) + "/triad_diff.digest");
+    std::string expect;
+    is >> expect;
+    ASSERT_FALSE(expect.empty()) << "missing triad_diff.digest";
+
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ta::DiffFileOptions opt;
+        opt.threads = threads;
+        const ta::DiffFileOutcome out =
+            ta::diffFiles(goldenPath("triad", ".pdt"),
+                          goldenPath("triad_perturbed", ".pdt"), opt);
+        std::ostringstream os;
+        os << std::hex << std::setw(16) << std::setfill('0')
+           << ta::fnv1a64(ta::diffJson(out.result));
+        EXPECT_EQ(os.str(), expect);
+        EXPECT_TRUE(out.result.diverged);
     }
 }
 

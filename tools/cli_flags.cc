@@ -169,8 +169,24 @@ parseFlags(int argc, char** argv, const FlagSpec& spec, Flags& out)
                 return false;
             }
             out.out_dir = argv[++i];
+        } else if (spec.diff && arg == "--window") {
+            if (!numericArg(argc, argv, i, "--window", out.window,
+                            out.error))
+                return false;
+            if (out.window == 0) {
+                out.error = "--window must be a positive tick width";
+                return false;
+            }
+        } else if (spec.diff && arg == "--threshold") {
+            if (!numericArg(argc, argv, i, "--threshold", out.threshold,
+                            out.error))
+                return false;
+        } else if (spec.diff && arg == "--json") {
+            out.json = true;
         } else if (spec.gen && arg == "--adversarial") {
             out.adversarial = true;
+        } else if (spec.gen && arg == "--perturb") {
+            out.perturb = true;
         } else if (spec.gen && arg == "--list-scenarios") {
             out.list_scenarios = true;
         } else {

@@ -38,6 +38,8 @@ struct FlagSpec
                             ///  --sweep/--out-dir/--adversarial/
                             ///  --list-scenarios (trace_gen)
     bool index = false;     ///< --index N (output index stride)
+    bool diff = false;      ///< --window N/--threshold N/--json
+                            ///  (ta diff / diff-corpus)
 };
 
 /** Parsed flags + remaining positionals. Defaults that differ per
@@ -75,7 +77,11 @@ struct Flags
     std::uint64_t sweep = 0;       ///< --sweep N (corpus mode)
     std::string out_dir;           ///< --out-dir DIR (corpus mode)
     bool adversarial = false;      ///< --adversarial (mutate output)
+    bool perturb = false;          ///< --perturb (sweep A/B pairs)
     bool list_scenarios = false;   ///< --list-scenarios
+    std::uint64_t window = 0;      ///< --window N ticks (0 = auto)
+    std::uint64_t threshold = 0;   ///< --threshold N (divergence score)
+    bool json = false;             ///< --json (machine-readable diff)
     std::vector<std::string> positionals;
     std::string error; ///< set when parseFlags returns false
 };

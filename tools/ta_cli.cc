@@ -16,6 +16,10 @@
  *   ta csv        <trace.pdt> <out.csv>    per-SPE breakdown CSV
  *   ta intervals  <trace.pdt> <out.csv>    raw interval CSV
  *   ta compare    <a.pdt> <b.pdt>          A/B comparison
+ *   ta diff       <a.pdt> <b.pdt>          differential: aligned-interval
+ *                                          delta attribution + first
+ *                                          divergent window localization
+ *   ta diff-corpus <pairs-file>            batch diff over trace pairs
  *   ta all        <trace.pdt>              every textual view
  *   ta window     <trace.pdt> <from> <to>  windowed query report (ticks)
  *   ta profile    <trace.pdt> [buckets]    activity profile; --from/--to
@@ -79,7 +83,8 @@ usage()
            "<trace.pdt> [args]\n"
            "commands: summary breakdown dma events tracing loss timeline\n"
            "          activity window profile convert serve query surgery\n"
-           "          svg html csv intervals transfers compare all\n"
+           "          svg html csv intervals transfers compare diff\n"
+           "          diff-corpus all\n"
            "  window  <trace.pdt> <from> <to>   windowed query report\n"
            "          (timebase ticks; seeks via the v2 index if present)\n"
            "  profile <trace.pdt> [buckets]     activity profile;\n"
@@ -112,8 +117,24 @@ usage()
            "          rewrite keeping --cores 0,2 and/or --kinds groups\n"
            "          (lifecycle dma dma_wait mailbox signal decrementer\n"
            "          user); tool records always survive\n"
+           "  surgery delay  <in.pdt> <out.pdt> <at> <delta>\n"
+           "          shift every placement at tick >= <at> by <delta>\n"
+           "          ticks (--cores N restricts to one core) — the\n"
+           "          perturbation primitive the diff suites localize\n"
            "          surgery output: --index N / --compress pick the\n"
            "          container; --salvage reads damaged inputs\n"
+           "  diff    <a.pdt> <b.pdt>           differential report:\n"
+           "          aligned-interval delta attribution per core plus\n"
+           "          the first divergent rolling window; --window N\n"
+           "          sets the window width in ticks (default span/64),\n"
+           "          --threshold N the divergence score floor, --json\n"
+           "          machine-readable output (docs/DIFF.md)\n"
+           "  diff-corpus <pairs-file>          batch diff: each line\n"
+           "          'name a.pdt b.pdt' (# comments ok), fanned over\n"
+           "          --threads N workers; per-pair strict reads\n"
+           "          downgrade to salvage with a note; --deadline-ms N\n"
+           "          bounds each pair; output is input-ordered and\n"
+           "          byte-identical at any thread count\n"
            "--threads N: analysis threads (default: hardware concurrency;\n"
            "             1 forces the serial path; output is identical)\n"
            "--full-scan: ignore any v2 footer index\n";
@@ -300,6 +321,175 @@ runQuery(const cell::cli::Flags& f)
     return typed ? 3 : 1;
 }
 
+/** `ta diff <a.pdt> <b.pdt>` — full differential report or JSON.
+ *  Bad values exit 2 with usage; unreadable inputs exit 1. */
+int
+runDiff(const cell::cli::Flags& f)
+{
+    using namespace cell;
+    const auto& pos = f.positionals;
+    if (pos.size() != 3) {
+        std::cerr << "ta: diff needs <a.pdt> <b.pdt>\n";
+        return usage();
+    }
+    ta::DiffFileOptions dopt;
+    dopt.diff.window = f.window;
+    dopt.diff.threshold = f.threshold;
+    dopt.threads = f.threads;
+    dopt.salvage = f.salvage;
+    ta::CancelToken token;
+    if (f.deadline_ms != 0) {
+        token.setDeadlineAfter(std::chrono::milliseconds(f.deadline_ms));
+        dopt.cancel = &token;
+    }
+    ta::DiffFileOutcome o;
+    try {
+        o = ta::diffFiles(pos[1], pos[2], dopt);
+    } catch (const std::invalid_argument& e) {
+        // A window width that explodes the scan is an operator typo.
+        std::cerr << "ta: " << e.what() << "\n";
+        return usage();
+    }
+    if (!o.note_a.empty())
+        std::cerr << "ta: A: " << o.note_a << "\n";
+    if (!o.note_b.empty())
+        std::cerr << "ta: B: " << o.note_b << "\n";
+    if (f.json)
+        std::cout << ta::diffJson(o.result) << "\n";
+    else
+        std::cout << ta::diffReport(o.result);
+    return 0;
+}
+
+/** `ta diff-corpus <pairs-file>` — fan trace pairs through a
+ *  WorkerPool. Results print in input order whatever the thread
+ *  count, so the output is byte-identical at 1/2/4/8 threads. Exit:
+ *  0 all pairs ok, 3 some pair hit its deadline, 1 harder errors,
+ *  2 usage (malformed pairs file / bad values). */
+int
+runDiffCorpus(const cell::cli::Flags& f)
+{
+    using namespace cell;
+    const auto& pos = f.positionals;
+    if (pos.size() != 2) {
+        std::cerr << "ta: diff-corpus needs a pairs file "
+                     "(lines: name a.pdt b.pdt)\n";
+        return usage();
+    }
+    struct Pair
+    {
+        std::string name, a, b;
+    };
+    std::vector<Pair> pairs;
+    {
+        std::ifstream in(pos[1]);
+        if (!in) {
+            std::cerr << "ta: cannot read pairs file: " << pos[1] << "\n";
+            return 1;
+        }
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            const std::size_t hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            std::istringstream ss(line);
+            Pair p;
+            std::string extra_tok;
+            if (!(ss >> p.name))
+                continue; // blank / comment-only line
+            if (!(ss >> p.a >> p.b) || (ss >> extra_tok)) {
+                std::cerr << "ta: malformed pairs line " << lineno
+                          << " (want: name a.pdt b.pdt): " << line << "\n";
+                return usage();
+            }
+            pairs.push_back(std::move(p));
+        }
+    }
+
+    struct Outcome
+    {
+        bool ok = false;
+        bool timeout = false;
+        std::string error;
+        std::string note_a, note_b;
+        cell::ta::DiffResult diff;
+    };
+    std::vector<Outcome> results(pairs.size());
+
+    ta::WorkerPool pool(f.threads);
+    pool.parallelFor(pairs.size(), [&](std::uint64_t i) {
+        Outcome& out = results[i];
+        ta::DiffFileOptions dopt;
+        dopt.diff.window = f.window;
+        dopt.diff.threshold = f.threshold;
+        dopt.threads = 1; // corpus-level parallelism only
+        dopt.salvage = f.salvage;
+        dopt.auto_downgrade = true;
+        ta::CancelToken token;
+        if (f.deadline_ms != 0) {
+            token.setDeadlineAfter(
+                std::chrono::milliseconds(f.deadline_ms));
+            dopt.cancel = &token;
+        }
+        try {
+            ta::DiffFileOutcome o =
+                ta::diffFiles(pairs[i].a, pairs[i].b, dopt);
+            out.diff = std::move(o.result);
+            out.note_a = std::move(o.note_a);
+            out.note_b = std::move(o.note_b);
+            out.ok = true;
+        } catch (const ta::DeadlineExceeded& e) {
+            out.timeout = true;
+            out.error = e.what();
+        } catch (const std::exception& e) {
+            out.error = e.what();
+        }
+    });
+
+    std::uint64_t diverged = 0, errors = 0, timeouts = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const Outcome& out = results[i];
+        if (f.json) {
+            // One JSON object per line, input order.
+            std::cout << "{\"pair\":\"" << pairs[i].name << "\",";
+            if (out.ok) {
+                if (!out.note_a.empty() || !out.note_b.empty())
+                    std::cout << "\"degraded\":true,";
+                std::cout << "\"diff\":" << ta::diffJson(out.diff) << "}";
+            } else {
+                std::cout << (out.timeout ? "\"timeout\":true,"
+                                          : "\"error\":true,")
+                          << "\"message\":\"" << out.error << "\"}";
+            }
+            std::cout << "\n";
+        } else {
+            std::cout << "== pair " << pairs[i].name << " ==\n";
+            if (!out.note_a.empty())
+                std::cout << "A: " << out.note_a << "\n";
+            if (!out.note_b.empty())
+                std::cout << "B: " << out.note_b << "\n";
+            if (out.ok)
+                std::cout << ta::diffReport(out.diff) << "\n";
+            else
+                std::cout << (out.timeout ? "TIMEOUT: " : "ERROR: ")
+                          << out.error << "\n\n";
+        }
+        diverged += out.ok && out.diff.diverged;
+        errors += !out.ok && !out.timeout;
+        timeouts += out.timeout;
+    }
+    std::cerr << "ta: diff-corpus: " << pairs.size() << " pair(s), "
+              << diverged << " diverged, " << timeouts << " timeout(s), "
+              << errors << " error(s)\n";
+    if (errors)
+        return 1;
+    if (timeouts)
+        return 3;
+    return 0;
+}
+
 /** Build a record-kind keep mask from a comma-separated list of API
  *  group names (case-insensitive). Kinds above the known-op range are
  *  always kept — the filter cannot claim to know what they are. */
@@ -351,8 +541,8 @@ runSurgery(const cell::cli::Flags& f)
     using namespace cell;
     const auto& pos = f.positionals;
     if (pos.size() < 2) {
-        std::cerr << "ta: surgery needs an operation: slice, splice "
-                     "or filter\n";
+        std::cerr << "ta: surgery needs an operation: slice, splice, "
+                     "filter or delay\n";
         return usage();
     }
     const std::string sub = pos[1];
@@ -474,6 +664,45 @@ runSurgery(const cell::cli::Flags& f)
                   << "\n";
         return 0;
     }
+    if (sub == "delay") {
+        if (pos.size() != 6) {
+            std::cerr << "ta: surgery delay needs "
+                         "<in.pdt> <out.pdt> <at> <delta>\n";
+            return usage();
+        }
+        trace::DelayOptions dopt;
+        dopt.lenient = f.salvage;
+        if (!cli::parseU64(pos[4], dopt.at) ||
+            !cli::parseU64(pos[5], dopt.delta)) {
+            std::cerr << "ta: delay <at> and <delta> must be timebase "
+                         "ticks\n";
+            return usage();
+        }
+        if (!f.cores_list.empty()) {
+            std::uint64_t c = 0;
+            if (!cli::parseU64(f.cores_list, c) || c > 0xFFFF) {
+                std::cerr << "ta: delay takes a single core id via "
+                             "--cores, got: '" << f.cores_list << "'\n";
+                return usage();
+            }
+            dopt.core = static_cast<int>(c);
+        }
+        const trace::TraceData in = loadTrace(pos[2]);
+        trace::TraceData out;
+        try {
+            out = trace::delay(in, dopt);
+        } catch (const std::invalid_argument& e) {
+            std::cerr << "ta: " << e.what() << "\n";
+            return usage();
+        }
+        trace::writeFile(pos[3], out, wopt);
+        std::cout << "delayed "
+                  << (dopt.core < 0 ? std::string("all cores")
+                                    : "core " + std::to_string(dopt.core))
+                  << " by " << dopt.delta << " ticks from tick " << dopt.at
+                  << " -> " << pos[3] << "\n";
+        return 0;
+    }
     std::cerr << "ta: unknown surgery op: " << sub << "\n";
     return usage();
 }
@@ -495,6 +724,7 @@ main(int argc, char** argv)
     spec.deadline = true;
     spec.surgery = true;
     spec.index = true;
+    spec.diff = true;
     cli::Flags f;
     f.threads = 0; // 0 = hardware concurrency
     if (!cli::parseFlags(argc, argv, spec, f)) {
@@ -520,6 +750,10 @@ main(int argc, char** argv)
             return runQuery(f);
         if (cmd == "surgery")
             return runSurgery(f);
+        if (cmd == "diff")
+            return runDiff(f);
+        if (cmd == "diff-corpus")
+            return runDiffCorpus(f);
         if (cmd == "convert") {
             if (n_extra < 1)
                 return usage();
@@ -550,6 +784,14 @@ main(int argc, char** argv)
                 return usage();
             const ta::Analysis a = load(path, salvage, threads);
             const ta::Analysis b = load(extra(0), salvage, threads);
+            // A misaligned table is worse than no table: refuse
+            // mismatched core maps with both maps printed (use `ta
+            // diff`, which aligns by label, for cross-shape runs).
+            const std::string mismatch = ta::coreMapMismatch(a, b);
+            if (!mismatch.empty()) {
+                std::cerr << "ta: " << mismatch;
+                return 1;
+            }
             ta::printComparison(std::cout, a, b);
             return 0;
         }

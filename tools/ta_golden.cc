@@ -40,6 +40,7 @@
 #include "pdt/tracer.h"
 #include "rt/system.h"
 #include "ta/analyzer.h"
+#include "ta/compare.h"
 #include "ta/intervals.h"
 #include "ta/parallel.h"
 #include "ta/query.h"
@@ -174,6 +175,22 @@ runTriadSplice()
         jopt);
 }
 
+/** The triad trace delayed on every core from its midpoint — the B
+ *  side of the committed differential pair. `gen` also derives a
+ *  digest of `ta diff --json triad triad_perturbed` from it, so a
+ *  change to the diff engine's alignment, attribution or localization
+ *  output is as visible (and as deliberate) as an analyzer change. */
+trace::TraceData
+runTriadPerturbed()
+{
+    const trace::TraceData data = runTriad();
+    const ta::Analysis a = ta::analyze(data);
+    trace::DelayOptions dopt;
+    dopt.at = a.model.startTb() + a.model.spanTb() / 2;
+    dopt.delta = a.model.spanTb() / 8 + 100;
+    return trace::delay(data, dopt);
+}
+
 /** A generated clock-skew scenario: backward sync steps exercise the
  *  monotonic clamp on every analyzer path that replays the fixture. */
 trace::TraceData
@@ -193,7 +210,23 @@ const std::vector<Fixture> kFixtures = {
     {"workqueue_slice", runWorkQueueSlice},
     {"triad_splice", runTriadSplice},
     {"gen_skew", runGenSkew},
+    {"triad_perturbed", runTriadPerturbed},
 };
+
+/** FNV-1a 64 hex of the triad -> triad_perturbed diff JSON. */
+std::string
+diffDigestHex(const std::filesystem::path& dir)
+{
+    ta::DiffFileOptions opt;
+    opt.threads = 1;
+    const ta::DiffFileOutcome out =
+        ta::diffFiles((dir / "triad.pdt").string(),
+                      (dir / "triad_perturbed.pdt").string(), opt);
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << ta::fnv1a64(ta::diffJson(out.result));
+    return os.str();
+}
 
 std::string
 digestHex(const trace::TraceData& data)
@@ -251,7 +284,27 @@ gen(const std::filesystem::path& dir, bool force)
         std::cout << f.name << ": " << data.records.size() << " records, "
                   << "digest " << digest << "\n";
     }
-    return refused ? 1 : 0;
+    if (refused)
+        return 1;
+
+    // The cross-trace differential digest rides on the fixtures just
+    // written: `ta diff --json` of triad vs triad_perturbed.
+    const auto diff_path = dir / "triad_diff.digest";
+    const std::string diff_digest = diffDigestHex(dir);
+    const std::string diff_committed = readDigestFile(diff_path);
+    if (!diff_committed.empty() && diff_committed != diff_digest &&
+        !force) {
+        std::cerr << "triad_diff: digest would change\n"
+                  << "  committed   " << diff_committed << "\n"
+                  << "  regenerated " << diff_digest << "\n"
+                  << "  (diff output changed; rerun with --force to "
+                     "overwrite, then commit the diff)\n";
+        return 1;
+    }
+    std::ofstream dos(diff_path);
+    dos << diff_digest << "\n";
+    std::cout << "triad_diff: digest " << diff_digest << "\n";
+    return 0;
 }
 
 int
@@ -364,6 +417,33 @@ check(const std::filesystem::path& dir)
             continue;
         }
         std::cout << f.name << ": ok (" << expect << ")\n";
+    }
+
+    // The committed diff digest: single- and multi-threaded diffFiles
+    // must both keep rendering the identical JSON.
+    const std::string diff_expect =
+        readDigestFile(dir / "triad_diff.digest");
+    if (diff_expect.empty()) {
+        std::cerr << "triad_diff: missing digest file\n";
+        ++failures;
+    } else {
+        const std::string serial = diffDigestHex(dir);
+        ta::DiffFileOptions opt4;
+        opt4.threads = 4;
+        const ta::DiffFileOutcome out4 =
+            ta::diffFiles((dir / "triad.pdt").string(),
+                          (dir / "triad_perturbed.pdt").string(), opt4);
+        std::ostringstream p4;
+        p4 << std::hex << std::setw(16) << std::setfill('0')
+           << ta::fnv1a64(ta::diffJson(out4.result));
+        if (serial != diff_expect || p4.str() != diff_expect) {
+            std::cerr << "triad_diff: digest mismatch (expect "
+                      << diff_expect << ", serial " << serial
+                      << ", 4-thread " << p4.str() << ")\n";
+            ++failures;
+        } else {
+            std::cout << "triad_diff: ok (" << diff_expect << ")\n";
+        }
     }
     return failures ? 1 : 0;
 }

@@ -6,7 +6,14 @@
  *   trace_gen [--seed N] [--scenario NAME] [--spes N] [--records N]
  *             [--index N] [--compress] [--adversarial] <out.pdt>
  *   trace_gen --sweep N --out-dir DIR [--seed N] [--scenario NAME]
- *             [--adversarial]
+ *             [--adversarial | --perturb]
+ *
+ * With --perturb, sweep mode emits A/B trace *pairs* plus a pairs.txt
+ * manifest for `ta diff-corpus`: A is the strict-valid scenario trace,
+ * B is A surgically delayed (trace::delay) at a deterministic
+ * mid-stream tick — so the diff engine must localize the divergence to
+ * the window containing that tick. The chosen tick and delta are
+ * printed per pair and recorded as pairs.txt comments.
  *
  * Single-file mode writes one strict-valid trace shaped by the
  * scenario (container picked by --index/--compress), or — with
@@ -19,6 +26,7 @@
  * identical bytes, so a failing seed is a complete bug report.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -27,6 +35,8 @@
 #include <vector>
 
 #include "trace/gen.h"
+#include "trace/replay.h"
+#include "trace/surgery.h"
 #include "trace/writer.h"
 
 #include "cli_flags.h"
@@ -50,7 +60,10 @@ usage()
            "  --compress      write the v3 block container\n"
            "  --adversarial   apply deterministic structural mutations\n"
            "                  (corpus specimens; container derived from\n"
-           "                  the seed)\n";
+           "                  the seed)\n"
+           "  --perturb       sweep mode: emit A/B pairs (B = A delayed\n"
+           "                  at a deterministic tick) plus pairs.txt\n"
+           "                  for `ta diff-corpus`\n";
     return 2;
 }
 
@@ -79,6 +92,105 @@ writeBytes(const std::string& path, const std::vector<std::uint8_t>& bytes)
     os.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
     return static_cast<bool>(os);
+}
+
+/**
+ * --perturb sweep: for each seed, write the strict-valid scenario
+ * trace A, a delayed variant B, and a pairs.txt manifest consumable by
+ * `ta diff-corpus`. The perturbation tick is the median placed event
+ * time (deterministic per seed), the delta a quarter of the span — big
+ * enough that the rolling-window scan cannot miss it, small enough to
+ * stay within the 32-bit re-encode range.
+ */
+int
+perturbSweep(const cell::cli::Flags& f, cell::trace::gen::GenOptions gopt)
+{
+    using namespace cell;
+    namespace gen = trace::gen;
+
+    const std::string manifest =
+        (std::filesystem::path(f.out_dir) / "pairs.txt").string();
+    std::ofstream pf(manifest);
+    if (!pf) {
+        std::cerr << "trace_gen: cannot write " << manifest << "\n";
+        return 1;
+    }
+    pf << "# A/B perturbation pairs for `ta diff-corpus` (seed base "
+       << f.seed << ")\n";
+
+    std::uint64_t written = 0;
+    for (std::uint64_t i = 0; i < f.sweep; ++i) {
+        gopt.seed = f.seed + i;
+        const trace::TraceData a = gen::generate(gopt);
+
+        // Placed clamped event times, in stream order — the same
+        // placements the analyzer derives.
+        std::vector<trace::ClockReplay> clk(a.header.num_spes + 1);
+        std::vector<std::uint64_t> prev(a.header.num_spes + 1, 0);
+        std::vector<std::uint64_t> times;
+        times.reserve(a.records.size());
+        for (const trace::Record& rec : a.records) {
+            if (rec.core >= clk.size())
+                continue;
+            std::uint64_t t = 0;
+            if (!clk[rec.core].feed(rec, t))
+                continue;
+            t = std::max(t, prev[rec.core]);
+            prev[rec.core] = t;
+            times.push_back(t);
+        }
+        if (times.size() < 2) {
+            std::cerr << "trace_gen: seed " << gopt.seed
+                      << " produced too few events to perturb; skipped\n";
+            continue;
+        }
+        const std::uint64_t lo = *std::min_element(times.begin(),
+                                                   times.end());
+        const std::uint64_t hi = *std::max_element(times.begin(),
+                                                   times.end());
+        trace::DelayOptions dopt;
+        dopt.at = times[times.size() / 2];
+        dopt.delta = (hi - lo) / 4 + 64;
+        const trace::TraceData b = trace::delay(a, dopt);
+
+        // Rotate the pair through the three containers by seed.
+        trace::WriteOptions wopt;
+        const char* tag = "v1";
+        switch (gopt.seed % 3) {
+        case 1:
+            wopt.index_stride = 64;
+            tag = "v2";
+            break;
+        case 2:
+            wopt.compress = true;
+            tag = "v3";
+            break;
+        default:
+            break;
+        }
+        const std::string base =
+            "s" + std::to_string(gopt.seed) + "_" +
+            sanitizeTag(std::string(
+                gen::scenarioName(gen::scenarioFor(gopt)))) +
+            "_" + tag;
+        const std::string path_a =
+            (std::filesystem::path(f.out_dir) / (base + "_a.pdt"))
+                .string();
+        const std::string path_b =
+            (std::filesystem::path(f.out_dir) / (base + "_b.pdt"))
+                .string();
+        trace::writeFile(path_a, a, wopt);
+        trace::writeFile(path_b, b, wopt);
+        pf << "# seed " << gopt.seed << ": delayed all cores by "
+           << dopt.delta << " ticks from tick " << dopt.at << "\n"
+           << base << " " << path_a << " " << path_b << "\n";
+        std::cout << "pair " << base << ": perturbed at tick " << dopt.at
+                  << " (+" << dopt.delta << ")\n";
+        ++written;
+    }
+    std::cout << "perturb sweep: " << written << " pair(s) -> "
+              << manifest << "\n";
+    return written == 0 ? 1 : 0;
 }
 
 } // namespace
@@ -131,7 +243,15 @@ main(int argc, char** argv)
                              "and --out-dir DIR\n";
                 return usage();
             }
+            if (f.perturb && f.adversarial) {
+                std::cerr << "trace_gen: --perturb needs strict-valid "
+                             "traces; it cannot combine with "
+                             "--adversarial\n";
+                return usage();
+            }
             std::filesystem::create_directories(f.out_dir);
+            if (f.perturb)
+                return perturbSweep(f, gopt);
             const auto t0 = std::chrono::steady_clock::now();
             std::uint64_t total_records = 0;
             std::uint64_t total_bytes = 0;
