@@ -6,17 +6,30 @@
 #
 #   scripts/ci-check.sh            # all presets
 #   scripts/ci-check.sh default    # just one
+#   scripts/ci-check.sh --bench    # the benchmark-regression gate only
 #
 # The tsan preset's test run is label-filtered to the parallel/query
-# suites by CMakePresets.json, same as CI.
+# suites by CMakePresets.json, same as CI. --bench mirrors the CI
+# bench-gate job: Release-preset bench_v3_blocks diffed against the
+# committed bench/baselines/ (>15% wall regression fails) plus the
+# decode<=v1 invariant; it can be combined with presets or run alone.
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-presets=("$@")
-[ ${#presets[@]} -gt 0 ] || presets=(default asan tsan)
+bench=0
+presets=()
+for a in "$@"; do
+    case "$a" in
+        --bench) bench=1 ;;
+        *) presets+=("$a") ;;
+    esac
+done
+if [ ${#presets[@]} -eq 0 ] && [ "$bench" -eq 0 ]; then
+    presets=(default asan tsan)
+fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 launcher=()
@@ -27,7 +40,7 @@ fi
 
 build_dir() { [ "$1" = default ] && echo build || echo "build-$1"; }
 
-for p in "${presets[@]}"; do
+for p in ${presets[@]+"${presets[@]}"}; do
     # Prefer Ninja, but never fight a build dir that was already
     # configured with another generator.
     gen=()
@@ -45,7 +58,7 @@ done
 
 # The corpus replay, golden check and daemon soak need the
 # default-preset binaries.
-case " ${presets[*]} " in *" default "*)
+case " ${presets[*]-} " in *" default "*)
     echo "==> fuzz corpus replay"
     build/tests/fuzz_reader tests/trace/corpus
     build/tests/fuzz_serve_req tests/ta/corpus_serve
@@ -79,4 +92,26 @@ case " ${presets[*]} " in *" default "*)
     ;;
 esac
 
-echo "==> ci-check OK (${presets[*]})"
+if [ "$bench" -eq 1 ]; then
+    echo "==> bench gate: configure + build (release preset)"
+    gen=()
+    if [ ! -f build-release/CMakeCache.txt ] &&
+       command -v ninja >/dev/null 2>&1; then
+        gen=(-G Ninja)
+    fi
+    cmake --preset release ${gen[@]+"${gen[@]}"} ${launcher[@]+"${launcher[@]}"}
+    cmake --build --preset release -j "$jobs" --target bench_v3_blocks
+    echo "==> bench gate: run decode benchmarks"
+    (cd build-release && ./bench/bench_v3_blocks \
+        --benchmark_filter='FileDecode_|FileReadV1|BlockReaderMmap' \
+        --benchmark_out=BENCH_bench_v3_blocks.json \
+        --benchmark_out_format=json)
+    echo "==> bench gate: compare against committed baseline"
+    python3 scripts/bench-compare.py --assert-decode \
+        bench/baselines/BENCH_bench_v3_blocks.json \
+        build-release/BENCH_bench_v3_blocks.json
+fi
+
+label="${presets[*]-}"
+[ "$bench" -eq 1 ] && label="${label:+$label }--bench"
+echo "==> ci-check OK ($label)"

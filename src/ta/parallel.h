@@ -37,83 +37,23 @@
 #ifndef CELL_TA_PARALLEL_H
 #define CELL_TA_PARALLEL_H
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "ta/analyzer.h"
 #include "ta/cancel.h"
+#include "util/worker_pool.h"
 
 namespace cell::ta {
 
 /**
- * A persistent pool of worker threads running index-space jobs with
- * contiguous-range work stealing.
- *
- * parallelFor(n, fn) splits [0, n) into one contiguous range per
- * worker (the calling thread is worker 0). Each worker pops indices
- * off the front of its own range; a worker whose range runs dry
- * steals the upper half of the largest remaining range. Ranges are
- * single atomic words, so pop and steal are lock-free CAS loops.
- *
- * fn must be safe to call concurrently for distinct indices. An
- * exception thrown by fn is captured and rethrown on the calling
- * thread after the job drains (the first one wins; remaining indices
- * still run). Nested parallelFor on the same pool is not supported.
+ * The work-stealing pool now lives in util/worker_pool.h so the trace
+ * layer (pipelined block decode) and the analysis layer share one
+ * implementation; re-exported here so every existing ta::WorkerPool
+ * call site keeps compiling unchanged.
  */
-class WorkerPool
-{
-  public:
-    /** @p threads total workers including the caller; 0 = hardware
-     *  concurrency. A pool of 1 runs everything inline. */
-    explicit WorkerPool(unsigned threads = 0);
-    ~WorkerPool();
-
-    WorkerPool(const WorkerPool&) = delete;
-    WorkerPool& operator=(const WorkerPool&) = delete;
-
-    unsigned threads() const { return n_threads_; }
-
-    void parallelFor(std::uint64_t n,
-                     const std::function<void(std::uint64_t)>& fn);
-
-  private:
-    /** One steal range, packed begin:32 | end:32, cache-line apart. */
-    struct alignas(64) StealRange
-    {
-        std::atomic<std::uint64_t> bits{0};
-    };
-
-    static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e)
-    {
-        return (static_cast<std::uint64_t>(b) << 32) | e;
-    }
-
-    void workerMain(unsigned id);
-    bool runOne(unsigned self);
-    void execute(std::uint64_t index);
-
-    unsigned n_threads_;
-    std::vector<StealRange> ranges_;
-    std::vector<std::thread> workers_; ///< n_threads_ - 1 helpers
-
-    std::atomic<const std::function<void(std::uint64_t)>*> job_{nullptr};
-    std::atomic<std::uint64_t> items_total_{0};
-    std::atomic<std::uint64_t> items_done_{0};
-
-    std::mutex mu_;
-    std::condition_variable wake_cv_; ///< workers wait for a new job
-    std::condition_variable done_cv_; ///< caller waits for completion
-    std::condition_variable idle_cv_; ///< caller waits for quiescence
-    std::uint64_t generation_ = 0;    ///< guarded by mu_
-    unsigned active_ = 0;             ///< workers still draining; mu_
-    bool shutdown_ = false;           ///< guarded by mu_
-    std::exception_ptr first_error_;  ///< guarded by mu_
-};
+using util::WorkerPool;
 
 /** Knobs for the parallel analyzer. */
 struct ParallelOptions

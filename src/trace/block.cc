@@ -59,8 +59,41 @@ struct PayloadCursor
     const std::uint8_t* p;
     const std::uint8_t* end;
 
+    /** Hot path: most deltas fit one byte; fall out of line otherwise
+     *  so the fused record loop stays small. */
     std::uint64_t varint()
     {
+        if (p != end && *p < 0x80)
+            return *p++;
+        return varintSlow();
+    }
+
+    /** Multi-byte (or end-of-stream) path. When at least 10 bytes
+     *  remain the ladder runs with a single up-front bounds check;
+     *  near the stream's end the checked loop takes over, so
+     *  truncation still throws instead of over-reading. */
+    __attribute__((noinline)) std::uint64_t varintSlow()
+    {
+        if (end - p >= 10) {
+            const std::uint8_t* q = p;
+            std::uint64_t b = *q++;
+            std::uint64_t v = b & 0x7F;
+            unsigned shift = 7;
+            do {
+                b = *q++;
+                v |= (b & 0x7F) << shift;
+                shift += 7;
+            } while (b >= 0x80 && shift < 63);
+            if (b >= 0x80) { // 10th byte carries bit 63
+                b = *q++;
+                if (b > 1)
+                    throw std::runtime_error(
+                        "trace::block: varint overflows 64 bits");
+                v |= b << 63;
+            }
+            p = q;
+            return v;
+        }
         std::uint64_t v = 0;
         unsigned shift = 0;
         for (;;) {
@@ -79,11 +112,83 @@ struct PayloadCursor
     }
 };
 
+/** Zero-run varint stream writer (columnar operand streams): nonzero
+ *  values are plain varints; a run of zeros is a 0x00 escape byte plus
+ *  a varint count. Unambiguous because a nonzero value's varint never
+ *  starts with 0x00 (a zero low group forces the continuation bit). */
+struct RunStream
+{
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t zeros = 0;
+
+    void put(std::uint64_t z)
+    {
+        if (z == 0) {
+            ++zeros;
+            return;
+        }
+        flush();
+        appendVarint(bytes, z);
+    }
+
+    void flush()
+    {
+        if (zeros > 0) {
+            bytes.push_back(0);
+            appendVarint(bytes, zeros);
+            zeros = 0;
+        }
+    }
+};
+
+/** Zero-run varint stream reader, mirror of RunStream. */
+struct RunCursor
+{
+    PayloadCursor in;
+    std::uint64_t zeros = 0; ///< zero deltas still owed by a run
+
+    std::uint64_t next()
+    {
+        if (zeros > 0) {
+            --zeros;
+            return 0;
+        }
+        if (in.p == in.end)
+            throw std::runtime_error(
+                "trace::block: operand stream truncated");
+        if (*in.p == 0) {
+            ++in.p;
+            zeros = in.varint();
+            if (zeros == 0)
+                throw std::runtime_error(
+                    "trace::block: empty zero run in operand stream");
+            --zeros;
+            return 0;
+        }
+        return in.varint();
+    }
+
+    void finish(const char* what) const
+    {
+        // A leftover run means the encoder claimed more zero deltas
+        // than the block has records; leftover bytes mean the stream
+        // length lied. Both are damage.
+        if (zeros != 0 || in.p != in.end)
+            throw std::runtime_error(
+                std::string("trace::block: trailing bytes in the ") + what +
+                " stream");
+    }
+};
+
 // -------------------------------------------------------------------------
 // Payload codec
 
 /** Dictionary entry: one (kind, phase, core) triple plus the previous
- *  payload words of its last record (delta bases). */
+ *  payload words of its last record (delta bases). The columnar layout
+ *  additionally chains the previous DELTAS (qa..qd): its operand
+ *  streams carry second-order differences, so a constant stride — DMA
+ *  addresses marching through a buffer, a counter bumping by a fixed
+ *  amount — flattens to a run of zeros. */
 struct DictEntry
 {
     std::uint8_t kind = 0;
@@ -91,15 +196,50 @@ struct DictEntry
     std::uint16_t core = 0;
     std::uint64_t pa = 0, pb = 0;
     std::uint32_t pc = 0, pd = 0;
+    std::uint64_t qa = 0, qb = 0;
+    std::uint32_t qc = 0, qd = 0;
 };
 
-/** Per-core timestamp delta chain (slot order = first appearance). */
-struct CoreSlot
+/**
+ * Reusable per-thread decode state. The core->slot tables are stamped
+ * with an epoch instead of cleared between blocks, so a block touching
+ * 3 cores pays for 3 slots, not 65536 — while an adversarial block
+ * whose dictionary sprays arbitrary u16 cores still decodes in O(n)
+ * instead of the O(n^2) a linear slot scan would cost.
+ */
+struct DecodeScratch
 {
-    std::uint16_t core = 0;
-    std::uint32_t prev_ts = 0;
-    bool have_ts = false;
+    std::vector<std::uint32_t> core_epoch;   ///< stamp per core id
+    std::vector<std::uint32_t> core_prev_ts; ///< valid when stamped
+    std::uint32_t epoch = 0;
+    std::vector<DictEntry> dict;
+
+    void newEpoch()
+    {
+        if (++epoch == 0) { // u32 wrapped: stale stamps could alias
+            std::fill(core_epoch.begin(), core_epoch.end(), 0);
+            epoch = 1;
+        }
+    }
+
+    void ensure(std::uint16_t core)
+    {
+        if (core >= core_epoch.size()) {
+            std::size_t sz = core_epoch.empty() ? 64 : core_epoch.size();
+            while (sz <= core)
+                sz *= 2;
+            core_epoch.resize(sz, 0);
+            core_prev_ts.resize(sz, 0);
+        }
+    }
 };
+
+DecodeScratch&
+scratch()
+{
+    thread_local DecodeScratch s;
+    return s;
+}
 
 std::uint32_t
 dictKey(const Record& r)
@@ -108,12 +248,11 @@ dictKey(const Record& r)
            (static_cast<std::uint32_t>(r.phase) << 8) | r.kind;
 }
 
+/** Build the (kind, phase, core) dictionary in first-appearance order. */
 void
-encodePayload(const Record* recs, std::size_t n,
-              std::vector<std::uint8_t>& out)
+buildDict(const Record* recs, std::size_t n, std::vector<DictEntry>& dict,
+          std::unordered_map<std::uint32_t, std::uint32_t>& dict_of)
 {
-    std::vector<DictEntry> dict;
-    std::unordered_map<std::uint32_t, std::uint32_t> dict_of;
     dict_of.reserve(64);
     for (std::size_t i = 0; i < n; ++i) {
         const std::uint32_t key = dictKey(recs[i]);
@@ -125,39 +264,70 @@ encodePayload(const Record* recs, std::size_t n,
             dict.push_back(e);
         }
     }
+}
 
+void
+appendDict(std::vector<std::uint8_t>& out, const std::vector<DictEntry>& dict)
+{
     appendVarint(out, dict.size());
     for (const DictEntry& e : dict) {
         appendVarint(out, (static_cast<std::uint64_t>(e.core) << 16) |
                               (static_cast<std::uint64_t>(e.phase) << 8) |
                               e.kind);
     }
+}
 
-    std::vector<CoreSlot> slots;
-    auto slotOf = [&slots](std::uint16_t core) -> CoreSlot& {
-        for (CoreSlot& s : slots) {
-            if (s.core == core)
-                return s;
-        }
-        slots.push_back(CoreSlot{core, 0, false});
-        return slots.back();
-    };
+/** Parse a dictionary stream into @p dict (shared validation). */
+void
+readDict(PayloadCursor& in, std::uint32_t record_count,
+         std::vector<DictEntry>& dict)
+{
+    const std::uint64_t dict_count = in.varint();
+    if (dict_count > record_count || (record_count > 0 && dict_count == 0))
+        throw std::runtime_error(
+            "trace::block: dictionary size implausible (" +
+            std::to_string(dict_count) + " entries, " +
+            std::to_string(record_count) + " records)");
+    dict.assign(static_cast<std::size_t>(dict_count), DictEntry{});
+    for (DictEntry& e : dict) {
+        const std::uint64_t packed = in.varint();
+        if (packed > 0xFFFFFFFFULL)
+            throw std::runtime_error(
+                "trace::block: dictionary entry out of range");
+        e.core = static_cast<std::uint16_t>(packed >> 16);
+        e.phase = static_cast<std::uint8_t>(packed >> 8);
+        e.kind = static_cast<std::uint8_t>(packed);
+    }
+}
 
+/** The original interleaved layout (BlockHeader::payload == 0). */
+void
+encodeInterleavedPayload(const Record* recs, std::size_t n,
+                         std::vector<std::uint8_t>& out)
+{
+    std::vector<DictEntry> dict;
+    std::unordered_map<std::uint32_t, std::uint32_t> dict_of;
+    buildDict(recs, n, dict, dict_of);
+    appendDict(out, dict);
+
+    DecodeScratch& sc = scratch();
+    sc.newEpoch();
     for (std::size_t i = 0; i < n; ++i) {
         const Record& r = recs[i];
         const std::uint32_t idx = dict_of.find(dictKey(r))->second;
         DictEntry& e = dict[idx];
         appendVarint(out, idx);
 
-        CoreSlot& s = slotOf(r.core);
-        if (!s.have_ts) {
+        sc.ensure(r.core);
+        if (sc.core_epoch[r.core] != sc.epoch) {
             appendVarint(out, r.timestamp);
-            s.have_ts = true;
+            sc.core_epoch[r.core] = sc.epoch;
         } else {
-            const auto d = static_cast<std::int32_t>(r.timestamp - s.prev_ts);
+            const auto d = static_cast<std::int32_t>(
+                r.timestamp - sc.core_prev_ts[r.core]);
             appendVarint(out, zigzag(d));
         }
-        s.prev_ts = r.timestamp;
+        sc.core_prev_ts[r.core] = r.timestamp;
 
         appendVarint(out, zigzag(static_cast<std::int64_t>(r.a - e.pa)));
         appendVarint(out, zigzag(static_cast<std::int64_t>(r.b - e.pb)));
@@ -173,40 +343,23 @@ encodePayload(const Record* recs, std::size_t n,
 }
 
 void
-decodePayload(const std::uint8_t* p, std::size_t len,
-              std::uint32_t record_count, std::vector<Record>& out)
+decodeInterleavedInto(const std::uint8_t* p, std::size_t len,
+                      std::uint32_t record_count, Record* dst)
 {
     PayloadCursor in{p, p + len};
 
-    const std::uint64_t dict_count = in.varint();
-    if (dict_count > record_count || (record_count > 0 && dict_count == 0))
-        throw std::runtime_error(
-            "trace::block: dictionary size implausible (" +
-            std::to_string(dict_count) + " entries, " +
-            std::to_string(record_count) + " records)");
-    std::vector<DictEntry> dict(static_cast<std::size_t>(dict_count));
-    for (DictEntry& e : dict) {
-        const std::uint64_t packed = in.varint();
-        if (packed > 0xFFFFFFFFULL)
-            throw std::runtime_error(
-                "trace::block: dictionary entry out of range");
-        e.core = static_cast<std::uint16_t>(packed >> 16);
-        e.phase = static_cast<std::uint8_t>(packed >> 8);
-        e.kind = static_cast<std::uint8_t>(packed);
-    }
+    DecodeScratch& sc = scratch();
+    readDict(in, record_count, sc.dict);
+    const std::uint64_t dict_count = sc.dict.size();
+    DictEntry* const dict = sc.dict.data();
 
-    std::vector<CoreSlot> slots;
-    auto slotOf = [&slots](std::uint16_t core) -> CoreSlot& {
-        for (CoreSlot& s : slots) {
-            if (s.core == core)
-                return s;
-        }
-        slots.push_back(CoreSlot{core, 0, false});
-        return slots.back();
-    };
-
-    out.clear();
-    out.reserve(record_count);
+    sc.newEpoch();
+    std::uint16_t max_core = 0;
+    for (std::uint64_t k = 0; k < dict_count; ++k)
+        max_core = std::max(max_core, dict[k].core);
+    sc.ensure(max_core);
+    std::uint32_t* const core_epoch = sc.core_epoch.data();
+    std::uint32_t* const core_prev_ts = sc.core_prev_ts.data();
     for (std::uint32_t i = 0; i < record_count; ++i) {
         const std::uint64_t idx = in.varint();
         if (idx >= dict_count)
@@ -215,24 +368,23 @@ decodePayload(const std::uint8_t* p, std::size_t len,
                 std::to_string(i));
         DictEntry& e = dict[static_cast<std::size_t>(idx)];
 
-        Record r{};
+        Record& r = dst[i];
         r.kind = e.kind;
         r.phase = e.phase;
         r.core = e.core;
 
-        CoreSlot& s = slotOf(e.core);
         const std::uint64_t tv = in.varint();
-        if (!s.have_ts) {
+        if (core_epoch[e.core] != sc.epoch) {
             if (tv > 0xFFFFFFFFULL)
                 throw std::runtime_error(
                     "trace::block: absolute timestamp out of range");
             r.timestamp = static_cast<std::uint32_t>(tv);
-            s.have_ts = true;
+            core_epoch[e.core] = sc.epoch;
         } else {
-            r.timestamp =
-                s.prev_ts + static_cast<std::uint32_t>(unzigzag(tv));
+            r.timestamp = core_prev_ts[e.core] +
+                          static_cast<std::uint32_t>(unzigzag(tv));
         }
-        s.prev_ts = r.timestamp;
+        core_prev_ts[e.core] = r.timestamp;
 
         r.a = e.pa + static_cast<std::uint64_t>(unzigzag(in.varint()));
         r.b = e.pb + static_cast<std::uint64_t>(unzigzag(in.varint()));
@@ -242,10 +394,197 @@ decodePayload(const std::uint8_t* p, std::size_t len,
         e.pb = r.b;
         e.pc = r.c;
         e.pd = r.d;
-        out.push_back(r);
     }
     if (in.p != in.end)
         throw std::runtime_error("trace::block: trailing payload bytes");
+}
+
+/** Columnar layout (BlockHeader::payload == 1): a u32[7] stream-length
+ *  table, then the dict / index / timestamp / a / b / c / d streams
+ *  back to back. Field semantics are identical to interleaved. */
+constexpr std::size_t kStreamTableBytes = 7 * sizeof(std::uint32_t);
+
+void
+encodeColumnarPayload(const Record* recs, std::size_t n,
+                      std::vector<std::uint8_t>& out)
+{
+    std::vector<DictEntry> dict;
+    std::unordered_map<std::uint32_t, std::uint32_t> dict_of;
+    buildDict(recs, n, dict, dict_of);
+
+    std::vector<std::uint8_t> s_dict, s_idx, s_ts;
+    RunStream s_a, s_b, s_c, s_d;
+    appendDict(s_dict, dict);
+    s_idx.reserve(n);
+    s_ts.reserve(n * 2);
+
+    DecodeScratch& sc = scratch();
+    sc.newEpoch();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Record& r = recs[i];
+        const std::uint32_t idx = dict_of.find(dictKey(r))->second;
+        DictEntry& e = dict[idx];
+        appendVarint(s_idx, idx);
+
+        sc.ensure(r.core);
+        if (sc.core_epoch[r.core] != sc.epoch) {
+            appendVarint(s_ts, r.timestamp);
+            sc.core_epoch[r.core] = sc.epoch;
+        } else {
+            const auto d = static_cast<std::int32_t>(
+                r.timestamp - sc.core_prev_ts[r.core]);
+            appendVarint(s_ts, zigzag(d));
+        }
+        sc.core_prev_ts[r.core] = r.timestamp;
+
+        const std::uint64_t da = r.a - e.pa;
+        const std::uint64_t db = r.b - e.pb;
+        const std::uint32_t dc = r.c - e.pc;
+        const std::uint32_t dd = r.d - e.pd;
+        s_a.put(zigzag(static_cast<std::int64_t>(da - e.qa)));
+        s_b.put(zigzag(static_cast<std::int64_t>(db - e.qb)));
+        s_c.put(zigzag(static_cast<std::int32_t>(dc - e.qc)));
+        s_d.put(zigzag(static_cast<std::int32_t>(dd - e.qd)));
+        e.qa = da;
+        e.qb = db;
+        e.qc = dc;
+        e.qd = dd;
+        e.pa = r.a;
+        e.pb = r.b;
+        e.pc = r.c;
+        e.pd = r.d;
+    }
+    s_a.flush();
+    s_b.flush();
+    s_c.flush();
+    s_d.flush();
+
+    const std::uint32_t lens[7] = {
+        static_cast<std::uint32_t>(s_dict.size()),
+        static_cast<std::uint32_t>(s_idx.size()),
+        static_cast<std::uint32_t>(s_ts.size()),
+        static_cast<std::uint32_t>(s_a.bytes.size()),
+        static_cast<std::uint32_t>(s_b.bytes.size()),
+        static_cast<std::uint32_t>(s_c.bytes.size()),
+        static_cast<std::uint32_t>(s_d.bytes.size()),
+    };
+    const std::size_t at = out.size();
+    out.resize(at + kStreamTableBytes);
+    std::memcpy(out.data() + at, lens, kStreamTableBytes);
+    for (const std::vector<std::uint8_t>* s :
+         {&s_dict, &s_idx, &s_ts, &s_a.bytes, &s_b.bytes, &s_c.bytes,
+          &s_d.bytes})
+        out.insert(out.end(), s->begin(), s->end());
+}
+
+void
+decodeColumnarInto(const std::uint8_t* p, std::size_t len,
+                   std::uint32_t record_count, Record* dst)
+{
+    if (len < kStreamTableBytes)
+        throw std::runtime_error(
+            "trace::block: columnar payload missing its stream table");
+    std::uint32_t lens[7];
+    std::memcpy(lens, p, kStreamTableBytes);
+    std::uint64_t total = kStreamTableBytes;
+    for (const std::uint32_t l : lens)
+        total += l;
+    if (total != len)
+        throw std::runtime_error(
+            "trace::block: stream lengths disagree with the payload size");
+    const std::uint8_t* streams[7];
+    const std::uint8_t* s = p + kStreamTableBytes;
+    for (int i = 0; i < 7; ++i) {
+        streams[i] = s;
+        s += lens[i];
+    }
+
+    DecodeScratch& sc = scratch();
+
+    PayloadCursor dict_in{streams[0], streams[0] + lens[0]};
+    readDict(dict_in, record_count, sc.dict);
+    if (dict_in.p != dict_in.end)
+        throw std::runtime_error(
+            "trace::block: trailing bytes in the dictionary stream");
+    const std::uint64_t dict_count = sc.dict.size();
+    DictEntry* const dict = sc.dict.data();
+
+    // Every core in the block appears in the dictionary, so one grow
+    // up front keeps the record loop free of bounds housekeeping.
+    sc.newEpoch();
+    std::uint16_t max_core = 0;
+    for (std::uint64_t k = 0; k < dict_count; ++k)
+        max_core = std::max(max_core, dict[k].core);
+    sc.ensure(max_core);
+    std::uint32_t* const core_epoch = sc.core_epoch.data();
+    std::uint32_t* const core_prev_ts = sc.core_prev_ts.data();
+
+    // Fused pass: each record pulls its next value from all seven
+    // cursors and lands in its final slot with one full 32-byte store —
+    // the destination is touched exactly once, which is what lets the
+    // whole-file decode keep up with the v1 memcpy it replaces.
+    PayloadCursor idx_in{streams[1], streams[1] + lens[1]};
+    PayloadCursor ts_in{streams[2], streams[2] + lens[2]};
+    RunCursor a_in{{streams[3], streams[3] + lens[3]}, 0};
+    RunCursor b_in{{streams[4], streams[4] + lens[4]}, 0};
+    RunCursor c_in{{streams[5], streams[5] + lens[5]}, 0};
+    RunCursor d_in{{streams[6], streams[6] + lens[6]}, 0};
+    for (std::uint32_t i = 0; i < record_count; ++i) {
+        const std::uint64_t idx = idx_in.varint();
+        if (idx >= dict_count)
+            throw std::runtime_error(
+                "trace::block: dictionary index out of range at record " +
+                std::to_string(i));
+        DictEntry& e = dict[static_cast<std::size_t>(idx)];
+        Record& r = dst[i];
+        r.kind = e.kind;
+        r.phase = e.phase;
+        r.core = e.core;
+
+        const std::uint64_t tv = ts_in.varint();
+        if (core_epoch[e.core] != sc.epoch) {
+            if (tv > 0xFFFFFFFFULL)
+                throw std::runtime_error(
+                    "trace::block: absolute timestamp out of range");
+            r.timestamp = static_cast<std::uint32_t>(tv);
+            core_epoch[e.core] = sc.epoch;
+        } else {
+            r.timestamp = core_prev_ts[e.core] +
+                          static_cast<std::uint32_t>(unzigzag(tv));
+        }
+        core_prev_ts[e.core] = r.timestamp;
+
+        r.a = e.pa +=
+            e.qa += static_cast<std::uint64_t>(unzigzag(a_in.next()));
+        r.b = e.pb +=
+            e.qb += static_cast<std::uint64_t>(unzigzag(b_in.next()));
+        r.c = e.pc +=
+            e.qc += static_cast<std::uint32_t>(unzigzag(c_in.next()));
+        r.d = e.pd +=
+            e.qd += static_cast<std::uint32_t>(unzigzag(d_in.next()));
+    }
+    if (idx_in.p != idx_in.end)
+        throw std::runtime_error(
+            "trace::block: trailing bytes in the index stream");
+    if (ts_in.p != ts_in.end)
+        throw std::runtime_error(
+            "trace::block: trailing bytes in the timestamp stream");
+    a_in.finish("a");
+    b_in.finish("b");
+    c_in.finish("c");
+    d_in.finish("d");
+}
+
+/** Payload dispatch on the (already validated) header. */
+void
+decodePayloadInto(const BlockHeader& hdr, const std::uint8_t* payload,
+                  Record* dst)
+{
+    if (hdr.payload == kPayloadColumnar)
+        decodeColumnarInto(payload, hdr.payload_size, hdr.record_count, dst);
+    else
+        decodeInterleavedInto(payload, hdr.payload_size, hdr.record_count,
+                              dst);
 }
 
 // -------------------------------------------------------------------------
@@ -258,6 +597,8 @@ plausibleBlockHeader(const BlockHeader& bh, std::uint32_t capacity)
 {
     return bh.magic == kBlockMagic && bh.record_count > 0 &&
            bh.record_count <= capacity && bh.seed_count <= 4096 &&
+           (bh.payload == kPayloadInterleaved ||
+            bh.payload == kPayloadColumnar) &&
            bh.uncompressed_size ==
                bh.record_count * static_cast<std::uint32_t>(sizeof(Record)) &&
            static_cast<std::uint64_t>(bh.seed_count) * sizeof(BlockSeed) +
@@ -310,14 +651,19 @@ maxBlockBodyBytes(std::uint32_t record_count, std::uint32_t seed_count)
     // Varint worst cases: <= 3 bytes dict index (dict <= 2^20 entries),
     // 5 timestamp, 10 + 10 a/b, 5 + 5 c/d = 38 per record; <= 5 bytes
     // per dictionary entry (packed < 2^32) with at most one entry per
-    // record; 10 for the dictionary count. 48/record + 64 covers all.
+    // record; 10 for the dictionary count. The columnar layout adds a
+    // 28-byte stream table and at worst 2 bytes for an isolated zero
+    // delta (0x00 escape + count 1), both under the same envelope:
+    // fixed 28 + 10 <= 64 and per-record 38 + 5 <= 48. So one bound,
+    // 48/record + 64, covers both layouts.
     return static_cast<std::uint64_t>(seed_count) * sizeof(BlockSeed) + 64 +
            static_cast<std::uint64_t>(record_count) * 48;
 }
 
 std::vector<std::uint8_t>
 encodeBlockRegion(const TraceData& trace, const Header& header,
-                  std::uint64_t region_offset, std::uint32_t block_records)
+                  std::uint64_t region_offset, std::uint32_t block_records,
+                  bool legacy_payload)
 {
     std::uint32_t capacity =
         block_records == 0 ? kDefaultBlockRecords : block_records;
@@ -368,16 +714,26 @@ encodeBlockRegion(const TraceData& trace, const Header& header,
             body.insert(body.end(), p, p + sizeof(s));
         }
         const std::size_t seeds_bytes = body.size();
-        encodePayload(trace.records.data() + first, n, body);
+        if (legacy_payload)
+            encodeInterleavedPayload(trace.records.data() + first, n, body);
+        else
+            encodeColumnarPayload(trace.records.data() + first, n, body);
 
         BlockHeader bh;
         bh.record_count = static_cast<std::uint32_t>(n);
         bh.payload_size = static_cast<std::uint32_t>(body.size() - seeds_bytes);
         bh.seed_count = n_cores;
         bh.first_record = first;
-        bh.checksum = fnv1a64Bytes(body.data(), body.size());
+        // Columnar blocks use the word-lane FNV: the byte-serial form
+        // runs at ~1 mul/byte and would dominate the decode time the
+        // columnar layout exists to save. The payload bit that selects
+        // the decoder selects the checksum algorithm too.
+        bh.checksum = legacy_payload
+                          ? fnv1a64Bytes(body.data(), body.size())
+                          : fnv1a64Words(body.data(), body.size());
         bh.uncompressed_size =
             static_cast<std::uint32_t>(n * sizeof(Record));
+        bh.payload = legacy_payload ? kPayloadInterleaved : kPayloadColumnar;
 
         BlockDirEntry de;
         de.offset = region_offset + out.size();
@@ -423,10 +779,13 @@ encodeBlockRegion(const TraceData& trace, const Header& header,
     return out;
 }
 
-void
-decodeBlockBody(const BlockHeader& hdr, const std::uint8_t* body,
-                std::size_t body_len, std::uint32_t capacity,
-                DecodedBlock& out)
+namespace {
+
+/** Shared structural validation: everything but the payload decode.
+ *  Returns the seed-bytes length. */
+std::uint64_t
+validateBlockBody(const BlockHeader& hdr, const std::uint8_t* body,
+                  std::size_t body_len, std::uint32_t capacity)
 {
     if (!plausibleBlockHeader(hdr, capacity))
         throw std::runtime_error(
@@ -437,18 +796,42 @@ decodeBlockBody(const BlockHeader& hdr, const std::uint8_t* body,
     if (body_len != seeds_bytes + hdr.payload_size)
         throw std::runtime_error(
             "trace::block: body size disagrees with its header");
-    if (fnv1a64Bytes(body, body_len) != hdr.checksum)
+    const std::uint64_t sum = hdr.payload == kPayloadColumnar
+                                  ? fnv1a64Words(body, body_len)
+                                  : fnv1a64Bytes(body, body_len);
+    if (sum != hdr.checksum)
         throw std::runtime_error(
             "trace::block: checksum mismatch in block at record " +
             std::to_string(hdr.first_record));
+    return seeds_bytes;
+}
 
+} // namespace
+
+void
+decodeBlockBody(const BlockHeader& hdr, const std::uint8_t* body,
+                std::size_t body_len, std::uint32_t capacity,
+                DecodedBlock& out)
+{
+    const std::uint64_t seeds_bytes =
+        validateBlockBody(hdr, body, body_len, capacity);
     out.header = hdr;
     out.seeds.resize(hdr.seed_count);
     if (hdr.seed_count > 0)
         std::memcpy(out.seeds.data(), body,
                     static_cast<std::size_t>(seeds_bytes));
-    decodePayload(body + seeds_bytes, hdr.payload_size, hdr.record_count,
-                  out.records);
+    out.records.resize(hdr.record_count);
+    decodePayloadInto(hdr, body + seeds_bytes, out.records.data());
+}
+
+void
+decodeBlockBodyInto(const BlockHeader& hdr, const std::uint8_t* body,
+                    std::size_t body_len, std::uint32_t capacity,
+                    Record* dst)
+{
+    const std::uint64_t seeds_bytes =
+        validateBlockBody(hdr, body, body_len, capacity);
+    decodePayloadInto(hdr, body + seeds_bytes, dst);
 }
 
 // -------------------------------------------------------------------------
@@ -623,15 +1006,61 @@ salvageBlockRegion(const std::uint8_t* data, std::size_t len,
 // -------------------------------------------------------------------------
 // Streaming reader
 
-BlockReader::BlockReader(std::istream& is) : is_(is)
+BlockReader::BlockReader(std::istream& is) : is_(&is) { parseHeaders(); }
+
+BlockReader::BlockReader(const std::string& path) : map_(path)
+{
+    if (map_.valid()) {
+        mem_ = map_.data();
+        mem_len_ = map_.size();
+    } else {
+        // Not mappable (FIFO, /proc-style pseudo-file, no mmap on this
+        // platform): buffered stream reads produce identical output.
+        owned_is_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+        if (!*owned_is_)
+            throw std::runtime_error("trace::BlockReader: cannot open " +
+                                     path);
+        is_ = owned_is_.get();
+    }
+    parseHeaders();
+}
+
+BlockReader::~BlockReader()
+{
+    // In-flight decodes hold raw pointers into the inflight slots (and
+    // the mapping); let them land before anything is torn down.
+    for (const std::unique_ptr<Inflight>& inf : inflight_) {
+        if (inf->done.valid())
+            inf->done.wait();
+    }
+}
+
+void
+BlockReader::readSeq(void* dst, std::size_t n, const char* what)
+{
+    if (mem_ != nullptr) {
+        if (seq_pos_ > mem_len_ || n > mem_len_ - seq_pos_)
+            throw std::runtime_error(std::string("trace::block: truncated ") +
+                                     what);
+        std::memcpy(dst, mem_ + seq_pos_, n);
+        seq_pos_ += n;
+        return;
+    }
+    readExact(*is_, dst, n, what);
+}
+
+void
+BlockReader::parseHeaders()
 {
     std::uint64_t at = 0;
-    const auto base = is_.tellg();
-    if (base != std::streampos(-1))
-        at = static_cast<std::uint64_t>(base);
-    is_.clear();
+    if (is_ != nullptr) {
+        const auto base = is_->tellg();
+        if (base != std::streampos(-1))
+            at = static_cast<std::uint64_t>(base);
+        is_->clear();
+    }
 
-    readExact(is_, &header_, sizeof(header_), "file header");
+    readSeq(&header_, sizeof(header_), "file header");
     at += sizeof(header_);
     if (header_.magic != kMagic)
         throw std::runtime_error(
@@ -644,18 +1073,18 @@ BlockReader::BlockReader(std::istream& is) : is_(is)
     names_.resize(header_.num_spes);
     for (std::string& name : names_) {
         std::uint32_t nlen = 0;
-        readExact(is_, &nlen, sizeof(nlen), "name table");
+        readSeq(&nlen, sizeof(nlen), "name table");
         if (nlen > (1u << 20))
             throw std::runtime_error(
                 "trace::BlockReader: implausible name length " +
                 std::to_string(nlen));
         name.resize(nlen);
-        readExact(is_, name.data(), nlen, "name table");
+        readSeq(name.data(), nlen, "name table");
         at += sizeof(nlen) + nlen;
     }
 
     region_offset_ = at;
-    readExact(is_, &region_, sizeof(region_), "block region header");
+    readSeq(&region_, sizeof(region_), "block region header");
     if (!plausibleRegionHeader(region_) ||
         region_.record_count != header_.record_count)
         throw std::runtime_error(
@@ -664,44 +1093,125 @@ BlockReader::BlockReader(std::istream& is) : is_(is)
     header_.version = kFormatVersion; // decode is transparent
 }
 
+void
+BlockReader::pipeline(util::WorkerPool& pool, unsigned window)
+{
+    pool_ = &pool;
+    window_ = std::min(std::max(window, 1u), 16u);
+}
+
+bool
+BlockReader::startPrefetch()
+{
+    // Source-side cursor: the consumer is at next_block_, the source
+    // has additionally been read ahead by the in-flight count.
+    const std::uint64_t k = next_block_ + inflight_.size();
+    if (src_failed_ || k >= region_.block_count)
+        return false;
+
+    std::unique_ptr<Inflight> inf;
+    if (!free_.empty()) {
+        inf = std::move(free_.back());
+        free_.pop_back();
+        inf->error = nullptr;
+        inf->done = std::future<void>();
+    } else {
+        inf = std::make_unique<Inflight>();
+    }
+    const std::uint8_t* body = nullptr;
+    std::size_t body_len = 0;
+    try {
+        if (mem_ != nullptr) {
+            seq_pos_ = next_offset_;
+        } else {
+            // Re-seek when possible so next() composes with
+            // readBlock(); a non-seekable stream is simply assumed
+            // still in sequence.
+            is_->clear();
+            const auto pos = is_->tellg();
+            if (pos != std::streampos(-1) &&
+                static_cast<std::uint64_t>(pos) != next_offset_)
+                is_->seekg(static_cast<std::streamoff>(next_offset_));
+        }
+
+        BlockHeader& bh = inf->header;
+        readSeq(&bh, sizeof(bh), "block header");
+        if (!plausibleBlockHeader(bh, region_.block_capacity) ||
+            bh.first_record != next_first_)
+            throw std::runtime_error(
+                "trace::BlockReader: corrupt block header at block " +
+                std::to_string(k));
+        const std::uint64_t expect = std::min<std::uint64_t>(
+            region_.block_capacity, region_.record_count - next_first_);
+        if (bh.record_count != expect)
+            throw std::runtime_error(
+                "trace::BlockReader: block " + std::to_string(k) +
+                " claims " + std::to_string(bh.record_count) + " records, " +
+                std::to_string(expect) + " expected");
+
+        body_len = static_cast<std::size_t>(bh.seed_count) *
+                       sizeof(BlockSeed) +
+                   bh.payload_size;
+        if (mem_ != nullptr) {
+            if (seq_pos_ > mem_len_ || body_len > mem_len_ - seq_pos_)
+                throw std::runtime_error(
+                    "trace::block: truncated block body");
+            body = mem_ + seq_pos_; // zero copy off the mapping
+            seq_pos_ += body_len;
+        } else {
+            inf->body.resize(body_len);
+            readSeq(inf->body.data(), body_len, "block body");
+            body = inf->body.data();
+        }
+        next_offset_ += sizeof(BlockHeader) + body_len;
+        next_first_ += inf->header.record_count;
+    } catch (...) {
+        // Surface the failure when the consumer reaches this block —
+        // not while it is still draining earlier, intact ones — and
+        // stop reading a source whose cursor is now undefined.
+        inf->error = std::current_exception();
+        src_failed_ = true;
+        inflight_.push_back(std::move(inf));
+        return false;
+    }
+
+    const std::uint32_t capacity = region_.block_capacity;
+    Inflight* raw = inf.get();
+    auto decode = [raw, body, body_len, capacity]() {
+        try {
+            decodeBlockBody(raw->header, body, body_len, capacity,
+                            raw->block);
+        } catch (...) {
+            raw->error = std::current_exception();
+        }
+    };
+    if (pool_ != nullptr)
+        inf->done = pool_->submit(decode);
+    else
+        decode();
+    inflight_.push_back(std::move(inf));
+    return true;
+}
+
 bool
 BlockReader::next(DecodedBlock& out)
 {
-    if (next_block_ >= region_.block_count)
+    const unsigned window = pool_ != nullptr ? window_ : 1;
+    while (inflight_.size() < window && startPrefetch()) {
+    }
+    if (inflight_.empty())
         return false;
 
-    // Re-seek when possible so next() composes with readBlock(); a
-    // non-seekable stream is simply assumed still in sequence.
-    is_.clear();
-    const auto pos = is_.tellg();
-    if (pos != std::streampos(-1) &&
-        static_cast<std::uint64_t>(pos) != next_offset_)
-        is_.seekg(static_cast<std::streamoff>(next_offset_));
-
-    BlockHeader bh;
-    readExact(is_, &bh, sizeof(bh), "block header");
-    if (!plausibleBlockHeader(bh, region_.block_capacity) ||
-        bh.first_record != next_first_)
-        throw std::runtime_error(
-            "trace::BlockReader: corrupt block header at block " +
-            std::to_string(next_block_));
-    const std::uint64_t expect = std::min<std::uint64_t>(
-        region_.block_capacity, region_.record_count - next_first_);
-    if (bh.record_count != expect)
-        throw std::runtime_error(
-            "trace::BlockReader: block " + std::to_string(next_block_) +
-            " claims " + std::to_string(bh.record_count) + " records, " +
-            std::to_string(expect) + " expected");
-
-    const std::size_t body_len =
-        static_cast<std::size_t>(bh.seed_count) * sizeof(BlockSeed) +
-        bh.payload_size;
-    std::vector<std::uint8_t> body(body_len);
-    readExact(is_, body.data(), body_len, "block body");
-    decodeBlockBody(bh, body.data(), body_len, region_.block_capacity, out);
-
-    next_offset_ += sizeof(bh) + body_len;
-    next_first_ += bh.record_count;
+    std::unique_ptr<Inflight> inf = std::move(inflight_.front());
+    inflight_.pop_front();
+    if (inf->done.valid())
+        inf->done.get(); // decode errors land in inf->error, not here
+    if (inf->error)
+        std::rethrow_exception(inf->error);
+    // Swap rather than move: the caller's previous block buffers flow
+    // back into the slot pool, so steady state allocates nothing.
+    std::swap(out, inf->block);
+    free_.push_back(std::move(inf));
     next_block_ += 1;
     return true;
 }
@@ -710,7 +1220,10 @@ const std::vector<BlockDirEntry>&
 BlockReader::directory()
 {
     if (!have_directory_) {
-        directory_ = loadBlockDirectory(is_, region_offset_, region_);
+        directory_ = mem_ != nullptr
+                         ? loadBlockDirectory(mem_, mem_len_, region_offset_,
+                                              region_)
+                         : loadBlockDirectory(*is_, region_offset_, region_);
         have_directory_ = true;
     }
     return directory_;
@@ -724,10 +1237,29 @@ BlockReader::readBlock(std::uint64_t index, DecodedBlock& out)
         throw std::runtime_error("trace::BlockReader: block index " +
                                  std::to_string(index) + " out of range");
     const BlockDirEntry& de = dir[index];
-    is_.clear();
-    is_.seekg(static_cast<std::streamoff>(de.offset));
     BlockHeader bh;
-    readExact(is_, &bh, sizeof(bh), "block header");
+    if (mem_ != nullptr) {
+        if (de.block_bytes < sizeof(bh) || de.offset > mem_len_ ||
+            de.block_bytes > mem_len_ - de.offset)
+            throw std::runtime_error("trace::block: truncated block header");
+        std::memcpy(&bh, mem_ + de.offset, sizeof(bh));
+        if (bh.record_count != de.record_count ||
+            sizeof(bh) + static_cast<std::uint64_t>(bh.seed_count) *
+                             sizeof(BlockSeed) +
+                bh.payload_size !=
+                de.block_bytes)
+            throw std::runtime_error(
+                "trace::BlockReader: block disagrees with the directory at "
+                "block " +
+                std::to_string(index));
+        decodeBlockBody(bh, mem_ + de.offset + sizeof(bh),
+                        de.block_bytes - sizeof(bh), region_.block_capacity,
+                        out);
+        return;
+    }
+    is_->clear();
+    is_->seekg(static_cast<std::streamoff>(de.offset));
+    readExact(*is_, &bh, sizeof(bh), "block header");
     if (bh.record_count != de.record_count ||
         sizeof(bh) + static_cast<std::uint64_t>(bh.seed_count) *
                          sizeof(BlockSeed) +
@@ -739,23 +1271,22 @@ BlockReader::readBlock(std::uint64_t index, DecodedBlock& out)
             std::to_string(index));
     const std::size_t body_len = de.block_bytes - sizeof(bh);
     std::vector<std::uint8_t> body(body_len);
-    readExact(is_, body.data(), body_len, "block body");
+    readExact(*is_, body.data(), body_len, "block body");
     decodeBlockBody(bh, body.data(), body_len, region_.block_capacity, out);
 }
 
 // -------------------------------------------------------------------------
 // Directory loading
 
+namespace {
+
+/** Directory load over any random-access source. @p readAt copies n
+ *  bytes from an absolute offset, returning false on a short read. */
+template <typename ReadAt>
 std::vector<BlockDirEntry>
-loadBlockDirectory(std::istream& is, std::uint64_t region_offset,
-                   const BlockRegionHeader& region)
+loadDirectoryImpl(const ReadAt& readAt, std::uint64_t region_offset,
+                  const BlockRegionHeader& region)
 {
-    const auto saved = is.tellg();
-    if (saved == std::streampos(-1)) {
-        is.clear();
-        throw std::runtime_error(
-            "trace::block: directory access needs a seekable stream");
-    }
     const std::uint64_t first_block =
         region_offset + sizeof(BlockRegionHeader);
 
@@ -763,17 +1294,11 @@ loadBlockDirectory(std::istream& is, std::uint64_t region_offset,
     auto tryDirectory = [&]() -> std::vector<BlockDirEntry> {
         std::vector<BlockDirEntry> dir(
             static_cast<std::size_t>(region.block_count));
-        is.clear();
-        is.seekg(static_cast<std::streamoff>(region.directory_offset));
-        if (!dir.empty()) {
-            is.read(reinterpret_cast<char*>(dir.data()),
-                    static_cast<std::streamsize>(dir.size() *
-                                                 sizeof(BlockDirEntry)));
-        }
+        const std::uint64_t dir_bytes = dir.size() * sizeof(BlockDirEntry);
         BlockDirTrailer tr;
-        is.read(reinterpret_cast<char*>(&tr),
-                static_cast<std::streamsize>(sizeof(tr)));
-        if (!is)
+        if ((!dir.empty() &&
+             !readAt(region.directory_offset, dir.data(), dir_bytes)) ||
+            !readAt(region.directory_offset + dir_bytes, &tr, sizeof(tr)))
             throw std::runtime_error("trace::block: directory unreadable");
         if (tr.magic != kBlockRegionMagic ||
             tr.dir_bytes != dir.size() * sizeof(BlockDirEntry) ||
@@ -812,10 +1337,10 @@ loadBlockDirectory(std::istream& is, std::uint64_t region_offset,
         std::uint64_t off = first_block;
         std::uint64_t records = 0;
         for (std::uint64_t i = 0; i < region.block_count; ++i) {
-            is.clear();
-            is.seekg(static_cast<std::streamoff>(off));
             BlockHeader bh;
-            readExact(is, &bh, sizeof(bh), "block header");
+            if (!readAt(off, &bh, sizeof(bh)))
+                throw std::runtime_error(
+                    "trace::block: truncated block header");
             if (!plausibleBlockHeader(bh, region.block_capacity) ||
                 bh.first_record != records)
                 throw std::runtime_error(
@@ -839,15 +1364,53 @@ loadBlockDirectory(std::istream& is, std::uint64_t region_offset,
         return dir;
     };
 
-    std::vector<BlockDirEntry> dir;
     try {
-        dir = tryDirectory();
+        return tryDirectory();
     } catch (const std::runtime_error&) {
-        dir = walkBlocks(); // throws if the blocks are damaged too
+        return walkBlocks(); // throws if the blocks are damaged too
     }
+}
+
+} // namespace
+
+std::vector<BlockDirEntry>
+loadBlockDirectory(std::istream& is, std::uint64_t region_offset,
+                   const BlockRegionHeader& region)
+{
+    const auto saved = is.tellg();
+    if (saved == std::streampos(-1)) {
+        is.clear();
+        throw std::runtime_error(
+            "trace::block: directory access needs a seekable stream");
+    }
+    auto readAt = [&is](std::uint64_t off, void* dst, std::size_t n) -> bool {
+        is.clear();
+        is.seekg(static_cast<std::streamoff>(off));
+        is.read(reinterpret_cast<char*>(dst),
+                static_cast<std::streamsize>(n));
+        return static_cast<bool>(is) &&
+               static_cast<std::size_t>(is.gcount()) == n;
+    };
+    std::vector<BlockDirEntry> dir =
+        loadDirectoryImpl(readAt, region_offset, region);
     is.clear();
     is.seekg(saved);
     return dir;
+}
+
+std::vector<BlockDirEntry>
+loadBlockDirectory(const std::uint8_t* file, std::size_t file_len,
+                   std::uint64_t region_offset,
+                   const BlockRegionHeader& region)
+{
+    auto readAt = [file, file_len](std::uint64_t off, void* dst,
+                                   std::size_t n) -> bool {
+        if (off > file_len || n > file_len - off)
+            return false;
+        std::memcpy(dst, file + off, n);
+        return true;
+    };
+    return loadDirectoryImpl(readAt, region_offset, region);
 }
 
 // -------------------------------------------------------------------------

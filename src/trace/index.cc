@@ -60,6 +60,51 @@ fnv1a64Bytes(const void* data, std::size_t len)
     return h;
 }
 
+namespace {
+
+/** Load an 8-byte little-endian word (free on LE hosts). */
+inline std::uint64_t
+loadLe64(const unsigned char* p)
+{
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof(w));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    w = __builtin_bswap64(w);
+#endif
+    return w;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64Words(const void* data, std::size_t len)
+{
+    constexpr std::uint64_t kBasis = 0xcbf29ce484222325ULL;
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    const auto* p = static_cast<const unsigned char*>(data);
+    // Four chains seeded basis+lane so identical lanes stay distinct;
+    // independent multiplies keep the carried dependency off the
+    // critical path (the serial form is one mul per BYTE).
+    std::uint64_t h0 = kBasis, h1 = kBasis + 1;
+    std::uint64_t h2 = kBasis + 2, h3 = kBasis + 3;
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        h0 = (h0 ^ loadLe64(p + i)) * kPrime;
+        h1 = (h1 ^ loadLe64(p + i + 8)) * kPrime;
+        h2 = (h2 ^ loadLe64(p + i + 16)) * kPrime;
+        h3 = (h3 ^ loadLe64(p + i + 24)) * kPrime;
+    }
+    std::uint64_t h = kBasis;
+    h = (h ^ h0) * kPrime;
+    h = (h ^ h1) * kPrime;
+    h = (h ^ h2) * kPrime;
+    h = (h ^ h3) * kPrime;
+    for (; i < len; ++i)
+        h = (h ^ p[i]) * kPrime;
+    h = (h ^ static_cast<std::uint64_t>(len)) * kPrime;
+    return h;
+}
+
 TraceIndex
 buildIndex(const TraceData& trace, const Header& header,
            std::uint64_t record_region_offset, std::uint32_t stride)

@@ -21,6 +21,7 @@
 
 #include "trace/block.h"
 #include "trace/index.h"
+#include "trace/mmap.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
 
@@ -70,6 +71,19 @@ class BufReader
         p_ += m;
         consumed_ += m;
         return m;
+    }
+
+    /** Zero-copy view of the next @p n bytes, advancing past them, or
+     *  nullptr when fewer remain (the caller's read() fallback then
+     *  reports the truncation with the standard message). */
+    const std::uint8_t* tryView(std::size_t n)
+    {
+        if (n > remaining())
+            return nullptr;
+        const std::uint8_t* p = p_;
+        p_ += n;
+        consumed_ += n;
+        return p;
     }
 
     /** Exact; an in-memory buffer always knows its size. */
@@ -136,6 +150,9 @@ class StreamReader
         return got;
     }
 
+    /** Streams have no stable bytes to point at. */
+    const std::uint8_t* tryView(std::size_t) { return nullptr; }
+
     bool knowsRemaining() const { return knows_remaining_; }
     std::uint64_t remaining() const { return remaining_; }
     std::uint64_t consumed() const { return consumed_; }
@@ -172,9 +189,12 @@ readBlocksStrict(Reader& in, TraceData& trace)
             "; --salvage recovers the decodable blocks");
     }
 
-    trace.records.reserve(static_cast<std::size_t>(rh.record_count));
+    // One allocation, then every block decodes in place: the fused
+    // decodeBlockBodyInto writes records straight into their final
+    // slots, and a memory-backed reader (buffer or mmap) hands the
+    // block body out as a zero-copy view.
+    trace.records.resize(static_cast<std::size_t>(rh.record_count));
     std::vector<std::uint8_t> body;
-    DecodedBlock blk;
     std::uint64_t next_first = 0;
     for (std::uint64_t b = 0; b < rh.block_count; ++b) {
         BlockHeader bh;
@@ -184,6 +204,7 @@ readBlocksStrict(Reader& in, TraceData& trace)
             bh.payload_size;
         if (bh.magic != kBlockMagic || bh.first_record != next_first ||
             bh.record_count == 0 || bh.record_count > rh.block_capacity ||
+            bh.record_count > rh.record_count - next_first ||
             body_len > maxBlockBodyBytes(bh.record_count, bh.seed_count)) {
             throw std::runtime_error(
                 "trace::read: corrupt block header (block " +
@@ -192,19 +213,23 @@ readBlocksStrict(Reader& in, TraceData& trace)
                 std::to_string(in.consumed() - sizeof(bh)) +
                 "); --salvage recovers the decodable blocks");
         }
-        body.resize(static_cast<std::size_t>(body_len));
-        in.read(body.data(), body.size());
+        const std::uint8_t* bp =
+            in.tryView(static_cast<std::size_t>(body_len));
+        if (bp == nullptr) {
+            body.resize(static_cast<std::size_t>(body_len));
+            in.read(body.data(), body.size());
+            bp = body.data();
+        }
         try {
-            decodeBlockBody(bh, body.data(), body.size(), rh.block_capacity,
-                            blk);
+            decodeBlockBodyInto(bh, bp, static_cast<std::size_t>(body_len),
+                                rh.block_capacity,
+                                trace.records.data() + next_first);
         } catch (const std::runtime_error& e) {
             throw std::runtime_error(
                 std::string(e.what()) + " (block " + std::to_string(b) +
                 " of " + std::to_string(rh.block_count) +
                 "); --salvage recovers the decodable blocks");
         }
-        trace.records.insert(trace.records.end(), blk.records.begin(),
-                             blk.records.end());
         next_first += bh.record_count;
     }
     if (next_first != rh.record_count)
@@ -488,7 +513,8 @@ write(std::ostream& os, const TraceData& trace, const WriteOptions& opt)
     }
     if (opt.compress) {
         const std::vector<std::uint8_t> region = encodeBlockRegion(
-            trace, hdr, recordRegionOffsetFor(trace), opt.block_records);
+            trace, hdr, recordRegionOffsetFor(trace), opt.block_records,
+            opt.legacy_payload);
         os.write(reinterpret_cast<const char*>(region.data()),
                  static_cast<std::streamsize>(region.size()));
     } else if (!trace.records.empty()) {
@@ -542,7 +568,8 @@ writeBuffer(const TraceData& trace, const WriteOptions& opt)
     }
     if (opt.compress) {
         const std::vector<std::uint8_t> region = encodeBlockRegion(
-            trace, hdr, recordRegionOffsetFor(trace), opt.block_records);
+            trace, hdr, recordRegionOffsetFor(trace), opt.block_records,
+            opt.legacy_payload);
         out.insert(out.end(), region.begin(), region.end());
     } else if (!trace.records.empty()) {
         append(trace.records.data(), trace.records.size() * sizeof(Record));
@@ -595,6 +622,15 @@ read(std::istream& is)
 TraceData
 readFile(const std::string& path)
 {
+    // Regular files read through a private mapping: the v3 decode then
+    // works zero-copy off the page cache. Anything mmap rejects — a
+    // FIFO, a /proc-style pseudo-file, an empty file — falls back to
+    // buffered stream reads with identical output and errors.
+    MappedFile map(path);
+    if (map.valid()) {
+        BufReader in(map.data(), map.size());
+        return readImpl(in);
+    }
     std::ifstream is(path, std::ios::binary);
     if (!is)
         throw std::runtime_error("trace::readFile: cannot open " + path);
@@ -618,6 +654,11 @@ readSalvage(std::istream& is, ReadReport& report)
 TraceData
 readFileSalvage(const std::string& path, ReadReport& report)
 {
+    MappedFile map(path);
+    if (map.valid()) {
+        BufReader in(map.data(), map.size());
+        return readSalvageImpl(in, report);
+    }
     std::ifstream is(path, std::ios::binary);
     if (!is)
         throw std::runtime_error("trace::readFileSalvage: cannot open " + path);

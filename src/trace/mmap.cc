@@ -1,0 +1,92 @@
+#include "trace/mmap.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CELL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cell::trace {
+
+#if CELL_HAVE_MMAP
+
+MappedFile::MappedFile(const std::string& path)
+{
+    // Only regular files with a real size map usefully: /proc-style
+    // pseudo-files report st_size 0 even when reads return data, and
+    // FIFOs/devices cannot be mapped at all. The probe must stat()
+    // BEFORE open(): opening a FIFO read-only blocks until a writer
+    // appears (and would consume that writer's one open-pairing, so
+    // the caller's buffered-fallback open could then block forever).
+    struct stat pre = {};
+    if (::stat(path.c_str(), &pre) != 0 || !S_ISREG(pre.st_mode) ||
+        pre.st_size <= 0)
+        return;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    struct stat st = {};
+    // Re-check on the open fd: the path may have been swapped between
+    // the stat and the open.
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+        ::close(fd);
+        return;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference
+    if (p == MAP_FAILED)
+        return;
+#ifdef MADV_SEQUENTIAL
+    ::madvise(p, size, MADV_SEQUENTIAL);
+#endif
+    data_ = static_cast<const std::uint8_t*>(p);
+    size_ = size;
+}
+
+void
+MappedFile::reset()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+}
+
+#else // !CELL_HAVE_MMAP
+
+MappedFile::MappedFile(const std::string&) {}
+
+void
+MappedFile::reset()
+{
+    data_ = nullptr;
+    size_ = 0;
+}
+
+#endif
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0))
+{
+}
+
+MappedFile&
+MappedFile::operator=(MappedFile&& other) noexcept
+{
+    if (this != &other) {
+        reset();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+}
+
+} // namespace cell::trace

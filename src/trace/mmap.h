@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Read-only memory mapping of regular files.
+ *
+ * MappedFile maps a file with mmap(2) where the platform supports it
+ * and the target is a regular file with a real size. Pseudo-files
+ * (/proc entries report st_size 0), FIFOs, sockets, and character
+ * devices are rejected — valid() stays false and the caller falls
+ * back to buffered stream I/O. The mapping is advised for sequential
+ * access, which is the trace reader's pattern.
+ *
+ * The object is move-only; the mapping lives until destruction.
+ */
+
+#ifndef CELL_TRACE_MMAP_H
+#define CELL_TRACE_MMAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cell::trace {
+
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    /** Attempt to map @p path read-only. On any failure — not a
+     *  regular file, zero size, mmap unsupported or denied — the
+     *  object is simply !valid(); never throws. */
+    explicit MappedFile(const std::string& path);
+    ~MappedFile();
+
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    bool valid() const { return data_ != nullptr; }
+    const std::uint8_t* data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    void reset();
+
+    const std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace cell::trace
+
+#endif // CELL_TRACE_MMAP_H

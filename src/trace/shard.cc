@@ -229,7 +229,6 @@ readShardInto(std::istream& is, const ShardPlan& plan, std::size_t index,
         // Decode the shard's whole blocks in order; the directory was
         // validated (or rebuilt from block headers) by planShards.
         std::vector<std::uint8_t> buf;
-        DecodedBlock blk;
         std::uint64_t done = 0;
         for (std::uint64_t k = s.first_block;
              k < s.first_block + s.num_blocks; ++k) {
@@ -247,17 +246,17 @@ readShardInto(std::istream& is, const ShardPlan& plan, std::size_t index,
                     std::to_string(de.offset));
             BlockHeader bh;
             std::memcpy(&bh, buf.data(), sizeof(bh));
-            decodeBlockBody(bh, buf.data() + sizeof(bh),
-                            buf.size() - sizeof(bh), plan.block_capacity,
-                            blk);
-            if (blk.records.size() != de.record_count ||
-                done + blk.records.size() > s.num_records)
+            // Check the claimed count against the directory BEFORE
+            // decoding so the fused decode can never write past dst.
+            if (bh.record_count != de.record_count ||
+                done + bh.record_count > s.num_records)
                 throw std::runtime_error(
                     "trace::readShard: block " + std::to_string(k) +
                     " record count disagrees with the directory");
-            std::memcpy(dst + done, blk.records.data(),
-                        blk.records.size() * sizeof(Record));
-            done += blk.records.size();
+            decodeBlockBodyInto(bh, buf.data() + sizeof(bh),
+                                buf.size() - sizeof(bh), plan.block_capacity,
+                                dst + done);
+            done += bh.record_count;
         }
         if (done != s.num_records)
             throw std::runtime_error(

@@ -41,6 +41,15 @@ struct WriteOptions
     /** Records per compressed block; 0 picks kDefaultBlockRecords
      *  (2048 records = 64 KiB uncompressed). Ignored unless compress. */
     std::uint32_t block_records = 0;
+
+    /**
+     * Write blocks in the original interleaved payload layout instead
+     * of the columnar streams the writer now defaults to. Back-compat
+     * escape hatch (and test fixture generator): both layouts decode
+     * to identical records and may even be mixed within one file, the
+     * columnar one is just faster to decode. Ignored unless compress.
+     */
+    bool legacy_payload = false;
 };
 
 /** Serialize @p trace to a binary stream. @throws std::runtime_error. */

@@ -24,6 +24,10 @@
  *      paths (and throws the identical strict diagnostics).
  *  P10b A corrupt v3 block degrades to an exactly-accounted gap, and
  *      serial and parallel salvage agree on the result.
+ *  P10c The I/O source is invisible: the same v3 bytes served from a
+ *      regular file (mmap-backed), a non-seekable FIFO (buffered
+ *      fallback) and an in-memory buffer produce byte-identical
+ *      reports, at 1 and 4 threads.
  *  P11 A slice of any generated trace answers windowed queries
  *      byte-identically to the original (lenient traces included).
  *  P11a Splicing slices back at their cuts reproduces the original's
@@ -45,6 +49,9 @@
 #include <cstring>
 #include <fstream>
 #include <random>
+#include <thread>
+
+#include <sys/stat.h>
 
 #include "pdt/tracer.h"
 #include "ta/analyzer.h"
@@ -684,6 +691,54 @@ TEST(Properties, P10b_CorruptBlockSalvagesToExactGapSeriallyAndInParallel)
             << threads << " threads";
     }
     std::remove(path.c_str());
+}
+
+TEST(Properties, P10c_MmapAndBufferedSourcesProduceIdenticalReports)
+{
+    for (const std::uint32_t seed : {404u, 505u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const trace::TraceData data =
+            randomTrace(seed, 3, 4'000, /*messy=*/false);
+        const auto v3 = trace::writeBuffer(
+            data, trace::WriteOptions{.compress = true,
+                                      .block_records = 256});
+        const std::string expect = ta::fullReport(ta::analyze(data));
+
+        // Regular file: readFile takes the mmap path, and the
+        // parallel analyzer reads the same file at 1 and 4 threads.
+        const std::string path = ::testing::TempDir() + "/p10c_" +
+                                 std::to_string(seed) + ".v3.pdt";
+        {
+            std::ofstream os(path, std::ios::binary);
+            os.write(reinterpret_cast<const char*>(v3.data()),
+                     static_cast<std::streamsize>(v3.size()));
+        }
+        EXPECT_EQ(ta::fullReport(ta::analyze(trace::readFile(path))),
+                  expect);
+        for (const unsigned threads : {1u, 4u}) {
+            const ta::Analysis a = ta::analyzeFileParallel(
+                path, ta::ParallelOptions{threads, 0});
+            EXPECT_EQ(ta::fullReport(a), expect) << threads << " threads";
+        }
+
+        // FIFO: not mappable and not seekable — readFile must degrade
+        // to the buffered serial path and still report identically.
+        const std::string fifo = ::testing::TempDir() + "/p10c_" +
+                                 std::to_string(seed) + ".fifo";
+        std::remove(fifo.c_str());
+        ASSERT_EQ(0, mkfifo(fifo.c_str(), 0600));
+        std::thread writer([&] {
+            std::ofstream os(fifo, std::ios::binary);
+            os.write(reinterpret_cast<const char*>(v3.data()),
+                     static_cast<std::streamsize>(v3.size()));
+        });
+        const trace::TraceData piped = trace::readFile(fifo);
+        writer.join();
+        EXPECT_EQ(ta::fullReport(ta::analyze(piped)), expect);
+
+        std::remove(fifo.c_str());
+        std::remove(path.c_str());
+    }
 }
 
 // ---------------------------------------------------------------------------

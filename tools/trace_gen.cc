@@ -252,6 +252,18 @@ main(int argc, char** argv)
             std::filesystem::create_directories(f.out_dir);
             if (f.perturb)
                 return perturbSweep(f, gopt);
+            // Warm up one untimed iteration first: the first
+            // generateBytes pays one-time costs (page faults, lazy
+            // allocator growth, scenario table setup) that would
+            // otherwise land in the first timed sample and skew the
+            // traces/sec figure for short sweeps.
+            {
+                gen::BytesOptions warm;
+                warm.gen = gopt;
+                warm.gen.seed = f.seed;
+                warm.adversarial = f.adversarial;
+                (void)gen::generateBytes(warm, nullptr);
+            }
             const auto t0 = std::chrono::steady_clock::now();
             std::uint64_t total_records = 0;
             std::uint64_t total_bytes = 0;
